@@ -1,0 +1,129 @@
+// Shared driver for Fig.3 (UP) and Fig.4 (SMP): run the five application
+// benchmarks on all six systems and print relative performance normalized
+// to native Linux (the paper's bar charts).
+#pragma once
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "workloads/dbench.hpp"
+#include "workloads/kbuild.hpp"
+#include "workloads/netperf.hpp"
+#include "workloads/osdb.hpp"
+
+namespace mercury::bench {
+
+struct AppScores {
+  // Higher is better for all (throughput or inverse time).
+  double osdb_qps = 0;
+  double dbench_mbs = 0;
+  double kbuild_inv = 0;  // 1/build_seconds
+  double ping_inv = 0;    // 1/rtt_us
+  double iperf_mbit = 0;
+};
+
+inline AppScores run_apps(SystemId id, std::size_t cpus) {
+  // Relative figures: the workload sizes only need to be large enough for
+  // stable ratios. SMP stepping is host-slower, so scale down there.
+  const double scale = cpus > 1 ? 0.4 : 1.0;
+  AppScores out;
+  {
+    auto sut = Sut::create(id, paper_params(cpus));
+    workloads::OsdbParams p;
+    p.queries = static_cast<int>(p.queries * scale);
+    out.osdb_qps = workloads::Osdb::run(sut->kernel(), p).queries_per_sec;
+  }
+  {
+    auto sut = Sut::create(id, paper_params(cpus));
+    workloads::DbenchParams p;
+    p.loops_per_client = std::max(12, static_cast<int>(p.loops_per_client * scale));
+    out.dbench_mbs = workloads::Dbench::run(sut->kernel(), p).throughput_mb_s;
+  }
+  {
+    auto sut = Sut::create(id, paper_params(cpus));
+    workloads::KbuildParams p;
+    p.translation_units =
+        std::max(6, static_cast<int>(p.translation_units * scale));
+    out.kbuild_inv =
+        1.0 / workloads::Kbuild::run(sut->kernel(), p).build_seconds;
+  }
+  {
+    // ping/iperf are single-stream: the paper's SMP results match its UP
+    // results for them, and the two-machine co-simulation steps far faster
+    // with a single client CPU, so the network rows always use one.
+    auto sut = Sut::create(id, paper_params(1));
+    workloads::PeerHost peer;
+    peer.connect_to(sut->machine());
+    workloads::NetperfParams p;
+    p.iperf_bytes = static_cast<std::size_t>(p.iperf_bytes * scale);
+    const auto net = workloads::Netperf::run(sut->kernel(), peer, p);
+    out.ping_inv = net.ping_rtt_us > 0 ? 1.0 / net.ping_rtt_us : 0.0;
+    out.iperf_mbit = net.tcp_mbit_s;
+  }
+  return out;
+}
+
+struct FigReference {
+  const char* label;
+  double nl, mn, x0, mv, xu, mu;
+};
+
+/// Paper Fig.3 (UP) relative performance, read off the described results:
+/// dbench X-0 -15%, X-U +5%; kernel build ~ -9% both; OSDB-IR >20% loss;
+/// ping -20%/-60%; iperf -40%/-70%; all M-* within 2% of their counterparts.
+inline const std::vector<FigReference>& fig3_reference() {
+  static const std::vector<FigReference> rows = {
+      {"OSDB-IR", 1.00, 0.99, 0.79, 0.78, 0.79, 0.79},
+      {"dbench", 1.00, 0.99, 0.85, 0.84, 1.05, 1.04},
+      {"kbuild", 1.00, 0.99, 0.91, 0.90, 0.91, 0.91},
+      {"ping", 1.00, 0.99, 0.79, 0.78, 0.39, 0.39},
+      {"iperf", 1.00, 0.99, 0.59, 0.58, 0.29, 0.29},
+  };
+  return rows;
+}
+
+inline const std::vector<FigReference>& fig4_reference() {
+  static const std::vector<FigReference> rows = {
+      {"OSDB-IR", 1.00, 0.99, 0.80, 0.79, 0.80, 0.80},
+      {"dbench", 1.00, 0.99, 0.86, 0.85, 1.04, 1.03},
+      {"kbuild", 1.00, 0.99, 0.91, 0.91, 0.91, 0.91},
+      {"ping", 1.00, 0.99, 0.80, 0.79, 0.40, 0.40},
+      {"iperf", 1.00, 0.99, 0.60, 0.59, 0.30, 0.30},
+  };
+  return rows;
+}
+
+inline void run_fig(const char* title, std::size_t cpus,
+                    const std::vector<FigReference>& reference) {
+  std::map<SystemId, AppScores> scores;
+  for (const SystemId id : mercury::workloads::kAllSystems)
+    scores[id] = run_apps(id, cpus);
+
+  const AppScores& base = scores[SystemId::kNL];
+  CellResults rel;
+  for (const SystemId id : mercury::workloads::kAllSystems) {
+    const AppScores& s = scores[id];
+    rel.set("OSDB-IR", id, s.osdb_qps / base.osdb_qps);
+    rel.set("dbench", id, s.dbench_mbs / base.dbench_mbs);
+    rel.set("kbuild", id, s.kbuild_inv / base.kbuild_inv);
+    rel.set("ping", id, s.ping_inv / base.ping_inv);
+    rel.set("iperf", id, s.iperf_mbit / base.iperf_mbit);
+  }
+
+  std::printf("\n=== %s: relative performance vs N-L — measured ===\n%s\n",
+              title, render_results(rel, 3).c_str());
+
+  util::Table ref({"Workload", "N-L", "M-N", "X-0", "M-V", "X-U", "M-U"});
+  for (const auto& row : reference)
+    ref.add_numeric_row(row.label, {row.nl, row.mn, row.x0, row.mv, row.xu,
+                                    row.mu}, 2);
+  std::printf("=== %s: paper (approximate, read from Fig) ===\n%s\n", title,
+              ref.render().c_str());
+
+  std::printf("Raw N-L anchors: OSDB %.1f q/s, dbench %.1f MB/s, kbuild %.2f s, "
+              "ping RTT %.1f us, iperf %.0f Mbit/s\n",
+              base.osdb_qps, base.dbench_mbs, 1.0 / base.kbuild_inv,
+              1.0 / base.ping_inv, base.iperf_mbit);
+}
+
+}  // namespace mercury::bench

@@ -1,0 +1,27 @@
+// Fig.4 reproduction: application-level relative performance, SMP (2 CPUs).
+#include <benchmark/benchmark.h>
+
+#include "bench_apps_common.hpp"
+
+namespace {
+
+void BM_KbuildSmpNative(benchmark::State& state) {
+  for (auto _ : state) {
+    auto sut = mercury::bench::Sut::create(mercury::bench::SystemId::kNL,
+                                           mercury::bench::paper_params(2));
+    const auto r = mercury::workloads::Kbuild::run(sut->kernel());
+    state.counters["sim_build_s"] = r.build_seconds;
+  }
+}
+BENCHMARK(BM_KbuildSmpNative)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  mercury::bench::run_fig("Fig.4 (SMP, 2 CPUs)", 2,
+                          mercury::bench::fig4_reference());
+  return 0;
+}

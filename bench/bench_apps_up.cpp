@@ -1,0 +1,27 @@
+// Fig.3 reproduction: application-level relative performance, uniprocessor.
+#include <benchmark/benchmark.h>
+
+#include "bench_apps_common.hpp"
+
+namespace {
+
+void BM_DbenchNative(benchmark::State& state) {
+  for (auto _ : state) {
+    auto sut = mercury::bench::Sut::create(mercury::bench::SystemId::kNL,
+                                           mercury::bench::paper_params(1));
+    const auto r = mercury::workloads::Dbench::run(sut->kernel());
+    state.counters["sim_MBps"] = r.throughput_mb_s;
+  }
+}
+BENCHMARK(BM_DbenchNative)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  mercury::bench::run_fig("Fig.3 (uniprocessor)", 1,
+                          mercury::bench::fig3_reference());
+  return 0;
+}

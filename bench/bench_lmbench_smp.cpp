@@ -1,0 +1,63 @@
+// Table 2 reproduction: lmbench OS-latency microbenchmarks, SMP mode (2
+// CPUs), across the six evaluated systems.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "workloads/lmbench.hpp"
+
+namespace {
+
+using mercury::bench::CellResults;
+using mercury::workloads::Lmbench;
+using mercury::workloads::LmbenchParams;
+using mercury::workloads::LmbenchResults;
+using mercury::workloads::Sut;
+using mercury::workloads::SystemId;
+
+constexpr std::size_t kCpus = 2;
+
+CellResults collect() {
+  CellResults r;
+  for (const SystemId id : mercury::workloads::kAllSystems) {
+    auto sut = Sut::create(id, mercury::bench::paper_params(kCpus));
+    LmbenchParams p;
+    const LmbenchResults lb = Lmbench::run(sut->kernel(), p);
+    r.set("Fork Process", id, lb.fork_us);
+    r.set("Exec Process", id, lb.exec_us);
+    r.set("Sh Process", id, lb.sh_us);
+    r.set("Ctx (2p/0k)", id, lb.ctx_2p0k_us);
+    r.set("Ctx (16p/16k)", id, lb.ctx_16p16k_us);
+    r.set("Ctx (16p/64k)", id, lb.ctx_16p64k_us);
+    r.set("Mmap LT", id, lb.mmap_us);
+    r.set("Prot Fault", id, lb.prot_fault_us);
+    r.set("Page Fault", id, lb.page_fault_us);
+  }
+  return r;
+}
+
+void BM_LmbenchSmpForkNative(benchmark::State& state) {
+  for (auto _ : state) {
+    auto sut = Sut::create(SystemId::kNL, mercury::bench::paper_params(kCpus));
+    LmbenchParams p;
+    p.fork_iters = 8;
+    state.counters["sim_us"] = Lmbench::fork_latency(sut->kernel(), p);
+  }
+}
+BENCHMARK(BM_LmbenchSmpForkNative)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::printf("\n=== Table 2: lmbench latency, SMP mode (us) — measured ===\n%s\n",
+              mercury::bench::render_results(collect()).c_str());
+  std::printf("=== Table 2: paper reference (us) ===\n%s\n",
+              mercury::bench::render_paper_reference(
+                  mercury::bench::paper_table2())
+                  .c_str());
+  return 0;
+}

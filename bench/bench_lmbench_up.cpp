@@ -1,0 +1,74 @@
+// Table 1 reproduction: lmbench OS-latency microbenchmarks, uniprocessor
+// mode, across the six evaluated systems. Also registers google-benchmark
+// timers over the same drivers so host-side performance is tracked.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "workloads/lmbench.hpp"
+
+namespace {
+
+using mercury::bench::CellResults;
+using mercury::bench::SutParams;
+using mercury::workloads::Lmbench;
+using mercury::workloads::LmbenchParams;
+using mercury::workloads::LmbenchResults;
+using mercury::workloads::Sut;
+using mercury::workloads::SystemId;
+
+constexpr std::size_t kCpus = 1;
+
+LmbenchResults run_system(SystemId id) {
+  auto sut = Sut::create(id, mercury::bench::paper_params(kCpus));
+  LmbenchParams p;
+  return Lmbench::run(sut->kernel(), p);
+}
+
+CellResults collect() {
+  CellResults r;
+  for (const SystemId id : mercury::workloads::kAllSystems) {
+    const LmbenchResults lb = run_system(id);
+    r.set("Fork Process", id, lb.fork_us);
+    r.set("Exec Process", id, lb.exec_us);
+    r.set("Sh Process", id, lb.sh_us);
+    r.set("Ctx (2p/0k)", id, lb.ctx_2p0k_us);
+    r.set("Ctx (16p/16k)", id, lb.ctx_16p16k_us);
+    r.set("Ctx (16p/64k)", id, lb.ctx_16p64k_us);
+    r.set("Mmap LT", id, lb.mmap_us);
+    r.set("Prot Fault", id, lb.prot_fault_us);
+    r.set("Page Fault", id, lb.page_fault_us);
+  }
+  return r;
+}
+
+// google-benchmark wrapper: one iteration = the full lmbench sweep on N-L
+// (host time; simulated latency reported as a counter).
+void BM_LmbenchNativeSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    const LmbenchResults lb = run_system(SystemId::kNL);
+    state.counters["fork_sim_us"] = lb.fork_us;
+    state.counters["pf_sim_us"] = lb.page_fault_us;
+    benchmark::DoNotOptimize(lb);
+  }
+}
+BENCHMARK(BM_LmbenchNativeSweep)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::printf("\n=== Table 1: lmbench latency, uniprocessor mode (us) — "
+              "measured ===\n%s\n",
+              mercury::bench::render_results(collect()).c_str());
+  std::printf("=== Table 1: paper reference (us) ===\n%s\n",
+              mercury::bench::render_paper_reference(
+                  mercury::bench::paper_table1())
+                  .c_str());
+  return 0;
+}

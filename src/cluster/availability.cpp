@@ -1,0 +1,51 @@
+#include "cluster/availability.hpp"
+
+#include "util/assert.hpp"
+
+namespace mercury::cluster {
+
+void AvailabilityTracker::service_down(hw::Cycles at, std::string cause) {
+  if (!began_) {
+    begin_ = at;
+    began_ = true;
+  }
+  MERC_CHECK_MSG(!down_, "service_down while already down");
+  down_ = true;
+  current_ = ServiceInterruption{at, at, std::move(cause)};
+}
+
+void AvailabilityTracker::service_up(hw::Cycles at) {
+  MERC_CHECK_MSG(down_, "service_up while already up");
+  down_ = false;
+  current_.ended = at;
+  interruptions_.push_back(current_);
+  end_ = at;
+}
+
+void AvailabilityTracker::finish(hw::Cycles at) {
+  if (!began_) begin_ = 0;
+  began_ = true;
+  if (down_) service_up(at);
+  end_ = at;
+}
+
+hw::Cycles AvailabilityTracker::total_downtime() const {
+  hw::Cycles d = 0;
+  for (const auto& i : interruptions_) d += i.duration();
+  return d;
+}
+
+double AvailabilityTracker::availability() const {
+  if (observation_span() == 0) return 1.0;
+  return 1.0 - static_cast<double>(total_downtime()) /
+                   static_cast<double>(observation_span());
+}
+
+double AvailabilityTracker::mtti_seconds() const {
+  if (interruptions_.empty()) return 0.0;
+  const double span_s = static_cast<double>(observation_span()) /
+                        (hw::kCyclesPerMicrosecond * 1e6);
+  return span_s / static_cast<double>(interruptions_.size());
+}
+
+}  // namespace mercury::cluster

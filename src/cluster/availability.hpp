@@ -1,0 +1,45 @@
+// Availability accounting: uptime/downtime/MTTI bookkeeping for the paper's
+// dependability scenarios (§6.3/§6.5 — the market "heading toward 99.999%").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/types.hpp"
+
+namespace mercury::cluster {
+
+struct ServiceInterruption {
+  hw::Cycles began = 0;
+  hw::Cycles ended = 0;
+  std::string cause;
+  hw::Cycles duration() const { return ended - began; }
+};
+
+class AvailabilityTracker {
+ public:
+  void service_down(hw::Cycles at, std::string cause);
+  void service_up(hw::Cycles at);
+  void finish(hw::Cycles at);
+
+  bool is_down() const { return down_; }
+  const std::vector<ServiceInterruption>& interruptions() const {
+    return interruptions_;
+  }
+  hw::Cycles total_downtime() const;
+  hw::Cycles observation_span() const { return end_ - begin_; }
+  double availability() const;
+  /// Mean time to interrupt over the observation span.
+  double mtti_seconds() const;
+
+ private:
+  bool down_ = false;
+  hw::Cycles begin_ = 0;
+  hw::Cycles end_ = 0;
+  bool began_ = false;
+  ServiceInterruption current_;
+  std::vector<ServiceInterruption> interruptions_;
+};
+
+}  // namespace mercury::cluster

@@ -1,0 +1,21 @@
+#include "cluster/node.hpp"
+
+namespace mercury::cluster {
+
+Node::Node(std::string name, NodeConfig config)
+    : name_(std::move(name)), config_(config) {
+  hw::MachineConfig mc;
+  mc.num_cpus = config_.cpus;
+  mc.mem_kb = config_.mem_kb;
+  mc.nic_addr = config_.addr;
+  machine_ = std::make_unique<hw::Machine>(mc);
+  machine_->nic().bind_irq(&machine_->interrupts(), 0);
+
+  core::MercuryConfig cfg;
+  cfg.kernel_frames = (config_.kernel_mem_kb * 1024) / hw::kPageSize;
+  cfg.kernel_name = name_ + "-os";
+  mercury_ = std::make_unique<core::Mercury>(*machine_, cfg);
+  active_ = &mercury_->kernel();
+}
+
+}  // namespace mercury::cluster

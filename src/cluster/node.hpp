@@ -1,0 +1,49 @@
+// A cluster node: a Machine running a Mercury (self-virtualizing) OS.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/mercury.hpp"
+#include "hw/machine.hpp"
+
+namespace mercury::cluster {
+
+struct NodeConfig {
+  std::size_t cpus = 1;
+  std::size_t mem_kb = 512 * 1024;
+  std::size_t kernel_mem_kb = 128 * 1024;
+  std::uint32_t addr = 0;  // 0 = assigned by the fabric
+};
+
+class Node {
+ public:
+  Node(std::string name, NodeConfig config);
+
+  const std::string& name() const { return name_; }
+  hw::Machine& machine() { return *machine_; }
+  core::Mercury& mercury() { return *mercury_; }
+
+  /// The OS whose stepper drives this node. Initially the node's own
+  /// Mercury kernel; after an inbound migration, the migrated guest.
+  kernel::Kernel& active() { return *active_; }
+  void set_active(kernel::Kernel* k) { active_ = k; }
+  bool hosts_foreign_guest() const {
+    return active_ != &mercury_->kernel();
+  }
+
+  // --- failure state ---
+  bool failed() const { return failed_; }
+  void fail() { failed_ = true; }
+  void repair() { failed_ = false; }
+
+ private:
+  std::string name_;
+  NodeConfig config_;
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<core::Mercury> mercury_;
+  kernel::Kernel* active_ = nullptr;
+  bool failed_ = false;
+};
+
+}  // namespace mercury::cluster

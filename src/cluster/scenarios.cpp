@@ -1,0 +1,180 @@
+#include "cluster/scenarios.hpp"
+
+#include "kernel/syscalls.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace mercury::cluster {
+
+using core::ExecMode;
+using core::Mercury;
+
+namespace {
+
+/// Move a self-virtualized OS (full-virtual guest of src's hypervisor) to
+/// dst's hypervisor and rebind its VO plumbing. dst must be partial-virtual.
+vmm::MigrationStats migrate_guest(Mercury& src, Mercury& dst) {
+  const vmm::DomainId dom = src.guest_vo().dom();
+  vmm::MigrationStats stats =
+      vmm::LiveMigration::run(src.hypervisor(), dom, dst.hypervisor());
+  if (!stats.success) return stats;
+  // The migrated kernel now runs against the destination's hypervisor.
+  dst.guest_vo().bind(stats.new_domain);
+  src.kernel().set_ops(dst.guest_vo());
+  return stats;
+}
+
+}  // namespace
+
+MaintenanceReport online_maintenance(
+    Node& src, Node& dst,
+    const std::function<void(hw::Machine&)>& maintenance) {
+  MaintenanceReport report;
+  const hw::Cycles t0 = src.machine().max_cpu_time();
+
+  // Receiver first: partial-virtual so it can host a guest (paper §6.3).
+  if (!dst.mercury().switch_to(ExecMode::kPartialVirtual)) return report;
+  // The machine to maintain: full-virtual so its OS becomes migratable.
+  if (!src.mercury().switch_to(ExecMode::kFullVirtual)) return report;
+
+  report.out = migrate_guest(src.mercury(), dst.mercury());
+  if (!report.out.success) return report;
+  src.set_active(&dst.mercury().kernel());  // src machine is now OS-less
+  dst.set_active(&src.mercury().kernel());  // dst hosts the workload OS
+
+  // Hardware maintenance on the now-empty source machine.
+  maintenance(src.machine());
+
+  // Bring the OS home: src hypervisor is still active and can receive.
+  vmm::MigrationStats back = vmm::LiveMigration::run(
+      dst.mercury().hypervisor(), dst.mercury().guest_vo().dom(),
+      src.mercury().hypervisor());
+  if (!back.success) return report;
+  report.back = back;
+  src.mercury().guest_vo().bind(back.new_domain);
+  src.mercury().kernel().set_ops(src.mercury().guest_vo());
+  src.set_active(&src.mercury().kernel());
+  dst.set_active(&dst.mercury().kernel());
+
+  // Full speed again on both nodes.
+  if (!src.mercury().switch_to(ExecMode::kNative)) return report;
+  if (!dst.mercury().switch_to(ExecMode::kNative)) return report;
+
+  report.total_cycles = src.machine().max_cpu_time() - t0;
+  report.success = true;
+  return report;
+}
+
+EvacuationReport evacuate(Node& src, Node& dst) {
+  EvacuationReport report;
+  report.predicted_at = src.machine().max_cpu_time();
+
+  if (!dst.mercury().switch_to(ExecMode::kPartialVirtual)) return report;
+  if (!src.mercury().switch_to(ExecMode::kFullVirtual)) return report;
+
+  report.migration = migrate_guest(src.mercury(), dst.mercury());
+  if (!report.migration.success) return report;
+  src.set_active(&dst.mercury().kernel());
+  dst.set_active(&src.mercury().kernel());
+
+  report.safe_at = dst.machine().max_cpu_time();
+  report.success = true;
+  return report;
+}
+
+UpdateReport live_update(Mercury& mercury, const KernelPatch& patch) {
+  UpdateReport report;
+  hw::Cpu& cpu = mercury.machine().cpu(0);
+  const hw::Cycles t0 = cpu.now();
+
+  if (!mercury.switch_to(ExecMode::kPartialVirtual)) return report;
+  report.attach_cycles = mercury.engine().stats().last_attach_cycles;
+
+  // The attached VMM quiesces the kernel (the switch's rendezvous already
+  // parked every CPU) and applies the update.
+  const hw::Cycles p0 = cpu.now();
+  cpu.charge(patch.patch_work);
+  patch.apply_fn(mercury.kernel());
+  report.patch_cycles = cpu.now() - p0;
+  util::log_info("scenario", "live update applied: ", patch.description);
+
+  if (!mercury.switch_to(ExecMode::kNative)) return report;
+  report.detach_cycles = mercury.engine().stats().last_detach_cycles;
+  report.total_cycles = cpu.now() - t0;
+  report.success = true;
+  return report;
+}
+
+HealReport self_heal(Mercury& mercury) {
+  HealReport report;
+  hw::Cpu& cpu = mercury.machine().cpu(0);
+  const hw::Cycles t0 = cpu.now();
+  vmm::Hypervisor& hv = mercury.hypervisor();
+
+  const std::uint64_t healed_before = hv.stats().entries_healed;
+  hv.set_heal_mode(true);
+  // Adoption validates every page table; healing mode repairs instead of
+  // crashing (paper §6.2: the VMM "repairs the tainted state").
+  if (!mercury.switch_to(ExecMode::kPartialVirtual)) {
+    hv.set_heal_mode(false);
+    return report;
+  }
+  if (!mercury.switch_to(ExecMode::kNative)) {
+    hv.set_heal_mode(false);
+    return report;
+  }
+  hv.set_heal_mode(false);
+
+  report.ran = true;
+  report.entries_healed = hv.stats().entries_healed - healed_before;
+  report.total_cycles = cpu.now() - t0;
+  return report;
+}
+
+bool inject_pte_corruption(Mercury& mercury, kernel::Pid pid) {
+  kernel::Kernel& k = mercury.kernel();
+  kernel::Task* t = k.find_task(pid);
+  if (t == nullptr || !t->aspace) return false;
+  vmm::Hypervisor& hv = mercury.hypervisor();
+
+  for (const auto& vma : t->aspace->vmas()) {
+    for (hw::VirtAddr va = vma.start; va < vma.end; va += hw::kPageSize) {
+      const hw::Pfn l1 = t->aspace->l1_for_pde(hw::pde_index(va));
+      if (l1 == 0) continue;
+      const hw::PhysAddr pte_addr = hw::addr_of(l1) + hw::pte_index(va) * 4;
+      hw::Pte pte{k.machine().memory().read_u32(pte_addr)};
+      if (!pte.present()) continue;
+      // Taint: point the mapping at a hypervisor-owned frame (a fault/bug
+      // scribbled over the page table).
+      pte.set_pfn(hv.reserved_first());
+      k.machine().memory().write_u32(pte_addr, pte.raw);
+      for (std::size_t c = 0; c < k.machine().num_cpus(); ++c)
+        k.machine().cpu(c).tlb().flush_global();
+      return true;
+    }
+  }
+  return false;
+}
+
+CheckpointReport checkpoint_os(Mercury& mercury) {
+  CheckpointReport report;
+  hw::Cpu& cpu = mercury.machine().cpu(0);
+  const hw::Cycles t0 = cpu.now();
+  MERC_CHECK(mercury.switch_to(ExecMode::kPartialVirtual));
+  report.snapshot = vmm::Checkpointer::take(cpu, mercury.hypervisor(),
+                                            mercury.driver_vo().dom());
+  MERC_CHECK(mercury.switch_to(ExecMode::kNative));
+  report.total_cycles = cpu.now() - t0;
+  return report;
+}
+
+hw::Cycles restore_os(Mercury& mercury, const vmm::Snapshot& snapshot) {
+  hw::Cpu& cpu = mercury.machine().cpu(0);
+  const hw::Cycles t0 = cpu.now();
+  MERC_CHECK(mercury.switch_to(ExecMode::kPartialVirtual));
+  vmm::Checkpointer::restore(cpu, mercury.hypervisor(), snapshot);
+  MERC_CHECK(mercury.switch_to(ExecMode::kNative));
+  return cpu.now() - t0;
+}
+
+}  // namespace mercury::cluster

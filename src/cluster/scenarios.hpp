@@ -1,0 +1,101 @@
+// The paper's §6 usage scenarios, as reusable orchestration functions:
+//   §6.1 checkpoint/restart     §6.2 self-healing
+//   §6.3 online hw maintenance  §6.4 live kernel update
+//   §6.5 HPC failure-prediction evacuation
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "cluster/availability.hpp"
+#include "cluster/fabric.hpp"
+#include "vmm/checkpoint.hpp"
+#include "vmm/migrate.hpp"
+
+namespace mercury::cluster {
+
+// --- §6.3 online hardware maintenance -----------------------------------------
+
+struct MaintenanceReport {
+  bool success = false;
+  vmm::MigrationStats out;
+  vmm::MigrationStats back;
+  hw::Cycles total_cycles = 0;
+  /// Application-visible downtime: the two stop-and-copy windows.
+  hw::Cycles service_downtime() const {
+    return out.downtime_cycles + back.downtime_cycles;
+  }
+};
+
+/// Evacuate src's OS to dst, run `maintenance` against the (now idle) src
+/// machine, bring the OS home, and drop back to native mode.
+MaintenanceReport online_maintenance(
+    Node& src, Node& dst,
+    const std::function<void(hw::Machine&)>& maintenance);
+
+// --- §6.5 failure-prediction evacuation -----------------------------------------
+
+struct EvacuationReport {
+  bool success = false;
+  hw::Cycles predicted_at = 0;
+  hw::Cycles safe_at = 0;  // guest fully running on the healthy node
+  vmm::MigrationStats migration;
+  hw::Cycles prediction_to_safety() const { return safe_at - predicted_at; }
+};
+
+/// React to a failure prediction on src: self-virtualize to full-virtual and
+/// live-migrate the OS to dst (which self-virtualizes to partial-virtual to
+/// receive it). Call once sensors predict failure.
+EvacuationReport evacuate(Node& src, Node& dst);
+
+// --- §6.4 live kernel update ------------------------------------------------------
+
+struct KernelPatch {
+  std::string description;
+  std::function<void(kernel::Kernel&)> apply_fn;
+  hw::Cycles patch_work = 150 * hw::kCyclesPerMicrosecond;  // redirection setup
+};
+
+struct UpdateReport {
+  bool success = false;
+  hw::Cycles attach_cycles = 0;
+  hw::Cycles patch_cycles = 0;
+  hw::Cycles detach_cycles = 0;
+  hw::Cycles total_cycles = 0;
+};
+
+/// LUCOS-style live update, but with the VMM attached only for the patch
+/// window: attach -> quiesce & apply -> detach.
+UpdateReport live_update(core::Mercury& mercury, const KernelPatch& patch);
+
+// --- §6.2 self-healing ---------------------------------------------------------------
+
+struct HealReport {
+  bool ran = false;
+  std::uint64_t entries_healed = 0;
+  hw::Cycles total_cycles = 0;
+};
+
+/// Attach the VMM in healing mode: table validation repairs tainted entries
+/// instead of crashing; then detach.
+HealReport self_heal(core::Mercury& mercury);
+
+/// Test/demo hook: corrupt one present user PTE of `pid` so it points at a
+/// hypervisor-owned frame (the kind of kernel-state taint §6.2 targets).
+/// Returns true if an entry was corrupted.
+bool inject_pte_corruption(core::Mercury& mercury, kernel::Pid pid);
+
+// --- §6.1 checkpoint / restart --------------------------------------------------------
+
+struct CheckpointReport {
+  vmm::Snapshot snapshot;
+  hw::Cycles total_cycles = 0;
+};
+
+/// Attach, snapshot the whole OS domain, detach.
+CheckpointReport checkpoint_os(core::Mercury& mercury);
+
+/// Attach, restore the snapshot into the OS domain, detach.
+hw::Cycles restore_os(core::Mercury& mercury, const vmm::Snapshot& snapshot);
+
+}  // namespace mercury::cluster

@@ -1,0 +1,117 @@
+#include "core/native_vo.hpp"
+
+#include "hw/costs.hpp"
+#include "kernel/kernel.hpp"
+
+namespace mercury::core {
+
+void NativeVo::write_cr3(hw::Cpu& cpu, hw::Pfn root) {
+  OpGuard g(*this, cpu);
+  direct_.write_cr3(cpu, root);
+}
+void NativeVo::load_idt(hw::Cpu& cpu, hw::TableToken t) {
+  OpGuard g(*this, cpu);
+  direct_.load_idt(cpu, t);
+}
+void NativeVo::load_gdt(hw::Cpu& cpu, hw::TableToken t) {
+  OpGuard g(*this, cpu);
+  direct_.load_gdt(cpu, t);
+}
+void NativeVo::irq_disable(hw::Cpu& cpu) {
+  OpGuard g(*this, cpu);
+  direct_.irq_disable(cpu);
+}
+void NativeVo::irq_enable(hw::Cpu& cpu) {
+  OpGuard g(*this, cpu);
+  direct_.irq_enable(cpu);
+}
+void NativeVo::stack_switch(hw::Cpu& cpu) {
+  OpGuard g(*this, cpu);
+  direct_.stack_switch(cpu);
+}
+void NativeVo::syscall_entered(hw::Cpu& cpu) {
+  OpGuard g(*this, cpu);
+  direct_.syscall_entered(cpu);
+}
+void NativeVo::syscall_exiting(hw::Cpu& cpu) {
+  OpGuard g(*this, cpu);
+  direct_.syscall_exiting(cpu);
+}
+void NativeVo::pte_write(hw::Cpu& cpu, hw::PhysAddr pte_addr, hw::Pte value) {
+  OpGuard g(*this, cpu);
+  direct_.pte_write(cpu, pte_addr, value);
+}
+void NativeVo::pte_write_batch(hw::Cpu& cpu,
+                               std::span<const pv::PteUpdate> updates) {
+  OpGuard g(*this, cpu);
+  direct_.pte_write_batch(cpu, updates);
+}
+void NativeVo::pin_page_table(hw::Cpu& cpu, hw::Pfn pfn, pv::PtLevel level) {
+  OpGuard g(*this, cpu);
+  direct_.pin_page_table(cpu, pfn, level);
+}
+void NativeVo::unpin_page_table(hw::Cpu& cpu, hw::Pfn pfn) {
+  OpGuard g(*this, cpu);
+  direct_.unpin_page_table(cpu, pfn);
+}
+void NativeVo::flush_tlb(hw::Cpu& cpu) {
+  OpGuard g(*this, cpu);
+  direct_.flush_tlb(cpu);
+}
+void NativeVo::flush_tlb_page(hw::Cpu& cpu, hw::VirtAddr va) {
+  OpGuard g(*this, cpu);
+  direct_.flush_tlb_page(cpu, va);
+}
+void NativeVo::send_ipi(hw::Cpu& cpu, std::uint32_t dst_cpu, std::uint8_t vector,
+                        std::uint32_t payload) {
+  OpGuard g(*this, cpu);
+  direct_.send_ipi(cpu, dst_cpu, vector, payload);
+}
+void NativeVo::disk_read(hw::Cpu& cpu, std::uint64_t block,
+                         std::span<std::uint8_t> out) {
+  OpGuard g(*this, cpu);
+  direct_.disk_read(cpu, block, out);
+}
+void NativeVo::disk_write(hw::Cpu& cpu, std::uint64_t block,
+                          std::span<const std::uint8_t> in) {
+  OpGuard g(*this, cpu);
+  direct_.disk_write(cpu, block, in);
+}
+void NativeVo::disk_flush(hw::Cpu& cpu) {
+  OpGuard g(*this, cpu);
+  direct_.disk_flush(cpu);
+}
+void NativeVo::net_send(hw::Cpu& cpu, hw::Packet pkt) {
+  OpGuard g(*this, cpu);
+  direct_.net_send(cpu, std::move(pkt));
+}
+std::optional<hw::Packet> NativeVo::net_poll(hw::Cpu& cpu) {
+  OpGuard g(*this, cpu);
+  return direct_.net_poll(cpu);
+}
+void NativeVo::sensors_read(hw::Cpu& cpu, hw::SensorReadings& out) {
+  OpGuard g(*this, cpu);
+  direct_.sensors_read(cpu, out);
+}
+
+void NativeVo::state_transfer_in(hw::Cpu& cpu, kernel::Kernel& k) {
+  // Entering native mode: the kernel segment privilege returns to ring 0.
+  // Saved thread selectors are fixed by the resume stub (or the eager walk
+  // the switch engine may run); page-table writability was restored by the
+  // hypervisor's release path.
+  (void)cpu;
+  (void)k;
+}
+
+void NativeVo::reload_hw_state(hw::Cpu& cpu, kernel::Kernel& k) {
+  cpu.charge(pv::costs::kReloadControlState);
+  const hw::Ring prev = cpu.cpl();
+  cpu.set_cpl(hw::Ring::kRing0);
+  cpu.load_idt(k.idt_token());
+  cpu.load_gdt(k.gdt_token());
+  cpu.write_cr3(cpu.read_cr3());  // reload semantics: full TLB flush
+  cpu.tlb().flush_global();
+  cpu.set_cpl(prev);
+}
+
+}  // namespace mercury::core

@@ -1,0 +1,121 @@
+#include "core/rendezvous.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "hw/costs.hpp"
+#include "hw/interrupts.hpp"
+#include "util/assert.hpp"
+
+namespace mercury::core {
+
+namespace {
+
+// Cost atoms for the shared-variable handshake.
+constexpr hw::Cycles kAtomicInc = 60;            // uncontended lock xadd
+constexpr hw::Cycles kCachelineBounce = 450;     // contended line transfer
+constexpr hw::Cycles kFlagCheck = 40;
+constexpr hw::Cycles kSpinVisibilityLag = 120;   // store-to-load latency
+
+RendezvousStats run_ipi_shared_var(hw::Machine& m, hw::Cpu& cp) {
+  RendezvousStats stats;
+  stats.cpus = m.num_cpus();
+  stats.entry_time = cp.now();
+
+  // CP broadcasts the mode-switch IPI (one ICR write per target). Serial
+  // ICR writes: the CP pays per target (no broadcast shorthand on this APIC
+  // model) — the linear term the tree protocol removes. The IPIs really go
+  // through the interrupt controller; their post-barrier delivery is a
+  // no-op acknowledgement.
+  std::vector<hw::Cycles> arrival(m.num_cpus(), 0);
+  for (std::size_t i = 0; i < m.num_cpus(); ++i) {
+    if (i == cp.id()) continue;
+    cp.charge(hw::costs::kIpiSendLatency / 2 - hw::costs::kIpiSendLatency / 3);
+    m.interrupts().send_ipi(cp, static_cast<std::uint32_t>(i),
+                            hw::kVecIpiModeSwitch);
+    arrival[i] = std::max(m.cpu(i).now(),
+                          cp.now() + hw::costs::kIpiSendLatency);
+  }
+  arrival[cp.id()] = cp.now();
+
+  // Each CPU takes the IPI, increments the shared ready count (the line
+  // bounces between cores, so later arrivals pay more), then spins.
+  hw::Cycles all_ready = 0;
+  std::size_t inc_order = 0;
+  for (std::size_t i = 0; i < m.num_cpus(); ++i) {
+    hw::Cycles t = arrival[i];
+    if (i != cp.id()) t += hw::costs::kIpiAck + hw::costs::kTrapEntry;
+    t += kAtomicInc + kCachelineBounce * inc_order;
+    ++inc_order;
+    all_ready = std::max(all_ready, t);
+  }
+
+  // CP observes count == N, sets the release flag; everyone sees it after
+  // the store propagates.
+  const hw::Cycles flag_set = all_ready + kFlagCheck + kAtomicInc;
+  const hw::Cycles release = flag_set + kSpinVisibilityLag;
+  for (std::size_t i = 0; i < m.num_cpus(); ++i)
+    m.cpu(i).advance_to(release);
+  stats.completion_time = release;
+  return stats;
+}
+
+RendezvousStats run_tree(hw::Machine& m, hw::Cpu& cp) {
+  RendezvousStats stats;
+  stats.cpus = m.num_cpus();
+  stats.entry_time = cp.now();
+
+  // Downward IPI wave along a binary tree rooted at the CP, then an upward
+  // pairwise ready wave, then a downward release wave. Per-level latency is
+  // one IPI hop + handshake on a *private* line (no global bouncing).
+  std::size_t levels = 0;
+  for (std::size_t span = 1; span < m.num_cpus(); span <<= 1) ++levels;
+  for (std::size_t i = 0; i < m.num_cpus(); ++i) {
+    if (i == cp.id()) continue;
+    m.interrupts().send_ipi(cp, static_cast<std::uint32_t>(i),
+                            hw::kVecIpiModeSwitch);
+  }
+
+  const hw::Cycles hop = hw::costs::kIpiSendLatency + hw::costs::kIpiAck +
+                         hw::costs::kTrapEntry + kAtomicInc;
+  hw::Cycles base = cp.now();
+  for (std::size_t i = 0; i < m.num_cpus(); ++i)
+    base = std::max(base, m.cpu(i).now());
+  const hw::Cycles release =
+      base + 2 * static_cast<hw::Cycles>(levels) * hop + kSpinVisibilityLag;
+  for (std::size_t i = 0; i < m.num_cpus(); ++i)
+    m.cpu(i).advance_to(release);
+  stats.completion_time = release;
+  return stats;
+}
+
+}  // namespace
+
+const char* rendezvous_protocol_name(RendezvousProtocol p) {
+  switch (p) {
+    case RendezvousProtocol::kIpiSharedVar: return "ipi+shared-var";
+    case RendezvousProtocol::kTree: return "tree";
+  }
+  return "?";
+}
+
+RendezvousStats Rendezvous::run(hw::Machine& machine, hw::Cpu& cp,
+                                RendezvousProtocol protocol) {
+  if (machine.num_cpus() == 1) {
+    RendezvousStats stats;
+    stats.cpus = 1;
+    stats.entry_time = cp.now();
+    stats.completion_time = cp.now();
+    return stats;
+  }
+  switch (protocol) {
+    case RendezvousProtocol::kIpiSharedVar:
+      return run_ipi_shared_var(machine, cp);
+    case RendezvousProtocol::kTree:
+      return run_tree(machine, cp);
+  }
+  MERC_CHECK(false);
+  return {};
+}
+
+}  // namespace mercury::core

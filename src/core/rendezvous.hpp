@@ -1,0 +1,36 @@
+// SMP mode-switch coordination (paper §5.4): the control processor IPIs all
+// other cores; each signals readiness on a shared counter and spins on a
+// shared flag; the CP releases them once everyone is parked. Also implements
+// the loosely-coupled tree protocol the paper's future work suggests for
+// large core counts (§8), for the scalability ablation.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/machine.hpp"
+
+namespace mercury::core {
+
+enum class RendezvousProtocol : std::uint8_t {
+  kIpiSharedVar,  // the paper's protocol: broadcast IPI + shared count/flag
+  kTree,          // hierarchical pairwise signalling (future-work variant)
+};
+
+const char* rendezvous_protocol_name(RendezvousProtocol p);
+
+struct RendezvousStats {
+  std::size_t cpus = 0;
+  hw::Cycles entry_time = 0;       // CP clock when the rendezvous began
+  hw::Cycles completion_time = 0;  // all CPUs parked & released
+  hw::Cycles latency() const { return completion_time - entry_time; }
+};
+
+class Rendezvous {
+ public:
+  /// Park every CPU at a barrier, starting from control processor `cp`.
+  /// On return all CPU clocks are aligned at the barrier exit time.
+  static RendezvousStats run(hw::Machine& machine, hw::Cpu& cp,
+                             RendezvousProtocol protocol);
+};
+
+}  // namespace mercury::core

@@ -1,0 +1,25 @@
+#include "core/stack_fixup.hpp"
+
+#include "kernel/kernel.hpp"
+#include "pv/costs.hpp"
+
+namespace mercury::core {
+
+FixupStats fix_all_saved_contexts(hw::Cpu& cpu, kernel::Kernel& k,
+                                  hw::Ring target) {
+  FixupStats stats;
+  k.for_each_task([&](kernel::Task& t) {
+    ++stats.tasks_scanned;
+    cpu.charge(pv::costs::kPerTaskSelectorFixup / 4);  // locate the frame
+    if (!t.saved_ctx.valid) return;
+    if (t.saved_ctx.cs.rpl() == hw::Ring::kRing3) return;  // user frame
+    if (t.saved_ctx.cs.rpl() == target) return;
+    cpu.charge(pv::costs::kPerTaskSelectorFixup);
+    t.saved_ctx.cs.set_rpl(target);
+    t.saved_ctx.ss.set_rpl(target);
+    ++stats.selectors_fixed;
+  });
+  return stats;
+}
+
+}  // namespace mercury::core

@@ -1,0 +1,31 @@
+// Eager stack segment-selector fixup (paper §5.1.2).
+//
+// Threads suspended inside the kernel hold saved cs/ss selectors whose RPL
+// encodes the kernel's old ring. The paper's shipped design patches them
+// lazily with a resume-time stub (implemented in Kernel::dispatch); this
+// eager variant walks every task at switch time instead, trading switch
+// latency for zero resume-time checking. Both are selectable via
+// SwitchConfig for the ablation.
+#pragma once
+
+#include <cstddef>
+
+#include "hw/cpu.hpp"
+#include "hw/types.hpp"
+
+namespace mercury::kernel {
+class Kernel;
+}
+
+namespace mercury::core {
+
+struct FixupStats {
+  std::size_t tasks_scanned = 0;
+  std::size_t selectors_fixed = 0;
+};
+
+/// Rewrite the RPL of every valid saved kernel-mode selector to `target`.
+FixupStats fix_all_saved_contexts(hw::Cpu& cpu, kernel::Kernel& k,
+                                  hw::Ring target);
+
+}  // namespace mercury::core

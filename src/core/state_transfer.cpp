@@ -1,0 +1,55 @@
+#include "core/state_transfer.hpp"
+
+#include "core/stack_fixup.hpp"
+#include "kernel/kernel.hpp"
+#include "util/assert.hpp"
+
+namespace mercury::core {
+
+TransferStats transfer_to_virtual(hw::Cpu& cpu, kernel::Kernel& k,
+                                  vmm::Hypervisor& hv, VirtualVo& vo,
+                                  bool trust_page_info, bool eager_fixup) {
+  TransferStats stats;
+
+  hw::Cycles t0 = cpu.now();
+  const vmm::DomainId dom = hv.adopt_running_os(cpu, k, trust_page_info);
+  stats.page_info_cycles = cpu.now() - t0;  // rebuild + typing + protection
+  vo.bind(dom);
+
+  if (eager_fixup) {
+    t0 = cpu.now();
+    fix_all_saved_contexts(cpu, k, hw::Ring::kRing1);
+    stats.fixup_cycles = cpu.now() - t0;
+  }
+
+  t0 = cpu.now();
+  vo.state_transfer_in(cpu, k);  // register guest trap/descriptor tables
+  stats.binding_cycles = cpu.now() - t0;
+  return stats;
+}
+
+TransferStats transfer_to_native(hw::Cpu& cpu, kernel::Kernel& k,
+                                 vmm::Hypervisor& hv, VirtualVo& vo,
+                                 bool eager_fixup) {
+  TransferStats stats;
+  MERC_CHECK_MSG(vo.dom() != vmm::kDomInvalid,
+                 "detach without an adopted domain");
+
+  hw::Cycles t0 = cpu.now();
+  hv.release_os(cpu, vo.dom());
+  stats.protection_cycles = cpu.now() - t0;  // PT RW restore (O(#PTs))
+
+  if (eager_fixup) {
+    t0 = cpu.now();
+    fix_all_saved_contexts(cpu, k, hw::Ring::kRing0);
+    stats.fixup_cycles = cpu.now() - t0;
+  }
+
+  t0 = cpu.now();
+  // Interrupt bindings return to the kernel: it becomes the trap owner.
+  k.machine().install_trap_sink(&k);
+  stats.binding_cycles = cpu.now() - t0;
+  return stats;
+}
+
+}  // namespace mercury::core

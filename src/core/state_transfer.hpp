@@ -1,0 +1,40 @@
+// State-transfer functions for mode switches (paper §5.1.2).
+//
+// Three classes of state move between representations:
+//   1. page-table pages: writable (native) <-> read-only + typed (virtual);
+//   2. kernel segment privilege in every suspended thread's saved frame;
+//   3. interrupt bindings: kernel IDT on hardware (native) <-> hypervisor
+//      IDT on hardware with the kernel's table registered as the guest
+//      trap table (virtual).
+#pragma once
+
+#include "core/virtual_vo.hpp"
+#include "hw/cpu.hpp"
+#include "vmm/hypervisor.hpp"
+
+namespace mercury::kernel {
+class Kernel;
+}
+
+namespace mercury::core {
+
+struct TransferStats {
+  hw::Cycles page_info_cycles = 0;   // owner/type/count rebuild
+  hw::Cycles protection_cycles = 0;  // PT writability flips + typing
+  hw::Cycles fixup_cycles = 0;       // eager selector fixups (if enabled)
+  hw::Cycles binding_cycles = 0;     // trap/descriptor table rebinding
+};
+
+/// Native -> virtual: adopt the running OS into the pre-cached VMM. When
+/// `trust_page_info` (eager tracking) the expensive rebuild is skipped.
+/// Binds `vo` to the resulting domain.
+TransferStats transfer_to_virtual(hw::Cpu& cpu, kernel::Kernel& k,
+                                  vmm::Hypervisor& hv, VirtualVo& vo,
+                                  bool trust_page_info, bool eager_fixup);
+
+/// Virtual -> native: release the OS from the VMM.
+TransferStats transfer_to_native(hw::Cpu& cpu, kernel::Kernel& k,
+                                 vmm::Hypervisor& hv, VirtualVo& vo,
+                                 bool eager_fixup);
+
+}  // namespace mercury::core

@@ -1,0 +1,222 @@
+#include "core/switch_engine.hpp"
+
+#include "hw/interrupts.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace mercury::core {
+
+const char* exec_mode_name(ExecMode m) {
+  switch (m) {
+    case ExecMode::kNative: return "native";
+    case ExecMode::kPartialVirtual: return "partial-virtual";
+    case ExecMode::kFullVirtual: return "full-virtual";
+  }
+  return "?";
+}
+
+SwitchEngine::SwitchEngine(kernel::Kernel& k, vmm::Hypervisor& hv,
+                           VirtObject& native_vo, VirtualVo& driver_vo,
+                           VirtualVo& guest_vo, SwitchConfig config)
+    : kernel_(k),
+      hv_(hv),
+      native_vo_(native_vo),
+      driver_vo_(driver_vo),
+      guest_vo_(guest_vo),
+      config_(config) {
+  kernel_.set_selfvirt_handler(
+      [this](hw::Cpu& cpu, std::uint8_t vector, std::uint32_t payload) {
+        on_interrupt(cpu, vector, payload);
+      });
+}
+
+VirtObject& SwitchEngine::current_vo() {
+  switch (mode_) {
+    case ExecMode::kNative: return native_vo_;
+    case ExecMode::kPartialVirtual: return driver_vo_;
+    case ExecMode::kFullVirtual: return guest_vo_;
+  }
+  return native_vo_;
+}
+
+void SwitchEngine::request(ExecMode target) {
+  if (target == mode_ && !pending_) return;
+  pending_ = true;
+  pending_target_ = target;
+  const std::uint8_t vector = target == ExecMode::kNative
+                                  ? hw::kVecSelfVirtDetach
+                                  : hw::kVecSelfVirtAttach;
+  hw::Machine& m = kernel_.machine();
+  m.interrupts().raise(/*cpu=*/0, vector, m.cpu(0).now());
+}
+
+void SwitchEngine::on_interrupt(hw::Cpu& cpu, std::uint8_t vector,
+                                std::uint32_t payload) {
+  (void)vector;
+  (void)payload;
+  if (!pending_) return;  // stale deferral timer or duplicate interrupt
+  cpu.charge(pv::costs::kSwitchInterruptOverhead);
+  try_commit(cpu);
+}
+
+void SwitchEngine::try_commit(hw::Cpu& cpu) {
+  // §5.1.1: never switch while sensitive code is in flight.
+  if (current_vo().active_refs() != 0) {
+    ++stats_.deferrals;
+    kernel_.add_timer(
+        cpu.now() + hw::us_to_cycles(config_.defer_retry_ms * 1000.0),
+        [this] {
+          if (!pending_) return;
+          hw::Machine& m = kernel_.machine();
+          if (current_vo().active_refs() == 0) {
+            commit(m.cpu(0), pending_target_);
+          } else {
+            // Still busy: re-arm through the interrupt path.
+            ++stats_.deferrals;
+            m.interrupts().raise(0,
+                                 pending_target_ == ExecMode::kNative
+                                     ? hw::kVecSelfVirtDetach
+                                     : hw::kVecSelfVirtAttach,
+                                 m.cpu(0).now() +
+                                     hw::us_to_cycles(config_.defer_retry_ms *
+                                                      1000.0));
+          }
+        });
+    return;
+  }
+  commit(cpu, pending_target_);
+}
+
+bool SwitchEngine::validate_for_switch(hw::Cpu& cpu, ExecMode target) {
+  // Failure-resistant switch (paper §8 future work): sanity-check that the
+  // OS is in a state a switch can survive, abort (leaving the current mode
+  // untouched) otherwise.
+  cpu.charge(4000);  // validation scan
+  if (target != ExecMode::kNative) {
+    // The kernel's page-table forest must be self-consistent before the VMM
+    // starts enforcing types: spot-check that every task's PD exists and is
+    // inside the kernel's frame range.
+    bool ok = true;
+    kernel_.for_each_task([&](kernel::Task& t) {
+      if (!t.aspace) return;
+      const hw::Pfn pd = t.aspace->page_directory();
+      if (pd < kernel_.base_pfn() ||
+          pd >= kernel_.base_pfn() + kernel_.pool().owned_count())
+        ok = false;
+    });
+    return ok;
+  }
+  return true;
+}
+
+void SwitchEngine::commit(hw::Cpu& cpu, ExecMode target) {
+  MERC_CHECK(pending_);
+  if (target == mode_) {
+    pending_ = false;
+    return;
+  }
+  if (config_.validate_before_commit && !validate_for_switch(cpu, target)) {
+    ++stats_.validation_aborts;
+    pending_ = false;
+    util::log_warn("mercury", "mode switch aborted by pre-commit validation");
+    return;
+  }
+
+  // §5.4: bring every CPU to the barrier before touching global state.
+  const RendezvousStats rv =
+      Rendezvous::run(kernel_.machine(), cpu, config_.rendezvous);
+  stats_.last_rendezvous_cycles = rv.latency();
+
+  const ExecMode from = mode_;
+  const hw::Cycles t0 = cpu.now();
+  // Transitions through intermediate modes: native <-> partial <-> full.
+  if (mode_ == ExecMode::kNative) {
+    attach(cpu, target);
+  } else if (target == ExecMode::kNative) {
+    detach(cpu);
+  } else {
+    // partial <-> full: re-role the virtual VO without detaching the VMM.
+    const vmm::DomainId dom =
+        (mode_ == ExecMode::kPartialVirtual ? driver_vo_ : guest_vo_).dom();
+    VirtualVo& next =
+        target == ExecMode::kPartialVirtual ? driver_vo_ : guest_vo_;
+    next.bind(dom);
+    if (target == ExecMode::kFullVirtual) {
+      hv_.blk_backend().connect_frontend(dom);
+      hv_.net_backend().connect_frontend(dom);
+    } else {
+      hv_.blk_backend().disconnect_frontend(cpu);
+      hv_.net_backend().disconnect_frontend();
+    }
+    kernel_.set_ops(next);
+    mode_ = target;
+  }
+  const hw::Cycles elapsed = cpu.now() - t0;
+  if (from == ExecMode::kNative) {
+    stats_.last_attach_cycles = elapsed;
+    ++stats_.attaches;
+  } else if (mode_ == ExecMode::kNative) {
+    stats_.last_detach_cycles = elapsed;
+    ++stats_.detaches;
+  }
+  // partial <-> full re-roles are neither attaches nor detaches.
+  pending_ = false;
+
+  // §5.1.3: the handler returns to the *new* kernel privilege level — the
+  // interrupt frame's saved CPL is patched before IRET. (The stepper's
+  // between-tasks convention is ring 0; task dispatch re-derives the
+  // correct ring from the active VO on every entry.)
+  cpu.set_trap_return_cpl(mode_ == ExecMode::kNative ? hw::Ring::kRing0
+                                                     : hw::Ring::kRing1);
+  hw::Machine& m = kernel_.machine();
+  for (std::size_t i = 0; i < m.num_cpus(); ++i)
+    m.cpu(i).set_cpl(hw::Ring::kRing0);
+}
+
+void SwitchEngine::reload_all_cpus(VirtObject& vo) {
+  hw::Machine& m = kernel_.machine();
+  for (std::size_t i = 0; i < m.num_cpus(); ++i)
+    vo.reload_hw_state(m.cpu(i), kernel_);
+}
+
+void SwitchEngine::attach(hw::Cpu& cpu, ExecMode target) {
+  VirtualVo& vo =
+      target == ExecMode::kPartialVirtual ? driver_vo_ : guest_vo_;
+  stats_.last_transfer =
+      transfer_to_virtual(cpu, kernel_, hv_, vo, config_.eager_page_tracking,
+                          config_.eager_selector_fixup);
+  if (target == ExecMode::kFullVirtual) {
+    hv_.blk_backend().connect_frontend(vo.dom());
+    hv_.net_backend().connect_frontend(vo.dom());
+  }
+  reload_all_cpus(vo);
+  kernel_.set_ops(vo);
+  mode_ = target;
+}
+
+void SwitchEngine::detach(hw::Cpu& cpu) {
+  VirtualVo& vo =
+      mode_ == ExecMode::kPartialVirtual ? driver_vo_ : guest_vo_;
+  if (mode_ == ExecMode::kFullVirtual) {
+    hv_.blk_backend().disconnect_frontend(cpu);
+    hv_.net_backend().disconnect_frontend();
+  }
+  stats_.last_transfer = transfer_to_native(cpu, kernel_, hv_, vo,
+                                            config_.eager_selector_fixup);
+  if (config_.eager_page_tracking) {
+    // The eager tracker keeps maintaining the table through native mode, so
+    // it stays authoritative across the detach (§5.1.2 alternative 1).
+    hv_.page_info().set_valid(true);
+  }
+  reload_all_cpus(native_vo_);
+  kernel_.set_ops(native_vo_);
+  mode_ = ExecMode::kNative;
+}
+
+bool SwitchEngine::switch_now(ExecMode target, hw::Cycles budget) {
+  request(target);
+  return kernel_.run_until([&] { return mode_ == target && !pending_; },
+                           budget);
+}
+
+}  // namespace mercury::core

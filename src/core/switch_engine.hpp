@@ -1,0 +1,101 @@
+// The mode-switch engine: interrupt-driven attach/detach of the pre-cached
+// VMM beneath the running OS (paper §4, §5.1).
+//
+// A switch request raises the self-virtualization interrupt on the control
+// processor. The handler refuses to commit while any VO reference is live
+// (re-arming a 10 ms kernel timer, §5.1.1), rendezvouses all CPUs (§5.4),
+// runs the state-transfer functions (§5.1.2), reloads hardware control
+// state in interrupt context — including the patched return privilege level
+// (§5.1.3) — and finally swaps the kernel's VO pointer.
+#pragma once
+
+#include <cstdint>
+
+#include "core/native_vo.hpp"
+#include "core/rendezvous.hpp"
+#include "core/state_transfer.hpp"
+#include "core/virtual_vo.hpp"
+#include "kernel/kernel.hpp"
+#include "vmm/hypervisor.hpp"
+
+namespace mercury::core {
+
+enum class ExecMode : std::uint8_t {
+  kNative,         // bare hardware, full speed
+  kPartialVirtual, // VMM attached, OS is the driver domain (can host domUs)
+  kFullVirtual,    // VMM attached, OS is an unprivileged guest (migratable)
+};
+
+const char* exec_mode_name(ExecMode m);
+
+struct SwitchConfig {
+  bool eager_page_tracking = false;  // §5.1.2 alternative 1
+  bool eager_selector_fixup = false; // walk tasks at switch time vs resume stub
+  RendezvousProtocol rendezvous = RendezvousProtocol::kIpiSharedVar;
+  double defer_retry_ms = 10.0;      // §5.1.1 timer interval
+  bool validate_before_commit = false;  // failure-resistant switch (§8)
+};
+
+struct SwitchStats {
+  std::uint64_t attaches = 0;
+  std::uint64_t detaches = 0;
+  std::uint64_t deferrals = 0;       // refcount non-zero at request time
+  std::uint64_t validation_aborts = 0;
+  hw::Cycles last_attach_cycles = 0;
+  hw::Cycles last_detach_cycles = 0;
+  hw::Cycles last_rendezvous_cycles = 0;
+  TransferStats last_transfer{};
+};
+
+class SwitchEngine {
+ public:
+  SwitchEngine(kernel::Kernel& k, vmm::Hypervisor& hv, VirtObject& native_vo,
+               VirtualVo& driver_vo, VirtualVo& guest_vo,
+               SwitchConfig config = {});
+
+  ExecMode mode() const { return mode_; }
+  const SwitchConfig& config() const { return config_; }
+  SwitchStats& stats() { return stats_; }
+
+  /// Asynchronous request: triggers the self-virtualization interrupt on
+  /// the control processor; the switch commits from interrupt context.
+  void request(ExecMode target);
+
+  /// True once no request is in flight.
+  bool idle() const { return !pending_; }
+
+  /// Interrupt entry point (wired into the kernel's dispatch).
+  void on_interrupt(hw::Cpu& cpu, std::uint8_t vector, std::uint32_t payload);
+
+  /// Synchronous convenience: request + drive the kernel until committed.
+  /// Returns false if the switch did not commit within `budget` cycles.
+  bool switch_now(ExecMode target,
+                  hw::Cycles budget = 500 * hw::kCyclesPerMillisecond);
+
+  VirtObject& native_vo() { return native_vo_; }
+  VirtualVo& driver_vo() { return driver_vo_; }
+  VirtualVo& guest_vo() { return guest_vo_; }
+  VirtObject& current_vo();
+
+ private:
+  void try_commit(hw::Cpu& cpu);
+  void commit(hw::Cpu& cpu, ExecMode target);
+  void attach(hw::Cpu& cpu, ExecMode target);
+  void detach(hw::Cpu& cpu);
+  bool validate_for_switch(hw::Cpu& cpu, ExecMode target);
+  void reload_all_cpus(VirtObject& vo);
+
+  kernel::Kernel& kernel_;
+  vmm::Hypervisor& hv_;
+  VirtObject& native_vo_;
+  VirtualVo& driver_vo_;
+  VirtualVo& guest_vo_;
+  SwitchConfig config_;
+
+  ExecMode mode_ = ExecMode::kNative;
+  bool pending_ = false;
+  ExecMode pending_target_ = ExecMode::kNative;
+  SwitchStats stats_;
+};
+
+}  // namespace mercury::core

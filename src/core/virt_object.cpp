@@ -1,0 +1,5 @@
+#include "core/virt_object.hpp"
+
+// VirtObject is an interface plus inline guards; this TU anchors its vtable.
+
+namespace mercury::core {}

@@ -1,0 +1,86 @@
+// Virtualization Objects (paper §4.2, §5.3).
+//
+// A VO bundles one execution mode's implementation of every virtualization-
+// sensitive operation with the state-transfer and hardware-reload functions
+// used while relocating the OS into (or out of) that mode. All operation
+// entries/exits are reference counted: the switch engine commits a mode
+// switch only at refcount zero (§5.1.1).
+#pragma once
+
+#include <cstdint>
+
+#include "hw/cpu.hpp"
+#include "pv/costs.hpp"
+#include "pv/sensitive_ops.hpp"
+
+namespace mercury::kernel {
+class Kernel;
+}
+
+namespace mercury::core {
+
+class VirtObject : public pv::SensitiveOps {
+ public:
+  /// Live entries into this object's sensitive code (paper: "reference
+  /// counting the execution of a virtualization object on its entry and
+  /// exit").
+  int active_refs() const { return refs_; }
+  std::uint64_t total_entries() const { return entries_; }
+
+  /// Per-call dispatch charge. Mercury-built kernels (M-N, M-V) pay the
+  /// indirection + refcount + layout cost on every sensitive op; the VOs of
+  /// plain Xen-Linux configurations (X-0, X-U, and the unmodified guest in
+  /// M-U) charge nothing here.
+  void set_per_op_charge(hw::Cycles c) { per_op_charge_ = c; }
+  hw::Cycles per_op_charge() const { return per_op_charge_; }
+
+  /// Per-operation guard: counts the entry/exit and charges Mercury's VO
+  /// dispatch overhead (pointer indirection + counting + layout effects).
+  class OpGuard {
+   public:
+    OpGuard(VirtObject& vo, hw::Cpu& cpu) : vo_(vo) {
+      ++vo_.refs_;
+      ++vo_.entries_;
+      cpu.charge(vo_.per_op_charge_);
+    }
+    ~OpGuard() { --vo_.refs_; }
+    OpGuard(const OpGuard&) = delete;
+    OpGuard& operator=(const OpGuard&) = delete;
+
+   private:
+    VirtObject& vo_;
+  };
+
+  /// Long-lived section guard: kernel paths that stay inside sensitive code
+  /// across a blocking point hold one of these, which is what makes the
+  /// deferred-switch timer path reachable.
+  class Section {
+   public:
+    explicit Section(VirtObject& vo) : vo_(&vo) { ++vo_->refs_; }
+    ~Section() { release(); }
+    void release() {
+      if (vo_ != nullptr) {
+        --vo_->refs_;
+        vo_ = nullptr;
+      }
+    }
+    Section(const Section&) = delete;
+    Section& operator=(const Section&) = delete;
+
+   private:
+    VirtObject* vo_;
+  };
+
+  // --- self-virtualization functions (§5.1.2 / §5.1.3) ---
+  /// Transfer virtualization-sensitive data into this mode's representation.
+  virtual void state_transfer_in(hw::Cpu& cpu, kernel::Kernel& k) = 0;
+  /// Reload the per-CPU hardware control state for this mode.
+  virtual void reload_hw_state(hw::Cpu& cpu, kernel::Kernel& k) = 0;
+
+ private:
+  int refs_ = 0;
+  std::uint64_t entries_ = 0;
+  hw::Cycles per_op_charge_ = 0;
+};
+
+}  // namespace mercury::core

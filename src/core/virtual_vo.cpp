@@ -1,0 +1,173 @@
+#include "core/virtual_vo.hpp"
+
+#include "hw/costs.hpp"
+#include "kernel/kernel.hpp"
+#include "util/assert.hpp"
+
+namespace mercury::core {
+
+void VirtualVo::write_cr3(hw::Cpu& cpu, hw::Pfn root) {
+  OpGuard g(*this, cpu);
+  hv_.hc_write_cr3(cpu, dom_, root);
+}
+
+void VirtualVo::load_idt(hw::Cpu& cpu, hw::TableToken t) {
+  OpGuard g(*this, cpu);
+  hv_.hc_set_trap_table(cpu, dom_, t);
+}
+
+void VirtualVo::load_gdt(hw::Cpu& cpu, hw::TableToken t) {
+  OpGuard g(*this, cpu);
+  hv_.hc_load_guest_gdt(cpu, dom_, t);
+}
+
+void VirtualVo::irq_disable(hw::Cpu& cpu) {
+  OpGuard g(*this, cpu);
+  hv_.hc_set_virq_mask(cpu, dom_, false);
+}
+
+void VirtualVo::irq_enable(hw::Cpu& cpu) {
+  OpGuard g(*this, cpu);
+  hv_.hc_set_virq_mask(cpu, dom_, true);
+}
+
+void VirtualVo::stack_switch(hw::Cpu& cpu) {
+  OpGuard g(*this, cpu);
+  hv_.hc_stack_switch(cpu, dom_);
+}
+
+void VirtualVo::syscall_entered(hw::Cpu& cpu) {
+  OpGuard g(*this, cpu);
+  cpu.charge(hw::costs::kSyscallEntry + pv::costs::kVirtSyscallExtra);
+}
+
+void VirtualVo::syscall_exiting(hw::Cpu& cpu) {
+  OpGuard g(*this, cpu);
+  cpu.charge(hw::costs::kSyscallReturn + pv::costs::kVirtSyscallExtra / 2);
+}
+
+void VirtualVo::pte_write(hw::Cpu& cpu, hw::PhysAddr pte_addr, hw::Pte value) {
+  OpGuard g(*this, cpu);
+  // The 2.6-era writable-page-table path: the store traps and is emulated.
+  hv_.hc_pte_write_emulate(cpu, dom_, pte_addr, value);
+}
+
+void VirtualVo::pte_write_batch(hw::Cpu& cpu,
+                                std::span<const pv::PteUpdate> updates) {
+  OpGuard g(*this, cpu);
+  hv_.hc_mmu_update(cpu, dom_, updates);
+}
+
+void VirtualVo::pin_page_table(hw::Cpu& cpu, hw::Pfn pfn, pv::PtLevel level) {
+  OpGuard g(*this, cpu);
+  hv_.hc_pin_table(cpu, dom_, pfn, level);
+}
+
+void VirtualVo::unpin_page_table(hw::Cpu& cpu, hw::Pfn pfn) {
+  OpGuard g(*this, cpu);
+  hv_.hc_unpin_table(cpu, dom_, pfn);
+}
+
+void VirtualVo::flush_tlb(hw::Cpu& cpu) {
+  OpGuard g(*this, cpu);
+  hv_.hc_flush_tlb(cpu, dom_);
+}
+
+void VirtualVo::flush_tlb_page(hw::Cpu& cpu, hw::VirtAddr va) {
+  OpGuard g(*this, cpu);
+  hv_.hc_flush_tlb_page(cpu, dom_, va);
+}
+
+void VirtualVo::send_ipi(hw::Cpu& cpu, std::uint32_t dst_cpu, std::uint8_t vector,
+                         std::uint32_t payload) {
+  OpGuard g(*this, cpu);
+  hv_.hc_send_ipi(cpu, dom_, dst_cpu, vector, payload);
+}
+
+void VirtualVo::disk_read(hw::Cpu& cpu, std::uint64_t block,
+                          std::span<std::uint8_t> out) {
+  OpGuard g(*this, cpu);
+  if (role_ == Role::kDriverDomain) {
+    cpu.charge(hv_.machine().disk().read(block, out));
+  } else {
+    hv_.blk_backend().read(cpu, block, out);
+  }
+}
+
+void VirtualVo::disk_write(hw::Cpu& cpu, std::uint64_t block,
+                           std::span<const std::uint8_t> in) {
+  OpGuard g(*this, cpu);
+  if (role_ == Role::kDriverDomain) {
+    cpu.charge(hv_.machine().disk().write(block, in));
+  } else {
+    hv_.blk_backend().write(cpu, block, in);
+  }
+}
+
+void VirtualVo::disk_flush(hw::Cpu& cpu) {
+  OpGuard g(*this, cpu);
+  if (role_ == Role::kDriverDomain) {
+    cpu.charge(hv_.machine().disk().flush());
+  } else {
+    hv_.blk_backend().flush(cpu);
+  }
+}
+
+void VirtualVo::net_send(hw::Cpu& cpu, hw::Packet pkt) {
+  OpGuard g(*this, cpu);
+  // Per-packet hypervisor processing (interrupt virtualization + the driver
+  // domain's bridge/netloop path).
+  cpu.charge(pv::costs::kVirtNetDriverTx);
+  if (role_ == Role::kDriverDomain) {
+    cpu.charge(hv_.machine().nic().send(std::move(pkt), cpu.now()));
+  } else {
+    cpu.charge(pv::costs::kVirtNetGuestTxExtra);
+    hv_.net_backend().tx(cpu, std::move(pkt));
+  }
+}
+
+std::optional<hw::Packet> VirtualVo::net_poll(hw::Cpu& cpu) {
+  OpGuard g(*this, cpu);
+  if (role_ == Role::kDriverDomain) {
+    auto pkt = hv_.machine().nic().poll(cpu.now());
+    if (pkt) {
+      cpu.charge(hv_.machine().nic().rx_overhead());
+      cpu.charge(pv::costs::kVirtNetDriverRx);
+    }
+    return pkt;
+  }
+  auto pkt = hv_.net_backend().rx_poll(cpu);
+  if (pkt) cpu.charge(pv::costs::kVirtNetDriverRx + pv::costs::kVirtNetGuestRxExtra);
+  return pkt;
+}
+
+void VirtualVo::sensors_read(hw::Cpu& cpu, hw::SensorReadings& out) {
+  OpGuard g(*this, cpu);
+  cpu.charge(hv_.machine().sensors().read(out));
+  if (role_ == Role::kGuestDomain)
+    cpu.charge(pv::costs::kEventChannelSend);  // virtualized sensor service
+}
+
+void VirtualVo::state_transfer_in(hw::Cpu& cpu, kernel::Kernel& k) {
+  // Entering virtual mode. The hypervisor adoption (page-info rebuild, page
+  // table write-protection) is performed by the switch engine through the
+  // hypervisor; what remains VO-local is publishing the guest's trap/
+  // descriptor tables to the VMM.
+  MERC_CHECK_MSG(dom_ != vmm::kDomInvalid, "virtual VO not bound to a domain");
+  hv_.hc_set_trap_table(cpu, dom_, k.idt_token());
+  hv_.hc_load_guest_gdt(cpu, dom_, k.gdt_token());
+}
+
+void VirtualVo::reload_hw_state(hw::Cpu& cpu, kernel::Kernel& k) {
+  cpu.charge(pv::costs::kReloadControlState);
+  const hw::Ring prev = cpu.cpl();
+  cpu.set_cpl(hw::Ring::kRing0);
+  cpu.load_idt(hv_.idt_token());
+  cpu.load_gdt(hv_.gdt_token());
+  cpu.write_cr3(cpu.read_cr3());
+  cpu.tlb().flush_global();
+  cpu.set_cpl(prev);
+  (void)k;
+}
+
+}  // namespace mercury::core

@@ -1,0 +1,74 @@
+// The virtual-mode virtualization object: every sensitive operation becomes
+// a hypercall / trap into the (pre-cached) hypervisor. Two roles exist:
+//   kDriverDomain — the self-virtualized OS serving as Xen's dom0/driver
+//                   domain (partial-virtual mode, M-V): direct device access.
+//   kGuestDomain  — an unprivileged domain (full-virtual mode / domU):
+//                   device access through the split frontend/backend path.
+#pragma once
+
+#include "core/virt_object.hpp"
+#include "vmm/hypervisor.hpp"
+
+namespace mercury::core {
+
+class VirtualVo : public VirtObject {
+ public:
+  enum class Role : std::uint8_t { kDriverDomain, kGuestDomain };
+
+  VirtualVo(vmm::Hypervisor& hv, Role role) : hv_(hv), role_(role) {}
+
+  void bind(vmm::DomainId dom) { dom_ = dom; }
+  vmm::DomainId dom() const { return dom_; }
+  Role role() const { return role_; }
+
+  const char* mode_name() const override {
+    return role_ == Role::kDriverDomain ? "mercury-virtual-driver"
+                                        : "mercury-virtual-guest";
+  }
+  bool is_virtual() const override { return true; }
+  hw::Ring kernel_ring() const override { return hw::Ring::kRing1; }
+  hw::Cycles copy_tax_per_kb() const override {
+    return pv::costs::kVirtCopyTaxPerKb;
+  }
+
+  void write_cr3(hw::Cpu& cpu, hw::Pfn root) override;
+  void load_idt(hw::Cpu& cpu, hw::TableToken t) override;
+  void load_gdt(hw::Cpu& cpu, hw::TableToken t) override;
+  void irq_disable(hw::Cpu& cpu) override;
+  void irq_enable(hw::Cpu& cpu) override;
+  void stack_switch(hw::Cpu& cpu) override;
+  void syscall_entered(hw::Cpu& cpu) override;
+  void syscall_exiting(hw::Cpu& cpu) override;
+
+  void pte_write(hw::Cpu& cpu, hw::PhysAddr pte_addr, hw::Pte value) override;
+  void pte_write_batch(hw::Cpu& cpu,
+                       std::span<const pv::PteUpdate> updates) override;
+  void pin_page_table(hw::Cpu& cpu, hw::Pfn pfn, pv::PtLevel level) override;
+  void unpin_page_table(hw::Cpu& cpu, hw::Pfn pfn) override;
+  void flush_tlb(hw::Cpu& cpu) override;
+  void flush_tlb_page(hw::Cpu& cpu, hw::VirtAddr va) override;
+
+  void send_ipi(hw::Cpu& cpu, std::uint32_t dst_cpu, std::uint8_t vector,
+                std::uint32_t payload) override;
+
+  void disk_read(hw::Cpu& cpu, std::uint64_t block,
+                 std::span<std::uint8_t> out) override;
+  void disk_write(hw::Cpu& cpu, std::uint64_t block,
+                  std::span<const std::uint8_t> in) override;
+  void disk_flush(hw::Cpu& cpu) override;
+  void net_send(hw::Cpu& cpu, hw::Packet pkt) override;
+  std::optional<hw::Packet> net_poll(hw::Cpu& cpu) override;
+  void sensors_read(hw::Cpu& cpu, hw::SensorReadings& out) override;
+
+  void state_transfer_in(hw::Cpu& cpu, kernel::Kernel& k) override;
+  void reload_hw_state(hw::Cpu& cpu, kernel::Kernel& k) override;
+
+  vmm::Hypervisor& hypervisor() { return hv_; }
+
+ private:
+  vmm::Hypervisor& hv_;
+  Role role_;
+  vmm::DomainId dom_ = vmm::kDomInvalid;
+};
+
+}  // namespace mercury::core

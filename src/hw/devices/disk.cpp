@@ -1,0 +1,71 @@
+#include "hw/devices/disk.hpp"
+
+#include <cstring>
+
+#include "hw/costs.hpp"
+#include "util/assert.hpp"
+
+namespace mercury::hw {
+
+Disk::Params::Params()
+    : per_op_overhead(costs::kDiskOverhead),
+      seek(costs::kDiskSeek),
+      per_byte(costs::kDiskPerByte) {}
+
+Disk::Disk(Params params) : params_(params) {}
+
+Cycles Disk::op_cost(std::uint64_t block, std::size_t bytes) {
+  Cycles c = params_.per_op_overhead + params_.per_byte * bytes;
+  if (block != next_sequential_) {
+    // Tiered positioning model (NCQ coalesces short hops): track-to-track
+    // for nearby blocks, full seek + rotational delay for far ones.
+    const std::uint64_t gap = block > next_sequential_
+                                  ? block - next_sequential_
+                                  : next_sequential_ - block;
+    if (gap < 256)
+      c += params_.seek / 75;        // ~60 us short hop
+    else if (gap < 4096)
+      c += params_.seek / 6;         // ~0.75 ms medium reposition
+    else
+      c += params_.seek;             // full seek + rotation
+    ++seeks_;
+  }
+  next_sequential_ = block + (bytes + kBlockSize - 1) / kBlockSize;
+  return c;
+}
+
+Cycles Disk::read(std::uint64_t block, std::span<std::uint8_t> out) {
+  MERC_CHECK_MSG(block < params_.block_count, "disk read beyond device");
+  MERC_CHECK(out.size() <= kBlockSize);
+  ++reads_;
+  auto it = blocks_.find(block);
+  if (it == blocks_.end())
+    std::memset(out.data(), 0, out.size());
+  else
+    std::memcpy(out.data(), it->second.get(), out.size());
+  return op_cost(block, out.size());
+}
+
+Cycles Disk::write(std::uint64_t block, std::span<const std::uint8_t> in) {
+  MERC_CHECK_MSG(block < params_.block_count, "disk write beyond device");
+  MERC_CHECK(in.size() <= kBlockSize);
+  ++writes_;
+  auto& buf = blocks_[block];
+  if (!buf) {
+    buf = std::make_unique<std::uint8_t[]>(kBlockSize);
+    std::memset(buf.get(), 0, kBlockSize);
+  }
+  std::memcpy(buf.get(), in.data(), in.size());
+  ++pending_writeback_;
+  return op_cost(block, in.size());
+}
+
+Cycles Disk::flush() {
+  // Model: draining the on-disk cache costs a fraction of a rotational
+  // delay plus a small per-pending-write charge (NCQ-ordered drain).
+  const Cycles c = params_.seek / 16 + pending_writeback_ * (params_.per_op_overhead / 8);
+  pending_writeback_ = 0;
+  return c;
+}
+
+}  // namespace mercury::hw

@@ -1,0 +1,53 @@
+// Simulated SCSI-like block device (the paper's 73 GB 10k RPM disk, "raw
+// mode"). Synchronous cost-model interface: each operation returns the
+// cycles it consumed, which the calling driver charges to its CPU; a seek
+// penalty applies when the head moves off the sequential path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "hw/types.hpp"
+
+namespace mercury::hw {
+
+class Disk {
+ public:
+  struct Params {
+    std::uint64_t block_count = 5'000'000;  // 4 KB blocks (~20 GB partition)
+    Cycles per_op_overhead;                 // controller + DMA setup
+    Cycles seek;                            // average seek + rotational delay
+    Cycles per_byte;                        // media transfer
+    Params();
+  };
+
+  static constexpr std::size_t kBlockSize = 4096;
+
+  explicit Disk(Params params = Params{});
+
+  Cycles read(std::uint64_t block, std::span<std::uint8_t> out);
+  Cycles write(std::uint64_t block, std::span<const std::uint8_t> in);
+
+  /// Flush barrier: models cache drain; proportional to dirty backlog.
+  Cycles flush();
+
+  std::uint64_t block_count() const { return params_.block_count; }
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+  std::uint64_t seeks() const { return seeks_; }
+
+ private:
+  Cycles op_cost(std::uint64_t block, std::size_t bytes);
+
+  Params params_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<std::uint8_t[]>> blocks_;
+  std::uint64_t next_sequential_ = 0;
+  std::uint64_t pending_writeback_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t seeks_ = 0;
+};
+
+}  // namespace mercury::hw

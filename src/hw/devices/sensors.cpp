@@ -1,0 +1,12 @@
+#include "hw/devices/sensors.hpp"
+
+#include "hw/costs.hpp"
+
+namespace mercury::hw {
+
+Cycles HealthSensors::read(SensorReadings& out) const {
+  out = readings_;
+  return costs::kSensorRead;
+}
+
+}  // namespace mercury::hw

@@ -1,0 +1,71 @@
+#include "hw/frame_alloc.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace mercury::hw {
+
+FrameAllocator::FrameAllocator(std::size_t total_frames)
+    : allocated_(total_frames, false) {
+  free_stack_.reserve(total_frames);
+  // Push in reverse so low frames are handed out first (matches how firmware
+  // typically lays out the boot image low in memory).
+  for (std::size_t i = total_frames; i-- > 0;)
+    free_stack_.push_back(static_cast<Pfn>(i));
+}
+
+bool FrameAllocator::alloc(Pfn& out) {
+  while (!free_stack_.empty()) {
+    const Pfn pfn = free_stack_.back();
+    free_stack_.pop_back();
+    if (allocated_[pfn]) continue;  // lazily skip frames reserved after push
+    allocated_[pfn] = true;
+    ++in_use_;
+    out = pfn;
+    return true;
+  }
+  return false;
+}
+
+bool FrameAllocator::alloc_contiguous(std::size_t count, Pfn& first_out) {
+  MERC_CHECK(count > 0);
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < allocated_.size(); ++i) {
+    run = allocated_[i] ? 0 : run + 1;
+    if (run == count) {
+      const Pfn first = static_cast<Pfn>(i + 1 - count);
+      for (std::size_t j = 0; j < count; ++j) allocated_[first + j] = true;
+      in_use_ += count;
+      first_out = first;
+      return true;
+    }
+  }
+  return false;
+}
+
+void FrameAllocator::free(Pfn pfn) {
+  MERC_CHECK_MSG(pfn < allocated_.size(), "free of pfn out of range: " << pfn);
+  MERC_CHECK_MSG(allocated_[pfn], "double free of pfn " << pfn);
+  allocated_[pfn] = false;
+  --in_use_;
+  free_stack_.push_back(pfn);
+}
+
+void FrameAllocator::reserve_range(Pfn first, std::size_t count) {
+  MERC_CHECK(first + count <= allocated_.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    MERC_CHECK_MSG(!allocated_[first + i],
+                   "reserve_range overlaps allocated frame " << first + i);
+    allocated_[first + i] = true;
+  }
+  in_use_ += count;
+  // Stale entries remaining in free_stack_ are skipped lazily by alloc().
+}
+
+bool FrameAllocator::is_allocated(Pfn pfn) const {
+  MERC_CHECK(pfn < allocated_.size());
+  return allocated_[pfn];
+}
+
+}  // namespace mercury::hw

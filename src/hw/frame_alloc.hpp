@@ -1,0 +1,40 @@
+// Physical frame allocator (firmware-level): hands out page frames to the
+// software stack. Ownership/type tracking for isolation lives in the VMM's
+// PageInfo table, not here.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hw/types.hpp"
+
+namespace mercury::hw {
+
+class FrameAllocator {
+ public:
+  explicit FrameAllocator(std::size_t total_frames);
+
+  /// Allocate one frame; returns true and sets `out` on success.
+  bool alloc(Pfn& out);
+
+  /// Allocate `count` physically contiguous frames (for reserved regions).
+  bool alloc_contiguous(std::size_t count, Pfn& first_out);
+
+  void free(Pfn pfn);
+
+  /// Mark a fixed range as permanently reserved (e.g. the pre-cached VMM's
+  /// home). Must not overlap previously allocated frames.
+  void reserve_range(Pfn first, std::size_t count);
+
+  bool is_allocated(Pfn pfn) const;
+  std::size_t total_frames() const { return allocated_.size(); }
+  std::size_t frames_in_use() const { return in_use_; }
+  std::size_t frames_free() const { return allocated_.size() - in_use_; }
+
+ private:
+  std::vector<bool> allocated_;
+  std::vector<Pfn> free_stack_;
+  std::size_t in_use_ = 0;
+};
+
+}  // namespace mercury::hw

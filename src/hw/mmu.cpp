@@ -1,0 +1,124 @@
+#include "hw/mmu.hpp"
+
+#include "hw/costs.hpp"
+#include "util/assert.hpp"
+
+namespace mercury::hw {
+
+Mmu::WalkResult Mmu::walk(Cpu& cpu, VirtAddr va, bool charge) {
+  if (charge) cpu.charge(costs::kTlbMissWalk);
+  const PhysAddr pde_addr =
+      addr_of(cpu.read_cr3()) + static_cast<PhysAddr>(pde_index(va)) * 4;
+  const Pte pde{mem_.read_u32(pde_addr)};
+  if (!pde.present()) return {};
+  const PhysAddr pte_addr =
+      addr_of(pde.pfn()) + static_cast<PhysAddr>(pte_index(va)) * 4;
+  Pte pte{mem_.read_u32(pte_addr)};
+  if (!pte.present()) return {};
+  // Combine permissions across levels: both must allow the access class;
+  // vmm-only taint at either level protects the page.
+  pte.set_flag(Pte::kWritable, pte.writable() && pde.writable());
+  pte.set_flag(Pte::kUser, pte.user() && pde.user());
+  pte.set_flag(Pte::kVmmOnly, pte.vmm_only() || pde.vmm_only());
+  return {true, pte, pte_addr};
+}
+
+std::optional<PhysAddr> Mmu::translate(Cpu& cpu, VirtAddr va, Access access,
+                                       PageFault* fault) {
+  const bool user_mode = cpu.cpl() == Ring::kRing3;
+  const std::uint32_t vpn = vpn_of(va);
+
+  const bool ring0 = cpu.cpl() == Ring::kRing0;
+  if (auto hit = cpu.tlb().lookup(vpn)) {
+    cpu.charge(costs::kTlbHit);
+    const bool perm_ok = (!user_mode || hit->user) &&
+                         (access != Access::kWrite || hit->writable) &&
+                         (ring0 || !hit->vmm_only);
+    // A write hit on a non-dirty entry falls through to the walk so the
+    // dirty bit is set in memory (x86 dirty-miss assist).
+    if (perm_ok && (access != Access::kWrite || hit->dirty))
+      return addr_of(hit->pfn) + page_offset(va);
+    // Permission check fails in the TLB: fall through to a walk so the
+    // fault reflects current page-table state (hardware re-walks on fault).
+  }
+
+  const WalkResult w = walk(cpu, va, /*charge=*/true);
+  if (!w.ok) {
+    if (fault) *fault = PageFault{va, access == Access::kWrite, false, user_mode};
+    return std::nullopt;
+  }
+  const bool perm_ok = (!user_mode || w.pte.user()) &&
+                       (access != Access::kWrite || w.pte.writable()) &&
+                       (ring0 || !w.pte.vmm_only());
+  if (!perm_ok) {
+    if (fault) *fault = PageFault{va, access == Access::kWrite, true, user_mode};
+    return std::nullopt;
+  }
+
+  // Set accessed/dirty bits as hardware does, in memory and in the cached
+  // entry (so subsequent write hits need no dirty-miss assist).
+  Pte updated{mem_.read_u32(w.pte_addr)};
+  updated.set_flag(Pte::kAccessed, true);
+  if (access == Access::kWrite) updated.set_flag(Pte::kDirty, true);
+  mem_.write_u32(w.pte_addr, updated.raw);
+
+  Pte cached = w.pte;
+  cached.set_flag(Pte::kAccessed, true);
+  if (access == Access::kWrite) cached.set_flag(Pte::kDirty, true);
+  cpu.tlb().insert(vpn, cached);
+  return addr_of(w.pte.pfn()) + page_offset(va);
+}
+
+PhysAddr Mmu::translate_or_fault(Cpu& cpu, VirtAddr va, Access access) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    PageFault pf;
+    if (auto pa = translate(cpu, va, access, &pf)) return *pa;
+    TrapInfo info;
+    info.kind = TrapKind::kPageFault;
+    info.fault_addr = va;
+    info.write = pf.write;
+    info.user_mode = pf.user_mode;
+    cpu.raise_trap(info);
+    // The handler either mapped the page (retry succeeds) or terminated the
+    // simulated thread by unwinding through this call.
+  }
+  MERC_CHECK_MSG(false, "page fault handler livelock at va 0x" << std::hex << va);
+  return 0;  // unreachable
+}
+
+std::uint32_t Mmu::read_u32(Cpu& cpu, VirtAddr va) {
+  const PhysAddr pa = translate_or_fault(cpu, va, Access::kRead);
+  cpu.charge(costs::kCacheHit);
+  return mem_.read_u32(pa);
+}
+
+void Mmu::write_u32(Cpu& cpu, VirtAddr va, std::uint32_t v) {
+  const PhysAddr pa = translate_or_fault(cpu, va, Access::kWrite);
+  cpu.charge(costs::kCacheHit);
+  mem_.write_u32(pa, v);
+}
+
+std::uint8_t Mmu::read_u8(Cpu& cpu, VirtAddr va) {
+  const PhysAddr pa = translate_or_fault(cpu, va, Access::kRead);
+  cpu.charge(costs::kCacheHit);
+  return mem_.read_u8(pa);
+}
+
+void Mmu::write_u8(Cpu& cpu, VirtAddr va, std::uint8_t v) {
+  const PhysAddr pa = translate_or_fault(cpu, va, Access::kWrite);
+  cpu.charge(costs::kCacheHit);
+  mem_.write_u8(pa, v);
+}
+
+void Mmu::touch(Cpu& cpu, VirtAddr va, Access access) {
+  (void)translate_or_fault(cpu, va, access);
+  cpu.charge(costs::kCacheHit);
+}
+
+std::optional<Pte> Mmu::peek_pte(Cpu& cpu, VirtAddr va) {
+  const WalkResult w = walk(cpu, va, /*charge=*/false);
+  if (!w.ok) return std::nullopt;
+  return w.pte;
+}
+
+}  // namespace mercury::hw

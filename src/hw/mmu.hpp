@@ -1,0 +1,70 @@
+// Hardware page-table walker.
+//
+// Translation consults the per-CPU TLB, then walks the two-level table
+// rooted at CR3 in simulated physical memory. Failed translations raise a
+// page fault through the CPU's trap sink; the `access_*` helpers then retry,
+// which models fault-and-resume execution. Costs (TLB hit/miss, walk) are
+// charged to the CPU clock.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "hw/cpu.hpp"
+#include "hw/phys_mem.hpp"
+#include "hw/pte.hpp"
+#include "hw/types.hpp"
+
+namespace mercury::hw {
+
+enum class Access : std::uint8_t { kRead, kWrite };
+
+struct PageFault {
+  VirtAddr addr = 0;
+  bool write = false;
+  bool present = false;  // true: protection violation; false: not-present
+  bool user_mode = false;
+};
+
+class Mmu {
+ public:
+  explicit Mmu(PhysicalMemory& mem) : mem_(mem) {}
+
+  /// Translate without raising a fault (probe). Returns the physical address
+  /// or nullopt; fills `fault` when provided. Charges walk costs.
+  std::optional<PhysAddr> translate(Cpu& cpu, VirtAddr va, Access access,
+                                    PageFault* fault = nullptr);
+
+  /// Translate, raising #PF through the CPU trap sink and retrying until the
+  /// sink resolves the fault. The sink must either establish a mapping or
+  /// abort the simulated thread (via a kernel-level exception); a bounded
+  /// retry count turns handler livelock into a simulator invariant failure.
+  PhysAddr translate_or_fault(Cpu& cpu, VirtAddr va, Access access);
+
+  // Memory accessors through translation (fault-and-retry semantics).
+  std::uint32_t read_u32(Cpu& cpu, VirtAddr va);
+  void write_u32(Cpu& cpu, VirtAddr va, std::uint32_t v);
+  std::uint8_t read_u8(Cpu& cpu, VirtAddr va);
+  void write_u8(Cpu& cpu, VirtAddr va, std::uint8_t v);
+
+  /// Touch a page (load) — the unit of working-set charging in workloads.
+  void touch(Cpu& cpu, VirtAddr va, Access access);
+
+  /// Read a raw PTE by walking the current tree without TLB interaction
+  /// (diagnostic / VMM validation use; charges memory access costs).
+  std::optional<Pte> peek_pte(Cpu& cpu, VirtAddr va);
+
+  PhysicalMemory& memory() { return mem_; }
+
+ private:
+  struct WalkResult {
+    bool ok = false;
+    Pte pte{};
+    PhysAddr pte_addr = 0;
+  };
+  WalkResult walk(Cpu& cpu, VirtAddr va, bool charge);
+
+  PhysicalMemory& mem_;
+};
+
+}  // namespace mercury::hw

@@ -1,0 +1,126 @@
+#include "hw/phys_mem.hpp"
+
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace mercury::hw {
+
+PhysicalMemory::PhysicalMemory(std::size_t total_frames)
+    : total_frames_(total_frames),
+      chunks_((total_frames + kChunkPages - 1) / kChunkPages) {
+  MERC_CHECK(total_frames > 0);
+}
+
+std::span<std::uint8_t> PhysicalMemory::chunk_for(PhysAddr pa, bool create) {
+  MERC_CHECK_MSG(pa < size_bytes(), "physical address 0x" << std::hex << pa
+                                                          << " out of range");
+  const std::size_t idx = static_cast<std::size_t>(pa / kChunkBytes);
+  if (!chunks_[idx]) {
+    if (!create) return {};
+    chunks_[idx] = std::make_unique<std::uint8_t[]>(kChunkBytes);
+    std::memset(chunks_[idx].get(), 0, kChunkBytes);
+  }
+  return {chunks_[idx].get(), kChunkBytes};
+}
+
+std::span<const std::uint8_t> PhysicalMemory::chunk_for(PhysAddr pa) const {
+  MERC_CHECK_MSG(pa < size_bytes(), "physical address 0x" << std::hex << pa
+                                                          << " out of range");
+  const std::size_t idx = static_cast<std::size_t>(pa / kChunkBytes);
+  if (!chunks_[idx]) return {};
+  return {chunks_[idx].get(), kChunkBytes};
+}
+
+std::uint8_t PhysicalMemory::read_u8(PhysAddr pa) const {
+  auto c = chunk_for(pa);
+  return c.empty() ? 0 : c[pa % kChunkBytes];
+}
+
+std::uint32_t PhysicalMemory::read_u32(PhysAddr pa) const {
+  auto c = chunk_for(pa);
+  if (c.empty()) return 0;
+  MERC_CHECK_MSG(pa % kChunkBytes + 4 <= kChunkBytes, "unaligned u32 across chunk");
+  std::uint32_t v;
+  std::memcpy(&v, c.data() + pa % kChunkBytes, sizeof(v));
+  return v;
+}
+
+std::uint64_t PhysicalMemory::read_u64(PhysAddr pa) const {
+  auto c = chunk_for(pa);
+  if (c.empty()) return 0;
+  MERC_CHECK_MSG(pa % kChunkBytes + 8 <= kChunkBytes, "unaligned u64 across chunk");
+  std::uint64_t v;
+  std::memcpy(&v, c.data() + pa % kChunkBytes, sizeof(v));
+  return v;
+}
+
+void PhysicalMemory::write_u8(PhysAddr pa, std::uint8_t v) {
+  chunk_for(pa, true)[pa % kChunkBytes] = v;
+}
+
+void PhysicalMemory::write_u32(PhysAddr pa, std::uint32_t v) {
+  auto c = chunk_for(pa, true);
+  MERC_CHECK_MSG(pa % kChunkBytes + 4 <= kChunkBytes, "unaligned u32 across chunk");
+  std::memcpy(c.data() + pa % kChunkBytes, &v, sizeof(v));
+}
+
+void PhysicalMemory::write_u64(PhysAddr pa, std::uint64_t v) {
+  auto c = chunk_for(pa, true);
+  MERC_CHECK_MSG(pa % kChunkBytes + 8 <= kChunkBytes, "unaligned u64 across chunk");
+  std::memcpy(c.data() + pa % kChunkBytes, &v, sizeof(v));
+}
+
+void PhysicalMemory::read_bytes(PhysAddr pa, std::span<std::uint8_t> out) const {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const PhysAddr at = pa + done;
+    const std::size_t in_chunk = kChunkBytes - at % kChunkBytes;
+    const std::size_t n = std::min(in_chunk, out.size() - done);
+    auto c = chunk_for(at);
+    if (c.empty())
+      std::memset(out.data() + done, 0, n);
+    else
+      std::memcpy(out.data() + done, c.data() + at % kChunkBytes, n);
+    done += n;
+  }
+}
+
+void PhysicalMemory::write_bytes(PhysAddr pa, std::span<const std::uint8_t> in) {
+  std::size_t done = 0;
+  while (done < in.size()) {
+    const PhysAddr at = pa + done;
+    const std::size_t in_chunk = kChunkBytes - at % kChunkBytes;
+    const std::size_t n = std::min(in_chunk, in.size() - done);
+    auto c = chunk_for(at, true);
+    std::memcpy(c.data() + at % kChunkBytes, in.data() + done, n);
+    done += n;
+  }
+}
+
+void PhysicalMemory::zero_frame(Pfn pfn) {
+  auto c = chunk_for(addr_of(pfn));
+  if (c.empty()) return;  // never materialized == already zero
+  auto wc = chunk_for(addr_of(pfn), true);
+  std::memset(wc.data() + addr_of(pfn) % kChunkBytes, 0, kPageSize);
+}
+
+void PhysicalMemory::copy_frame(Pfn dst, Pfn src) {
+  auto sc = chunk_for(addr_of(src));
+  if (sc.empty()) {
+    zero_frame(dst);
+    return;
+  }
+  auto dc = chunk_for(addr_of(dst), true);
+  std::memcpy(dc.data() + addr_of(dst) % kChunkBytes,
+              sc.data() + addr_of(src) % kChunkBytes, kPageSize);
+}
+
+std::size_t PhysicalMemory::resident_chunks() const {
+  std::size_t n = 0;
+  for (const auto& c : chunks_)
+    if (c) ++n;
+  return n;
+}
+
+}  // namespace mercury::hw

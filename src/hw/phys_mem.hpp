@@ -1,0 +1,57 @@
+// Simulated physical memory.
+//
+// Backing storage is sparse (allocated in 64-page chunks on first write) so
+// that a paper-scale 900 000 KB machine can be instantiated without claiming
+// 900 MB of host RAM. Reads of never-written memory return zero bytes, which
+// models cleared RAM.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "hw/types.hpp"
+
+namespace mercury::hw {
+
+class PhysicalMemory {
+ public:
+  explicit PhysicalMemory(std::size_t total_frames);
+
+  std::size_t total_frames() const { return total_frames_; }
+  PhysAddr size_bytes() const { return addr_of(static_cast<Pfn>(total_frames_)); }
+
+  std::uint8_t read_u8(PhysAddr pa) const;
+  std::uint32_t read_u32(PhysAddr pa) const;
+  std::uint64_t read_u64(PhysAddr pa) const;
+  void write_u8(PhysAddr pa, std::uint8_t v);
+  void write_u32(PhysAddr pa, std::uint32_t v);
+  void write_u64(PhysAddr pa, std::uint64_t v);
+
+  void read_bytes(PhysAddr pa, std::span<std::uint8_t> out) const;
+  void write_bytes(PhysAddr pa, std::span<const std::uint8_t> in);
+
+  /// Zero an entire frame (models a streaming clear; cost is charged by the
+  /// caller via the cost model).
+  void zero_frame(Pfn pfn);
+
+  /// Copy a whole frame.
+  void copy_frame(Pfn dst, Pfn src);
+
+  /// Number of backing chunks actually materialized (test/diagnostic hook).
+  std::size_t resident_chunks() const;
+
+ private:
+  static constexpr std::size_t kChunkPages = 64;
+  static constexpr std::size_t kChunkBytes = kChunkPages * kPageSize;
+
+  std::span<std::uint8_t> chunk_for(PhysAddr pa, bool create);
+  std::span<const std::uint8_t> chunk_for(PhysAddr pa) const;
+
+  std::size_t total_frames_;
+  mutable std::vector<std::unique_ptr<std::uint8_t[]>> chunks_;
+};
+
+}  // namespace mercury::hw

@@ -1,0 +1,59 @@
+// Page table entry layout (both levels use the same 32-bit format, like
+// x86-32 without PAE).
+#pragma once
+
+#include <cstdint>
+
+#include "hw/types.hpp"
+
+namespace mercury::hw {
+
+struct Pte {
+  std::uint32_t raw = 0;
+
+  static constexpr std::uint32_t kPresent = 1u << 0;
+  static constexpr std::uint32_t kWritable = 1u << 1;
+  static constexpr std::uint32_t kUser = 1u << 2;
+  static constexpr std::uint32_t kAccessed = 1u << 5;
+  static constexpr std::uint32_t kDirty = 1u << 6;
+  static constexpr std::uint32_t kGlobal = 1u << 8;
+  // Software-defined bit (x86 "available"): page belongs to the VMM and is
+  // inaccessible to the deprivileged kernel (ring 1) and to user mode. This
+  // models Xen's ring-0-only mapping of its reserved 64 MB region.
+  static constexpr std::uint32_t kVmmOnly = 1u << 9;
+  // Software-defined bit: page is shared copy-on-write (fork).
+  static constexpr std::uint32_t kCow = 1u << 10;
+
+  constexpr bool present() const { return raw & kPresent; }
+  constexpr bool writable() const { return raw & kWritable; }
+  constexpr bool user() const { return raw & kUser; }
+  constexpr bool accessed() const { return raw & kAccessed; }
+  constexpr bool dirty() const { return raw & kDirty; }
+  constexpr bool global() const { return raw & kGlobal; }
+  constexpr bool vmm_only() const { return raw & kVmmOnly; }
+  constexpr bool cow() const { return raw & kCow; }
+  constexpr Pfn pfn() const { return raw >> kPageShift; }
+
+  constexpr void set_pfn(Pfn pfn) {
+    raw = (raw & (kPageSize - 1)) | (pfn << kPageShift);
+  }
+  constexpr void set_flag(std::uint32_t flag, bool on) {
+    if (on)
+      raw |= flag;
+    else
+      raw &= ~flag;
+  }
+
+  friend constexpr bool operator==(Pte, Pte) = default;
+};
+
+constexpr Pte make_pte(Pfn pfn, bool writable, bool user, bool global = false) {
+  Pte pte;
+  pte.raw = (pfn << kPageShift) | Pte::kPresent;
+  pte.set_flag(Pte::kWritable, writable);
+  pte.set_flag(Pte::kUser, user);
+  pte.set_flag(Pte::kGlobal, global);
+  return pte;
+}
+
+}  // namespace mercury::hw

@@ -1,0 +1,58 @@
+#include "hw/tlb.hpp"
+
+#include "util/assert.hpp"
+
+namespace mercury::hw {
+
+Tlb::Tlb(std::size_t capacity) : entries_(capacity) { MERC_CHECK(capacity > 0); }
+
+std::optional<TlbEntry> Tlb::lookup(std::uint32_t vpn) {
+  for (const auto& e : entries_) {
+    if (e.valid && e.vpn == vpn) {
+      ++hits_;
+      return e;
+    }
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+void Tlb::insert(std::uint32_t vpn, const Pte& pte) {
+  // Replace an existing mapping for the same vpn in place if present.
+  for (auto& e : entries_) {
+    if (e.valid && e.vpn == vpn) {
+      e = TlbEntry{vpn,          pte.pfn(),      pte.writable(), pte.user(),
+                   pte.global(), pte.vmm_only(), pte.dirty(),    true};
+      return;
+    }
+  }
+  auto& victim = entries_[next_victim_];
+  next_victim_ = (next_victim_ + 1) % entries_.size();
+  victim = TlbEntry{vpn,          pte.pfn(),      pte.writable(), pte.user(),
+                    pte.global(), pte.vmm_only(), pte.dirty(),    true};
+}
+
+void Tlb::flush_all() {
+  ++flushes_;
+  for (auto& e : entries_)
+    if (!e.global) e.valid = false;
+}
+
+void Tlb::flush_global() {
+  ++flushes_;
+  for (auto& e : entries_) e.valid = false;
+}
+
+void Tlb::flush_page(std::uint32_t vpn) {
+  for (auto& e : entries_)
+    if (e.valid && e.vpn == vpn) e.valid = false;
+}
+
+std::size_t Tlb::valid_entries() const {
+  std::size_t n = 0;
+  for (const auto& e : entries_)
+    if (e.valid) ++n;
+  return n;
+}
+
+}  // namespace mercury::hw

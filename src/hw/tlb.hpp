@@ -1,0 +1,55 @@
+// Hardware-managed translation lookaside buffer.
+//
+// Fixed capacity, FIFO replacement (deterministic). On x86 the TLB is
+// flushed on CR3 writes — which is exactly why Xen-style designs keep VMM,
+// kernel and user in one address space; the model reproduces that cost.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hw/pte.hpp"
+#include "hw/types.hpp"
+
+namespace mercury::hw {
+
+struct TlbEntry {
+  std::uint32_t vpn = 0;
+  Pfn pfn = 0;
+  bool writable = false;
+  bool user = false;
+  bool global = false;
+  bool vmm_only = false;
+  bool dirty = false;  // write-hits on a non-dirty entry re-walk (x86 A/D)
+  bool valid = false;
+};
+
+class Tlb {
+ public:
+  explicit Tlb(std::size_t capacity = 64);
+
+  std::optional<TlbEntry> lookup(std::uint32_t vpn);
+  void insert(std::uint32_t vpn, const Pte& pte);
+
+  /// CR3 reload semantics: drop all non-global entries.
+  void flush_all();
+  /// Full flush including global entries (mode switches reload everything).
+  void flush_global();
+  void flush_page(std::uint32_t vpn);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t flushes() const { return flushes_; }
+  std::size_t capacity() const { return entries_.size(); }
+  std::size_t valid_entries() const;
+
+ private:
+  std::vector<TlbEntry> entries_;
+  std::size_t next_victim_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t flushes_ = 0;
+};
+
+}  // namespace mercury::hw

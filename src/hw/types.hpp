@@ -1,0 +1,78 @@
+// Fundamental simulated-hardware types and constants.
+//
+// The machine models a 32-bit x86-like SMP box: 4 GB virtual address space,
+// 4 KB pages, two-level hardware-walked page tables, hardware-managed TLBs,
+// ring 0..3 privilege levels. Time is measured in simulated CPU cycles at a
+// nominal 3 GHz (the paper's Xeon), so 1 us == 3000 cycles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mercury::hw {
+
+using Cycles = std::uint64_t;
+using VirtAddr = std::uint32_t;   // 4 GB virtual address space
+using PhysAddr = std::uint64_t;
+using Pfn = std::uint32_t;        // page frame number
+
+inline constexpr std::size_t kPageShift = 12;
+inline constexpr std::size_t kPageSize = std::size_t{1} << kPageShift;  // 4 KB
+inline constexpr std::uint32_t kPtEntries = 1024;  // entries per table level
+
+inline constexpr Cycles kCyclesPerMicrosecond = 3000;  // 3 GHz clock
+inline constexpr Cycles kCyclesPerMillisecond = kCyclesPerMicrosecond * 1000;
+
+inline constexpr double cycles_to_us(Cycles c) {
+  return static_cast<double>(c) / static_cast<double>(kCyclesPerMicrosecond);
+}
+inline constexpr Cycles us_to_cycles(double us) {
+  return static_cast<Cycles>(us * static_cast<double>(kCyclesPerMicrosecond));
+}
+
+inline constexpr Pfn pfn_of(PhysAddr pa) { return static_cast<Pfn>(pa >> kPageShift); }
+inline constexpr PhysAddr addr_of(Pfn pfn) {
+  return static_cast<PhysAddr>(pfn) << kPageShift;
+}
+inline constexpr std::uint32_t page_offset(VirtAddr va) {
+  return va & (kPageSize - 1);
+}
+inline constexpr std::uint32_t vpn_of(VirtAddr va) { return va >> kPageShift; }
+
+/// Virtual address split for the two-level page table.
+inline constexpr std::uint32_t pde_index(VirtAddr va) { return va >> 22; }
+inline constexpr std::uint32_t pte_index(VirtAddr va) {
+  return (va >> kPageShift) & (kPtEntries - 1);
+}
+
+/// x86-style privilege rings. The VMM and a native OS run at Ring0; a
+/// de-privileged (virtualized) OS kernel runs at Ring1; user code at Ring3.
+enum class Ring : std::uint8_t { kRing0 = 0, kRing1 = 1, kRing3 = 3 };
+
+/// Segment selector as saved in interrupt frames: the low two bits are the
+/// requested privilege level (RPL). Mercury's stack fixup rewrites exactly
+/// these bits when the kernel's ring changes across a mode switch.
+struct SegmentSelector {
+  std::uint16_t raw = 0;
+
+  constexpr Ring rpl() const { return static_cast<Ring>(raw & 0x3); }
+  constexpr std::uint16_t index() const { return raw >> 3; }
+  constexpr void set_rpl(Ring r) {
+    raw = static_cast<std::uint16_t>((raw & ~0x3u) | static_cast<std::uint16_t>(r));
+  }
+  friend constexpr bool operator==(SegmentSelector, SegmentSelector) = default;
+};
+
+constexpr SegmentSelector make_selector(std::uint16_t index, Ring rpl) {
+  return SegmentSelector{static_cast<std::uint16_t>(
+      (index << 3) | static_cast<std::uint16_t>(rpl))};
+}
+
+/// Well-known GDT slots (mirrors the Linux/Xen layout closely enough for the
+/// fixup logic: separate kernel descriptors exist per ring).
+inline constexpr std::uint16_t kGdtKernelCs = 2;
+inline constexpr std::uint16_t kGdtKernelDs = 3;
+inline constexpr std::uint16_t kGdtUserCs = 4;
+inline constexpr std::uint16_t kGdtUserDs = 5;
+
+}  // namespace mercury::hw

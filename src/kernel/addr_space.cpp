@@ -1,0 +1,371 @@
+#include "kernel/addr_space.hpp"
+
+#include <algorithm>
+
+#include "hw/costs.hpp"
+#include "kernel/kernel.hpp"
+#include "kernel/layout.hpp"
+#include "util/assert.hpp"
+
+namespace mercury::kernel {
+
+using hw::Pte;
+
+namespace {
+constexpr std::uint32_t kFirstUserPde = 0;
+constexpr std::uint32_t kLastUserPde = hw::pde_index(kUserTop) - 1;
+}  // namespace
+
+AddressSpace::AddressSpace(Kernel& kernel, hw::Cpu& cpu)
+    : kernel_(kernel), mmap_cursor_(kUserMmap) {
+  auto& ops = kernel_.ops();
+  MERC_CHECK_MSG(kernel_.pool().alloc(pd_), "out of kernel memory for PD");
+  kernel_.machine().memory().zero_frame(pd_);
+  cpu.charge(hw::costs::kPageZero);
+
+  // Install the shared kernel mappings and any reserved (VMM) PDEs. These
+  // writes happen before the directory is pinned as a page table, so they
+  // are plain memory writes even under a VMM (Xen validates them at pin).
+  const auto& kpdes = kernel_.kernel_pdes();
+  const hw::PhysAddr pd_base = hw::addr_of(pd_);
+  for (std::size_t i = 0; i < kpdes.size(); ++i) {
+    if (!kpdes[i].present()) continue;
+    cpu.charge(hw::costs::kMemAccess / 8);  // streamed copy
+    kernel_.machine().memory().write_u32(pd_base + (768 + i) * 4, kpdes[i].raw);
+  }
+  for (const auto& [idx, pde] : kernel_.extra_pdes()) {
+    cpu.charge(hw::costs::kMemAccess / 8);
+    kernel_.machine().memory().write_u32(pd_base + idx * 4, pde.raw);
+  }
+
+  ops.pin_page_table(cpu, pd_, pv::PtLevel::kL2);
+}
+
+AddressSpace::~AddressSpace() {
+  // Host-side cleanup only: simulated teardown (with costs and unpins)
+  // happens in clear_user()/Kernel::finalize_exit before destruction. Any
+  // frames still held here are returned without charging.
+  for (auto& [pde, l1] : l1_frames_) kernel_.pool().free(l1);
+  if (pd_ != 0) kernel_.pool().free(pd_);
+}
+
+Pte AddressSpace::read_pte(hw::Cpu& cpu, hw::PhysAddr pte_addr) const {
+  cpu.charge(hw::costs::kMemAccess / 2);  // mostly cache-resident
+  return Pte{kernel_.machine().memory().read_u32(pte_addr)};
+}
+
+void AddressSpace::write_pte(hw::Cpu& cpu, hw::PhysAddr pte_addr, Pte value) {
+  kernel_.ops().pte_write(cpu, pte_addr, value);
+}
+
+hw::Pfn AddressSpace::ensure_l1(hw::Cpu& cpu, hw::VirtAddr va) {
+  const std::uint32_t pde = hw::pde_index(va);
+  MERC_CHECK_MSG(pde >= kFirstUserPde && pde <= kLastUserPde,
+                 "ensure_l1 outside user range");
+  auto it = l1_frames_.find(pde);
+  if (it != l1_frames_.end()) return it->second;
+
+  hw::Pfn l1 = 0;
+  MERC_CHECK_MSG(kernel_.pool().alloc(l1), "out of kernel memory for L1");
+  kernel_.machine().memory().zero_frame(l1);
+  cpu.charge(hw::costs::kPageZero);
+  l1_frames_[pde] = l1;
+
+  // Under a VMM the new table must be validated/pinned before the directory
+  // may reference it.
+  kernel_.ops().pin_page_table(cpu, l1, pv::PtLevel::kL1);
+  Pte pde_val = hw::make_pte(l1, /*writable=*/true, /*user=*/true);
+  write_pte(cpu, hw::addr_of(pd_) + pde * 4, pde_val);
+  return l1;
+}
+
+hw::PhysAddr AddressSpace::pte_addr_for(hw::Cpu& cpu, hw::VirtAddr va) {
+  const hw::Pfn l1 = ensure_l1(cpu, va);
+  return hw::addr_of(l1) + hw::pte_index(va) * 4;
+}
+
+Vma* AddressSpace::find_vma(hw::VirtAddr va) {
+  for (auto& v : vmas_)
+    if (v.contains(va)) return &v;
+  return nullptr;
+}
+
+hw::VirtAddr AddressSpace::mmap(hw::Cpu& cpu, hw::VirtAddr hint, std::size_t len,
+                                bool writable, VmaKind kind, std::int32_t inode,
+                                std::uint64_t file_offset) {
+  MERC_CHECK(len > 0 && len % hw::kPageSize == 0);
+  hw::VirtAddr base = hint;
+  if (base == 0) {
+    base = mmap_cursor_;
+    mmap_cursor_ += static_cast<hw::VirtAddr>(len) + hw::kPageSize;  // guard gap
+  }
+  MERC_CHECK_MSG(is_user_va(base) && is_user_va(base + len - 1),
+                 "mmap outside user space");
+  cpu.charge(costs::kVmaOp);
+  vmas_.push_back(Vma{base, base + static_cast<hw::VirtAddr>(len), writable, kind,
+                      inode, file_offset});
+  return base;
+}
+
+void AddressSpace::zap_range(hw::Cpu& cpu, hw::VirtAddr start, hw::VirtAddr end) {
+  for (hw::VirtAddr va = start; va < end; va += hw::kPageSize) {
+    const std::uint32_t pde = hw::pde_index(va);
+    auto it = l1_frames_.find(pde);
+    if (it == l1_frames_.end()) {
+      // Skip the whole missing table.
+      va = ((va >> 22) + 1) << 22;
+      va -= hw::kPageSize;
+      continue;
+    }
+    const hw::PhysAddr pte_addr = hw::addr_of(it->second) + hw::pte_index(va) * 4;
+    const Pte pte = read_pte(cpu, pte_addr);
+    if (!pte.present()) continue;
+    cpu.charge(costs::kZapPerPage);
+    if (const Vma* v = find_vma(va); v != nullptr && v->kind == VmaKind::kFile)
+      cpu.charge(costs::kZapFileExtra);
+    kernel_.smp_tax(cpu, costs::kSmpZapTax);
+    write_pte(cpu, pte_addr, Pte{});
+    kernel_.ops().flush_tlb_page(cpu, va);
+    if (kernel_.frame_unref(pte.pfn())) kernel_.pool().free(pte.pfn());
+    --resident_pages_;
+  }
+}
+
+void AddressSpace::munmap(hw::Cpu& cpu, hw::VirtAddr start, std::size_t len) {
+  const hw::VirtAddr end = start + static_cast<hw::VirtAddr>(len);
+  zap_range(cpu, start, end);
+  cpu.charge(costs::kVmaOp);
+  std::vector<Vma> kept;
+  kept.reserve(vmas_.size());
+  for (auto& v : vmas_) {
+    if (v.end <= start || v.start >= end) {
+      kept.push_back(v);
+      continue;
+    }
+    if (v.start < start) {
+      Vma head = v;
+      head.end = start;
+      kept.push_back(head);
+    }
+    if (v.end > end) {
+      Vma tail = v;
+      tail.start = end;
+      tail.file_offset += end - v.start;
+      kept.push_back(tail);
+    }
+  }
+  vmas_ = std::move(kept);
+}
+
+void AddressSpace::mprotect(hw::Cpu& cpu, hw::VirtAddr start, std::size_t len,
+                            bool writable) {
+  const hw::VirtAddr end = start + static_cast<hw::VirtAddr>(len);
+  cpu.charge(costs::kVmaOp);
+  // Split VMAs so the protected range has exact boundaries.
+  std::vector<Vma> next;
+  next.reserve(vmas_.size() + 2);
+  for (auto& v : vmas_) {
+    if (v.end <= start || v.start >= end) {
+      next.push_back(v);
+      continue;
+    }
+    if (v.start < start) {
+      Vma head = v;
+      head.end = start;
+      next.push_back(head);
+    }
+    Vma mid = v;
+    mid.start = std::max(v.start, start);
+    mid.end = std::min(v.end, end);
+    mid.writable = writable;
+    next.push_back(mid);
+    if (v.end > end) {
+      Vma tail = v;
+      tail.start = end;
+      next.push_back(tail);
+    }
+  }
+  vmas_ = std::move(next);
+
+  // Downgrade present PTEs when revoking write (hardware enforcement);
+  // upgrades are realized lazily at fault time.
+  if (!writable) {
+    for (hw::VirtAddr va = start; va < end; va += hw::kPageSize) {
+      auto it = l1_frames_.find(hw::pde_index(va));
+      if (it == l1_frames_.end()) continue;
+      const hw::PhysAddr pte_addr = hw::addr_of(it->second) + hw::pte_index(va) * 4;
+      Pte pte = read_pte(cpu, pte_addr);
+      if (!pte.present() || !pte.writable()) continue;
+      pte.set_flag(Pte::kWritable, false);
+      write_pte(cpu, pte_addr, pte);
+      kernel_.ops().flush_tlb_page(cpu, va);
+    }
+  }
+}
+
+void AddressSpace::install_page(hw::Cpu& cpu, hw::VirtAddr va, hw::Pfn frame,
+                                bool writable) {
+  const hw::PhysAddr pte_addr = pte_addr_for(cpu, va);
+  write_pte(cpu, pte_addr, hw::make_pte(frame, writable, /*user=*/true));
+  ++resident_pages_;
+}
+
+bool AddressSpace::handle_fault(hw::Cpu& cpu, hw::VirtAddr va, bool write) {
+  cpu.charge(costs::kFaultVmaLookup);
+  Vma* vma = find_vma(va);
+  if (vma == nullptr) return false;
+  if (write && !vma->writable) return false;
+
+  const hw::PhysAddr pte_addr = pte_addr_for(cpu, va);
+  Pte pte = read_pte(cpu, pte_addr);
+
+  if (pte.present()) {
+    if (write && !pte.writable() && pte.cow()) {
+      // Copy-on-write break.
+      ++kernel_.stats().cow_breaks;
+      const hw::Pfn old = pte.pfn();
+      if (kernel_.frame_refcount(old) > 1) {
+        hw::Pfn fresh = 0;
+        MERC_CHECK_MSG(kernel_.pool().alloc(fresh), "OOM during COW");
+        kernel_.machine().memory().copy_frame(fresh, old);
+        cpu.charge(hw::costs::kPageCopy);
+        kernel_.frame_unref(old);
+        kernel_.frame_ref(fresh);
+        Pte fresh_pte = hw::make_pte(fresh, /*writable=*/true, /*user=*/true);
+        write_pte(cpu, pte_addr, fresh_pte);
+      } else {
+        pte.set_flag(Pte::kWritable, true);
+        pte.set_flag(Pte::kCow, false);
+        write_pte(cpu, pte_addr, pte);
+      }
+      kernel_.ops().flush_tlb_page(cpu, va);
+      return true;
+    }
+    if (write && !pte.writable()) return false;  // genuine protection fault
+    // Spurious fault (e.g. stale TLB after an upgrade elsewhere): remap.
+    kernel_.ops().flush_tlb_page(cpu, va);
+    return true;
+  }
+
+  // Demand paging.
+  kernel_.smp_tax(cpu, costs::kSmpFaultTax);
+  hw::Pfn frame = 0;
+  MERC_CHECK_MSG(kernel_.pool().alloc(frame), "OOM during demand paging");
+  kernel_.frame_ref(frame);
+  if (vma->kind == VmaKind::kFile) {
+    cpu.charge(costs::kFilePageLookup);  // page-cache radix walk (warm)
+    cpu.charge(costs::kFileMapCopy);
+  } else {
+    cpu.charge(costs::kAnonPagePrep);
+    kernel_.machine().memory().zero_frame(frame);
+    cpu.charge(hw::costs::kPageZero);
+  }
+  install_page(cpu, va, frame, vma->writable);
+  return true;
+}
+
+std::unique_ptr<AddressSpace> AddressSpace::fork_clone(hw::Cpu& cpu) {
+  auto child = std::make_unique<AddressSpace>(kernel_, cpu);
+  child->vmas_ = vmas_;
+  child->mmap_cursor_ = mmap_cursor_;
+
+  // copy_page_range: batched table updates (Linux-on-Xen multicalls the
+  // copies; only fault-time installs and teardown use trap-&-emulate).
+  std::vector<pv::PteUpdate> batch;
+  batch.reserve(128);
+  auto flush_batch = [&] {
+    if (batch.empty()) return;
+    kernel_.ops().pte_write_batch(cpu, batch);
+    batch.clear();
+  };
+  for (const auto& vma : vmas_) {
+    for (hw::VirtAddr va = vma.start; va < vma.end; va += hw::kPageSize) {
+      auto it = l1_frames_.find(hw::pde_index(va));
+      if (it == l1_frames_.end()) {
+        va = (((va >> 22) + 1) << 22) - hw::kPageSize;
+        continue;
+      }
+      const hw::PhysAddr ppte_addr = hw::addr_of(it->second) + hw::pte_index(va) * 4;
+      Pte ppte = read_pte(cpu, ppte_addr);
+      if (!ppte.present()) continue;
+      cpu.charge(costs::kPteCopyWork);
+      kernel_.smp_tax(cpu, costs::kSmpCopyTax);
+
+      if (ppte.writable()) {
+        // Share COW: downgrade the parent, too.
+        ppte.set_flag(Pte::kWritable, false);
+        ppte.set_flag(Pte::kCow, true);
+        batch.push_back(pv::PteUpdate{ppte_addr, ppte});
+      }
+      const hw::PhysAddr cpte_addr = child->pte_addr_for(cpu, va);
+      batch.push_back(pv::PteUpdate{cpte_addr, ppte});
+      kernel_.frame_ref(ppte.pfn());
+      ++child->resident_pages_;
+      if (batch.size() >= 128) flush_batch();
+    }
+  }
+  flush_batch();
+  // Parent mappings were downgraded: flush.
+  kernel_.ops().flush_tlb(cpu);
+  return child;
+}
+
+void AddressSpace::clear_user(hw::Cpu& cpu) {
+  for (const auto& vma : vmas_) zap_range(cpu, vma.start, vma.end);
+  vmas_.clear();
+  // Free the L1 tables (unpinning them under a VMM).
+  for (auto& [pde, l1] : l1_frames_) {
+    kernel_.ops().unpin_page_table(cpu, l1);
+    write_pte(cpu, hw::addr_of(pd_) + pde * 4, Pte{});
+    kernel_.pool().free(l1);
+  }
+  l1_frames_.clear();
+  kernel_.ops().flush_tlb(cpu);
+  mmap_cursor_ = kUserMmap;
+}
+
+void AddressSpace::teardown(hw::Cpu& cpu) {
+  clear_user(cpu);
+  kernel_.ops().unpin_page_table(cpu, pd_);
+  kernel_.pool().free(pd_);
+  pd_ = 0;
+}
+
+std::vector<hw::Pfn> AddressSpace::page_table_frames() const {
+  std::vector<hw::Pfn> out;
+  out.reserve(l1_frames_.size() + 1);
+  out.push_back(pd_);
+  for (const auto& [pde, l1] : l1_frames_) out.push_back(l1);
+  return out;
+}
+
+hw::Pfn AddressSpace::l1_for_pde(std::uint32_t pde) const {
+  auto it = l1_frames_.find(pde);
+  return it == l1_frames_.end() ? 0 : it->second;
+}
+
+std::size_t AddressSpace::collect_and_clear_dirty(hw::Cpu& cpu,
+                                                  std::vector<hw::Pfn>* out_pfns) {
+  std::size_t count = 0;
+  for (const auto& vma : vmas_) {
+    for (hw::VirtAddr va = vma.start; va < vma.end; va += hw::kPageSize) {
+      auto it = l1_frames_.find(hw::pde_index(va));
+      if (it == l1_frames_.end()) {
+        va = (((va >> 22) + 1) << 22) - hw::kPageSize;
+        continue;
+      }
+      const hw::PhysAddr pte_addr = hw::addr_of(it->second) + hw::pte_index(va) * 4;
+      cpu.charge(2);  // tight scan loop
+      Pte pte{kernel_.machine().memory().read_u32(pte_addr)};
+      if (!pte.present() || !pte.dirty()) continue;
+      pte.set_flag(Pte::kDirty, false);
+      // Dirty-bit clearing is a VMM-context scan (log-dirty); write directly.
+      kernel_.machine().memory().write_u32(pte_addr, pte.raw);
+      if (out_pfns) out_pfns->push_back(pte.pfn());
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace mercury::kernel

@@ -1,0 +1,104 @@
+// Per-process virtual address space: VMAs + a real two-level page table in
+// simulated physical memory.
+//
+// Every page-table mutation goes through the kernel's SensitiveOps object,
+// so the same code path costs bare-hardware prices natively and
+// trap-&-emulate / hypercall prices under a VMM. Fork clones with
+// copy-on-write; demand paging services faults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "hw/cpu.hpp"
+#include "hw/pte.hpp"
+#include "hw/types.hpp"
+
+namespace mercury::kernel {
+
+class Kernel;
+
+enum class VmaKind : std::uint8_t { kAnon, kFile };
+
+struct Vma {
+  hw::VirtAddr start = 0;
+  hw::VirtAddr end = 0;  // exclusive
+  bool writable = false;
+  VmaKind kind = VmaKind::kAnon;
+  std::int32_t inode = -1;       // file-backed mappings
+  std::uint64_t file_offset = 0;
+
+  bool contains(hw::VirtAddr va) const { return va >= start && va < end; }
+  std::size_t pages() const { return (end - start) / hw::kPageSize; }
+};
+
+class AddressSpace {
+ public:
+  /// Builds a fresh address space: allocates a page directory, installs the
+  /// kernel and (if present) VMM mappings, and pins it under a VMM.
+  AddressSpace(Kernel& kernel, hw::Cpu& cpu);
+  ~AddressSpace();
+
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  hw::Pfn page_directory() const { return pd_; }
+
+  /// Map a region; returns the chosen base address.
+  hw::VirtAddr mmap(hw::Cpu& cpu, hw::VirtAddr hint, std::size_t len, bool writable,
+                    VmaKind kind, std::int32_t inode = -1,
+                    std::uint64_t file_offset = 0);
+  void munmap(hw::Cpu& cpu, hw::VirtAddr start, std::size_t len);
+  void mprotect(hw::Cpu& cpu, hw::VirtAddr start, std::size_t len, bool writable);
+
+  /// Demand-paging fault service. Returns false if the access is invalid
+  /// (no VMA / permission), in which case the caller delivers SIGSEGV.
+  bool handle_fault(hw::Cpu& cpu, hw::VirtAddr va, bool write);
+
+  /// Fork: clone VMAs and page tables, sharing anonymous pages COW.
+  std::unique_ptr<AddressSpace> fork_clone(hw::Cpu& cpu);
+
+  /// Exec: drop every user mapping (the caller then maps the new image).
+  void clear_user(hw::Cpu& cpu);
+
+  /// Full simulated teardown (process exit): clear_user + unpin and free the
+  /// page directory, charging all costs. After this only host cleanup
+  /// remains for the destructor.
+  void teardown(hw::Cpu& cpu);
+
+  const std::vector<Vma>& vmas() const { return vmas_; }
+  std::size_t resident_pages() const { return resident_pages_; }
+
+  /// Page-table frames (PD + L1s) — what a VMM pins/unpins and what the mode
+  /// switch flips between writable and read-only.
+  std::vector<hw::Pfn> page_table_frames() const;
+  hw::Pfn l1_for_pde(std::uint32_t pde) const;
+
+  /// Count of present PTEs with the dirty bit set in user mappings, clearing
+  /// them (log-dirty scan for live migration rounds). Appends the dirtied
+  /// *frames* to `out_pfns` when provided.
+  std::size_t collect_and_clear_dirty(hw::Cpu& cpu, std::vector<hw::Pfn>* out_pfns);
+
+ private:
+  friend class Kernel;
+
+  hw::Pte read_pte(hw::Cpu& cpu, hw::PhysAddr pte_addr) const;
+  void write_pte(hw::Cpu& cpu, hw::PhysAddr pte_addr, hw::Pte value);
+  /// Ensure an L1 table exists for the PDE covering `va`; returns its pfn.
+  hw::Pfn ensure_l1(hw::Cpu& cpu, hw::VirtAddr va);
+  hw::PhysAddr pte_addr_for(hw::Cpu& cpu, hw::VirtAddr va);
+  void zap_range(hw::Cpu& cpu, hw::VirtAddr start, hw::VirtAddr end);
+  Vma* find_vma(hw::VirtAddr va);
+  void install_page(hw::Cpu& cpu, hw::VirtAddr va, hw::Pfn frame, bool writable);
+
+  Kernel& kernel_;
+  hw::Pfn pd_ = 0;
+  std::map<std::uint32_t, hw::Pfn> l1_frames_;  // pde index -> L1 frame
+  std::vector<Vma> vmas_;
+  std::size_t resident_pages_ = 0;
+  hw::VirtAddr mmap_cursor_;
+};
+
+}  // namespace mercury::kernel

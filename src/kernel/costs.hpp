@@ -1,0 +1,73 @@
+// Kernel-path cost model (cycles).
+//
+// Fixed-work constants stand in for kernel code we do not simulate
+// instruction-by-instruction (credential copy, ELF parsing, ...). They are
+// mode-independent: every evaluated system charges the same kernel work, so
+// they cancel out of relative comparisons. The mode-dependent costs all flow
+// through pv::SensitiveOps.
+#pragma once
+
+#include "hw/types.hpp"
+
+namespace mercury::kernel::costs {
+
+using hw::Cycles;
+
+// --- scheduling ---
+inline constexpr Cycles kCtxSwitchBase = 2500;   // save/restore + runqueue work
+inline constexpr Cycles kSchedPick = 280;
+inline constexpr Cycles kCacheRefillPerKb = 384; // 16 lines/KB x 24c line pull
+inline constexpr Cycles kSyscallDispatch = 170;
+
+// --- process lifecycle ---
+inline constexpr Cycles kForkFixedWork = 70'000;   // task struct, creds, fds, pid
+inline constexpr Cycles kExecFixedWork = 500'000;   // ELF parse, argv/env copy
+inline constexpr Cycles kShellFixedWork = 1'550'000;  // /bin/sh startup + parse
+inline constexpr Cycles kExitFixedWork = 30'000;
+inline constexpr Cycles kWaitReap = 6'000;
+inline constexpr Cycles kPteCopyWork = 150;         // per-PTE fork bookkeeping
+inline constexpr Cycles kVmaOp = 420;               // vma create/split/merge
+
+// --- faults ---
+inline constexpr Cycles kFaultVmaLookup = 550;
+inline constexpr Cycles kFilePageLookup = 550;      // page-cache radix walk
+inline constexpr Cycles kFileMapCopy = 1400;        // map-time copy share
+inline constexpr Cycles kAnonPagePrep = 500;
+inline constexpr Cycles kSigsegvSetup = 350;
+
+// Per-page unmap bookkeeping (rmap, LRU); file-backed pages additionally
+// detach from the page cache.
+inline constexpr Cycles kZapPerPage = 300;
+inline constexpr Cycles kZapFileExtra = 1400;
+
+// --- SMP cacheline/lock pressure (charged only on >1-CPU machines) ---
+inline constexpr Cycles kSmpDispatchTax = 2000;  // runqueue/mm locks per switch
+inline constexpr Cycles kSmpFaultTax = 1250;     // mmap_sem + LRU contention
+inline constexpr Cycles kSmpZapTax = 600;        // per zapped page
+inline constexpr Cycles kSmpCopyTax = 100;       // per copied PTE (fork)
+
+// --- pipes / IPC ---
+inline constexpr Cycles kPipeTransfer = 300;
+
+// --- filesystem ---
+inline constexpr Cycles kPathLookupPerComponent = 550;
+inline constexpr Cycles kInodeOp = 900;             // create/unlink/stat update
+inline constexpr Cycles kBufferCopyPerKb = 700;     // user<->page cache copy
+inline constexpr Cycles kBlockCacheLookup = 260;
+
+// --- network stack ---
+inline constexpr Cycles kUdpTxStack = 2600;         // socket + IP + driver prep
+inline constexpr Cycles kUdpRxStack = 2900;
+inline constexpr Cycles kTcpTxStack = 3300;
+inline constexpr Cycles kTcpRxStack = 3600;
+inline constexpr Cycles kIcmpEcho = 1500;           // in-kernel echo turnaround
+
+// --- SMP ---
+inline constexpr Cycles kLockUncontended = 45;
+inline constexpr Cycles kLockContended = 1400;
+inline constexpr double kLockContentionProb = 0.12; // per acquisition, SMP only
+
+// --- timer ---
+inline constexpr Cycles kTimerTickWork = 2200;
+
+}  // namespace mercury::kernel::costs

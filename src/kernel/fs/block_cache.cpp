@@ -1,0 +1,105 @@
+#include "kernel/fs/block_cache.hpp"
+
+#include "util/assert.hpp"
+
+namespace mercury::kernel {
+
+BlockCache::BlockCache(std::size_t capacity_blocks) : capacity_(capacity_blocks) {
+  MERC_CHECK(capacity_blocks > 0);
+}
+
+bool BlockCache::lookup(std::uint64_t block) {
+  auto it = map_.find(block);
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  lru_.erase(it->second.lru_pos);
+  lru_.push_front(block);
+  it->second.lru_pos = lru_.begin();
+  return true;
+}
+
+void BlockCache::insert(std::uint64_t block, bool dirty) {
+  auto it = map_.find(block);
+  if (it != map_.end()) {
+    if (dirty && !it->second.dirty) ++dirty_;
+    it->second.dirty = it->second.dirty || dirty;
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(block);
+    it->second.lru_pos = lru_.begin();
+    return;
+  }
+  lru_.push_front(block);
+  map_[block] = Entry{lru_.begin(), dirty};
+  if (dirty) ++dirty_;
+}
+
+void BlockCache::mark_dirty(std::uint64_t block) {
+  auto it = map_.find(block);
+  if (it == map_.end()) {
+    insert(block, true);
+    return;
+  }
+  if (!it->second.dirty) {
+    it->second.dirty = true;
+    ++dirty_;
+  }
+}
+
+bool BlockCache::is_cached(std::uint64_t block) const {
+  return map_.contains(block);
+}
+
+bool BlockCache::is_dirty(std::uint64_t block) const {
+  auto it = map_.find(block);
+  return it != map_.end() && it->second.dirty;
+}
+
+void BlockCache::clear_dirty(std::uint64_t block) {
+  auto it = map_.find(block);
+  if (it != map_.end() && it->second.dirty) {
+    it->second.dirty = false;
+    --dirty_;
+  }
+}
+
+void BlockCache::invalidate(std::uint64_t block) {
+  auto it = map_.find(block);
+  if (it == map_.end()) return;
+  if (it->second.dirty) --dirty_;
+  lru_.erase(it->second.lru_pos);
+  map_.erase(it);
+}
+
+std::vector<std::uint64_t> BlockCache::evict_to_capacity() {
+  std::vector<std::uint64_t> writeback;
+  while (map_.size() > capacity_) {
+    const std::uint64_t victim = lru_.back();
+    auto it = map_.find(victim);
+    if (it->second.dirty) {
+      writeback.push_back(victim);
+      --dirty_;
+    }
+    lru_.pop_back();
+    map_.erase(it);
+  }
+  return writeback;
+}
+
+std::vector<std::uint64_t> BlockCache::take_dirty(std::size_t max) {
+  std::vector<std::uint64_t> out;
+  // Oldest first: walk the LRU list from the back.
+  for (auto it = lru_.rbegin(); it != lru_.rend() && out.size() < max; ++it) {
+    auto e = map_.find(*it);
+    if (e->second.dirty) {
+      e->second.dirty = false;
+      --dirty_;
+      out.push_back(*it);
+    }
+  }
+  return out;
+}
+
+}  // namespace mercury::kernel

@@ -1,0 +1,58 @@
+// Buffer/page cache over the block device: LRU with write-back.
+//
+// The cache tracks block identities and dirty state (file *content* is not
+// semantically meaningful to any workload, so no bytes are stored); hits,
+// misses and write-backs charge realistic costs through the caller.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+namespace mercury::kernel {
+
+class BlockCache {
+ public:
+  explicit BlockCache(std::size_t capacity_blocks);
+
+  /// Touch a block; returns true on hit (LRU position refreshed).
+  bool lookup(std::uint64_t block);
+  /// Insert after a miss (caller performed the disk read).
+  void insert(std::uint64_t block, bool dirty);
+  void mark_dirty(std::uint64_t block);
+  bool is_cached(std::uint64_t block) const;
+  bool is_dirty(std::uint64_t block) const;
+  void clear_dirty(std::uint64_t block);
+  /// Drop a block entirely (file deletion).
+  void invalidate(std::uint64_t block);
+
+  /// Blocks that must be written back to get under capacity (caller issues
+  /// the device writes, then the entries become clean evictions).
+  std::vector<std::uint64_t> evict_to_capacity();
+
+  /// Up to `max` dirty blocks (oldest first) for periodic write-back; their
+  /// dirty bits are cleared (caller writes them to the device).
+  std::vector<std::uint64_t> take_dirty(std::size_t max);
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t dirty_count() const { return dirty_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::list<std::uint64_t>::iterator lru_pos;
+    bool dirty = false;
+  };
+
+  std::size_t capacity_;
+  std::list<std::uint64_t> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, Entry> map_;
+  std::size_t dirty_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace mercury::kernel

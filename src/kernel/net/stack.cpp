@@ -1,0 +1,269 @@
+#include "kernel/net/stack.hpp"
+
+#include <algorithm>
+
+#include "kernel/costs.hpp"
+#include "kernel/kernel.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace mercury::kernel {
+
+NetStack::NetStack(Kernel& kernel) : kernel_(kernel) {}
+
+std::uint32_t NetStack::local_addr() const {
+  return kernel_.machine().nic().address();
+}
+
+std::int32_t NetStack::create_udp(std::uint16_t port) {
+  auto s = std::make_unique<Socket>();
+  s->kind = Socket::Kind::kUdp;
+  s->local_port = port != 0 ? port : auto_port();
+  sockets_.push_back(std::move(s));
+  return static_cast<std::int32_t>(sockets_.size() - 1);
+}
+
+std::int32_t NetStack::create_tcp_listen(std::uint16_t port) {
+  auto s = std::make_unique<Socket>();
+  s->kind = Socket::Kind::kTcpListen;
+  s->local_port = port;
+  sockets_.push_back(std::move(s));
+  return static_cast<std::int32_t>(sockets_.size() - 1);
+}
+
+std::int32_t NetStack::create_tcp_conn(hw::Cpu& cpu, std::uint32_t dst,
+                                       std::uint16_t dst_port) {
+  auto s = std::make_unique<Socket>();
+  s->kind = Socket::Kind::kTcpConn;
+  s->local_port = auto_port();
+  s->tcp.peer_addr = dst;
+  s->tcp.peer_port = dst_port;
+  const std::uint16_t sport = s->local_port;
+  sockets_.push_back(std::move(s));
+  send_tcp_ctrl(cpu, dst, dst_port, sport, kTcpFlagSyn, 0);
+  return static_cast<std::int32_t>(sockets_.size() - 1);
+}
+
+Socket* NetStack::sock(std::int32_t idx) {
+  if (idx < 0 || static_cast<std::size_t>(idx) >= sockets_.size()) return nullptr;
+  return sockets_[idx].get();
+}
+
+void NetStack::close(hw::Cpu& cpu, std::int32_t idx) {
+  Socket* s = sock(idx);
+  if (s == nullptr || !s->open) return;
+  s->open = false;
+  if (s->kind == Socket::Kind::kTcpConn && s->tcp.established)
+    send_tcp_ctrl(cpu, s->tcp.peer_addr, s->tcp.peer_port, s->local_port,
+                  kTcpFlagFin, s->tcp.rcv_bytes);
+  kernel_.wake_all(s->readers);
+  kernel_.wake_all(s->tcp.senders);
+  kernel_.wake_all(s->tcp.receivers);
+  kernel_.wake_all(s->acceptors);
+}
+
+Socket* NetStack::find_by_port(std::uint16_t port, Socket::Kind kind) {
+  for (auto& s : sockets_)
+    if (s->open && s->kind == kind && s->local_port == port) return s.get();
+  return nullptr;
+}
+
+Socket* NetStack::find_tcp_conn(std::uint16_t local_port, std::uint32_t peer,
+                                std::uint16_t peer_port) {
+  for (auto& s : sockets_) {
+    if (s->open && s->kind == Socket::Kind::kTcpConn &&
+        s->local_port == local_port && s->tcp.peer_addr == peer &&
+        s->tcp.peer_port == peer_port)
+      return s.get();
+  }
+  return nullptr;
+}
+
+void NetStack::udp_send(hw::Cpu& cpu, Socket& s, std::uint32_t dst,
+                        std::uint16_t dst_port, std::size_t bytes) {
+  ++stats_.udp_tx;
+  cpu.charge(costs::kUdpTxStack);
+  hw::Packet pkt;
+  pkt.src_addr = local_addr();
+  pkt.dst_addr = dst;
+  pkt.src_port = s.local_port;
+  pkt.dst_port = dst_port;
+  pkt.proto = kProtoUdp;
+  pkt.payload_bytes = bytes;
+  kernel_.ops().net_send(cpu, std::move(pkt));
+}
+
+std::uint32_t NetStack::ping_send(hw::Cpu& cpu, std::uint32_t dst,
+                                  std::size_t bytes) {
+  const std::uint32_t seq = next_ping_seq_++;
+  ping_waits_[seq];  // create the slot first so a fast reply finds it
+  cpu.charge(costs::kIcmpEcho);
+  hw::Packet pkt;
+  pkt.src_addr = local_addr();
+  pkt.dst_addr = dst;
+  pkt.proto = kProtoEcho;
+  pkt.seq = seq;
+  pkt.payload_bytes = bytes;
+  kernel_.ops().net_send(cpu, std::move(pkt));
+  return seq;
+}
+
+NetStack::PingWait& NetStack::ping_state(std::uint32_t seq) {
+  return ping_waits_[seq];
+}
+
+void NetStack::ping_forget(std::uint32_t seq) { ping_waits_.erase(seq); }
+
+bool NetStack::tcp_pump(hw::Cpu& cpu, Socket& s, std::uint64_t& remaining) {
+  TcpState& t = s.tcp;
+  if (!t.established) return true;
+  bool sent_any = false;
+  while (remaining > 0 && (t.snd_nxt - t.snd_una) < kTcpWindowBytes) {
+    const std::size_t seg = static_cast<std::size_t>(
+        std::min<std::uint64_t>(remaining, kTcpSegmentBytes));
+    ++stats_.tcp_segments_tx;
+    cpu.charge(costs::kTcpTxStack);
+    hw::Packet pkt;
+    pkt.src_addr = local_addr();
+    pkt.dst_addr = t.peer_addr;
+    pkt.src_port = s.local_port;
+    pkt.dst_port = t.peer_port;
+    pkt.proto = kProtoTcp;
+    pkt.flags = 0;
+    pkt.seq = static_cast<std::uint32_t>(t.snd_nxt);
+    pkt.payload_bytes = seg;
+    kernel_.ops().net_send(cpu, std::move(pkt));
+    t.snd_nxt += seg;
+    remaining -= seg;
+    sent_any = true;
+  }
+  (void)sent_any;
+  return remaining > 0;  // window full: caller blocks until acks arrive
+}
+
+void NetStack::send_tcp_ctrl(hw::Cpu& cpu, std::uint32_t dst,
+                             std::uint16_t dst_port, std::uint16_t src_port,
+                             std::uint32_t flags, std::uint64_t ack) {
+  cpu.charge(costs::kTcpTxStack / 2);
+  hw::Packet pkt;
+  pkt.src_addr = local_addr();
+  pkt.dst_addr = dst;
+  pkt.src_port = src_port;
+  pkt.dst_port = dst_port;
+  pkt.proto = kProtoTcp;
+  pkt.flags = flags;
+  pkt.ack = static_cast<std::uint32_t>(ack);
+  pkt.payload_bytes = 0;
+  if (flags & kTcpFlagAck) ++stats_.tcp_acks_tx;
+  kernel_.ops().net_send(cpu, std::move(pkt));
+}
+
+void NetStack::handle_tcp(hw::Cpu& cpu, const hw::Packet& pkt) {
+  if (pkt.flags & kTcpFlagSyn) {
+    // Passive open: create the server-side connection and answer SYNACK.
+    Socket* listener = find_by_port(pkt.dst_port, Socket::Kind::kTcpListen);
+    if (listener == nullptr) {
+      ++stats_.dropped_no_socket;
+      return;
+    }
+    auto conn = std::make_unique<Socket>();
+    conn->kind = Socket::Kind::kTcpConn;
+    conn->local_port = pkt.dst_port;
+    conn->tcp.peer_addr = pkt.src_addr;
+    conn->tcp.peer_port = pkt.src_port;
+    conn->tcp.established = true;
+    sockets_.push_back(std::move(conn));
+    listener->accept_queue.push_back(
+        static_cast<std::int32_t>(sockets_.size() - 1));
+    kernel_.wake_all(listener->acceptors);
+    send_tcp_ctrl(cpu, pkt.src_addr, pkt.src_port, pkt.dst_port, kTcpFlagSynAck,
+                  0);
+    return;
+  }
+
+  Socket* s = find_tcp_conn(pkt.dst_port, pkt.src_addr, pkt.src_port);
+  if (s == nullptr) {
+    ++stats_.dropped_no_socket;
+    return;
+  }
+  TcpState& t = s->tcp;
+
+  if (pkt.flags & kTcpFlagSynAck) {
+    t.established = true;
+    kernel_.wake_all(t.senders);
+    return;
+  }
+  if (pkt.flags & kTcpFlagFin) {
+    s->open = false;
+    kernel_.wake_all(t.receivers);
+    kernel_.wake_all(t.senders);
+    return;
+  }
+  if (pkt.flags & kTcpFlagAck) {
+    if (pkt.ack > t.snd_una) {
+      t.snd_una = pkt.ack;
+      kernel_.wake_all(t.senders);
+    }
+    return;
+  }
+
+  // Data segment.
+  ++stats_.tcp_segments_rx;
+  cpu.charge(costs::kTcpRxStack);
+  t.rcv_bytes += pkt.payload_bytes;
+  if (++t.segs_since_ack >= 2) {
+    t.segs_since_ack = 0;
+    send_tcp_ctrl(cpu, t.peer_addr, t.peer_port, s->local_port, kTcpFlagAck,
+                  t.rcv_bytes);
+  }
+  kernel_.wake_all(t.receivers);
+}
+
+void NetStack::rx_drain(hw::Cpu& cpu) {
+  while (auto pkt = kernel_.ops().net_poll(cpu)) {
+    switch (pkt->proto) {
+      case kProtoEcho: {
+        // In-kernel echo responder (ping target).
+        ++stats_.echoes_answered;
+        cpu.charge(costs::kIcmpEcho);
+        hw::Packet reply;
+        reply.src_addr = local_addr();
+        reply.dst_addr = pkt->src_addr;
+        reply.proto = kProtoEchoReply;
+        reply.seq = pkt->seq;
+        reply.payload_bytes = pkt->payload_bytes;
+        kernel_.ops().net_send(cpu, std::move(reply));
+        break;
+      }
+      case kProtoEchoReply: {
+        auto it = ping_waits_.find(pkt->seq);
+        if (it != ping_waits_.end()) {
+          it->second.replied = true;
+          it->second.reply_at = cpu.now();
+          kernel_.wake_all(it->second.waiter);
+        }
+        break;
+      }
+      case kProtoUdp: {
+        ++stats_.udp_rx;
+        cpu.charge(costs::kUdpRxStack);
+        Socket* s = find_by_port(pkt->dst_port, Socket::Kind::kUdp);
+        if (s == nullptr) {
+          ++stats_.dropped_no_socket;
+          break;
+        }
+        s->rxq.push_back(std::move(*pkt));
+        kernel_.wake_all(s->readers);
+        break;
+      }
+      case kProtoTcp:
+        handle_tcp(cpu, *pkt);
+        break;
+      default:
+        ++stats_.dropped_no_socket;
+        break;
+    }
+  }
+}
+
+}  // namespace mercury::kernel

@@ -1,0 +1,132 @@
+// UDP / TCP-lite / echo network stack over the simulated NIC.
+//
+// TCP is a byte-counting sliding-window model (64 KB window, 1448 B
+// segments, delayed ACKs) — enough to reproduce the iperf bandwidth shape,
+// where per-packet CPU cost decides whether a configuration is wire-limited
+// or CPU-limited. Echo (ICMP-like) is answered in the kernel, as ping is.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "hw/cpu.hpp"
+#include "hw/devices/nic.hpp"
+#include "kernel/wait.hpp"
+
+namespace mercury::kernel {
+
+class Kernel;
+
+inline constexpr std::uint8_t kProtoEcho = 1;
+inline constexpr std::uint8_t kProtoEchoReply = 2;
+inline constexpr std::uint8_t kProtoTcp = 6;
+inline constexpr std::uint8_t kProtoUdp = 17;
+
+inline constexpr std::uint32_t kTcpFlagSyn = 1u << 0;
+inline constexpr std::uint32_t kTcpFlagSynAck = 1u << 1;
+inline constexpr std::uint32_t kTcpFlagAck = 1u << 2;
+inline constexpr std::uint32_t kTcpFlagFin = 1u << 3;
+
+inline constexpr std::size_t kTcpSegmentBytes = 1448;
+inline constexpr std::size_t kTcpWindowBytes = 64 * 1024;
+
+struct TcpState {
+  std::uint32_t peer_addr = 0;
+  std::uint16_t peer_port = 0;
+  bool established = false;
+  // Sender side (byte counting).
+  std::uint64_t snd_nxt = 0;  // next byte to send
+  std::uint64_t snd_una = 0;  // oldest unacknowledged byte
+  // Receiver side.
+  std::uint64_t rcv_bytes = 0;      // cumulative bytes received in order
+  std::uint64_t rcv_consumed = 0;   // bytes handed to the application
+  std::uint32_t segs_since_ack = 0;
+  WaitQueue senders;    // blocked on window space / establishment
+  WaitQueue receivers;  // blocked on data
+};
+
+class Socket {
+ public:
+  enum class Kind : std::uint8_t { kUdp, kTcpListen, kTcpConn };
+
+  Kind kind = Kind::kUdp;
+  std::uint16_t local_port = 0;
+  bool open = true;
+
+  std::deque<hw::Packet> rxq;  // UDP datagrams
+  WaitQueue readers;
+
+  TcpState tcp;                   // kTcpConn
+  std::deque<std::int32_t> accept_queue;  // kTcpListen: ready connections
+  WaitQueue acceptors;
+};
+
+struct NetStats {
+  std::uint64_t udp_tx = 0;
+  std::uint64_t udp_rx = 0;
+  std::uint64_t tcp_segments_tx = 0;
+  std::uint64_t tcp_segments_rx = 0;
+  std::uint64_t tcp_acks_tx = 0;
+  std::uint64_t echoes_answered = 0;
+  std::uint64_t dropped_no_socket = 0;
+};
+
+class NetStack {
+ public:
+  explicit NetStack(Kernel& kernel);
+
+  std::uint32_t local_addr() const;
+
+  std::int32_t create_udp(std::uint16_t port);  // 0 = auto-assign
+  std::int32_t create_tcp_listen(std::uint16_t port);
+  /// Send SYN; establishment completes asynchronously on SYNACK receipt.
+  std::int32_t create_tcp_conn(hw::Cpu& cpu, std::uint32_t dst,
+                               std::uint16_t dst_port);
+  Socket* sock(std::int32_t idx);
+  void close(hw::Cpu& cpu, std::int32_t idx);
+
+  void udp_send(hw::Cpu& cpu, Socket& s, std::uint32_t dst,
+                std::uint16_t dst_port, std::size_t bytes);
+
+  /// Pump TCP segments while window space allows; updates `remaining`.
+  /// Returns true if the sender must block (window full / not established).
+  bool tcp_pump(hw::Cpu& cpu, Socket& s, std::uint64_t& remaining);
+
+  // --- ping (ICMP echo) ---
+  struct PingWait {
+    bool replied = false;
+    hw::Cycles reply_at = 0;
+    WaitQueue waiter;
+  };
+  std::uint32_t ping_send(hw::Cpu& cpu, std::uint32_t dst, std::size_t bytes);
+  PingWait& ping_state(std::uint32_t seq);
+  void ping_forget(std::uint32_t seq);
+
+  /// Drain the NIC receive queue, demultiplexing to sockets, answering
+  /// echoes, processing TCP acks/data. Called from the NIC interrupt.
+  void rx_drain(hw::Cpu& cpu);
+
+  const NetStats& stats() const { return stats_; }
+
+ private:
+  void handle_tcp(hw::Cpu& cpu, const hw::Packet& pkt);
+  void send_tcp_ctrl(hw::Cpu& cpu, std::uint32_t dst, std::uint16_t dst_port,
+                     std::uint16_t src_port, std::uint32_t flags,
+                     std::uint64_t ack);
+  Socket* find_by_port(std::uint16_t port, Socket::Kind kind);
+  Socket* find_tcp_conn(std::uint16_t local_port, std::uint32_t peer,
+                        std::uint16_t peer_port);
+  std::uint16_t auto_port() { return next_port_++; }
+
+  Kernel& kernel_;
+  std::vector<std::unique_ptr<Socket>> sockets_;
+  std::map<std::uint32_t, PingWait> ping_waits_;
+  std::uint32_t next_ping_seq_ = 1;
+  std::uint16_t next_port_ = 30000;
+  NetStats stats_;
+};
+
+}  // namespace mercury::kernel

@@ -1,0 +1,611 @@
+#include "kernel/syscalls.hpp"
+
+#include <algorithm>
+
+#include "hw/costs.hpp"
+#include "kernel/fs/minifs.hpp"
+#include "kernel/layout.hpp"
+#include "kernel/net/stack.hpp"
+#include "util/assert.hpp"
+
+namespace mercury::kernel {
+
+ExecImage hello_image() {
+  ExecImage img;
+  img.name = "hello";
+  img.text_pages = 48;
+  img.data_pages = 8;
+  img.bss_pages = 4;
+  img.stack_pages = 4;
+  img.startup_touch_pages = 60;
+  img.fixed_work = costs::kExecFixedWork;
+  return img;
+}
+
+ExecImage shell_image() {
+  ExecImage img;
+  img.name = "sh";
+  img.text_pages = 160;
+  img.data_pages = 20;
+  img.bss_pages = 10;
+  img.stack_pages = 8;
+  img.startup_touch_pages = 90;
+  img.fixed_work = costs::kShellFixedWork;
+  return img;
+}
+
+ExecImage cc1_image() {
+  ExecImage img;
+  img.name = "cc1";
+  img.text_pages = 900;
+  img.data_pages = 120;
+  img.bss_pages = 60;
+  img.stack_pages = 16;
+  img.startup_touch_pages = 500;
+  img.fixed_work = costs::kExecFixedWork * 2;
+  return img;
+}
+
+void Sys::syscall_prologue(hw::Cpu& cpu) {
+  ++kernel_.stats().syscalls;
+  kernel_.ops().syscall_entered(cpu);
+  cpu.set_cpl(kernel_.ops().kernel_ring());
+  cpu.charge(costs::kSyscallDispatch + kernel_.vo_path_tax());
+  kernel_.lock_kernel(cpu);
+}
+
+void Sys::syscall_epilogue(hw::Cpu& cpu) {
+  kernel_.unlock_kernel(cpu);
+  kernel_.ops().syscall_exiting(cpu);
+  cpu.set_cpl(hw::Ring::kRing3);
+}
+
+// --- processes ---------------------------------------------------------------
+
+Pid Sys::fork(ProcMain child_body) {
+  hw::Cpu& c = cpu();
+  syscall_prologue(c);
+  Task& child = kernel_.do_fork(c, task_, std::move(child_body));
+  kernel_.enqueue(&child);
+  syscall_epilogue(c);
+  return child.pid;
+}
+
+void Sys::exec(const ExecImage& image) {
+  hw::Cpu& c = cpu();
+  syscall_prologue(c);
+  c.charge(image.fixed_work);
+  task_.name = image.name;
+  AddressSpace& as = *task_.aspace;
+  as.clear_user(c);
+
+  const auto pages = [](std::size_t n) {
+    return static_cast<hw::VirtAddr>(n * hw::kPageSize);
+  };
+  as.mmap(c, kUserText, pages(image.text_pages), false, VmaKind::kFile, 0, 0);
+  as.mmap(c, kUserText + pages(image.text_pages), pages(image.data_pages), true,
+          VmaKind::kFile, 0, 0);
+  as.mmap(c, kUserHeap, pages(std::max<std::size_t>(image.bss_pages, 1) + 256),
+          true, VmaKind::kAnon);
+  as.mmap(c, kUserStackTop - pages(image.stack_pages + 60),
+          pages(image.stack_pages + 60), true, VmaKind::kAnon);
+
+  // Startup demand faults (loader, dynamic linker, first touches).
+  std::size_t remaining = image.startup_touch_pages;
+  const std::size_t text_touch = std::min(remaining, image.text_pages);
+  touch_pages(kUserText, text_touch, false);
+  remaining -= text_touch;
+  if (remaining > 0) touch_pages(kUserHeap, remaining, true);
+
+  syscall_epilogue(c);
+}
+
+Pid Sys::fork_exec(const ExecImage& image, ProcMain child_body) {
+  ExecImage img = image;
+  auto body = [img, inner = std::move(child_body)](Sys& s) -> Sub<void> {
+    s.exec(img);
+    co_await inner(s);
+  };
+  return fork(std::move(body));
+}
+
+Sub<int> Sys::wait_pid(Pid pid) {
+  hw::Cpu* c = &cpu();
+  syscall_prologue(*c);
+  Task* child = kernel_.find_task(pid);
+  if (child == nullptr) {
+    syscall_epilogue(*c);
+    co_return -1;
+  }
+  if (child->state != TaskState::kZombie) {
+    co_await block_on(child->exit_waiters);
+    c = &cpu();  // may have migrated
+    child = kernel_.find_task(pid);
+  }
+  int status = -1;
+  if (child != nullptr) {
+    status = child->exit_status;
+    c->charge(costs::kWaitReap);
+    kernel_.reap(pid);
+  }
+  syscall_epilogue(*c);
+  co_return status;
+}
+
+Sub<void> Sys::sleep_us(double us) {
+  hw::Cpu& c = cpu();
+  syscall_prologue(c);
+  WaitQueue q;
+  const Pid pid = task_.pid;
+  Kernel& k = kernel_;
+  k.add_timer(c.now() + hw::us_to_cycles(us),
+              [&k, pid, &q] { k.wake_if_waiting(pid, q); });
+  co_await block_on(q);
+  syscall_epilogue(cpu());
+}
+
+Sub<void> Sys::yield() {
+  hw::Cpu& c = cpu();
+  syscall_prologue(c);
+  syscall_epilogue(c);
+  co_await YieldCpu{kernel_, task_};
+}
+
+// --- CPU work ------------------------------------------------------------------
+
+Sub<void> Sys::compute_us(double us) {
+  hw::Cycles remaining = hw::us_to_cycles(us);
+  constexpr hw::Cycles kChunk = 50 * hw::kCyclesPerMicrosecond;
+  while (remaining > 0) {
+    hw::Cpu& c = cpu();
+    const hw::Cycles step = std::min(remaining, kChunk);
+    c.charge(step);
+    remaining -= step;
+    if (task_.need_resched || c.now() >= task_.slice_end) {
+      co_await YieldCpu{kernel_, task_};
+    }
+  }
+}
+
+void Sys::touch_pages(hw::VirtAddr base, std::size_t count, bool write) {
+  hw::Cpu& c = cpu();
+  auto& mmu = kernel_.machine().mmu();
+  for (std::size_t i = 0; i < count; ++i) {
+    mmu.touch(c, base + static_cast<hw::VirtAddr>(i * hw::kPageSize),
+              write ? hw::Access::kWrite : hw::Access::kRead);
+  }
+}
+
+void Sys::prot_fault_once(hw::VirtAddr va) {
+  hw::Cpu& c = cpu();
+  auto& mmu = kernel_.machine().mmu();
+  hw::PageFault pf;
+  if (mmu.translate(c, va, hw::Access::kWrite, &pf)) return;  // no fault
+  hw::TrapInfo info;
+  info.kind = hw::TrapKind::kPageFault;
+  info.fault_addr = va;
+  info.write = true;
+  info.user_mode = c.cpl() == hw::Ring::kRing3;
+  c.raise_trap(info);  // delivered as SIGSEGV to the registered handler
+}
+
+void Sys::touch_working_set() {
+  hw::Cpu& c = cpu();
+  if (task_.cache_cold) {
+    // Small working sets survive partially in L2 across a switch.
+    const double warmth = task_.working_set_kb <= 32 ? 0.55 : 1.0;
+    c.charge(static_cast<hw::Cycles>(costs::kCacheRefillPerKb *
+                                     task_.working_set_kb * warmth));
+    task_.cache_cold = false;
+  } else {
+    // Warm pass: one L1 hit per line.
+    c.charge(task_.working_set_kb * 16 * hw::costs::kCacheHit);
+  }
+}
+
+// --- memory ----------------------------------------------------------------------
+
+hw::VirtAddr Sys::mmap(std::size_t len, bool writable, std::int32_t inode,
+                       std::uint64_t off) {
+  hw::Cpu& c = cpu();
+  syscall_prologue(c);
+  const VmaKind kind = inode >= 0 ? VmaKind::kFile : VmaKind::kAnon;
+  const hw::VirtAddr va = task_.aspace->mmap(c, 0, len, writable, kind, inode, off);
+  syscall_epilogue(c);
+  return va;
+}
+
+hw::VirtAddr Sys::mmap_fixed(hw::VirtAddr addr, std::size_t len, bool writable,
+                             std::int32_t inode, std::uint64_t off) {
+  hw::Cpu& c = cpu();
+  syscall_prologue(c);
+  task_.aspace->munmap(c, addr, len);  // MAP_FIXED replaces
+  const VmaKind kind = inode >= 0 ? VmaKind::kFile : VmaKind::kAnon;
+  const hw::VirtAddr va =
+      task_.aspace->mmap(c, addr, len, writable, kind, inode, off);
+  syscall_epilogue(c);
+  return va;
+}
+
+void Sys::munmap(hw::VirtAddr addr, std::size_t len) {
+  hw::Cpu& c = cpu();
+  syscall_prologue(c);
+  task_.aspace->munmap(c, addr, len);
+  syscall_epilogue(c);
+}
+
+void Sys::mprotect(hw::VirtAddr addr, std::size_t len, bool writable) {
+  hw::Cpu& c = cpu();
+  syscall_prologue(c);
+  task_.aspace->mprotect(c, addr, len, writable);
+  syscall_epilogue(c);
+}
+
+// --- pipes ------------------------------------------------------------------------
+
+std::pair<int, int> Sys::pipe() {
+  hw::Cpu& c = cpu();
+  syscall_prologue(c);
+  const int p = kernel_.pipe_create();
+  const int rfd = task_.alloc_fd({OpenFile::Kind::kPipeRead, p, 0});
+  const int wfd = task_.alloc_fd({OpenFile::Kind::kPipeWrite, p, 0});
+  syscall_epilogue(c);
+  return {rfd, wfd};
+}
+
+int Sys::adopt_pipe(int pipe_index, bool read_end) {
+  Pipe& p = kernel_.pipe(pipe_index);
+  if (read_end)
+    ++p.readers_open;
+  else
+    ++p.writers_open;
+  return task_.alloc_fd({read_end ? OpenFile::Kind::kPipeRead
+                                  : OpenFile::Kind::kPipeWrite,
+                         pipe_index, 0});
+}
+
+Sub<std::size_t> Sys::write_fd(int fd, std::size_t bytes) {
+  OpenFile* f = task_.fd(fd);
+  MERC_CHECK_MSG(f != nullptr, "write on bad fd");
+  if (f->kind == OpenFile::Kind::kFile) co_return co_await file_write(fd, bytes);
+  MERC_CHECK(f->kind == OpenFile::Kind::kPipeWrite);
+  syscall_prologue(cpu());
+  Pipe& p = kernel_.pipe(f->index);
+  std::size_t written = 0;
+  while (written < bytes) {
+    while (p.buffered >= p.capacity) {
+      if (p.readers_open == 0) {
+        syscall_epilogue(cpu());
+        co_return written;  // EPIPE-ish
+      }
+      co_await block_on(p.writers);
+    }
+    const std::size_t n = std::min(bytes - written, p.capacity - p.buffered);
+    p.buffered += n;
+    written += n;
+    hw::Cpu& c = cpu();
+    c.charge(costs::kPipeTransfer +
+             std::max<hw::Cycles>(100, costs::kBufferCopyPerKb * n / 1024));
+    kernel_.wake_all(p.readers);
+  }
+  syscall_epilogue(cpu());
+  co_return written;
+}
+
+Sub<std::size_t> Sys::read_fd(int fd, std::size_t bytes) {
+  OpenFile* f = task_.fd(fd);
+  MERC_CHECK_MSG(f != nullptr, "read on bad fd");
+  if (f->kind == OpenFile::Kind::kFile) co_return co_await file_read(fd, bytes);
+  MERC_CHECK(f->kind == OpenFile::Kind::kPipeRead);
+  syscall_prologue(cpu());
+  Pipe& p = kernel_.pipe(f->index);
+  while (p.buffered == 0) {
+    if (p.writers_open == 0) {
+      syscall_epilogue(cpu());
+      co_return 0;  // EOF
+    }
+    co_await block_on(p.readers);
+  }
+  const std::size_t n = std::min(bytes, p.buffered);
+  p.buffered -= n;
+  hw::Cpu& c = cpu();
+  c.charge(costs::kPipeTransfer +
+           std::max<hw::Cycles>(100, costs::kBufferCopyPerKb * n / 1024));
+  kernel_.wake_all(p.writers);
+  syscall_epilogue(c);
+  co_return n;
+}
+
+void Sys::close(int fd) {
+  hw::Cpu& c = cpu();
+  syscall_prologue(c);
+  OpenFile* f = task_.fd(fd);
+  if (f != nullptr) {
+    if (f->kind == OpenFile::Kind::kPipeRead) {
+      Pipe& p = kernel_.pipe(f->index);
+      if (--p.readers_open == 0) kernel_.wake_all(p.writers);
+    } else if (f->kind == OpenFile::Kind::kPipeWrite) {
+      Pipe& p = kernel_.pipe(f->index);
+      if (--p.writers_open == 0) kernel_.wake_all(p.readers);
+    }
+    task_.close_fd(fd);
+  }
+  syscall_epilogue(c);
+}
+
+// --- files ------------------------------------------------------------------------
+
+int Sys::open(const std::string& path, bool create) {
+  hw::Cpu& c = cpu();
+  syscall_prologue(c);
+  const std::int32_t ino = kernel_.fs().open(c, path, create);
+  int fd = -1;
+  if (ino >= 0) fd = task_.alloc_fd({OpenFile::Kind::kFile, ino, 0});
+  syscall_epilogue(c);
+  return fd;
+}
+
+std::int64_t Sys::file_size(const std::string& path) {
+  hw::Cpu& c = cpu();
+  syscall_prologue(c);
+  const std::int64_t n = kernel_.fs().size_of(c, path);
+  syscall_epilogue(c);
+  return n;
+}
+
+Sub<std::size_t> Sys::file_write(int fd, std::size_t bytes) {
+  hw::Cpu& c = cpu();
+  syscall_prologue(c);
+  OpenFile* f = task_.fd(fd);
+  MERC_CHECK(f != nullptr && f->kind == OpenFile::Kind::kFile);
+  Inode* ino = kernel_.fs().inode(f->index);
+  MERC_CHECK(ino != nullptr);
+  const std::size_t n = kernel_.fs().write(c, *ino, f->offset, bytes);
+  f->offset += n;
+  syscall_epilogue(c);
+  // Large buffered writes can trigger write-back; allow preemption.
+  if (task_.need_resched) co_await YieldCpu{kernel_, task_};
+  co_return n;
+}
+
+Sub<std::size_t> Sys::file_read(int fd, std::size_t bytes) {
+  hw::Cpu& c = cpu();
+  syscall_prologue(c);
+  OpenFile* f = task_.fd(fd);
+  MERC_CHECK(f != nullptr && f->kind == OpenFile::Kind::kFile);
+  Inode* ino = kernel_.fs().inode(f->index);
+  MERC_CHECK(ino != nullptr);
+  const std::size_t n = kernel_.fs().read(c, *ino, f->offset, bytes);
+  f->offset += n;
+  syscall_epilogue(c);
+  if (task_.need_resched) co_await YieldCpu{kernel_, task_};
+  co_return n;
+}
+
+void Sys::seek(int fd, std::uint64_t offset) {
+  OpenFile* f = task_.fd(fd);
+  MERC_CHECK(f != nullptr);
+  f->offset = offset;
+  cpu().charge(costs::kSyscallDispatch);
+}
+
+void Sys::fsync(int fd) {
+  hw::Cpu& c = cpu();
+  syscall_prologue(c);
+  OpenFile* f = task_.fd(fd);
+  MERC_CHECK(f != nullptr && f->kind == OpenFile::Kind::kFile);
+  Inode* ino = kernel_.fs().inode(f->index);
+  MERC_CHECK(ino != nullptr);
+  kernel_.fs().fsync(c, *ino);
+  syscall_epilogue(c);
+}
+
+bool Sys::unlink(const std::string& path) {
+  hw::Cpu& c = cpu();
+  syscall_prologue(c);
+  const bool ok = kernel_.fs().unlink(c, path);
+  syscall_epilogue(c);
+  return ok;
+}
+
+bool Sys::mkdir(const std::string& path) {
+  hw::Cpu& c = cpu();
+  syscall_prologue(c);
+  const bool ok = kernel_.fs().mkdir(c, path);
+  syscall_epilogue(c);
+  return ok;
+}
+
+bool Sys::stat(const std::string& path) {
+  hw::Cpu& c = cpu();
+  syscall_prologue(c);
+  const bool ok = kernel_.fs().exists(c, path);
+  syscall_epilogue(c);
+  return ok;
+}
+
+// --- network ----------------------------------------------------------------------
+
+int Sys::socket_udp(std::uint16_t local_port) {
+  hw::Cpu& c = cpu();
+  syscall_prologue(c);
+  const std::int32_t s = kernel_.net().create_udp(local_port);
+  const int fd = task_.alloc_fd({OpenFile::Kind::kSocket, s, 0});
+  syscall_epilogue(c);
+  return fd;
+}
+
+void Sys::sendto(int fd, std::uint32_t dst_addr, std::uint16_t dst_port,
+                 std::size_t bytes) {
+  hw::Cpu& c = cpu();
+  syscall_prologue(c);
+  OpenFile* f = task_.fd(fd);
+  MERC_CHECK(f != nullptr && f->kind == OpenFile::Kind::kSocket);
+  Socket* s = kernel_.net().sock(f->index);
+  MERC_CHECK(s != nullptr);
+  kernel_.net().udp_send(c, *s, dst_addr, dst_port, bytes);
+  syscall_epilogue(c);
+}
+
+Sub<RecvResult> Sys::recvfrom(int fd, double timeout_us) {
+  syscall_prologue(cpu());
+  OpenFile* f = task_.fd(fd);
+  MERC_CHECK(f != nullptr && f->kind == OpenFile::Kind::kSocket);
+  Socket* s = kernel_.net().sock(f->index);
+  MERC_CHECK(s != nullptr);
+  if (s->rxq.empty()) {
+    const Pid pid = task_.pid;
+    Kernel& k = kernel_;
+    WaitQueue& q = s->readers;
+    if (timeout_us > 0)
+      k.add_timer(cpu().now() + hw::us_to_cycles(timeout_us),
+                  [&k, pid, &q] { k.wake_if_waiting(pid, q); });
+    co_await block_on(q);
+  }
+  RecvResult r;
+  if (!s->rxq.empty()) {
+    const hw::Packet& pkt = s->rxq.front();
+    r.ok = true;
+    r.from_addr = pkt.src_addr;
+    r.from_port = pkt.src_port;
+    r.bytes = pkt.payload_bytes;
+    r.sent_at = pkt.sent_at;
+    s->rxq.pop_front();
+    cpu().charge(costs::kBufferCopyPerKb * ((r.bytes + 1023) / 1024));
+  }
+  syscall_epilogue(cpu());
+  co_return r;
+}
+
+Sub<double> Sys::ping(std::uint32_t dst_addr, std::size_t bytes,
+                      double timeout_us) {
+  hw::Cpu* c = &cpu();
+  syscall_prologue(*c);
+  const hw::Cycles t0 = c->now();
+  const std::uint32_t seq = kernel_.net().ping_send(*c, dst_addr, bytes);
+  auto& wait = kernel_.net().ping_state(seq);
+  if (!wait.replied) {
+    const Pid pid = task_.pid;
+    Kernel& k = kernel_;
+    WaitQueue& q = wait.waiter;
+    k.add_timer(c->now() + hw::us_to_cycles(timeout_us),
+                [&k, pid, &q] { k.wake_if_waiting(pid, q); });
+    co_await block_on(q);
+  }
+  c = &cpu();
+  double rtt = -1.0;
+  if (kernel_.net().ping_state(seq).replied)
+    rtt = hw::cycles_to_us(c->now() - t0);
+  kernel_.net().ping_forget(seq);
+  syscall_epilogue(*c);
+  co_return rtt;
+}
+
+int Sys::tcp_connect(std::uint32_t dst_addr, std::uint16_t dst_port) {
+  hw::Cpu& c = cpu();
+  syscall_prologue(c);
+  const std::int32_t s = kernel_.net().create_tcp_conn(c, dst_addr, dst_port);
+  const int fd = task_.alloc_fd({OpenFile::Kind::kSocket, s, 0});
+  syscall_epilogue(c);
+  return fd;
+}
+
+int Sys::tcp_listen(std::uint16_t port) {
+  hw::Cpu& c = cpu();
+  syscall_prologue(c);
+  const std::int32_t s = kernel_.net().create_tcp_listen(port);
+  const int fd = task_.alloc_fd({OpenFile::Kind::kSocket, s, 0});
+  syscall_epilogue(c);
+  return fd;
+}
+
+Sub<int> Sys::tcp_accept(int listen_fd, double timeout_us) {
+  syscall_prologue(cpu());
+  OpenFile* f = task_.fd(listen_fd);
+  MERC_CHECK(f != nullptr && f->kind == OpenFile::Kind::kSocket);
+  Socket* ls = kernel_.net().sock(f->index);
+  MERC_CHECK(ls != nullptr && ls->kind == Socket::Kind::kTcpListen);
+  if (ls->accept_queue.empty()) {
+    const Pid pid = task_.pid;
+    Kernel& k = kernel_;
+    WaitQueue& q = ls->acceptors;
+    if (timeout_us > 0)
+      k.add_timer(cpu().now() + hw::us_to_cycles(timeout_us),
+                  [&k, pid, &q] { k.wake_if_waiting(pid, q); });
+    co_await block_on(q);
+  }
+  int fd = -1;
+  if (!ls->accept_queue.empty()) {
+    const std::int32_t conn = ls->accept_queue.front();
+    ls->accept_queue.pop_front();
+    fd = task_.alloc_fd({OpenFile::Kind::kSocket, conn, 0});
+  }
+  syscall_epilogue(cpu());
+  co_return fd;
+}
+
+Sub<std::size_t> Sys::tcp_send(int fd, std::size_t bytes) {
+  syscall_prologue(cpu());
+  OpenFile* f = task_.fd(fd);
+  MERC_CHECK(f != nullptr && f->kind == OpenFile::Kind::kSocket);
+  Socket* s = kernel_.net().sock(f->index);
+  MERC_CHECK(s != nullptr && s->kind == Socket::Kind::kTcpConn);
+  std::uint64_t remaining = bytes;
+  while (remaining > 0) {
+    const bool must_block = kernel_.net().tcp_pump(cpu(), *s, remaining);
+    if (must_block) co_await block_on(s->tcp.senders);
+    if (task_.killed) throw TaskKilled{9};
+    if (!s->open) break;
+  }
+  syscall_epilogue(cpu());
+  co_return bytes - remaining;
+}
+
+Sub<std::size_t> Sys::tcp_recv(int fd, std::size_t min_bytes, double timeout_us) {
+  syscall_prologue(cpu());
+  OpenFile* f = task_.fd(fd);
+  MERC_CHECK(f != nullptr && f->kind == OpenFile::Kind::kSocket);
+  Socket* s = kernel_.net().sock(f->index);
+  MERC_CHECK(s != nullptr && s->kind == Socket::Kind::kTcpConn);
+  const std::uint64_t target = s->tcp.rcv_consumed + min_bytes;
+  const hw::Cycles deadline = cpu().now() + hw::us_to_cycles(timeout_us);
+  while (s->tcp.rcv_bytes < target && s->open) {
+    const Pid pid = task_.pid;
+    Kernel& k = kernel_;
+    WaitQueue& q = s->tcp.receivers;
+    if (timeout_us > 0) {
+      if (cpu().now() >= deadline) break;
+      k.add_timer(deadline, [&k, pid, &q] { k.wake_if_waiting(pid, q); });
+    }
+    co_await block_on(q);
+  }
+  const std::uint64_t got =
+      std::min<std::uint64_t>(s->tcp.rcv_bytes - s->tcp.rcv_consumed,
+                              std::max<std::uint64_t>(min_bytes, s->tcp.rcv_bytes -
+                                                                     s->tcp.rcv_consumed));
+  s->tcp.rcv_consumed += got;
+  syscall_epilogue(cpu());
+  co_return static_cast<std::size_t>(got);
+}
+
+void Sys::close_socket(int fd) {
+  hw::Cpu& c = cpu();
+  syscall_prologue(c);
+  OpenFile* f = task_.fd(fd);
+  if (f != nullptr && f->kind == OpenFile::Kind::kSocket) {
+    kernel_.net().close(c, f->index);
+    task_.close_fd(fd);
+  }
+  syscall_epilogue(c);
+}
+
+hw::SensorReadings Sys::read_sensors() {
+  hw::Cpu& c = cpu();
+  syscall_prologue(c);
+  hw::SensorReadings r;
+  kernel_.ops().sensors_read(c, r);
+  syscall_epilogue(c);
+  return r;
+}
+
+}  // namespace mercury::kernel

@@ -1,0 +1,142 @@
+// The system-call facade handed to every task body.
+//
+// Methods that can put the caller to sleep are coroutines (await them);
+// everything else executes synchronously while charging simulated cycles.
+// Each call pays the syscall entry/exit price through the sensitive-ops
+// object, so the same workload code measures differently per execution mode.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "hw/types.hpp"
+#include "kernel/coro.hpp"
+#include "kernel/kernel.hpp"
+#include "kernel/task.hpp"
+
+namespace mercury::kernel {
+
+/// Synthetic program images for exec(): page counts stand in for ELF
+/// segments; fixed_work for loader effort not otherwise modelled.
+struct ExecImage {
+  std::string name;
+  std::size_t text_pages = 24;
+  std::size_t data_pages = 6;
+  std::size_t bss_pages = 4;
+  std::size_t stack_pages = 4;
+  std::size_t startup_touch_pages = 28;  // demand faults during startup
+  hw::Cycles fixed_work = costs::kExecFixedWork;
+};
+
+/// lmbench's hello-world exec target.
+ExecImage hello_image();
+/// /bin/sh.
+ExecImage shell_image();
+/// A compiler-sized image (kbuild workload).
+ExecImage cc1_image();
+
+struct RecvResult {
+  bool ok = false;
+  std::uint32_t from_addr = 0;
+  std::uint16_t from_port = 0;
+  std::size_t bytes = 0;
+  hw::Cycles sent_at = 0;
+};
+
+class Sys {
+ public:
+  Sys(Kernel& kernel, Task& task) : kernel_(kernel), task_(task) {}
+
+  Kernel& kernel() { return kernel_; }
+  Task& task() { return task_; }
+  hw::Cpu& cpu() { return kernel_.machine().cpu(task_.last_cpu); }
+  Pid getpid() const { return task_.pid; }
+
+  // --- processes ---
+  /// fork(): performs the full kernel fork (task struct + COW address-space
+  /// clone); the child executes `child_body`.
+  Pid fork(ProcMain child_body);
+  /// execve(): replaces the address space with `image` and runs its startup
+  /// faults. The calling coroutine continues as "the new program".
+  void exec(const ExecImage& image);
+  /// fork + exec in the child (lmbench "exec process" measures this pair).
+  Pid fork_exec(const ExecImage& image, ProcMain child_body);
+  [[noreturn]] void exit(int status) { throw TaskExit{status}; }
+  Sub<int> wait_pid(Pid pid);
+  Sub<void> sleep_us(double us);
+  Sub<void> yield();
+
+  // --- CPU work ---
+  /// Burn user-mode CPU time, honouring preemption.
+  Sub<void> compute_us(double us);
+  /// Touch `count` pages starting at `base` through the MMU (demand faults,
+  /// TLB traffic — one simulated load/store per page).
+  void touch_pages(hw::VirtAddr base, std::size_t count, bool write);
+  /// Model re-reading the task's declared working set (cache refill if the
+  /// task went cold since its last slice).
+  void touch_working_set();
+  /// Trigger exactly one protection fault at `va` (the task must have
+  /// catch_segv set; the faulting store is not retried). lmbench's
+  /// "Prot Fault" harness.
+  void prot_fault_once(hw::VirtAddr va);
+
+  // --- memory ---
+  hw::VirtAddr mmap(std::size_t len, bool writable,
+                    std::int32_t inode = -1, std::uint64_t off = 0);
+  /// MAP_FIXED: map at exactly `addr` (replacing any prior mapping there).
+  hw::VirtAddr mmap_fixed(hw::VirtAddr addr, std::size_t len, bool writable,
+                          std::int32_t inode = -1, std::uint64_t off = 0);
+  void munmap(hw::VirtAddr addr, std::size_t len);
+  void mprotect(hw::VirtAddr addr, std::size_t len, bool writable);
+
+  // --- pipes ---
+  std::pair<int, int> pipe();
+  /// Attach this task to an existing pipe end (models fd inheritance for
+  /// tasks created via spawn rather than fork).
+  int adopt_pipe(int pipe_index, bool read_end);
+  Sub<std::size_t> write_fd(int fd, std::size_t bytes);
+  Sub<std::size_t> read_fd(int fd, std::size_t bytes);
+  void close(int fd);
+
+  // --- files ---
+  int open(const std::string& path, bool create);
+  std::int64_t file_size(const std::string& path);
+  Sub<std::size_t> file_write(int fd, std::size_t bytes);
+  Sub<std::size_t> file_read(int fd, std::size_t bytes);
+  void seek(int fd, std::uint64_t offset);
+  void fsync(int fd);
+  bool unlink(const std::string& path);
+  bool mkdir(const std::string& path);
+  bool stat(const std::string& path);
+
+  // --- network ---
+  int socket_udp(std::uint16_t local_port);
+  void sendto(int fd, std::uint32_t dst_addr, std::uint16_t dst_port,
+              std::size_t bytes);
+  Sub<RecvResult> recvfrom(int fd, double timeout_us);
+  /// ICMP-style echo round trip; returns RTT in microseconds (<0 on loss).
+  Sub<double> ping(std::uint32_t dst_addr, std::size_t bytes, double timeout_us);
+  int tcp_connect(std::uint32_t dst_addr, std::uint16_t dst_port);
+  int tcp_listen(std::uint16_t port);
+  Sub<int> tcp_accept(int listen_fd, double timeout_us);
+  Sub<std::size_t> tcp_send(int fd, std::size_t bytes);
+  Sub<std::size_t> tcp_recv(int fd, std::size_t min_bytes, double timeout_us);
+  void close_socket(int fd);
+
+  // --- misc ---
+  hw::Cycles rdtsc() { return cpu().rdtsc(); }
+  hw::SensorReadings read_sensors();
+
+  /// Syscall entry/exit bookkeeping — public so kernel subsystems reuse it.
+  void syscall_prologue(hw::Cpu& cpu);
+  void syscall_epilogue(hw::Cpu& cpu);
+
+ private:
+  BlockOn block_on(WaitQueue& q) { return BlockOn{kernel_, task_, q}; }
+
+  Kernel& kernel_;
+  Task& task_;
+};
+
+}  // namespace mercury::kernel

@@ -1,0 +1,39 @@
+#include "kernel/task.hpp"
+
+#include "kernel/addr_space.hpp"
+#include "kernel/syscalls.hpp"
+
+namespace mercury::kernel {
+
+Task::Task(Pid pid_in, Pid ppid_in, std::string name_in)
+    : pid(pid_in), ppid(ppid_in), name(std::move(name_in)) {}
+
+Task::~Task() {
+  if (root) {
+    root.destroy();
+    root = nullptr;
+  }
+}
+
+int Task::alloc_fd(OpenFile f) {
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    if (fds[i].kind == OpenFile::Kind::kNone) {
+      fds[i] = f;
+      return static_cast<int>(i);
+    }
+  }
+  fds.push_back(f);
+  return static_cast<int>(fds.size() - 1);
+}
+
+OpenFile* Task::fd(int n) {
+  if (n < 0 || static_cast<std::size_t>(n) >= fds.size()) return nullptr;
+  if (fds[n].kind == OpenFile::Kind::kNone) return nullptr;
+  return &fds[n];
+}
+
+void Task::close_fd(int n) {
+  if (auto* f = fd(n)) *f = OpenFile{};
+}
+
+}  // namespace mercury::kernel

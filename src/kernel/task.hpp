@@ -1,0 +1,112 @@
+// Simulated kernel threads (tasks).
+//
+// A task's execution is a C++20 coroutine; its kernel-visible machine
+// context (the "interrupt frame on the kernel stack") is snapshotted into
+// SavedContext at every suspension. The cs/ss selectors in that snapshot
+// carry the kernel's privilege level — exactly the state Mercury's stack
+// fixup (paper §5.1.2) must patch when the kernel's ring changes while the
+// task sleeps.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/types.hpp"
+#include "kernel/coro.hpp"
+#include "kernel/wait.hpp"
+
+namespace mercury::kernel {
+
+using Pid = std::int32_t;
+
+class AddressSpace;
+class Sys;
+
+enum class TaskState : std::uint8_t {
+  kRunnable,
+  kRunning,
+  kBlocked,
+  kZombie,  // exited, waiting to be reaped
+};
+
+/// The privilege-carrying part of a suspended thread's kernel-stack frame.
+struct SavedContext {
+  hw::SegmentSelector cs{};
+  hw::SegmentSelector ss{};
+  bool valid = false;
+};
+
+struct OpenFile {
+  enum class Kind : std::uint8_t {
+    kNone,
+    kPipeRead,
+    kPipeWrite,
+    kFile,
+    kSocket,
+  };
+  Kind kind = Kind::kNone;
+  std::int32_t index = -1;   // pipe/file/socket table slot
+  std::uint64_t offset = 0;  // file position
+};
+
+class Task {
+ public:
+  Task(Pid pid, Pid ppid, std::string name);
+  ~Task();
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  Pid pid;
+  Pid ppid;
+  std::string name;
+  TaskState state = TaskState::kRunnable;
+
+  std::unique_ptr<AddressSpace> aspace;
+  std::unique_ptr<Sys> sys;  // stable address handed to the coroutine body
+  /// The program closure. A lambda coroutine frame references its closure
+  /// object rather than copying it, so the task must keep the closure alive
+  /// for as long as the coroutine can run. Type-erased to avoid a kernel.hpp
+  /// dependency; Kernel stores the ProcMain here.
+  std::shared_ptr<void> body_keepalive;
+
+  /// Root coroutine frame (owned) and the innermost resume point.
+  std::coroutine_handle<Sub<void>::promise_type> root{};
+  std::coroutine_handle<> resume_point{};
+
+  SavedContext saved_ctx{};
+
+  int exit_status = 0;
+  bool killed = false;
+  WaitQueue exit_waiters;
+  WaitQueue* waiting_on = nullptr;  // queue this task is parked on, if blocked
+
+  std::vector<OpenFile> fds;
+
+  std::uint32_t last_cpu = 0;
+  std::uint32_t affinity = kNoAffinity;  // kNoAffinity = any CPU
+  hw::Cycles slice_end = 0;
+  bool need_resched = false;
+
+  /// Declared working set; refilled into cache after a context switch.
+  std::size_t working_set_kb = 0;
+  bool cache_cold = true;
+
+  /// SIGSEGV is caught by a registered handler instead of killing the task
+  /// (lmbench's protection-fault harness does this).
+  bool catch_segv = false;
+  std::uint64_t segv_caught = 0;
+
+  hw::Cycles cpu_time = 0;
+
+  static constexpr std::uint32_t kNoAffinity = 0xFFFFFFFF;
+
+  int alloc_fd(OpenFile f);
+  OpenFile* fd(int n);
+  void close_fd(int n);
+};
+
+}  // namespace mercury::kernel

@@ -1,0 +1,34 @@
+// Wait queues: where blocked tasks park until a wake-up.
+#pragma once
+
+#include <algorithm>
+#include <deque>
+
+namespace mercury::kernel {
+
+class Task;
+
+class WaitQueue {
+ public:
+  void add(Task* t) { waiters_.push_back(t); }
+
+  Task* pop() {
+    if (waiters_.empty()) return nullptr;
+    Task* t = waiters_.front();
+    waiters_.pop_front();
+    return t;
+  }
+
+  void remove(Task* t) {
+    waiters_.erase(std::remove(waiters_.begin(), waiters_.end(), t),
+                   waiters_.end());
+  }
+
+  bool empty() const { return waiters_.empty(); }
+  std::size_t size() const { return waiters_.size(); }
+
+ private:
+  std::deque<Task*> waiters_;
+};
+
+}  // namespace mercury::kernel

@@ -1,0 +1,91 @@
+// Paravirtualization-level cost model (cycles).
+//
+// Costs of crossing the OS<->VMM interface and of the VMM's validation
+// work. Together with hw::costs these are the calibrated inputs; see
+// EXPERIMENTS.md for how each paper cell emerges from them.
+#pragma once
+
+#include "hw/types.hpp"
+
+namespace mercury::pv::costs {
+
+using hw::Cycles;
+
+// Mercury's VO dispatch overheads (§7.2: "pointer indirection ... changes
+// to code and data layout and function calls to virtualization objects").
+// Charged only by kernels built with Mercury's VO layer (M-N, M-V) — an
+// unmodified Xen-Linux guest hosted by Mercury (M-U) does not pay them.
+inline constexpr Cycles kVoPerOpOverhead = 75;   // per sensitive-op call
+inline constexpr Cycles kVoPathTax = 350;        // per trap/syscall/dispatch entry
+
+// Hypercall trap into the VMM and back (ring1 -> ring0 -> ring1).
+inline constexpr Cycles kHypercallEntry = 600;
+inline constexpr Cycles kHypercallExit = 350;
+
+// VMM dispatch work when a hardware trap lands in ring 0 and must be
+// bounced to the guest kernel at ring 1.
+inline constexpr Cycles kVmmTrapDispatch = 450;
+inline constexpr Cycles kVmmBounceToGuest = 400;
+
+// Per-PTE validation inside mmu_update: ownership, type and count checks.
+inline constexpr Cycles kValidatePte = 330;
+
+// Pinning a page as a page table: base plus per-present-entry validation.
+inline constexpr Cycles kPinBase = 2200;
+inline constexpr Cycles kPinPerPresentPte = 150;
+inline constexpr Cycles kUnpinBase = 900;
+inline constexpr Cycles kUnpinPerPresentPte = 40;
+
+// Full address-space switch inside the VMM (the __context_switch slow path:
+// CR3 install, GDT/LDT refresh, event-channel mask bookkeeping).
+inline constexpr Cycles kVmmCtxSwitch = 7200;
+
+// Writable-page-table emulation: instruction decode + replay inside the
+// VMM, plus the ring-1 return, on top of the trap/validate costs.
+inline constexpr Cycles kPteEmulateDecode = 2000;
+inline constexpr Cycles kPteEmulateReturn = 600;
+
+// Returning from a VMM-bounced guest trap costs an iret hypercall (x86-32).
+inline constexpr Cycles kVmmGuestIret = 500;
+
+// Virtual CLI/STI: a write to the shared-info event mask, no trap.
+inline constexpr Cycles kVirtIrqToggle = 18;
+
+// Extra system-call path cost when an OS is deprivileged (trampoline pages,
+// segment reloads; Xen's fast traps keep this small).
+inline constexpr Cycles kVirtSyscallExtra = 260;
+
+// Event channel notification (hypercall + remote pending bit + virq pin).
+inline constexpr Cycles kEventChannelSend = 1100;
+
+// Buffer-copy bandwidth degradation in a deprivileged kernel (segment
+// reloads, TLB pressure from hypervisor entries), per KB copied.
+inline constexpr Cycles kVirtCopyTaxPerKb = 160;
+
+// Per-packet network-path virtualization: hypervisor interrupt handling,
+// bridge/netloop processing in the driver domain; the guest path adds the
+// split-driver hop on top. Calibrated to the paper's iperf/ping losses.
+inline constexpr Cycles kVirtNetDriverTx = 42'000;   // ~14 us per packet
+inline constexpr Cycles kVirtNetDriverRx = 26'000;
+inline constexpr Cycles kVirtNetGuestTxExtra = 50'000;
+inline constexpr Cycles kVirtNetGuestRxExtra = 90'000;
+
+// Split-driver request/response: building a ring slot, grant handling, and
+// the backend's copy in the driver domain.
+inline constexpr Cycles kRingSlotWork = 700;
+inline constexpr Cycles kGrantMapPerPage = 950;
+inline constexpr Cycles kBackendCopyPerPage = 1600;
+
+// Mode switch machinery (attach/detach handler fixed parts).
+inline constexpr Cycles kSwitchInterruptOverhead = 2500;
+inline constexpr Cycles kReloadControlState = 4200;    // CR3/IDT/GDT reload set
+inline constexpr Cycles kPerFrameInfoRebuild = 2;      // owner/count reset per frame
+inline constexpr Cycles kPerPtePinScan = 1;            // type re-derivation per PTE
+inline constexpr Cycles kPerTaskSelectorFixup = 260;   // stack segment fixup per thread
+inline constexpr Cycles kPerPtWritabilityFlip = 600;   // per page-table page RO<->RW
+
+// Eager tracking variant (§5.1.2 alternative 1): per-PTE-write bookkeeping
+// performed in native mode to keep the dormant VMM's counts fresh.
+inline constexpr Cycles kEagerTrackPerPte = 18;
+
+}  // namespace mercury::pv::costs

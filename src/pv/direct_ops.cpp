@@ -1,0 +1,85 @@
+#include "pv/direct_ops.hpp"
+
+#include "hw/costs.hpp"
+
+namespace mercury::pv {
+
+using hw::costs::kPrivRegWrite;
+
+void DirectOps::write_cr3(hw::Cpu& cpu, hw::Pfn root) { cpu.write_cr3(root); }
+
+void DirectOps::load_idt(hw::Cpu& cpu, hw::TableToken t) { cpu.load_idt(t); }
+
+void DirectOps::load_gdt(hw::Cpu& cpu, hw::TableToken t) { cpu.load_gdt(t); }
+
+void DirectOps::irq_disable(hw::Cpu& cpu) { cpu.set_interrupts_enabled(false); }
+
+void DirectOps::irq_enable(hw::Cpu& cpu) { cpu.set_interrupts_enabled(true); }
+
+void DirectOps::stack_switch(hw::Cpu& cpu) {
+  // TSS esp0 update: one privileged memory write.
+  cpu.charge(kPrivRegWrite);
+}
+
+void DirectOps::syscall_entered(hw::Cpu& cpu) {
+  cpu.charge(hw::costs::kSyscallEntry);
+}
+
+void DirectOps::syscall_exiting(hw::Cpu& cpu) {
+  cpu.charge(hw::costs::kSyscallReturn);
+}
+
+void DirectOps::pte_write(hw::Cpu& cpu, hw::PhysAddr pte_addr, hw::Pte value) {
+  cpu.charge(hw::costs::kMemAccess);
+  machine_.memory().write_u32(pte_addr, value.raw);
+}
+
+void DirectOps::pte_write_batch(hw::Cpu& cpu, std::span<const PteUpdate> updates) {
+  for (const auto& u : updates) pte_write(cpu, u.pte_addr, u.value);
+}
+
+void DirectOps::pin_page_table(hw::Cpu&, hw::Pfn, PtLevel) {
+  // Bare hardware imposes no page-type discipline; nothing to do.
+}
+
+void DirectOps::unpin_page_table(hw::Cpu&, hw::Pfn) {}
+
+void DirectOps::flush_tlb(hw::Cpu& cpu) {
+  cpu.charge(hw::costs::kTlbFlushAll);
+  cpu.tlb().flush_all();
+}
+
+void DirectOps::flush_tlb_page(hw::Cpu& cpu, hw::VirtAddr va) { cpu.invlpg(va); }
+
+void DirectOps::send_ipi(hw::Cpu& cpu, std::uint32_t dst_cpu, std::uint8_t vector,
+                         std::uint32_t payload) {
+  machine_.interrupts().send_ipi(cpu, dst_cpu, vector, payload);
+}
+
+void DirectOps::disk_read(hw::Cpu& cpu, std::uint64_t block,
+                          std::span<std::uint8_t> out) {
+  cpu.charge(machine_.disk().read(block, out));
+}
+
+void DirectOps::disk_write(hw::Cpu& cpu, std::uint64_t block,
+                           std::span<const std::uint8_t> in) {
+  cpu.charge(machine_.disk().write(block, in));
+}
+
+void DirectOps::disk_flush(hw::Cpu& cpu) { cpu.charge(machine_.disk().flush()); }
+
+void DirectOps::net_send(hw::Cpu& cpu, hw::Packet pkt) {
+  cpu.charge(machine_.nic().send(std::move(pkt), cpu.now()));
+}
+
+std::optional<hw::Packet> DirectOps::net_poll(hw::Cpu& cpu) {
+  auto pkt = machine_.nic().poll(cpu.now());
+  if (pkt) cpu.charge(machine_.nic().rx_overhead());
+  return pkt;
+}
+
+void DirectOps::sensors_read(hw::Cpu& cpu, hw::SensorReadings& out) {
+  cpu.charge(machine_.sensors().read(out));
+}
+
+}  // namespace mercury::pv

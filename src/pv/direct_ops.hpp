@@ -1,0 +1,51 @@
+// Bare-hardware implementation of the sensitive-operation interface: the
+// unmodified native-Linux build (N-L). No VO dispatch charge, no reference
+// counting — this is the baseline everything else is measured against.
+#pragma once
+
+#include "hw/machine.hpp"
+#include "pv/sensitive_ops.hpp"
+
+namespace mercury::pv {
+
+class DirectOps : public SensitiveOps {
+ public:
+  explicit DirectOps(hw::Machine& machine) : machine_(machine) {}
+
+  const char* mode_name() const override { return "native-direct"; }
+  bool is_virtual() const override { return false; }
+  hw::Ring kernel_ring() const override { return hw::Ring::kRing0; }
+
+  void write_cr3(hw::Cpu& cpu, hw::Pfn root) override;
+  void load_idt(hw::Cpu& cpu, hw::TableToken t) override;
+  void load_gdt(hw::Cpu& cpu, hw::TableToken t) override;
+  void irq_disable(hw::Cpu& cpu) override;
+  void irq_enable(hw::Cpu& cpu) override;
+  void stack_switch(hw::Cpu& cpu) override;
+  void syscall_entered(hw::Cpu& cpu) override;
+  void syscall_exiting(hw::Cpu& cpu) override;
+
+  void pte_write(hw::Cpu& cpu, hw::PhysAddr pte_addr, hw::Pte value) override;
+  void pte_write_batch(hw::Cpu& cpu, std::span<const PteUpdate> updates) override;
+  void pin_page_table(hw::Cpu& cpu, hw::Pfn pfn, PtLevel level) override;
+  void unpin_page_table(hw::Cpu& cpu, hw::Pfn pfn) override;
+  void flush_tlb(hw::Cpu& cpu) override;
+  void flush_tlb_page(hw::Cpu& cpu, hw::VirtAddr va) override;
+
+  void send_ipi(hw::Cpu& cpu, std::uint32_t dst_cpu, std::uint8_t vector,
+                std::uint32_t payload) override;
+
+  void disk_read(hw::Cpu& cpu, std::uint64_t block,
+                 std::span<std::uint8_t> out) override;
+  void disk_write(hw::Cpu& cpu, std::uint64_t block,
+                  std::span<const std::uint8_t> in) override;
+  void disk_flush(hw::Cpu& cpu) override;
+  void net_send(hw::Cpu& cpu, hw::Packet pkt) override;
+  std::optional<hw::Packet> net_poll(hw::Cpu& cpu) override;
+  void sensors_read(hw::Cpu& cpu, hw::SensorReadings& out) override;
+
+ private:
+  hw::Machine& machine_;
+};
+
+}  // namespace mercury::pv

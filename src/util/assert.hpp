@@ -1,0 +1,45 @@
+// Invariant checking for the Mercury simulator.
+//
+// MERC_CHECK guards *simulator* invariants: a failure means the simulation
+// itself is buggy (not that the simulated software faulted). Simulated
+// faults (page faults, #GP, ...) are modelled as values/events, never as
+// C++ exceptions from these macros.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mercury::util {
+
+/// Thrown when a simulator invariant is violated.
+class InvariantError final : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void invariant_failure(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+
+}  // namespace mercury::util
+
+#define MERC_CHECK(expr)                                                     \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::mercury::util::invariant_failure(#expr, __FILE__, __LINE__, "");     \
+  } while (0)
+
+#define MERC_CHECK_MSG(expr, msg)                                            \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      std::ostringstream merc_os_;                                           \
+      merc_os_ << msg;                                                       \
+      ::mercury::util::invariant_failure(#expr, __FILE__, __LINE__,          \
+                                         merc_os_.str());                    \
+    }                                                                        \
+  } while (0)

@@ -1,0 +1,55 @@
+// Minimal leveled logger. Quiet by default so benches stay clean; tests and
+// examples can raise the level per-subsystem.
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace mercury::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_emit(LogLevel level, std::string_view subsystem, const std::string& msg);
+
+namespace detail {
+inline void append(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  append(os, rest...);
+}
+}  // namespace detail
+
+/// Lazy formatting: arguments are only stringified when the level is enabled.
+template <typename... Args>
+void log(LogLevel level, std::string_view subsystem, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  detail::append(os, args...);
+  log_emit(level, subsystem, os.str());
+}
+
+template <typename... Args>
+void log_debug(std::string_view sub, const Args&... a) {
+  log(LogLevel::kDebug, sub, a...);
+}
+template <typename... Args>
+void log_info(std::string_view sub, const Args&... a) {
+  log(LogLevel::kInfo, sub, a...);
+}
+template <typename... Args>
+void log_warn(std::string_view sub, const Args&... a) {
+  log(LogLevel::kWarn, sub, a...);
+}
+template <typename... Args>
+void log_error(std::string_view sub, const Args&... a) {
+  log(LogLevel::kError, sub, a...);
+}
+
+}  // namespace mercury::util

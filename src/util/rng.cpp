@@ -1,0 +1,78 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mercury::util {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  MERC_CHECK(bound > 0);
+  // Debiased modulo via rejection sampling.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::uint64_t Rng::between(std::uint64_t lo, std::uint64_t hi) {
+  MERC_CHECK(lo <= hi);
+  return lo + below(hi - lo + 1);
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+double Rng::exponential(double mean) {
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) {
+  MERC_CHECK(n > 0);
+  // Rejection-inversion would be overkill for simulator workloads; use the
+  // simple inverse-power transform, which preserves the hot/cold shape.
+  const double u = uniform();
+  const double x = std::pow(static_cast<double>(n), 1.0 - s * u);
+  std::uint64_t rank = static_cast<std::uint64_t>(x);
+  if (rank >= n) rank = n - 1;
+  return rank;
+}
+
+Rng Rng::split() { return Rng(next() ^ 0xA5A5A5A55A5A5A5Aull); }
+
+}  // namespace mercury::util

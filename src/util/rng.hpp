@@ -1,0 +1,55 @@
+// Deterministic pseudo-random number generator (xoshiro256**).
+//
+// The simulator must be bit-for-bit reproducible across runs and platforms,
+// so we avoid std::mt19937's distribution non-portability and implement the
+// few distributions the workloads need ourselves.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mercury::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean);
+
+  /// Zipf-like rank selection over n items, exponent s (hot-spot access
+  /// patterns for cache studies).
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child stream (for per-subsystem determinism).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace mercury::util

@@ -1,0 +1,56 @@
+#include "util/stats.hpp"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace mercury::util {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+namespace {
+int bucket_of(std::uint64_t value) {
+  return value == 0 ? 0 : std::bit_width(value);
+}
+}  // namespace
+
+void Histogram::add(std::uint64_t value) {
+  ++buckets_[bucket_of(value) % kBuckets];
+  ++total_;
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  if (total_ == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen > target) return b == 0 ? 0 : (1ull << b) - 1;
+  }
+  return ~0ull;
+}
+
+std::string Histogram::summary() const {
+  std::ostringstream os;
+  os << "n=" << total_ << " p50<=" << quantile(0.50) << " p90<=" << quantile(0.90)
+     << " p99<=" << quantile(0.99);
+  return os.str();
+}
+
+}  // namespace mercury::util

@@ -1,0 +1,48 @@
+// Running statistics and fixed-bucket histograms for measurement reporting.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace mercury::util {
+
+/// Welford running mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x);
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+  void reset();
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Log2-bucketed histogram for latency distributions.
+class Histogram {
+ public:
+  void add(std::uint64_t value);
+  std::uint64_t count() const { return total_; }
+  /// Approximate quantile (bucket upper bound), q in [0,1].
+  std::uint64_t quantile(double q) const;
+  std::string summary() const;
+
+ private:
+  static constexpr int kBuckets = 64;
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace mercury::util

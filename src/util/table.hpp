@@ -1,0 +1,31 @@
+// Plain-text table rendering used by the bench harness to print the paper's
+// tables and figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mercury::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: first cell is a label, the rest are numbers formatted with
+  /// `decimals` digits after the point.
+  void add_numeric_row(const std::string& label, const std::vector<double>& values,
+                       int decimals = 2);
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed decimals (locale-independent).
+std::string format_fixed(double v, int decimals);
+
+}  // namespace mercury::util

@@ -1,0 +1,72 @@
+// Split block driver: frontend (in a domU's VirtualVo) <-> backend (in the
+// driver domain), connected by a shared ring + grants + event channels.
+//
+// The backend keeps its own buffer cache with write-behind semantics: a domU
+// write completes once the backend has buffered it. This reproduces the
+// paper's observation that dbench in domainU can outrun domain0 and even
+// native Linux "at the cost of possible inconsistency during crash" (§7.3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "hw/cpu.hpp"
+#include "hw/machine.hpp"
+#include "kernel/fs/block_cache.hpp"
+#include "vmm/event_channel.hpp"
+#include "vmm/grant_table.hpp"
+#include "vmm/ring.hpp"
+
+namespace mercury::vmm {
+
+struct BlkRequest {
+  std::uint64_t block = 0;
+  bool write = false;
+  int grant_ref = -1;
+};
+
+struct BlkResponse {
+  bool ok = true;
+};
+
+class BlockBackend {
+ public:
+  BlockBackend(hw::Machine& machine, EventChannels& evtchn, GrantTable& gnttab,
+               DomainId driver_domain, std::size_t cache_blocks = 8192);
+
+  void connect_frontend(DomainId domU);
+  bool connected() const { return frontend_ != kDomInvalid; }
+  DomainId frontend() const { return frontend_; }
+  /// Tear the connection down (migration: frontends reconnect on the target).
+  void disconnect_frontend(hw::Cpu& cpu);
+
+  /// Full frontend->backend->frontend round trips, charged on the calling
+  /// CPU — faithful to a uniprocessor machine where the driver domain must
+  /// be scheduled inline to service the request.
+  void read(hw::Cpu& cpu, std::uint64_t block, std::span<std::uint8_t> out);
+  void write(hw::Cpu& cpu, std::uint64_t block, std::span<const std::uint8_t> in);
+  /// Barrier semantics (see .cpp): ordering acknowledged, cache retained.
+  void flush(hw::Cpu& cpu);
+  /// True durability: drain the write-behind cache to the device.
+  void flush_hard(hw::Cpu& cpu);
+
+  std::uint64_t requests_served() const { return served_; }
+  const kernel::BlockCache& cache() const { return cache_; }
+
+ private:
+  void service(hw::Cpu& cpu);
+
+  hw::Machine& machine_;
+  EventChannels& evtchn_;
+  GrantTable& gnttab_;
+  DomainId driver_domain_;
+  DomainId frontend_ = kDomInvalid;
+  IoRing<BlkRequest, BlkResponse> ring_;
+  kernel::BlockCache cache_;
+  int req_port_ = -1;
+  int resp_port_ = -1;
+  std::uint64_t served_ = 0;
+  std::uint64_t writes_buffered_ = 0;
+};
+
+}  // namespace mercury::vmm

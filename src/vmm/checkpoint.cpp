@@ -1,0 +1,62 @@
+#include "vmm/checkpoint.hpp"
+
+#include <cstring>
+
+#include "hw/costs.hpp"
+#include "util/assert.hpp"
+
+namespace mercury::vmm {
+
+Snapshot Checkpointer::take(hw::Cpu& cpu, Hypervisor& hv, DomainId dom) {
+  Domain& d = hv.domain(dom);
+  Snapshot snap;
+  snap.dom = dom;
+  snap.first_frame = d.first_frame();
+  snap.frame_count = d.frame_count();
+  snap.taken_at = cpu.now();
+  snap.image.resize(d.frame_count() * hw::kPageSize);
+  for (std::size_t i = 0; i < d.frame_count(); ++i) {
+    cpu.charge(hw::costs::kPageCopy);
+    hv.machine().memory().read_bytes(
+        hw::addr_of(d.first_frame() + static_cast<hw::Pfn>(i)),
+        std::span<std::uint8_t>(snap.image.data() + i * hw::kPageSize,
+                                hw::kPageSize));
+  }
+  for (std::size_t v = 0; v < d.num_vcpus(); ++v) snap.vcpus.push_back(d.vcpu(v));
+  return snap;
+}
+
+void Checkpointer::restore(hw::Cpu& cpu, Hypervisor& hv, const Snapshot& snap) {
+  Domain& d = hv.domain(snap.dom);
+  MERC_CHECK_MSG(d.first_frame() == snap.first_frame &&
+                     d.frame_count() == snap.frame_count,
+                 "snapshot does not match the domain's memory layout");
+  for (std::size_t i = 0; i < snap.frame_count; ++i) {
+    cpu.charge(hw::costs::kPageCopy);
+    hv.machine().memory().write_bytes(
+        hw::addr_of(snap.first_frame + static_cast<hw::Pfn>(i)),
+        std::span<const std::uint8_t>(snap.image.data() + i * hw::kPageSize,
+                                      hw::kPageSize));
+  }
+  for (std::size_t v = 0; v < snap.vcpus.size() && v < d.num_vcpus(); ++v)
+    d.vcpu(v) = snap.vcpus[v];
+  // Every cached translation may now be stale.
+  for (std::size_t c = 0; c < hv.machine().num_cpus(); ++c) {
+    hv.machine().cpu(c).tlb().flush_global();
+    cpu.charge(hw::costs::kTlbFlushAll);
+  }
+}
+
+bool Checkpointer::matches(Hypervisor& hv, const Snapshot& snap) {
+  std::vector<std::uint8_t> cur(hw::kPageSize);
+  for (std::size_t i = 0; i < snap.frame_count; ++i) {
+    hv.machine().memory().read_bytes(
+        hw::addr_of(snap.first_frame + static_cast<hw::Pfn>(i)), cur);
+    if (std::memcmp(cur.data(), snap.image.data() + i * hw::kPageSize,
+                    hw::kPageSize) != 0)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace mercury::vmm

@@ -1,0 +1,50 @@
+#include "vmm/domain.hpp"
+
+#include "util/assert.hpp"
+
+namespace mercury::vmm {
+
+Domain::Domain(DomainId id, std::string name, kernel::Kernel* guest,
+               hw::Pfn first_frame, std::size_t frame_count, bool privileged,
+               std::size_t num_vcpus)
+    : id_(id),
+      name_(std::move(name)),
+      guest_(guest),
+      first_frame_(first_frame),
+      frame_count_(frame_count),
+      privileged_(privileged) {
+  MERC_CHECK(num_vcpus > 0);
+  vcpus_.resize(num_vcpus);
+  for (std::size_t i = 0; i < num_vcpus; ++i)
+    vcpus_[i].vcpu_id = static_cast<std::uint32_t>(i);
+}
+
+void Domain::set_log_dirty(bool on) {
+  log_dirty_ = on;
+  dirty_bitmap_.assign(on ? frame_count_ : 0, false);
+  dirty_count_ = 0;
+}
+
+void Domain::mark_dirty(hw::Pfn pfn) {
+  if (!log_dirty_ || !owns_frame(pfn)) return;
+  const std::size_t idx = pfn - first_frame_;
+  if (!dirty_bitmap_[idx]) {
+    dirty_bitmap_[idx] = true;
+    ++dirty_count_;
+  }
+}
+
+std::vector<hw::Pfn> Domain::harvest_dirty() {
+  std::vector<hw::Pfn> out;
+  out.reserve(dirty_count_);
+  for (std::size_t i = 0; i < dirty_bitmap_.size(); ++i) {
+    if (dirty_bitmap_[i]) {
+      out.push_back(first_frame_ + static_cast<hw::Pfn>(i));
+      dirty_bitmap_[i] = false;
+    }
+  }
+  dirty_count_ = 0;
+  return out;
+}
+
+}  // namespace mercury::vmm

@@ -1,0 +1,61 @@
+#include "vmm/event_channel.hpp"
+
+#include "pv/costs.hpp"
+#include "util/assert.hpp"
+
+namespace mercury::vmm {
+
+int EventChannels::alloc(DomainId from, DomainId to, Handler handler) {
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    if (!channels_[i].open) {
+      channels_[i] = Channel{from, to, std::move(handler), false, true, 0};
+      return static_cast<int>(i);
+    }
+  }
+  channels_.push_back(Channel{from, to, std::move(handler), false, true, 0});
+  return static_cast<int>(channels_.size() - 1);
+}
+
+void EventChannels::close(int port) {
+  MERC_CHECK(port >= 0 && static_cast<std::size_t>(port) < channels_.size());
+  channels_[port] = Channel{};
+}
+
+void EventChannels::notify(hw::Cpu& cpu, int port) {
+  MERC_CHECK(port >= 0 && static_cast<std::size_t>(port) < channels_.size());
+  Channel& ch = channels_[port];
+  MERC_CHECK_MSG(ch.open, "notify on closed event channel " << port);
+  cpu.charge(pv::costs::kEventChannelSend);
+  ++ch.notifications;
+  ++total_;
+  if (ch.handler)
+    ch.handler(cpu);
+  else
+    ch.pending = true;
+}
+
+bool EventChannels::pending(int port) const {
+  MERC_CHECK(port >= 0 && static_cast<std::size_t>(port) < channels_.size());
+  return channels_[port].pending;
+}
+
+bool EventChannels::take_pending(int port) {
+  MERC_CHECK(port >= 0 && static_cast<std::size_t>(port) < channels_.size());
+  const bool was = channels_[port].pending;
+  channels_[port].pending = false;
+  return was;
+}
+
+const EventChannels::Channel& EventChannels::channel(int port) const {
+  MERC_CHECK(port >= 0 && static_cast<std::size_t>(port) < channels_.size());
+  return channels_[port];
+}
+
+std::size_t EventChannels::open_channels() const {
+  std::size_t n = 0;
+  for (const auto& ch : channels_)
+    if (ch.open) ++n;
+  return n;
+}
+
+}  // namespace mercury::vmm

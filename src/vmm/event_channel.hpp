@@ -1,0 +1,52 @@
+// Event channels: Xen's asynchronous notification primitive (virtual IRQs,
+// inter-domain signals, split-driver doorbells).
+//
+// In the synchronous backend model the notify either invokes the bound
+// handler immediately (inter-domain service call, charging the full
+// notification price) or latches a pending bit the guest drains later.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hw/cpu.hpp"
+#include "vmm/page_info.hpp"
+
+namespace mercury::vmm {
+
+class EventChannels {
+ public:
+  using Handler = std::function<void(hw::Cpu&)>;
+
+  struct Channel {
+    DomainId from = kDomInvalid;
+    DomainId to = kDomInvalid;
+    Handler handler;       // invoked on notify (may be empty)
+    bool pending = false;  // latched when no handler
+    bool open = false;
+    std::uint64_t notifications = 0;
+  };
+
+  /// Allocate an inter-domain channel; returns the port number.
+  int alloc(DomainId from, DomainId to, Handler handler = {});
+  void close(int port);
+
+  /// Notify: charges the event-channel cost and either dispatches the
+  /// handler or latches the pending bit.
+  void notify(hw::Cpu& cpu, int port);
+
+  bool pending(int port) const;
+  /// Consume a pending latch; returns whether it was set.
+  bool take_pending(int port);
+
+  const Channel& channel(int port) const;
+  std::size_t open_channels() const;
+  std::uint64_t total_notifications() const { return total_; }
+
+ private:
+  std::vector<Channel> channels_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace mercury::vmm

@@ -1,0 +1,60 @@
+#include "vmm/grant_table.hpp"
+
+#include "pv/costs.hpp"
+#include "util/assert.hpp"
+
+namespace mercury::vmm {
+
+int GrantTable::grant(DomainId owner, hw::Pfn frame, DomainId grantee,
+                      bool readonly) {
+  for (std::size_t i = 0; i < grants_.size(); ++i) {
+    if (!grants_[i].active) {
+      grants_[i] = Grant{owner, grantee, frame, readonly, true, false};
+      return static_cast<int>(i);
+    }
+  }
+  grants_.push_back(Grant{owner, grantee, frame, readonly, true, false});
+  return static_cast<int>(grants_.size() - 1);
+}
+
+hw::Pfn GrantTable::map(hw::Cpu& cpu, DomainId grantee, int ref) {
+  MERC_CHECK(ref >= 0 && static_cast<std::size_t>(ref) < grants_.size());
+  Grant& g = grants_[ref];
+  MERC_CHECK_MSG(g.active, "map of inactive grant " << ref);
+  MERC_CHECK_MSG(g.grantee == grantee,
+                 "grant " << ref << " mapped by wrong domain " << grantee);
+  cpu.charge(pv::costs::kGrantMapPerPage);
+  g.mapped = true;
+  ++maps_;
+  return g.frame;
+}
+
+void GrantTable::unmap(hw::Cpu& cpu, DomainId grantee, int ref) {
+  MERC_CHECK(ref >= 0 && static_cast<std::size_t>(ref) < grants_.size());
+  Grant& g = grants_[ref];
+  MERC_CHECK(g.active && g.grantee == grantee && g.mapped);
+  cpu.charge(pv::costs::kGrantMapPerPage / 3);
+  g.mapped = false;
+}
+
+void GrantTable::end(DomainId owner, int ref) {
+  MERC_CHECK(ref >= 0 && static_cast<std::size_t>(ref) < grants_.size());
+  Grant& g = grants_[ref];
+  MERC_CHECK_MSG(g.active && g.owner == owner, "bad grant end");
+  MERC_CHECK_MSG(!g.mapped, "ending a mapped grant");
+  g.active = false;
+}
+
+const GrantTable::Grant& GrantTable::entry(int ref) const {
+  MERC_CHECK(ref >= 0 && static_cast<std::size_t>(ref) < grants_.size());
+  return grants_[ref];
+}
+
+std::size_t GrantTable::active_grants() const {
+  std::size_t n = 0;
+  for (const auto& g : grants_)
+    if (g.active) ++n;
+  return n;
+}
+
+}  // namespace mercury::vmm

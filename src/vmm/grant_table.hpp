@@ -1,0 +1,45 @@
+// Grant tables: controlled page sharing between domains (the mechanism under
+// split-driver I/O buffers).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/cpu.hpp"
+#include "hw/types.hpp"
+#include "vmm/page_info.hpp"
+
+namespace mercury::vmm {
+
+class GrantTable {
+ public:
+  struct Grant {
+    DomainId owner = kDomInvalid;
+    DomainId grantee = kDomInvalid;
+    hw::Pfn frame = 0;
+    bool readonly = false;
+    bool active = false;  // created and not yet ended
+    bool mapped = false;  // grantee currently has it mapped
+  };
+
+  /// Owner offers `frame` to `grantee`; returns a grant reference.
+  int grant(DomainId owner, hw::Pfn frame, DomainId grantee, bool readonly);
+
+  /// Grantee maps the granted frame (charges the map cost). Returns the
+  /// frame, or fails the invariant if the reference is bogus/foreign.
+  hw::Pfn map(hw::Cpu& cpu, DomainId grantee, int ref);
+  void unmap(hw::Cpu& cpu, DomainId grantee, int ref);
+
+  /// Owner revokes; must not be mapped.
+  void end(DomainId owner, int ref);
+
+  const Grant& entry(int ref) const;
+  std::size_t active_grants() const;
+  std::uint64_t maps_performed() const { return maps_; }
+
+ private:
+  std::vector<Grant> grants_;
+  std::uint64_t maps_ = 0;
+};
+
+}  // namespace mercury::vmm

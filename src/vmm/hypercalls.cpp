@@ -1,0 +1,216 @@
+// Hypercall implementations: the guest->VMM service interface.
+#include <string>
+
+#include "hw/costs.hpp"
+#include "kernel/kernel.hpp"
+#include "pv/costs.hpp"
+#include "util/assert.hpp"
+#include "vmm/hypervisor.hpp"
+
+namespace mercury::vmm {
+
+using kernel::Kernel;
+
+void Hypervisor::hypercall_enter(hw::Cpu& cpu) {
+  MERC_CHECK_MSG(state_ == State::kActive, "hypercall into inactive VMM");
+  ++stats_.hypercalls;
+  cpu.charge(pv::costs::kHypercallEntry);
+  cpu.set_cpl(hw::Ring::kRing0);
+}
+
+void Hypervisor::hypercall_exit(hw::Cpu& cpu) {
+  cpu.charge(pv::costs::kHypercallExit);
+  // Return to the guest kernel's ring (hypercalls come from kernel mode).
+  cpu.set_cpl(hw::Ring::kRing1);
+}
+
+void Hypervisor::hc_mmu_update(hw::Cpu& cpu, DomainId dom,
+                               std::span<const pv::PteUpdate> updates) {
+  hypercall_enter(cpu);
+  Domain& d = domain(dom);
+  for (const auto& u : updates) {
+    cpu.charge(pv::costs::kValidatePte);
+    ++stats_.pte_validations;
+    std::string why;
+    if (!validate_update(d, u.pte_addr, u.value, &why)) {
+      crash_domain(dom, "mmu_update: " + why);
+      break;
+    }
+    machine_.memory().write_u32(u.pte_addr, u.value.raw);
+    cpu.charge(hw::costs::kMemAccess);
+    if (d.log_dirty() && u.value.present() && u.value.writable())
+      d.mark_dirty(u.value.pfn());
+  }
+  hypercall_exit(cpu);
+}
+
+void Hypervisor::hc_pte_write_emulate(hw::Cpu& cpu, DomainId dom,
+                                      hw::PhysAddr pte_addr, hw::Pte value) {
+  // Writable-page-table path: the guest's mov to a (read-only) PT page traps
+  // into the VMM, which decodes and emulates the write with validation. This
+  // is dearer than a batched mmu_update — and it is the path a 2.6-era
+  // XenoLinux kernel took for most PTE updates.
+  MERC_CHECK_MSG(state_ == State::kActive, "pte emulation into inactive VMM");
+  ++stats_.hypercalls;
+  ++stats_.emulated_pte_writes;
+  cpu.charge(hw::costs::kTrapEntry + pv::costs::kVmmTrapDispatch +
+             pv::costs::kPteEmulateDecode);
+  cpu.set_cpl(hw::Ring::kRing0);
+  Domain& d = domain(dom);
+  cpu.charge(pv::costs::kValidatePte);
+  ++stats_.pte_validations;
+  std::string why;
+  if (!validate_update(d, pte_addr, value, &why)) {
+    crash_domain(dom, "emulated PTE write: " + why);
+  } else {
+    machine_.memory().write_u32(pte_addr, value.raw);
+    cpu.charge(hw::costs::kMemAccess);
+    if (d.log_dirty() && value.present() && value.writable())
+      d.mark_dirty(value.pfn());
+  }
+  cpu.charge(hw::costs::kTrapReturn + pv::costs::kPteEmulateReturn);
+  cpu.set_cpl(hw::Ring::kRing1);
+}
+
+void Hypervisor::hc_pin_table(hw::Cpu& cpu, DomainId dom, hw::Pfn table,
+                              pv::PtLevel level) {
+  hypercall_enter(cpu);
+  Domain& d = domain(dom);
+  PageInfo& pi = page_info_.at(table);
+  if (pi.owner != dom) {
+    crash_domain(dom, "pin of a foreign frame");
+    hypercall_exit(cpu);
+    return;
+  }
+  cpu.charge(pv::costs::kPinBase);
+  ++stats_.pins;
+  // Protect before validating so the no-writable-PT-mapping rule holds for
+  // the frame's own direct-map entry.
+  pi.type = level == pv::PtLevel::kL1 ? PageType::kL1 : PageType::kL2;
+  pi.pinned = true;
+  pi.type_count += 1;
+  if (Kernel* k = d.guest()) set_frame_writable(cpu, *k, table, false);
+  std::size_t present = 0;
+  const bool ok = level == pv::PtLevel::kL1
+                      ? validate_l1(cpu, d, table, 0, &present)
+                      : validate_l2(cpu, d, table, 0, &present);
+  if (!ok) {
+    // Validation failure crashed the domain; roll the typing back.
+    pi.type = PageType::kWritable;
+    pi.pinned = false;
+    pi.type_count -= 1;
+    if (Kernel* k = d.guest()) set_frame_writable(cpu, *k, table, true);
+    hypercall_exit(cpu);
+    return;
+  }
+  cpu.charge(pv::costs::kPinPerPresentPte * present);
+  hypercall_exit(cpu);
+}
+
+void Hypervisor::hc_unpin_table(hw::Cpu& cpu, DomainId dom, hw::Pfn table) {
+  hypercall_enter(cpu);
+  Domain& d = domain(dom);
+  PageInfo& pi = page_info_.at(table);
+  if (pi.owner != dom || !pi.pinned) {
+    crash_domain(dom, "unpin of a frame that is not a pinned table");
+    hypercall_exit(cpu);
+    return;
+  }
+  cpu.charge(pv::costs::kUnpinBase);
+  ++stats_.unpins;
+  // Count the present entries being released (reference bookkeeping).
+  std::size_t present = 0;
+  for (std::uint32_t e = 0; e < hw::kPtEntries; ++e) {
+    const hw::Pte pte{machine_.memory().read_u32(hw::addr_of(table) + e * 4)};
+    if (pte.present()) ++present;
+  }
+  cpu.charge(pv::costs::kUnpinPerPresentPte * present);
+  MERC_CHECK(pi.type_count > 0);
+  pi.type_count -= 1;
+  if (pi.type_count == 0) {
+    pi.pinned = false;
+    pi.type = PageType::kWritable;
+    if (Kernel* k = d.guest()) set_frame_writable(cpu, *k, table, true);
+  }
+  hypercall_exit(cpu);
+}
+
+void Hypervisor::hc_write_cr3(hw::Cpu& cpu, DomainId dom, hw::Pfn root) {
+  hypercall_enter(cpu);
+  Domain& d = domain(dom);
+  const PageInfo& pi = page_info_.at(root);
+  if (pi.owner != dom || pi.type != PageType::kL2 || !pi.pinned) {
+    crash_domain(dom, "cr3 load of an unpinned/non-L2 frame");
+    hypercall_exit(cpu);
+    return;
+  }
+  ++stats_.cr3_switches;
+  // The VMM's full context-switch path: CR3 install, segment refresh, event
+  // mask bookkeeping.
+  cpu.charge(pv::costs::kVmmCtxSwitch);
+  at_ring0(cpu, [&] { cpu.write_cr3(root); });
+  VcpuContext& vc = d.vcpu(cpu.id() % d.num_vcpus());
+  vc.cr3 = root;
+  hypercall_exit(cpu);
+}
+
+void Hypervisor::hc_set_trap_table(hw::Cpu& cpu, DomainId dom,
+                                   hw::TableToken guest_idt) {
+  hypercall_enter(cpu);
+  Domain& d = domain(dom);
+  for (std::size_t v = 0; v < d.num_vcpus(); ++v) d.vcpu(v).guest_idt = guest_idt;
+  // The hardware IDT stays the hypervisor's own.
+  at_ring0(cpu, [&] { cpu.load_idt(idt_token_); });
+  hypercall_exit(cpu);
+}
+
+void Hypervisor::hc_load_guest_gdt(hw::Cpu& cpu, DomainId dom,
+                                   hw::TableToken guest_gdt) {
+  hypercall_enter(cpu);
+  Domain& d = domain(dom);
+  for (std::size_t v = 0; v < d.num_vcpus(); ++v) d.vcpu(v).guest_gdt = guest_gdt;
+  at_ring0(cpu, [&] { cpu.load_gdt(gdt_token_); });
+  hypercall_exit(cpu);
+}
+
+void Hypervisor::hc_stack_switch(hw::Cpu& cpu, DomainId dom) {
+  hypercall_enter(cpu);
+  (void)domain(dom);
+  cpu.charge(hw::costs::kPrivRegWrite * 2);  // TSS esp0/ss0 update
+  hypercall_exit(cpu);
+}
+
+void Hypervisor::hc_flush_tlb(hw::Cpu& cpu, DomainId dom) {
+  hypercall_enter(cpu);
+  (void)domain(dom);
+  cpu.charge(hw::costs::kTlbFlushAll);
+  cpu.tlb().flush_all();
+  hypercall_exit(cpu);
+}
+
+void Hypervisor::hc_flush_tlb_page(hw::Cpu& cpu, DomainId dom, hw::VirtAddr va) {
+  hypercall_enter(cpu);
+  (void)domain(dom);
+  cpu.charge(hw::costs::kTlbFlushPage);
+  cpu.tlb().flush_page(hw::vpn_of(va));
+  hypercall_exit(cpu);
+}
+
+void Hypervisor::hc_set_virq_mask(hw::Cpu& cpu, DomainId dom, bool enabled) {
+  // Not a trap: the guest toggles its virtual IF in writable shared info.
+  Domain& d = domain(dom);
+  cpu.charge(pv::costs::kVirtIrqToggle);
+  d.vcpu(cpu.id() % d.num_vcpus()).virq_enabled = enabled;
+  // Mirror into the simulated IF so interrupt delivery honours the mask.
+  cpu.set_iflag_raw(enabled);
+}
+
+void Hypervisor::hc_send_ipi(hw::Cpu& cpu, DomainId dom, std::uint32_t dst,
+                             std::uint8_t vector, std::uint32_t payload) {
+  hypercall_enter(cpu);
+  (void)domain(dom);
+  machine_.interrupts().send_ipi(cpu, dst, vector, payload);
+  hypercall_exit(cpu);
+}
+
+}  // namespace mercury::vmm

@@ -1,0 +1,407 @@
+#include "vmm/hypervisor.hpp"
+
+#include <algorithm>
+
+#include "hw/costs.hpp"
+#include "kernel/kernel.hpp"
+#include "kernel/layout.hpp"
+#include "pv/costs.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace mercury::vmm {
+
+using kernel::Kernel;
+
+Hypervisor::Hypervisor(hw::Machine& machine)
+    : machine_(machine),
+      page_info_(machine.memory().total_frames()),
+      guest_on_cpu_(machine.num_cpus()) {}
+
+Hypervisor::~Hypervisor() = default;
+
+void Hypervisor::warm_up() {
+  MERC_CHECK_MSG(state_ == State::kCold, "warm_up called twice");
+  const std::size_t total = machine_.memory().total_frames();
+  reserved_count_ =
+      std::min<std::size_t>(kernel::kVmmRegionBytes / hw::kPageSize, total / 8);
+  reserved_first_ = static_cast<hw::Pfn>(total - reserved_count_);
+  machine_.frames().reserve_range(reserved_first_, reserved_count_);
+
+  // Build the reserved-region mappings: L1 tables (carved from the reserved
+  // frames themselves) mapping the VMM's memory at kVmmBase, ring-0 only.
+  auto& mem = machine_.memory();
+  const std::size_t l1_needed =
+      (reserved_count_ + hw::kPtEntries - 1) / hw::kPtEntries;
+  std::size_t mapped = 0;
+  for (std::size_t t = 0; t < l1_needed; ++t) {
+    const hw::Pfn l1 = reserved_first_ + static_cast<hw::Pfn>(t);
+    mem.zero_frame(l1);
+    for (std::uint32_t e = 0; e < hw::kPtEntries && mapped < reserved_count_;
+         ++e, ++mapped) {
+      hw::Pte pte = hw::make_pte(reserved_first_ + static_cast<hw::Pfn>(mapped),
+                                 /*writable=*/true, /*user=*/false,
+                                 /*global=*/true);
+      pte.set_flag(hw::Pte::kVmmOnly, true);
+      mem.write_u32(hw::addr_of(l1) + e * 4, pte.raw);
+    }
+    hw::Pte pde = hw::make_pte(l1, /*writable=*/true, /*user=*/false,
+                               /*global=*/true);
+    pde.set_flag(hw::Pte::kVmmOnly, true);
+    vmm_pdes_.emplace_back(hw::pde_index(kernel::kVmmBase) +
+                               static_cast<std::uint32_t>(t),
+                           pde);
+  }
+
+  blkback_ = std::make_unique<BlockBackend>(machine_, evtchn_, gnttab_, 0);
+  netback_ = std::make_unique<NetBackend>(machine_, evtchn_, gnttab_, 0);
+  state_ = State::kDormant;
+  page_info_.set_valid(false);
+}
+
+// --- domains -----------------------------------------------------------------
+
+DomainId Hypervisor::create_domain(std::string name, Kernel* guest,
+                                   hw::Pfn first_frame, std::size_t frame_count,
+                                   bool privileged, std::size_t num_vcpus) {
+  MERC_CHECK(state_ != State::kCold);
+  const DomainId id = next_dom_++;
+  domains_.push_back(std::make_unique<Domain>(id, std::move(name), guest,
+                                              first_frame, frame_count,
+                                              privileged, num_vcpus));
+  return id;
+}
+
+void Hypervisor::destroy_domain(DomainId id) {
+  auto it = std::find_if(domains_.begin(), domains_.end(),
+                         [&](const auto& d) { return d->id() == id; });
+  MERC_CHECK_MSG(it != domains_.end(), "destroy of unknown domain " << id);
+  domains_.erase(it);
+  for (auto& gb : guest_on_cpu_)
+    if (gb.dom == id) gb = GuestBinding{};
+}
+
+Domain* Hypervisor::find_domain(DomainId id) {
+  for (auto& d : domains_)
+    if (d->id() == id) return d.get();
+  return nullptr;
+}
+
+Domain& Hypervisor::domain(DomainId id) {
+  Domain* d = find_domain(id);
+  MERC_CHECK_MSG(d != nullptr, "unknown domain " << id);
+  return *d;
+}
+
+std::size_t Hypervisor::num_domains() const { return domains_.size(); }
+
+void Hypervisor::crash_domain(DomainId id, std::string reason) {
+  Domain& d = domain(id);
+  if (d.crashed) return;
+  d.crashed = true;
+  d.crash_reason = std::move(reason);
+  ++stats_.domains_crashed;
+  util::log_warn("vmm", "domain ", d.name(), " crashed: ", d.crash_reason);
+}
+
+void Hypervisor::set_guest_on_cpu(std::uint32_t cpu, Kernel* k, DomainId dom) {
+  MERC_CHECK(cpu < guest_on_cpu_.size());
+  guest_on_cpu_[cpu] = GuestBinding{k, dom};
+}
+
+// --- validation ----------------------------------------------------------------
+
+bool Hypervisor::frame_is_pt(hw::Pfn pfn) const {
+  const PageInfo& pi = page_info_.at(pfn);
+  return pi.type == PageType::kL1 || pi.type == PageType::kL2;
+}
+
+bool Hypervisor::pte_value_ok(Domain& d, hw::Pte value, std::string* why) {
+  if (!value.present()) return true;
+  const hw::Pfn target = value.pfn();
+  if (target >= page_info_.size()) {
+    if (why) *why = "PTE targets nonexistent frame";
+    return false;
+  }
+  const PageInfo& pi = page_info_.at(target);
+  if (pi.owner == kDomHypervisor) {
+    if (why) *why = "PTE maps a hypervisor frame";
+    return false;
+  }
+  if (pi.owner != d.id()) {
+    if (why) *why = "PTE maps a frame owned by another domain";
+    return false;
+  }
+  if (value.writable() && (pi.type == PageType::kL1 || pi.type == PageType::kL2)) {
+    if (why) *why = "writable mapping of a page-table frame";
+    return false;
+  }
+  return true;
+}
+
+bool Hypervisor::validate_l1(hw::Cpu& cpu, Domain& d, hw::Pfn table,
+                             hw::Cycles per_pte, std::size_t* present_out) {
+  std::size_t present = 0;
+  for (std::uint32_t e = 0; e < hw::kPtEntries; ++e) {
+    cpu.charge(per_pte);
+    const hw::Pte pte{machine_.memory().read_u32(hw::addr_of(table) + e * 4)};
+    if (!pte.present()) continue;
+    ++present;
+    ++stats_.pte_validations;
+    std::string why;
+    if (!pte_value_ok(d, pte, &why)) {
+      if (heal_mode_) {
+        // Repair: clear the tainted entry; a later fault re-establishes it.
+        machine_.memory().write_u32(hw::addr_of(table) + e * 4, 0);
+        cpu.charge(hw::costs::kMemAccess);
+        ++stats_.entries_healed;
+        --present;
+        continue;
+      }
+      crash_domain(d.id(), "L1 validation: " + why);
+      return false;
+    }
+  }
+  if (present_out) *present_out = present;
+  return true;
+}
+
+bool Hypervisor::validate_l2(hw::Cpu& cpu, Domain& d, hw::Pfn table,
+                             hw::Cycles per_pte, std::size_t* present_out) {
+  std::size_t present = 0;
+  const std::uint32_t vmm_pde_start = hw::pde_index(kernel::kVmmBase);
+  for (std::uint32_t e = 0; e < hw::kPtEntries; ++e) {
+    cpu.charge(per_pte);
+    const hw::Pte pde{machine_.memory().read_u32(hw::addr_of(table) + e * 4)};
+    if (!pde.present()) continue;
+    ++present;
+    ++stats_.pte_validations;
+    if (e >= vmm_pde_start) {
+      // Reserved region: must match the hypervisor-published template.
+      const auto it = std::find_if(
+          vmm_pdes_.begin(), vmm_pdes_.end(),
+          [&](const auto& p) { return p.first == e; });
+      if (it == vmm_pdes_.end() || it->second.raw != pde.raw) {
+        crash_domain(d.id(), "L2 validation: tampered VMM reserved PDE");
+        return false;
+      }
+      continue;
+    }
+    const hw::Pfn l1 = pde.pfn();
+    if (l1 >= page_info_.size() || page_info_.at(l1).type != PageType::kL1) {
+      crash_domain(d.id(), "L2 validation: PDE references a non-L1 frame");
+      return false;
+    }
+  }
+  if (present_out) *present_out = present;
+  return true;
+}
+
+// --- adopt / release (Mercury's heavy lifting) -----------------------------------
+
+void Hypervisor::rebuild_page_info(hw::Cpu& cpu, Domain& d) {
+  Kernel* k = d.guest();
+  MERC_CHECK(k != nullptr);
+  // Hypervisor's own frames.
+  for (std::size_t i = 0; i < reserved_count_; ++i) {
+    PageInfo& pi = page_info_.at(reserved_first_ + static_cast<hw::Pfn>(i));
+    pi = PageInfo{kDomHypervisor, PageType::kWritable, 0, 1, false};
+  }
+  // Every frame the kernel was ever granted: reset to plain writable RAM.
+  // This linear pass over ~all of memory is the paper's dominant attach cost.
+  for (const hw::Pfn pfn : k->pool().owned()) {
+    cpu.charge(pv::costs::kPerFrameInfoRebuild);
+    page_info_.at(pfn) = PageInfo{d.id(), PageType::kWritable, 0, 1, false};
+  }
+}
+
+void Hypervisor::type_and_protect_tables(hw::Cpu& cpu, Domain& d, Kernel& k) {
+  // Pass 1: discover every page-table frame, set its type, and revoke its
+  // writable direct-map mapping. Protection must precede validation so the
+  // "no writable mapping of a PT frame" rule holds when pass 2 checks it.
+  std::vector<std::pair<hw::Pfn, PageType>> tables;
+  for (const hw::Pfn l1 : k.kernel_l1_frames())
+    tables.emplace_back(l1, PageType::kL1);
+  k.for_each_task([&](kernel::Task& t) {
+    if (!t.aspace) return;
+    for (const hw::Pfn pt : t.aspace->page_table_frames()) {
+      if (pt == t.aspace->page_directory()) continue;
+      tables.emplace_back(pt, PageType::kL1);
+    }
+  });
+  tables.emplace_back(k.kernel_pd(), PageType::kL2);
+  k.for_each_task([&](kernel::Task& t) {
+    if (t.aspace) tables.emplace_back(t.aspace->page_directory(), PageType::kL2);
+  });
+
+  for (const auto& [pfn, type] : tables) {
+    PageInfo& pi = page_info_.at(pfn);
+    pi.type = type;
+    pi.pinned = true;
+    pi.type_count = 1;
+    set_frame_writable(cpu, k, pfn, false);
+  }
+
+  // Pass 2: validate (L1s first, then L2s whose entries require L1 typing).
+  for (const auto& [pfn, type] : tables)
+    if (type == PageType::kL1)
+      validate_l1(cpu, d, pfn, pv::costs::kPerPtePinScan, nullptr);
+  for (const auto& [pfn, type] : tables)
+    if (type == PageType::kL2)
+      validate_l2(cpu, d, pfn, pv::costs::kPerPtePinScan, nullptr);
+}
+
+void Hypervisor::unprotect_tables(hw::Cpu& cpu, Kernel& k) {
+  for (const hw::Pfn pfn : std::vector<hw::Pfn>(protected_frames_.begin(),
+                                                protected_frames_.end()))
+    set_frame_writable(cpu, k, pfn, true);
+  MERC_CHECK(protected_frames_.empty());
+}
+
+void Hypervisor::forget_frame_range(hw::Pfn first, std::size_t count) {
+  for (auto it = protected_frames_.begin(); it != protected_frames_.end();) {
+    if (*it >= first && *it < first + count)
+      it = protected_frames_.erase(it);
+    else
+      ++it;
+  }
+}
+
+void Hypervisor::set_frame_writable(hw::Cpu& cpu, Kernel& k, hw::Pfn pfn,
+                                    bool writable) {
+  cpu.charge(pv::costs::kPerPtWritabilityFlip);
+  const std::size_t idx = pfn - k.base_pfn();
+  const auto& l1s = k.kernel_l1_frames();
+  const std::size_t table = idx / hw::kPtEntries;
+  MERC_CHECK_MSG(table < l1s.size(), "frame outside kernel direct map");
+  const hw::PhysAddr pte_addr =
+      hw::addr_of(l1s[table]) + (idx % hw::kPtEntries) * 4;
+  hw::Pte pte{machine_.memory().read_u32(pte_addr)};
+  MERC_CHECK(pte.present());
+  pte.set_flag(hw::Pte::kWritable, writable);
+  machine_.memory().write_u32(pte_addr, pte.raw);
+  // Direct-map entries are global: purge any cached translation.
+  for (std::size_t c = 0; c < machine_.num_cpus(); ++c)
+    machine_.cpu(c).tlb().flush_page(hw::vpn_of(k.kva_of_frame(pfn)));
+  if (writable)
+    protected_frames_.erase(pfn);
+  else
+    protected_frames_.insert(pfn);
+}
+
+DomainId Hypervisor::adopt_running_os(hw::Cpu& cpu, Kernel& k,
+                                      bool trust_page_info) {
+  MERC_CHECK_MSG(state_ == State::kDormant, "adopt while not dormant");
+  ++stats_.adopts;
+  // Reuse an existing domain record for this kernel if one exists.
+  DomainId id = kDomInvalid;
+  for (auto& d : domains_)
+    if (d->guest() == &k) id = d->id();
+  if (id == kDomInvalid)
+    id = create_domain(k.name(), &k, k.base_pfn(), k.pool().owned_count(),
+                       /*privileged=*/true, machine_.num_cpus());
+
+  Domain& d = domain(id);
+  if (!trust_page_info) {
+    rebuild_page_info(cpu, d);
+  } else {
+    // Eager tracking kept the table fresh, but the VMM still cross-checks
+    // ownership with a light sweep before enforcing isolation on it.
+    MERC_CHECK_MSG(page_info_.valid(),
+                   "eager attach without a primed page-info table");
+    for (std::size_t i = 0; i < k.pool().owned_count(); ++i) cpu.charge(1);
+  }
+  type_and_protect_tables(cpu, d, k);
+  page_info_.set_valid(true);
+  state_ = State::kActive;
+  for (std::size_t c = 0; c < machine_.num_cpus(); ++c)
+    set_guest_on_cpu(static_cast<std::uint32_t>(c), &k, id);
+  take_traps();
+  return id;
+}
+
+void Hypervisor::release_os(hw::Cpu& cpu, DomainId id) {
+  MERC_CHECK_MSG(state_ == State::kActive, "release while not active");
+  ++stats_.releases;
+  Domain& d = domain(id);
+  Kernel* k = d.guest();
+  MERC_CHECK(k != nullptr);
+  unprotect_tables(cpu, *k);
+  // Dropping the accounting is O(1): this is why detach is much cheaper
+  // than attach (paper §7.4).
+  page_info_.invalidate_all();
+  state_ = State::kDormant;
+}
+
+void Hypervisor::take_traps() { machine_.install_trap_sink(this); }
+
+void Hypervisor::bootstrap_activate() {
+  MERC_CHECK_MSG(state_ == State::kDormant, "bootstrap_activate needs warm_up");
+  state_ = State::kActive;
+  for (std::size_t i = 0; i < reserved_count_; ++i) {
+    PageInfo& pi = page_info_.at(reserved_first_ + static_cast<hw::Pfn>(i));
+    pi = PageInfo{kDomHypervisor, PageType::kWritable, 0, 1, false};
+  }
+  page_info_.set_valid(true);
+  take_traps();
+}
+
+void Hypervisor::init_domain_memory(Domain& d) {
+  // Boot-time initialization of a freshly built domain's frames (no charge:
+  // domain construction is off every measured path).
+  for (std::size_t i = 0; i < d.frame_count(); ++i) {
+    PageInfo& pi = page_info_.at(d.first_frame() + static_cast<hw::Pfn>(i));
+    pi = PageInfo{d.id(), PageType::kWritable, 0, 1, false};
+  }
+}
+
+bool Hypervisor::validate_update(Domain& d, hw::PhysAddr pte_addr, hw::Pte value,
+                                 std::string* why) {
+  const hw::Pfn container = hw::pfn_of(pte_addr);
+  if (container >= page_info_.size()) {
+    if (why) *why = "table update outside physical memory";
+    return false;
+  }
+  const PageInfo& ci = page_info_.at(container);
+  if (ci.owner != d.id()) {
+    if (why) *why = "table update in a frame not owned by the domain";
+    return false;
+  }
+  if (ci.type == PageType::kL1) return pte_value_ok(d, value, why);
+  if (ci.type == PageType::kL2) {
+    if (!value.present()) return true;
+    const std::uint32_t index =
+        static_cast<std::uint32_t>((pte_addr % hw::kPageSize) / 4);
+    if (index >= hw::pde_index(kernel::kVmmBase)) {
+      if (why) *why = "guest rewrote a reserved VMM PDE";
+      return false;
+    }
+    const hw::Pfn l1 = value.pfn();
+    if (l1 >= page_info_.size() || page_info_.at(l1).type != PageType::kL1 ||
+        page_info_.at(l1).owner != d.id()) {
+      if (why) *why = "PDE references a frame not validated as L1";
+      return false;
+    }
+    return true;
+  }
+  if (why) *why = "update of a frame that is not a page table";
+  return false;
+}
+
+// --- trap routing -----------------------------------------------------------------
+
+void Hypervisor::on_trap(hw::Cpu& cpu, const hw::TrapInfo& info) {
+  ++stats_.traps_dispatched;
+  cpu.charge(pv::costs::kVmmTrapDispatch);
+  const GuestBinding& gb = guest_on_cpu_[cpu.id()];
+  MERC_CHECK_MSG(gb.kernel != nullptr,
+                 "trap with no guest bound on cpu " << cpu.id() << ": "
+                                                    << info.detail);
+  // Bounce into the guest kernel's handler at its (deprivileged) ring; the
+  // return path costs an iret hypercall on x86-32.
+  cpu.charge(pv::costs::kVmmBounceToGuest);
+  gb.kernel->guest_trap(cpu, info);
+  cpu.charge(pv::costs::kVmmGuestIret);
+}
+
+}  // namespace mercury::vmm

@@ -1,0 +1,132 @@
+#include "vmm/migrate.hpp"
+
+#include <vector>
+
+#include "hw/costs.hpp"
+#include "kernel/kernel.hpp"
+#include "pv/costs.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace mercury::vmm {
+
+namespace {
+
+/// Ship one frame's contents src->dst: map + copy on the source, wire time,
+/// and the write on the destination image.
+void send_frame(hw::Cpu& scpu, hw::Machine& src_m, hw::Machine& dst_m,
+                hw::Pfn src_pfn, hw::Pfn dst_pfn, hw::Cycles wire_per_page) {
+  scpu.charge(hw::costs::kPageCopy + pv::costs::kGrantMapPerPage / 2);
+  scpu.charge(wire_per_page);
+  std::vector<std::uint8_t> buf(hw::kPageSize);
+  src_m.memory().read_bytes(hw::addr_of(src_pfn), buf);
+  dst_m.memory().write_bytes(hw::addr_of(dst_pfn), buf);
+}
+
+}  // namespace
+
+MigrationStats LiveMigration::run(Hypervisor& src, DomainId dom, Hypervisor& dst,
+                                  const MigrationConfig& config) {
+  MigrationStats stats;
+  Domain& d = src.domain(dom);
+  kernel::Kernel* guest = d.guest();
+  MERC_CHECK_MSG(guest != nullptr, "migrating a domain with no guest kernel");
+  hw::Machine& src_m = src.machine();
+  hw::Machine& dst_m = dst.machine();
+  hw::Cpu& scpu = src_m.cpu(0);
+  const hw::Cycles t0 = scpu.now();
+
+  // Reserve the target region.
+  hw::Pfn new_base = 0;
+  if (!dst_m.frames().alloc_contiguous(d.frame_count(), new_base)) {
+    util::log_warn("migrate", "target cannot host domain: no contiguous region");
+    return stats;
+  }
+  const hw::Pfn old_base = d.first_frame();
+  stats.pages_total = d.frame_count();
+
+  // Round 0: full copy with log-dirty armed.
+  d.set_log_dirty(true);
+  for (std::size_t i = 0; i < d.frame_count(); ++i) {
+    send_frame(scpu, src_m, dst_m, old_base + static_cast<hw::Pfn>(i),
+               new_base + static_cast<hw::Pfn>(i), config.wire_cycles_per_page);
+    ++stats.pages_sent;
+  }
+  stats.rounds = 1;
+
+  // Iterative pre-copy: let the guest run, harvest what it dirtied, resend.
+  while (stats.rounds < config.max_rounds) {
+    guest->run_for(config.guest_run_per_round);
+    // Page-table-visible dirty bits (hardware-set) join the log-dirty set.
+    guest->for_each_task([&](kernel::Task& t) {
+      if (!t.aspace) return;
+      std::vector<hw::Pfn> dirty_pfns;
+      t.aspace->collect_and_clear_dirty(scpu, &dirty_pfns);
+      for (const hw::Pfn pfn : dirty_pfns) d.mark_dirty(pfn);
+    });
+    const std::vector<hw::Pfn> dirty = d.harvest_dirty();
+    if (dirty.size() <= config.stop_threshold_pages) break;
+    for (const hw::Pfn pfn : dirty) {
+      send_frame(scpu, src_m, dst_m, pfn, new_base + (pfn - old_base),
+                 config.wire_cycles_per_page);
+      ++stats.pages_sent;
+    }
+    ++stats.rounds;
+  }
+
+  // Stop-and-copy: the guest is frozen from here (downtime).
+  const hw::Cycles down0 = scpu.now();
+  const std::vector<hw::Pfn> residue = d.harvest_dirty();
+  for (const hw::Pfn pfn : residue) {
+    send_frame(scpu, src_m, dst_m, pfn, new_base + (pfn - old_base),
+               config.wire_cycles_per_page);
+    ++stats.pages_sent;
+  }
+  // Vcpu state + device model handover.
+  scpu.charge(20 * hw::kCyclesPerMicrosecond);
+  d.set_log_dirty(false);
+
+  // Target side: admit the guest as a new unprivileged domain and rewire it.
+  hw::Cpu& dcpu = dst_m.cpu(0);
+  dcpu.advance_to(scpu.now());
+  guest->migrate_to(dst_m, new_base, dst.vmm_pdes());
+  const DomainId new_dom = dst.create_domain(
+      guest->name() + "-migrated", guest, new_base, d.frame_count(),
+      /*privileged=*/false, dst_m.num_cpus());
+  Domain& nd = dst.domain(new_dom);
+  dst.rebuild_page_info(dcpu, nd);
+  dst.type_and_protect_tables(dcpu, nd, *guest);
+  dst.page_info().set_valid(true);
+  for (std::size_t c = 0; c < dst_m.num_cpus(); ++c)
+    dst.set_guest_on_cpu(static_cast<std::uint32_t>(c), guest, new_dom);
+  // Split drivers: the network frontend reconnects on the target *after*
+  // migration (paper §5.2); disks ride on networked storage.
+  dst.net_backend().disconnect_frontend();
+  dst.net_backend().connect_frontend(new_dom);
+  dst.blk_backend().disconnect_frontend(dcpu);
+  dst.blk_backend().connect_frontend(new_dom);
+
+  // The hypervisor owns the hardware descriptor tables on the target.
+  for (std::size_t c = 0; c < dst_m.num_cpus(); ++c) {
+    hw::Cpu& cpu = dst_m.cpu(c);
+    const hw::Ring prev = cpu.cpl();
+    cpu.set_cpl(hw::Ring::kRing0);
+    cpu.load_idt(dst.idt_token());
+    cpu.load_gdt(dst.gdt_token());
+    cpu.set_cpl(prev);
+  }
+
+  stats.new_domain = new_dom;
+  stats.downtime_cycles = scpu.now() - down0;
+  stats.total_cycles = scpu.now() - t0;
+  stats.success = true;
+
+  // Source side: the frames are returned and the domain record removed.
+  src.forget_frame_range(old_base, d.frame_count());
+  for (std::size_t i = 0; i < d.frame_count(); ++i)
+    src_m.frames().free(old_base + static_cast<hw::Pfn>(i));
+  src.destroy_domain(dom);
+  return stats;
+}
+
+}  // namespace mercury::vmm

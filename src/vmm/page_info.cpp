@@ -1,0 +1,59 @@
+#include "vmm/page_info.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace mercury::vmm {
+
+const char* page_type_name(PageType t) {
+  switch (t) {
+    case PageType::kNone: return "none";
+    case PageType::kWritable: return "writable";
+    case PageType::kL1: return "L1";
+    case PageType::kL2: return "L2";
+  }
+  return "?";
+}
+
+PageInfoTable::PageInfoTable(std::size_t total_frames) : info_(total_frames) {}
+
+PageInfo& PageInfoTable::at(hw::Pfn pfn) {
+  MERC_CHECK_MSG(pfn < info_.size(), "page info out of range: pfn " << pfn);
+  return info_[pfn];
+}
+
+const PageInfo& PageInfoTable::at(hw::Pfn pfn) const {
+  MERC_CHECK_MSG(pfn < info_.size(), "page info out of range: pfn " << pfn);
+  return info_[pfn];
+}
+
+void PageInfoTable::invalidate_all() {
+  // Deliberately O(1): entries are considered garbage while invalid; the
+  // rebuild pass re-initializes them.
+  valid_ = false;
+}
+
+std::optional<std::string> PageInfoTable::check_invariants() const {
+  if (!valid_) return "table is invalid (VMM dormant)";
+  for (std::size_t pfn = 0; pfn < info_.size(); ++pfn) {
+    const PageInfo& pi = info_[pfn];
+    std::ostringstream err;
+    if (pi.pinned && pi.type != PageType::kL1 && pi.type != PageType::kL2) {
+      err << "pfn " << pfn << " pinned but typed " << page_type_name(pi.type);
+      return err.str();
+    }
+    if (pi.pinned && pi.type_count == 0) {
+      err << "pfn " << pfn << " pinned with zero type_count";
+      return err.str();
+    }
+    if (pi.type != PageType::kNone && pi.owner == kDomInvalid) {
+      err << "pfn " << pfn << " typed " << page_type_name(pi.type)
+          << " but unowned";
+      return err.str();
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace mercury::vmm

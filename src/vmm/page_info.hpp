@@ -1,0 +1,68 @@
+// Per-frame owner/type/count accounting — the heart of Xen-style memory
+// isolation, and the state Mercury must reconstruct when attaching the
+// pre-cached VMM (paper §5.1.2: "recalculate the type and count information
+// for all page frames ... accounts for the major time to commit a switch").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hw/types.hpp"
+
+namespace mercury::vmm {
+
+using DomainId = std::int16_t;
+inline constexpr DomainId kDomInvalid = -1;
+inline constexpr DomainId kDomHypervisor = -2;
+
+enum class PageType : std::uint8_t {
+  kNone,      // untracked / free
+  kWritable,  // plain RAM, guest-writable
+  kL1,        // validated level-1 page table
+  kL2,        // validated level-2 page table (page directory)
+};
+
+const char* page_type_name(PageType t);
+
+struct PageInfo {
+  DomainId owner = kDomInvalid;
+  PageType type = PageType::kNone;
+  std::uint32_t type_count = 0;  // references under this type (pins, CR3 loads)
+  std::uint32_t ref_count = 0;   // general references (mappings)
+  bool pinned = false;
+};
+
+class PageInfoTable {
+ public:
+  explicit PageInfoTable(std::size_t total_frames);
+
+  PageInfo& at(hw::Pfn pfn);
+  const PageInfo& at(hw::Pfn pfn) const;
+  std::size_t size() const { return info_.size(); }
+
+  /// Whether the table currently reflects reality. When the VMM is dormant
+  /// (Mercury native mode, lazy tracking) the table is stale and must be
+  /// rebuilt before enforcement resumes.
+  bool valid() const { return valid_; }
+  void set_valid(bool v) { valid_ = v; }
+
+  /// Forget everything (cheap: used at VMM detach — the expensive direction
+  /// is the rebuild, not the teardown).
+  void invalidate_all();
+
+  /// Structural self-check: every pinned table is typed as a table, counts
+  /// are non-zero where pinned, owners set where typed. Returns an error
+  /// description, or nullopt if consistent.
+  std::optional<std::string> check_invariants() const;
+
+  /// Snapshot for equivalence tests (eager tracking vs rebuild).
+  std::vector<PageInfo> snapshot() const { return info_; }
+
+ private:
+  std::vector<PageInfo> info_;
+  bool valid_ = false;
+};
+
+}  // namespace mercury::vmm

@@ -1,0 +1,35 @@
+// dbench 3.03 analogue (paper Fig.3/4): a NetBench-style fileserver op mix —
+// metadata-heavy (create/stat/unlink) with buffered writes and re-reads,
+// plus a periodic write-back flusher. The flusher is what differentiates the
+// configurations: native/dom0 pay real disk writes, a domU's flusher lands
+// in the driver domain's write-behind cache (the paper's explanation for
+// domainU beating domain0 on dbench).
+#pragma once
+
+#include "kernel/kernel.hpp"
+
+namespace mercury::workloads {
+
+struct DbenchParams {
+  int clients = 4;
+  int loops_per_client = 24;
+  std::size_t file_kb = 256;
+  std::size_t chunk_kb = 8;
+  int metadata_ops_per_loop = 24;
+  int fsync_every_loops = 12;  // the NetBench mix's Flush operations
+  double flusher_interval_ms = 120.0;
+  std::size_t flusher_blocks = 128;
+};
+
+struct DbenchResult {
+  double throughput_mb_s = 0;
+  std::uint64_t bytes_moved = 0;
+  hw::Cycles elapsed = 0;
+};
+
+class Dbench {
+ public:
+  static DbenchResult run(kernel::Kernel& k, const DbenchParams& p = {});
+};
+
+}  // namespace mercury::workloads

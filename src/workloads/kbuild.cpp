@@ -1,0 +1,95 @@
+#include "workloads/kbuild.hpp"
+
+#include <memory>
+#include <string>
+
+#include "kernel/syscalls.hpp"
+#include "util/assert.hpp"
+
+namespace mercury::workloads {
+
+using kernel::Kernel;
+using kernel::Pid;
+using kernel::Sub;
+using kernel::Sys;
+
+KbuildResult Kbuild::run(Kernel& k, const KbuildParams& p) {
+  bool done = false;
+  hw::Cycles elapsed = 0;
+  const int jobs = p.parallel_jobs > 0
+                       ? p.parallel_jobs
+                       : static_cast<int>(k.machine().num_cpus());
+
+  k.spawn("make", [&, p, jobs](Sys& s) -> Sub<void> {
+    // Stage the source tree (not timed).
+    for (int u = 0; u < p.translation_units; ++u) {
+      const int fd = s.open("/src/unit" + std::to_string(u) + ".c", true);
+      co_await s.file_write(fd, p.source_kb * 1024);
+      s.close(fd);
+    }
+
+    const hw::Cycles t0 = s.cpu().now();
+    auto next_unit = std::make_shared<int>(0);
+    int in_flight = 0;
+    std::vector<Pid> pending;
+
+    auto spawn_compile = [&](int unit) -> Pid {
+      return s.fork_exec(kernel::cc1_image(), [unit, p](Sys& cs) -> Sub<void> {
+        const int src = cs.open("/src/unit" + std::to_string(unit) + ".c", false);
+        MERC_CHECK(src >= 0);
+        std::size_t left = p.source_kb * 1024;
+        while (left > 0) {
+          const std::size_t n = co_await cs.file_read(src, 64 * 1024);
+          if (n == 0) break;
+          left -= n;
+        }
+        cs.close(src);
+        co_await cs.compute_us(p.compile_cpu_ms * 1000.0);
+        const int obj =
+            cs.open("/src/unit" + std::to_string(unit) + ".o", true);
+        co_await cs.file_write(obj, p.object_kb * 1024);
+        cs.close(obj);
+        cs.exit(0);
+      });
+    };
+
+    // make -jN: keep `jobs` compile processes in flight.
+    while (*next_unit < p.translation_units || in_flight > 0) {
+      while (in_flight < jobs && *next_unit < p.translation_units) {
+        pending.push_back(spawn_compile((*next_unit)++));
+        ++in_flight;
+      }
+      const Pid pid = pending.front();
+      pending.erase(pending.begin());
+      co_await s.wait_pid(pid);
+      --in_flight;
+    }
+
+    // Link: read every object, burn CPU, emit vmlinux.
+    for (int u = 0; u < p.translation_units; ++u) {
+      const int obj = s.open("/src/unit" + std::to_string(u) + ".o", false);
+      co_await s.file_read(obj, p.object_kb * 1024);
+      s.close(obj);
+    }
+    co_await s.compute_us(p.link_cpu_ms * 1000.0);
+    const int out = s.open("/src/vmlinux", true);
+    co_await s.file_write(out, p.translation_units * p.object_kb * 1024);
+    s.close(out);
+
+    elapsed = s.cpu().now() - t0;
+    done = true;
+    co_return;
+  });
+
+  MERC_CHECK_MSG(k.run_until([&] { return done; },
+                             3000ull * 1000 * hw::kCyclesPerMillisecond),
+                 "kbuild did not finish");
+  k.reap_zombies();
+
+  KbuildResult r;
+  r.elapsed = elapsed;
+  r.build_seconds = hw::cycles_to_us(elapsed) / 1e6;
+  return r;
+}
+
+}  // namespace mercury::workloads

@@ -1,0 +1,30 @@
+// Linux kernel build analogue (paper Fig.3/4): a make-driven farm of
+// compiler processes — fork+exec per translation unit, source reads, heavy
+// user CPU, object writes, and a final link. Process-creation overhead is
+// the virtualization-sensitive share; SMP mode parallelizes across CPUs.
+#pragma once
+
+#include "kernel/kernel.hpp"
+
+namespace mercury::workloads {
+
+struct KbuildParams {
+  int translation_units = 14;
+  double compile_cpu_ms = 12.0;
+  std::size_t source_kb = 160;
+  std::size_t object_kb = 48;
+  double link_cpu_ms = 60.0;
+  int parallel_jobs = 0;  // 0 = one per CPU
+};
+
+struct KbuildResult {
+  double build_seconds = 0;
+  hw::Cycles elapsed = 0;
+};
+
+class Kbuild {
+ public:
+  static KbuildResult run(kernel::Kernel& k, const KbuildParams& p = {});
+};
+
+}  // namespace mercury::workloads

@@ -1,0 +1,214 @@
+#include "workloads/lmbench.hpp"
+
+#include "kernel/layout.hpp"
+#include "kernel/syscalls.hpp"
+#include "util/assert.hpp"
+
+namespace mercury::workloads {
+
+using kernel::Kernel;
+using kernel::Pid;
+using kernel::ProcMain;
+using kernel::Sub;
+using kernel::Sys;
+
+namespace {
+
+constexpr hw::Cycles kDriveBudget = 120ull * 1000 * hw::kCyclesPerMillisecond;
+
+/// Run `body` as a task to completion; asserts the simulation finished.
+/// lmbench is single-threaded: the driver is pinned to CPU 0 (children
+/// inherit the affinity), so SMP runs measure lock/cacheline pressure, not
+/// accidental fork-path overlap.
+void drive(Kernel& k, const char* name, ProcMain body) {
+  bool done = false;
+  k.spawn(name, [&done, body = std::move(body)](Sys& s) -> Sub<void> {
+    co_await body(s);
+    done = true;
+  }, /*working_set_kb=*/64, /*affinity=*/0);
+  MERC_CHECK_MSG(k.run_until([&] { return done; }, kDriveBudget),
+                 "lmbench driver '" << name << "' did not finish in budget");
+}
+
+/// Give the parent a realistic resident set so fork copies real PTEs.
+hw::VirtAddr establish_resident_set(Sys& s, std::size_t pages) {
+  const hw::VirtAddr va =
+      s.mmap(pages * hw::kPageSize, /*writable=*/true);
+  s.touch_pages(va, pages, /*write=*/true);
+  return va;
+}
+
+}  // namespace
+
+double Lmbench::fork_latency(Kernel& k, const LmbenchParams& p) {
+  double out = 0;
+  drive(k, "lat_proc-fork", [&out, p](Sys& s) -> Sub<void> {
+    establish_resident_set(s, p.proc_resident_pages);
+    const hw::Cycles t0 = s.cpu().now();
+    for (int i = 0; i < p.fork_iters; ++i) {
+      const Pid pid = s.fork([](Sys& cs) -> Sub<void> {
+        cs.exit(0);
+        co_return;
+      });
+      co_await s.wait_pid(pid);
+    }
+    out = hw::cycles_to_us(s.cpu().now() - t0) / p.fork_iters;
+  });
+  return out;
+}
+
+double Lmbench::exec_latency(Kernel& k, const LmbenchParams& p) {
+  double out = 0;
+  drive(k, "lat_proc-exec", [&out, p](Sys& s) -> Sub<void> {
+    establish_resident_set(s, p.proc_resident_pages);
+    const hw::Cycles t0 = s.cpu().now();
+    for (int i = 0; i < p.exec_iters; ++i) {
+      const Pid pid =
+          s.fork_exec(kernel::hello_image(), [](Sys& cs) -> Sub<void> {
+            cs.exit(0);
+            co_return;
+          });
+      co_await s.wait_pid(pid);
+    }
+    out = hw::cycles_to_us(s.cpu().now() - t0) / p.exec_iters;
+  });
+  return out;
+}
+
+double Lmbench::sh_latency(Kernel& k, const LmbenchParams& p) {
+  double out = 0;
+  drive(k, "lat_proc-sh", [&out, p](Sys& s) -> Sub<void> {
+    establish_resident_set(s, p.proc_resident_pages);
+    const hw::Cycles t0 = s.cpu().now();
+    for (int i = 0; i < p.sh_iters; ++i) {
+      // /bin/sh -c 'hello': fork, exec the shell, which forks+execs hello.
+      const Pid pid =
+          s.fork_exec(kernel::shell_image(), [](Sys& cs) -> Sub<void> {
+            const Pid inner =
+                cs.fork_exec(kernel::hello_image(), [](Sys& ics) -> Sub<void> {
+                  ics.exit(0);
+                  co_return;
+                });
+            co_await cs.wait_pid(inner);
+            cs.exit(0);
+          });
+      co_await s.wait_pid(pid);
+    }
+    out = hw::cycles_to_us(s.cpu().now() - t0) / p.sh_iters;
+  });
+  return out;
+}
+
+double Lmbench::ctx_latency(Kernel& k, int nprocs, std::size_t ws_kb,
+                            const LmbenchParams& p) {
+  // lat_ctx: a ring of processes passing a token through pipes; each hop
+  // re-reads its working set after being switched in.
+  std::vector<int> pipes(nprocs);
+  for (int i = 0; i < nprocs; ++i) pipes[i] = k.pipe_create();
+
+  const int rounds = p.ctx_rounds;
+  int finished = 0;
+  hw::Cycles start = 0, end = 0;
+
+  for (int i = 0; i < nprocs; ++i) {
+    const int in_pipe = pipes[i];
+    const int out_pipe = pipes[(i + 1) % nprocs];
+    const bool is_leader = i == 0;
+    k.spawn("lat_ctx", [&, in_pipe, out_pipe, is_leader,
+                        rounds](Sys& s) -> Sub<void> {
+      const int rfd = s.adopt_pipe(in_pipe, true);
+      const int wfd = s.adopt_pipe(out_pipe, false);
+      if (is_leader) {
+        start = s.cpu().now();
+        co_await s.write_fd(wfd, 1);
+      }
+      for (int r = 0; r < rounds; ++r) {
+        co_await s.read_fd(rfd, 1);
+        s.touch_working_set();
+        if (is_leader && r == rounds - 1) break;
+        co_await s.write_fd(wfd, 1);
+      }
+      if (is_leader) end = s.cpu().now();
+      ++finished;
+      co_return;
+    }, /*working_set_kb=*/ws_kb, /*affinity=*/0);
+  }
+
+  MERC_CHECK_MSG(
+      k.run_until([&] { return finished == nprocs; }, kDriveBudget),
+      "lat_ctx ring did not finish");
+  const double total_switches = static_cast<double>(rounds) * nprocs;
+  return hw::cycles_to_us(end - start) / total_switches;
+}
+
+double Lmbench::mmap_latency(Kernel& k, const LmbenchParams& p) {
+  double out = 0;
+  drive(k, "lat_mmap", [&out, p](Sys& s) -> Sub<void> {
+    const std::size_t bytes = p.mmap_pages * hw::kPageSize;
+    const hw::Cycles t0 = s.cpu().now();
+    for (int i = 0; i < p.mmap_iters; ++i) {
+      const hw::VirtAddr va =
+          s.mmap(bytes, /*writable=*/false, /*inode=*/0, /*off=*/0);
+      s.touch_pages(va, p.mmap_pages, /*write=*/false);
+      s.munmap(va, bytes);
+    }
+    out = hw::cycles_to_us(s.cpu().now() - t0) / p.mmap_iters;
+    co_return;
+  });
+  return out;
+}
+
+double Lmbench::prot_fault_latency(Kernel& k, const LmbenchParams& p) {
+  double out = 0;
+  drive(k, "lat_sig-prot", [&out, p](Sys& s) -> Sub<void> {
+    s.task().catch_segv = true;
+    const hw::VirtAddr va = s.mmap(hw::kPageSize, /*writable=*/true);
+    s.touch_pages(va, 1, /*write=*/true);
+    s.mprotect(va, hw::kPageSize, /*writable=*/false);
+    const hw::Cycles t0 = s.cpu().now();
+    for (int i = 0; i < p.fault_iters; ++i) s.prot_fault_once(va);
+    out = hw::cycles_to_us(s.cpu().now() - t0) / p.fault_iters;
+    MERC_CHECK(s.task().segv_caught >= static_cast<std::uint64_t>(p.fault_iters));
+    co_return;
+  });
+  return out;
+}
+
+double Lmbench::page_fault_latency(Kernel& k, const LmbenchParams& p) {
+  double out = 0;
+  drive(k, "lat_pagefault", [&out, p](Sys& s) -> Sub<void> {
+    const std::size_t bytes = p.pagefault_pages * hw::kPageSize;
+    hw::Cycles fault_cycles = 0;
+    std::uint64_t faults = 0;
+    for (int i = 0; i < p.pagefault_iters; ++i) {
+      const hw::VirtAddr va =
+          s.mmap(bytes, /*writable=*/false, /*inode=*/0, /*off=*/0);
+      // lmbench reports the pure fault service time: time the touch phase
+      // only, not the map/unmap bookkeeping.
+      const hw::Cycles t0 = s.cpu().now();
+      s.touch_pages(va, p.pagefault_pages, /*write=*/false);
+      fault_cycles += s.cpu().now() - t0;
+      faults += p.pagefault_pages;
+      s.munmap(va, bytes);
+    }
+    out = hw::cycles_to_us(fault_cycles) / static_cast<double>(faults);
+    co_return;
+  });
+  return out;
+}
+
+LmbenchResults Lmbench::run(Kernel& k, const LmbenchParams& p) {
+  LmbenchResults r;
+  r.fork_us = fork_latency(k, p);
+  r.exec_us = exec_latency(k, p);
+  r.sh_us = sh_latency(k, p);
+  r.ctx_2p0k_us = ctx_latency(k, 2, 0, p);
+  r.ctx_16p16k_us = ctx_latency(k, 16, 16, p);
+  r.ctx_16p64k_us = ctx_latency(k, 16, 64, p);
+  r.mmap_us = mmap_latency(k, p);
+  r.prot_fault_us = prot_fault_latency(k, p);
+  r.page_fault_us = page_fault_latency(k, p);
+  return r;
+}
+
+}  // namespace mercury::workloads

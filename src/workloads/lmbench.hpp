@@ -1,0 +1,50 @@
+// lmbench 3.0-a5 OS-latency microbenchmarks (paper Tables 1 & 2): process
+// creation (fork/exec/sh), context switching at three process/working-set
+// sizes, mmap, protection fault and page fault latency.
+#pragma once
+
+#include "kernel/kernel.hpp"
+
+namespace mercury::workloads {
+
+struct LmbenchParams {
+  int fork_iters = 25;
+  int exec_iters = 12;
+  int sh_iters = 6;
+  int ctx_rounds = 60;
+  int mmap_iters = 3;
+  std::size_t mmap_pages = 2048;  // 8 MB file
+  int fault_iters = 400;
+  int pagefault_iters = 3;
+  std::size_t pagefault_pages = 1024;
+  /// Resident pages a lat_proc parent carries into fork.
+  std::size_t proc_resident_pages = 220;
+};
+
+struct LmbenchResults {
+  double fork_us = 0;
+  double exec_us = 0;
+  double sh_us = 0;
+  double ctx_2p0k_us = 0;
+  double ctx_16p16k_us = 0;
+  double ctx_16p64k_us = 0;
+  double mmap_us = 0;       // per mmap+crawl+munmap of the whole file
+  double prot_fault_us = 0;
+  double page_fault_us = 0;
+};
+
+class Lmbench {
+ public:
+  static LmbenchResults run(kernel::Kernel& k, const LmbenchParams& p = {});
+
+  static double fork_latency(kernel::Kernel& k, const LmbenchParams& p);
+  static double exec_latency(kernel::Kernel& k, const LmbenchParams& p);
+  static double sh_latency(kernel::Kernel& k, const LmbenchParams& p);
+  static double ctx_latency(kernel::Kernel& k, int nprocs, std::size_t ws_kb,
+                            const LmbenchParams& p);
+  static double mmap_latency(kernel::Kernel& k, const LmbenchParams& p);
+  static double prot_fault_latency(kernel::Kernel& k, const LmbenchParams& p);
+  static double page_fault_latency(kernel::Kernel& k, const LmbenchParams& p);
+};
+
+}  // namespace mercury::workloads

@@ -1,0 +1,84 @@
+#include "workloads/osdb.hpp"
+
+#include <string>
+
+#include "kernel/syscalls.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace mercury::workloads {
+
+using kernel::Kernel;
+using kernel::Sub;
+using kernel::Sys;
+
+OsdbResult Osdb::run(Kernel& k, const OsdbParams& p) {
+  bool done = false;
+  hw::Cycles elapsed = 0;
+
+  // Single-stream DB client, pinned (also keeps t0/t1 on one CPU clock).
+  k.spawn("postgres-ir", [&, p](Sys& s) -> Sub<void> {
+    util::Rng rng(0x05DB);
+
+    // Load phase: populate the heap and index files (not timed).
+    const int heap_fd = s.open("/pgdata/base/heap.dat", true);
+    const int idx_fd = s.open("/pgdata/base/idx.dat", true);
+    MERC_CHECK(heap_fd >= 0 && idx_fd >= 0);
+    const std::size_t heap_bytes = p.table_mb * 1024 * 1024;
+    for (std::size_t off = 0; off < heap_bytes; off += 64 * 1024)
+      co_await s.file_write(heap_fd, 64 * 1024);
+    for (std::size_t off = 0; off < heap_bytes / 8; off += 64 * 1024)
+      co_await s.file_write(idx_fd, 64 * 1024);
+    s.fsync(heap_fd);
+    s.fsync(idx_fd);
+
+    // Shared buffers: an mmap'd arena the executor churns through.
+    const std::size_t arena_pages = 2048;
+    const hw::VirtAddr arena =
+        s.mmap(arena_pages * hw::kPageSize, true, /*inode=*/0);
+
+    const std::size_t heap_blocks = heap_bytes / 4096;
+    const hw::Cycles t0 = s.cpu().now();
+    for (int q = 0; q < p.queries; ++q) {
+      // B-tree descents: random index block reads.
+      for (int probe = 0; probe < p.index_probes_per_query; ++probe) {
+        s.seek(idx_fd, (rng.below(heap_blocks / 8)) * 4096);
+        co_await s.file_read(idx_fd, 4096);
+      }
+      // Sequential scan share: a run of heap blocks.
+      const std::uint64_t start = rng.below(heap_blocks - p.scan_blocks_per_query);
+      s.seek(heap_fd, start * 4096);
+      for (int b = 0; b < p.scan_blocks_per_query; ++b)
+        co_await s.file_read(heap_fd, 4096);
+      // Executor: per-tuple CPU work plus shared-buffer churn (the buffer
+      // replacement remaps pages, so this faults at a steady rate).
+      co_await s.compute_us(p.tuple_cpu_us);
+      const std::size_t base = rng.below(arena_pages - p.buffer_pages_touched);
+      s.touch_pages(arena + base * hw::kPageSize, p.buffer_pages_touched, true);
+      if (q % 7 == 0) {
+        // Buffer replacement: drop and re-establish a slice of the arena in
+        // place (MAP_FIXED), like shared-buffer recycling.
+        const std::size_t slice = 64;
+        const hw::VirtAddr va = arena + (q % 16) * slice * hw::kPageSize;
+        s.munmap(va, slice * hw::kPageSize);
+        s.mmap_fixed(va, slice * hw::kPageSize, true, 0, 0);
+      }
+    }
+    elapsed = s.cpu().now() - t0;
+    done = true;
+    co_return;
+  }, /*working_set_kb=*/64, /*affinity=*/0);
+
+  MERC_CHECK_MSG(k.run_until([&] { return done; },
+                             600ull * 1000 * hw::kCyclesPerMillisecond),
+                 "osdb did not finish");
+  k.reap_zombies();
+
+  OsdbResult r;
+  r.elapsed = elapsed;
+  r.mean_query_us = hw::cycles_to_us(elapsed) / p.queries;
+  r.queries_per_sec = 1e6 / r.mean_query_us;
+  return r;
+}
+
+}  // namespace mercury::workloads

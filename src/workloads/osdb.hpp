@@ -1,0 +1,32 @@
+// OSDB-IR analogue (paper Fig.3/4): PostgreSQL 7.3.6 running the Open Source
+// Database Benchmark's information-retrieval mix — read-mostly index lookups
+// and sequential scans over a buffer cache, with per-tuple CPU work and the
+// shared-buffer page churn that makes faults and read() syscalls the
+// virtualization-sensitive part of the profile.
+#pragma once
+
+#include "kernel/kernel.hpp"
+
+namespace mercury::workloads {
+
+struct OsdbParams {
+  std::size_t table_mb = 24;        // database heap size
+  int queries = 60;
+  int index_probes_per_query = 10;  // B-tree descents (block reads)
+  int scan_blocks_per_query = 24;   // sequential scan share
+  double tuple_cpu_us = 90.0;       // executor work per query
+  std::size_t buffer_pages_touched = 28;  // shared-buffer mmap churn
+};
+
+struct OsdbResult {
+  double queries_per_sec = 0;
+  double mean_query_us = 0;
+  hw::Cycles elapsed = 0;
+};
+
+class Osdb {
+ public:
+  static OsdbResult run(kernel::Kernel& k, const OsdbParams& p = {});
+};
+
+}  // namespace mercury::workloads

@@ -1,0 +1,222 @@
+// Cluster fabric + the paper's §6 scenarios as integration tests.
+#include <gtest/gtest.h>
+
+#include "cluster/failure.hpp"
+#include "cluster/scenarios.hpp"
+#include "kernel/syscalls.hpp"
+
+namespace mercury::testing {
+namespace {
+
+using cluster::AvailabilityTracker;
+using cluster::Fabric;
+using cluster::FailureInjector;
+using cluster::Node;
+using kernel::Sub;
+using kernel::Sys;
+
+TEST(AvailabilityTrackerTest, AccountsDowntimeAndMtti) {
+  AvailabilityTracker t;
+  const hw::Cycles sec = hw::kCyclesPerMicrosecond * 1'000'000ull;
+  t.service_down(0, "maintenance");
+  t.service_up(2 * sec);
+  t.service_down(50 * sec, "failure");
+  t.service_up(53 * sec);
+  t.finish(100 * sec);
+  EXPECT_EQ(t.interruptions().size(), 2u);
+  EXPECT_EQ(t.total_downtime(), 5 * sec);
+  EXPECT_NEAR(t.availability(), 0.95, 0.001);
+  EXPECT_NEAR(t.mtti_seconds(), 50.0, 0.5);
+}
+
+TEST(AvailabilityTrackerTest, FinishClosesOpenInterruption) {
+  AvailabilityTracker t;
+  t.service_down(0, "crash");
+  t.finish(1000);
+  EXPECT_FALSE(t.is_down());
+  EXPECT_EQ(t.interruptions().size(), 1u);
+}
+
+TEST(FabricTest, NodesGetDistinctAddresses) {
+  Fabric f;
+  auto& a = f.add_node("a");
+  auto& b = f.add_node("b");
+  EXPECT_NE(a.machine().nic().address(), b.machine().nic().address());
+  EXPECT_EQ(f.size(), 2u);
+  EXPECT_EQ(f.link_between(a, b), nullptr);
+  f.connect(a, b);
+  EXPECT_NE(f.link_between(a, b), nullptr);
+}
+
+TEST(FabricTest, CoStepDrivesAllNodes) {
+  Fabric f;
+  auto& a = f.add_node("a");
+  auto& b = f.add_node("b");
+  f.connect(a, b);
+  bool a_done = false, b_done = false;
+  a.active().spawn("wa", [&](Sys& s) -> Sub<void> {
+    co_await s.compute_us(2000.0);
+    a_done = true;
+  });
+  b.active().spawn("wb", [&](Sys& s) -> Sub<void> {
+    co_await s.compute_us(2000.0);
+    b_done = true;
+  });
+  EXPECT_TRUE(f.co_step([&] { return a_done && b_done; },
+                        100 * hw::kCyclesPerMillisecond));
+}
+
+TEST(ScenarioTest, OnlineMaintenancePreservesWorkload) {
+  Fabric f;
+  auto& a = f.add_node("a");
+  auto& b = f.add_node("b");
+  f.connect(a, b);
+  long counter = 0;
+  a.mercury().kernel().spawn("svc", [&](Sys& s) -> Sub<void> {
+    for (;;) {
+      co_await s.compute_us(400.0);
+      ++counter;
+    }
+  });
+  a.mercury().kernel().run_for(5 * hw::kCyclesPerMillisecond);
+  const long before = counter;
+  bool maintained = false;
+  const auto report = cluster::online_maintenance(
+      a, b, [&](hw::Machine&) { maintained = true; });
+  ASSERT_TRUE(report.success);
+  EXPECT_TRUE(maintained);
+  EXPECT_EQ(a.mercury().mode(), core::ExecMode::kNative);
+  EXPECT_EQ(b.mercury().mode(), core::ExecMode::kNative);
+  EXPECT_LT(report.service_downtime(), report.total_cycles / 100)
+      << "downtime is two stop-and-copy windows, not the whole procedure";
+  a.mercury().kernel().run_for(5 * hw::kCyclesPerMillisecond);
+  EXPECT_GT(counter, before);
+}
+
+TEST(ScenarioTest, SensorPredictionTriggersEvacuation) {
+  Fabric f;
+  auto& a = f.add_node("a");
+  auto& b = f.add_node("b");
+  f.connect(a, b);
+  bool predicted = false;
+  a.mercury().kernel().spawn("healthd", [&](Sys& s) -> Sub<void> {
+    for (;;) {
+      co_await s.sleep_us(1000.0);
+      if (hw::HealthSensors::predicts_failure(s.read_sensors())) {
+        predicted = true;
+        co_return;
+      }
+    }
+  });
+  FailureInjector::schedule_overheat(a, a.machine().cpu(0).now() +
+                                            5 * hw::kCyclesPerMillisecond);
+  ASSERT_TRUE(a.mercury().kernel().run_until([&] { return predicted; },
+                                             100 * hw::kCyclesPerMillisecond));
+  const auto ev = cluster::evacuate(a, b);
+  ASSERT_TRUE(ev.success);
+  EXPECT_TRUE(b.hosts_foreign_guest());
+  EXPECT_GT(ev.prediction_to_safety(), 0u);
+}
+
+TEST(ScenarioTest, LiveUpdatePatchesWithoutRestartAndDetaches) {
+  Fabric f;
+  auto& n = f.add_node("n");
+  core::Mercury& m = n.mercury();
+  m.kernel().set_selector_fixup_enabled(false);
+  cluster::KernelPatch patch;
+  patch.description = "re-enable fixup";
+  patch.apply_fn = [](kernel::Kernel& k) {
+    k.set_selector_fixup_enabled(true);
+  };
+  const auto report = cluster::live_update(m, patch);
+  ASSERT_TRUE(report.success);
+  EXPECT_TRUE(m.kernel().selector_fixup_enabled());
+  EXPECT_EQ(m.mode(), core::ExecMode::kNative);
+  EXPECT_GT(report.attach_cycles, 0u);
+  EXPECT_GT(report.detach_cycles, 0u);
+  EXPECT_GE(report.total_cycles,
+            report.attach_cycles + report.patch_cycles + report.detach_cycles);
+}
+
+TEST(ScenarioTest, SelfHealRepairsInjectedCorruption) {
+  Fabric f;
+  auto& n = f.add_node("n");
+  core::Mercury& m = n.mercury();
+  bool alive = false;
+  const kernel::Pid pid = m.kernel().spawn("victim", [&](Sys& s) -> Sub<void> {
+    const auto va = s.mmap(8 * hw::kPageSize, true);
+    s.touch_pages(va, 8, true);
+    for (;;) {
+      co_await s.sleep_us(2000.0);
+      s.touch_pages(va, 8, true);
+      alive = true;
+    }
+  });
+  m.kernel().run_for(5 * hw::kCyclesPerMillisecond);
+  ASSERT_TRUE(cluster::inject_pte_corruption(m, pid));
+  const auto report = cluster::self_heal(m);
+  EXPECT_TRUE(report.ran);
+  EXPECT_GE(report.entries_healed, 1u);
+  EXPECT_EQ(m.hypervisor().stats().domains_crashed, 0u);
+  alive = false;
+  m.kernel().run_for(10 * hw::kCyclesPerMillisecond);
+  EXPECT_TRUE(alive) << "the victim keeps running after the repair";
+  EXPECT_EQ(m.mode(), core::ExecMode::kNative);
+}
+
+TEST(ScenarioTest, WithoutHealingTheCorruptionCrashesTheAttach) {
+  Fabric f;
+  auto& n = f.add_node("n");
+  core::Mercury& m = n.mercury();
+  const kernel::Pid pid = m.kernel().spawn("victim", [](Sys& s) -> Sub<void> {
+    const auto va = s.mmap(8 * hw::kPageSize, true);
+    s.touch_pages(va, 8, true);
+    for (;;) co_await s.sleep_us(2000.0);
+  });
+  m.kernel().run_for(5 * hw::kCyclesPerMillisecond);
+  ASSERT_TRUE(cluster::inject_pte_corruption(m, pid));
+  // A plain attach (no heal mode) must detect the taint and crash the
+  // domain rather than enforce isolation on a corrupt table.
+  ASSERT_TRUE(m.switch_to(core::ExecMode::kPartialVirtual));
+  EXPECT_GE(m.hypervisor().stats().domains_crashed, 1u);
+}
+
+TEST(ScenarioTest, CheckpointThenRestoreRecoversAppValue) {
+  Fabric f;
+  auto& n = f.add_node("n");
+  core::Mercury& m = n.mercury();
+  hw::VirtAddr page = 0;
+  const kernel::Pid pid = m.kernel().spawn("stateful", [&](Sys& s) -> Sub<void> {
+    page = s.mmap(hw::kPageSize, true);
+    s.touch_pages(page, 1, true);
+    for (;;) co_await s.sleep_us(10'000.0);
+  });
+  m.kernel().run_for(3 * hw::kCyclesPerMillisecond);
+  kernel::Task* t = m.kernel().find_task(pid);
+  hw::Cpu& cpu = n.machine().cpu(0);
+  cpu.set_cpl(hw::Ring::kRing0);
+  cpu.write_cr3(t->aspace->page_directory());
+  n.machine().mmu().write_u32(cpu, page, 0x600DF00D);
+
+  auto ckpt = cluster::checkpoint_os(m);
+  n.machine().mmu().write_u32(cpu, page, 0xDEAD0000);
+  cluster::restore_os(m, ckpt.snapshot);
+  cpu.set_cpl(hw::Ring::kRing0);
+  cpu.write_cr3(t->aspace->page_directory());
+  cpu.tlb().flush_global();
+  EXPECT_EQ(n.machine().mmu().read_u32(cpu, page), 0x600DF00Du);
+}
+
+TEST(FailureInjectorTest, LinkLossDegradesDelivery) {
+  Fabric f;
+  auto& a = f.add_node("a");
+  auto& b = f.add_node("b");
+  f.connect(a, b);
+  FailureInjector::set_link_loss(f, a, b, 1.0);
+  hw::Packet pkt;
+  (void)a.machine().nic().send(pkt, a.machine().cpu(0).now());
+  EXPECT_EQ(f.link_between(a, b)->packets_dropped(), 1u);
+}
+
+}  // namespace
+}  // namespace mercury::testing

@@ -1,0 +1,248 @@
+// The mode-switch engine: state machine, refcount gating + deferral timer,
+// selector fixup (stub vs eager vs disabled), page-table protection flips,
+// full-virtual role, validation abort, switch-time proportionality.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/mercury.hpp"
+#include "kernel/syscalls.hpp"
+
+namespace mercury::testing {
+namespace {
+
+using core::ExecMode;
+using core::Mercury;
+using core::MercuryConfig;
+using kernel::Sub;
+using kernel::Sys;
+
+struct MercuryBox {
+  explicit MercuryBox(MercuryConfig cfg = {}, std::size_t mem_mb = 256,
+                      std::size_t cpus = 1) {
+    hw::MachineConfig mc;
+    mc.mem_kb = mem_mb * 1024;
+    mc.num_cpus = cpus;
+    machine = std::make_unique<hw::Machine>(mc);
+    if (cfg.kernel_frames == 0)
+      cfg.kernel_frames = ((mem_mb / 2) * 1024ull * 1024) / hw::kPageSize;
+    mercury = std::make_unique<Mercury>(*machine, cfg);
+  }
+  std::unique_ptr<hw::Machine> machine;
+  std::unique_ptr<Mercury> mercury;
+};
+
+TEST(SwitchEngine, RoundTripThroughAllModes) {
+  MercuryBox box;
+  Mercury& m = *box.mercury;
+  EXPECT_EQ(m.mode(), ExecMode::kNative);
+  ASSERT_TRUE(m.switch_to(ExecMode::kPartialVirtual));
+  ASSERT_TRUE(m.switch_to(ExecMode::kFullVirtual));
+  EXPECT_TRUE(m.hypervisor().blk_backend().connected());
+  ASSERT_TRUE(m.switch_to(ExecMode::kPartialVirtual));
+  EXPECT_FALSE(m.hypervisor().blk_backend().connected());
+  ASSERT_TRUE(m.switch_to(ExecMode::kNative));
+  EXPECT_FALSE(m.hypervisor().active());
+  EXPECT_EQ(m.engine().stats().attaches, 1u);
+  EXPECT_EQ(m.engine().stats().detaches, 1u);
+}
+
+TEST(SwitchEngine, RequestToCurrentModeIsNoOp) {
+  MercuryBox box;
+  EXPECT_TRUE(box.mercury->switch_to(ExecMode::kNative));
+  EXPECT_EQ(box.mercury->engine().stats().detaches, 0u);
+}
+
+TEST(SwitchEngine, OpsPointerFollowsMode) {
+  MercuryBox box;
+  Mercury& m = *box.mercury;
+  EXPECT_FALSE(m.kernel().ops().is_virtual());
+  ASSERT_TRUE(m.switch_to(ExecMode::kPartialVirtual));
+  EXPECT_TRUE(m.kernel().ops().is_virtual());
+  EXPECT_EQ(m.kernel().ops().kernel_ring(), hw::Ring::kRing1);
+  ASSERT_TRUE(m.switch_to(ExecMode::kNative));
+  EXPECT_FALSE(m.kernel().ops().is_virtual());
+  EXPECT_EQ(m.kernel().ops().kernel_ring(), hw::Ring::kRing0);
+}
+
+TEST(SwitchEngine, TrapOwnershipFollowsMode) {
+  MercuryBox box;
+  Mercury& m = *box.mercury;
+  EXPECT_EQ(box.machine->cpu(0).trap_sink(),
+            static_cast<hw::TrapSink*>(&m.kernel()));
+  ASSERT_TRUE(m.switch_to(ExecMode::kPartialVirtual));
+  EXPECT_EQ(box.machine->cpu(0).trap_sink(),
+            static_cast<hw::TrapSink*>(&m.hypervisor()));
+  ASSERT_TRUE(m.switch_to(ExecMode::kNative));
+  EXPECT_EQ(box.machine->cpu(0).trap_sink(),
+            static_cast<hw::TrapSink*>(&m.kernel()));
+}
+
+TEST(SwitchEngine, PageTablesWritableOnlyInNativeMode) {
+  MercuryBox box;
+  Mercury& m = *box.mercury;
+  const hw::Pfn l1 = m.kernel().kernel_l1_frames().front();
+  const hw::VirtAddr kva = m.kernel().kva_of_frame(l1);
+  auto writable_at = [&](hw::Ring ring) {
+    hw::Cpu& c = box.machine->cpu(0);
+    const hw::Ring prev = c.cpl();
+    c.set_cpl(ring);
+    c.tlb().flush_global();
+    const bool ok =
+        box.machine->mmu().translate(c, kva, hw::Access::kWrite).has_value();
+    c.set_cpl(prev);
+    return ok;
+  };
+  EXPECT_TRUE(writable_at(hw::Ring::kRing0));
+  ASSERT_TRUE(m.switch_to(ExecMode::kPartialVirtual));
+  EXPECT_FALSE(writable_at(hw::Ring::kRing1))
+      << "attached: PT pages must be read-only (direct paging)";
+  ASSERT_TRUE(m.switch_to(ExecMode::kNative));
+  EXPECT_TRUE(writable_at(hw::Ring::kRing0))
+      << "detached: writability restored";
+}
+
+TEST(SwitchEngine, RefcountDefersCommit) {
+  MercuryBox box;
+  Mercury& m = *box.mercury;
+  // Hold a VO section across sleeps: the paper's rare long-sensitive-path.
+  bool release_now = false;
+  m.kernel().spawn("holder", [&](Sys& s) -> Sub<void> {
+    core::VirtObject::Section section(m.native_vo());
+    while (!release_now) co_await s.sleep_us(2'000.0);
+    section.release();
+    for (;;) co_await s.sleep_us(10'000.0);
+  });
+  m.kernel().run_for(hw::kCyclesPerMillisecond);
+  ASSERT_EQ(m.native_vo().active_refs(), 1);
+
+  m.engine().request(ExecMode::kPartialVirtual);
+  m.kernel().run_for(25 * hw::kCyclesPerMillisecond);
+  EXPECT_EQ(m.mode(), ExecMode::kNative) << "switch must not land while held";
+  EXPECT_GE(m.engine().stats().deferrals, 1u) << "10ms retry timer armed";
+
+  release_now = true;
+  EXPECT_TRUE(m.kernel().run_until(
+      [&] { return m.mode() == ExecMode::kPartialVirtual; },
+      200 * hw::kCyclesPerMillisecond))
+      << "switch commits once the reference count drains";
+}
+
+TEST(SwitchEngine, SelectorFixupStubPatchesBlockedTasks) {
+  MercuryBox box;
+  Mercury& m = *box.mercury;
+  m.kernel().spawn("sleeper", [](Sys& s) -> Sub<void> {
+    for (;;) co_await s.sleep_us(3'000.0);
+  });
+  m.kernel().run_for(hw::kCyclesPerMillisecond);
+  // Blocked in-kernel: saved selectors carry ring 0.
+  kernel::Task* t = nullptr;
+  m.kernel().for_each_task([&](kernel::Task& task) { t = &task; });
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->saved_ctx.cs.rpl(), hw::Ring::kRing0);
+
+  ASSERT_TRUE(m.switch_to(ExecMode::kPartialVirtual));
+  const auto fixups_before = m.kernel().stats().selector_fixups;
+  m.kernel().run_for(10 * hw::kCyclesPerMillisecond);  // resume under ring 1
+  EXPECT_GT(m.kernel().stats().selector_fixups, fixups_before)
+      << "the resume stub must rewrite the stale ring-0 selectors";
+  EXPECT_EQ(m.kernel().stats().gp_faults_on_resume, 0u);
+}
+
+TEST(SwitchEngine, DisabledFixupFaultsExactlyAsThePaperWarns) {
+  MercuryBox box;
+  Mercury& m = *box.mercury;
+  m.kernel().set_selector_fixup_enabled(false);
+  bool alive_marker = false;
+  const kernel::Pid pid = m.kernel().spawn("victim", [&](Sys& s) -> Sub<void> {
+    for (;;) {
+      co_await s.sleep_us(3'000.0);
+      alive_marker = true;
+    }
+  });
+  m.kernel().run_for(hw::kCyclesPerMillisecond);
+  ASSERT_TRUE(m.switch_to(ExecMode::kPartialVirtual));
+  m.kernel().run_for(20 * hw::kCyclesPerMillisecond);
+  EXPECT_GE(m.kernel().stats().gp_faults_on_resume, 1u)
+      << "popping a stale selector must raise #GP (paper §5.1.2)";
+  kernel::Task* t = m.kernel().find_task(pid);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->state, kernel::TaskState::kZombie);
+  (void)alive_marker;
+}
+
+TEST(SwitchEngine, EagerFixupAvoidsResumeStubWork) {
+  MercuryConfig cfg;
+  cfg.switch_config.eager_selector_fixup = true;
+  MercuryBox box(cfg);
+  Mercury& m = *box.mercury;
+  m.kernel().spawn("sleeper", [](Sys& s) -> Sub<void> {
+    for (;;) co_await s.sleep_us(3'000.0);
+  });
+  m.kernel().run_for(hw::kCyclesPerMillisecond);
+  ASSERT_TRUE(m.switch_to(ExecMode::kPartialVirtual));
+  kernel::Task* t = nullptr;
+  m.kernel().for_each_task([&](kernel::Task& task) { t = &task; });
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->saved_ctx.cs.rpl(), hw::Ring::kRing1)
+      << "eager walk already rewrote the saved frame at switch time";
+}
+
+TEST(SwitchEngine, ValidationAbortLeavesModeUntouched) {
+  MercuryConfig cfg;
+  cfg.switch_config.validate_before_commit = true;
+  MercuryBox box(cfg);
+  Mercury& m = *box.mercury;
+  // Sanity: with a healthy kernel the validated switch succeeds.
+  ASSERT_TRUE(m.switch_to(ExecMode::kPartialVirtual));
+  ASSERT_TRUE(m.switch_to(ExecMode::kNative));
+  EXPECT_EQ(m.engine().stats().validation_aborts, 0u);
+}
+
+TEST(SwitchEngine, AttachScalesWithMemoryDetachDoesNot) {
+  auto time_switch = [](std::size_t mem_mb) {
+    MercuryConfig cfg;
+    cfg.kernel_frames = (mem_mb * 1024ull * 1024 / 2) / hw::kPageSize;
+    MercuryBox box(cfg, mem_mb);
+    Mercury& m = *box.mercury;
+    EXPECT_TRUE(m.switch_to(ExecMode::kPartialVirtual));
+    const hw::Cycles attach = m.engine().stats().last_attach_cycles;
+    EXPECT_TRUE(m.switch_to(ExecMode::kNative));
+    const hw::Cycles detach = m.engine().stats().last_detach_cycles;
+    return std::make_pair(attach, detach);
+  };
+  const auto [attach_small, detach_small] = time_switch(128);
+  const auto [attach_big, detach_big] = time_switch(512);
+  EXPECT_GT(attach_big, 3 * attach_small)
+      << "attach is dominated by the per-frame info rebuild (§7.4)";
+  EXPECT_LT(detach_big, 3 * detach_small)
+      << "detach drops the accounting in O(1) + O(#page tables)";
+  EXPECT_GT(attach_big, 5 * detach_big) << "attach >> detach, as measured";
+}
+
+TEST(SwitchEngine, SmpSwitchRendezvousesAllCpus) {
+  MercuryBox box({}, 256, /*cpus=*/2);
+  Mercury& m = *box.mercury;
+  const auto ipis_before = box.machine->interrupts().ipis_sent();
+  ASSERT_TRUE(m.switch_to(ExecMode::kPartialVirtual));
+  EXPECT_GT(m.engine().stats().last_rendezvous_cycles, 0u);
+  EXPECT_GT(box.machine->interrupts().ipis_sent(), ipis_before);
+  // Both CPUs end aligned on the new mode's state.
+  EXPECT_EQ(box.machine->cpu(0).idt(), m.hypervisor().idt_token());
+  EXPECT_EQ(box.machine->cpu(1).idt(), m.hypervisor().idt_token());
+  ASSERT_TRUE(m.switch_to(ExecMode::kNative));
+  EXPECT_EQ(box.machine->cpu(0).idt(), m.kernel().idt_token());
+  EXPECT_EQ(box.machine->cpu(1).idt(), m.kernel().idt_token());
+}
+
+TEST(SwitchEngine, IdtReloadedPerMode) {
+  MercuryBox box;
+  Mercury& m = *box.mercury;
+  EXPECT_EQ(box.machine->cpu(0).idt(), m.kernel().idt_token());
+  ASSERT_TRUE(m.switch_to(ExecMode::kPartialVirtual));
+  EXPECT_EQ(box.machine->cpu(0).idt(), m.hypervisor().idt_token())
+      << "hardware IDT belongs to the VMM in virtual mode";
+}
+
+}  // namespace
+}  // namespace mercury::testing

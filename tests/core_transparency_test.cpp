@@ -1,0 +1,153 @@
+// The paper's central behavioural claim (§4.3): applications are completely
+// shielded from mode transitions. Property test: run a deterministic
+// workload while injecting mode switches at pseudo-random points; the
+// application-visible results must be identical to a run with no switches.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/mercury.hpp"
+#include "kernel/syscalls.hpp"
+#include "util/rng.hpp"
+
+namespace mercury::testing {
+namespace {
+
+using core::ExecMode;
+using core::Mercury;
+using kernel::Sub;
+using kernel::Sys;
+
+struct WorkloadResult {
+  std::vector<std::uint32_t> values;
+  long file_bytes = 0;
+  int children_ok = 0;
+
+  bool operator==(const WorkloadResult& o) const {
+    return values == o.values && file_bytes == o.file_bytes &&
+           children_ok == o.children_ok;
+  }
+};
+
+/// A deterministic mixed workload: memory arithmetic, fork/wait, file I/O.
+/// Returns every application-visible value it computes.
+WorkloadResult run_workload(Mercury& m, const std::function<void(int)>& step_hook) {
+  WorkloadResult result;
+  bool done = false;
+  m.kernel().spawn("app", [&](Sys& s) -> Sub<void> {
+    auto& mmu = s.kernel().machine().mmu();
+    const hw::VirtAddr buf = s.mmap(16 * hw::kPageSize, true);
+    const int fd = s.open("/app/data", true);
+    std::uint32_t acc = 0x1234;
+    for (int i = 0; i < 40; ++i) {
+      step_hook(i);
+      mmu.write_u32(s.cpu(), buf + (i % 16) * hw::kPageSize, acc);
+      acc = acc * 1664525u + 1013904223u;
+      acc ^= mmu.read_u32(s.cpu(), buf + (i % 16) * hw::kPageSize);
+      result.values.push_back(acc);
+      result.file_bytes +=
+          static_cast<long>(co_await s.file_write(fd, 512 + (i % 7) * 128));
+      if (i % 13 == 5) {
+        const auto child = s.fork([](Sys& cs) -> Sub<void> {
+          cs.exit(11);
+          co_return;
+        });
+        if (co_await s.wait_pid(child) == 11) ++result.children_ok;
+      }
+      co_await s.compute_us(120.0);
+    }
+    done = true;
+  });
+  EXPECT_TRUE(m.kernel().run_until([&] { return done; },
+                                   3000ull * hw::kCyclesPerMillisecond));
+  m.kernel().reap_zombies();
+  return result;
+}
+
+std::unique_ptr<hw::Machine> make_machine() {
+  hw::MachineConfig mc;
+  mc.mem_kb = 192 * 1024;
+  return std::make_unique<hw::Machine>(mc);
+}
+
+core::MercuryConfig small_cfg() {
+  core::MercuryConfig cfg;
+  cfg.kernel_frames = (64ull * 1024 * 1024) / hw::kPageSize;
+  return cfg;
+}
+
+class TransparencyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransparencyTest, RandomSwitchInjectionIsInvisibleToTheApp) {
+  // Baseline: no switches.
+  auto m1 = make_machine();
+  Mercury base(*m1, small_cfg());
+  const WorkloadResult expected = run_workload(base, [](int) {});
+
+  // Same workload with switches requested at pseudo-random steps.
+  auto m2 = make_machine();
+  Mercury subject(*m2, small_cfg());
+  util::Rng rng(GetParam());
+  std::vector<bool> switch_here(40);
+  for (int i = 0; i < 40; ++i) switch_here[i] = rng.chance(0.25);
+
+  int switches = 0;
+  const WorkloadResult got = run_workload(subject, [&](int step) {
+    if (!switch_here[step]) return;
+    const ExecMode target = subject.mode() == ExecMode::kNative
+                                ? ExecMode::kPartialVirtual
+                                : ExecMode::kNative;
+    subject.engine().request(target);  // lands asynchronously, mid-workload
+    ++switches;
+  });
+
+  EXPECT_GT(switches, 0);
+  EXPECT_EQ(got, expected)
+      << "application-visible state diverged across mode switches";
+  EXPECT_GT(subject.engine().stats().attaches, 0u);
+  EXPECT_EQ(subject.hypervisor().stats().domains_crashed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransparencyTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+TEST(TransparencyTiming, NativePhaseRunsAtNativeSpeedAfterDetach) {
+  // Mercury's whole point: after detach the same work costs native cycles.
+  auto measure = [](Mercury& m) {
+    hw::Cycles cost = 0;
+    bool done = false;
+    m.kernel().spawn("probe", [&](Sys& s) -> Sub<void> {
+      const auto va = s.mmap(64 * hw::kPageSize, true);
+      const hw::Cycles t0 = s.cpu().now();
+      s.touch_pages(va, 64, true);
+      const auto child = s.fork([](Sys& cs) -> Sub<void> {
+        cs.exit(0);
+        co_return;
+      });
+      co_await s.wait_pid(child);
+      cost = s.cpu().now() - t0;
+      done = true;
+    });
+    EXPECT_TRUE(m.kernel().run_until([&] { return done; },
+                                     1000 * hw::kCyclesPerMillisecond));
+    m.kernel().reap_zombies();
+    return cost;
+  };
+
+  auto mach = make_machine();
+  Mercury m(*mach, small_cfg());
+  const hw::Cycles native_before = measure(m);
+  ASSERT_TRUE(m.switch_to(ExecMode::kPartialVirtual));
+  const hw::Cycles virtualized = measure(m);
+  ASSERT_TRUE(m.switch_to(ExecMode::kNative));
+  const hw::Cycles native_after = measure(m);
+
+  EXPECT_GT(virtualized, 2 * native_before)
+      << "virtual mode must cost visibly more (fork path)";
+  EXPECT_LT(native_after, native_before + native_before / 5)
+      << "after detach the overhead must be gone (within 20%)";
+}
+
+}  // namespace
+}  // namespace mercury::testing

@@ -1,0 +1,176 @@
+// The coroutine runtime: nested awaits, exception propagation, kill paths,
+// body-closure lifetime, and the wait-queue machinery.
+#include "tests/kernel_fixture.hpp"
+
+namespace mercury::testing {
+namespace {
+
+using kernel::Pid;
+using kernel::Sub;
+using kernel::Sys;
+using kernel::TaskKilled;
+using kernel::WaitQueue;
+
+using CoroTest = KernelFixture;
+
+Sub<int> add_later(Sys& s, int a, int b) {
+  co_await s.sleep_us(100.0);
+  co_return a + b;
+}
+
+Sub<int> twice_nested(Sys& s, int x) {
+  const int once = co_await add_later(s, x, 1);
+  const int twice = co_await add_later(s, once, 1);
+  co_return twice;
+}
+
+TEST_F(CoroTest, NestedCoroutinesReturnValuesThroughSuspensions) {
+  int result = 0;
+  EXPECT_TRUE(run_task([&](Sys& s) -> Sub<void> {
+    result = co_await twice_nested(s, 40);
+  }));
+  EXPECT_EQ(result, 42);
+}
+
+TEST_F(CoroTest, ExceptionPropagatesAcrossNestingAndSuspension) {
+  struct Boom {};
+  auto thrower = [](Sys& s) -> Sub<int> {
+    co_await s.sleep_us(50.0);
+    throw Boom{};
+    co_return 0;
+  };
+  bool caught = false;
+  EXPECT_TRUE(run_task([&](Sys& s) -> Sub<void> {
+    try {
+      (void)co_await thrower(s);
+    } catch (const Boom&) {
+      caught = true;
+    }
+    co_return;
+  }));
+  EXPECT_TRUE(caught);
+}
+
+TEST_F(CoroTest, ExitUnwindsNestedFrames) {
+  // exit() thrown deep inside nested coroutines must terminate the task
+  // with the right status (destructors of in-flight frames run).
+  int destructions = 0;
+  struct Probe {
+    int* count;
+    ~Probe() { ++*count; }
+  };
+  auto deep = [&](Sys& s) -> Sub<void> {
+    Probe p{&destructions};
+    co_await s.sleep_us(10.0);
+    s.exit(33);
+    co_return;
+  };
+  int status = 0;
+  EXPECT_TRUE(run_task([&](Sys& s) -> Sub<void> {
+    const Pid child = s.fork([&](Sys& cs) -> Sub<void> {
+      Probe p{&destructions};
+      co_await deep(cs);
+      co_return;
+    });
+    status = co_await s.wait_pid(child);
+  }));
+  EXPECT_EQ(status, 33);
+  EXPECT_EQ(destructions, 2) << "both frames' locals must be destroyed";
+}
+
+TEST_F(CoroTest, KillWhileBlockedRunsFrameDestructors) {
+  int destructions = 0;
+  struct Probe {
+    int* count;
+    ~Probe() { ++*count; }
+  };
+  const Pid pid = k->spawn("victim", [&](Sys& s) -> Sub<void> {
+    Probe p{&destructions};
+    for (;;) co_await s.sleep_us(1e6);
+  });
+  k->run_for(hw::kCyclesPerMillisecond);
+  k->kill(pid);
+  EXPECT_TRUE(k->run_until(
+      [&] { return k->find_task(pid)->state == kernel::TaskState::kZombie; },
+      50 * hw::kCyclesPerMillisecond));
+  k->reap_zombies();  // destroys the suspended frame
+  EXPECT_EQ(destructions, 1);
+}
+
+TEST_F(CoroTest, BodyClosureOutlivesSpawnScope) {
+  // Regression: a lambda coroutine's frame references its closure, so the
+  // task must keep the closure alive after spawn() returns.
+  bool done = false;
+  {
+    std::vector<int> big(1000, 7);
+    k->spawn("closure", [big, &done](Sys& s) -> Sub<void> {
+      co_await s.sleep_us(2000.0);  // resumes long after spawn's scope died
+      if (big[500] == 7) done = true;
+      co_return;
+    });
+  }
+  EXPECT_TRUE(
+      k->run_until([&] { return done; }, 50 * hw::kCyclesPerMillisecond));
+}
+
+TEST_F(CoroTest, WaitQueueRemoveAndWakeSemantics) {
+  WaitQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pop(), nullptr);
+  kernel::Task a(1, 0, "a"), b(2, 0, "b");
+  q.add(&a);
+  q.add(&b);
+  EXPECT_EQ(q.size(), 2u);
+  q.remove(&a);
+  EXPECT_EQ(q.pop(), &b);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST_F(CoroTest, BlockedTaskSnapshotsKernelSelectors) {
+  const Pid pid = k->spawn("s", [](Sys& s) -> Sub<void> {
+    for (;;) co_await s.sleep_us(1e5);
+  });
+  k->run_for(hw::kCyclesPerMillisecond);
+  kernel::Task* t = k->find_task(pid);
+  ASSERT_NE(t, nullptr);
+  EXPECT_TRUE(t->saved_ctx.valid);
+  EXPECT_EQ(t->saved_ctx.cs.index(), hw::kGdtKernelCs);
+  EXPECT_EQ(t->saved_ctx.cs.rpl(), hw::Ring::kRing0) << "native kernel ring";
+}
+
+TEST_F(CoroTest, YieldedTaskSnapshotsUserSelectors) {
+  const Pid pid = k->spawn("y", [](Sys& s) -> Sub<void> {
+    for (int i = 0; i < 3; ++i) co_await s.yield();
+    for (;;) co_await s.sleep_us(1e6);
+  }, 64, 0);
+  // Run a couple of steps so a yield snapshot happens.
+  k->spawn("other", [](Sys& s) -> Sub<void> {
+    co_await s.compute_us(100.0);
+    co_return;
+  }, 64, 0);
+  k->run_for(hw::kCyclesPerMillisecond / 4);
+  kernel::Task* t = k->find_task(pid);
+  ASSERT_NE(t, nullptr);
+  if (t->state == kernel::TaskState::kRunnable && t->saved_ctx.valid) {
+    EXPECT_EQ(t->saved_ctx.cs.rpl(), hw::Ring::kRing3);
+  }
+}
+
+TEST_F(CoroTest, TimedWaitWakesOnTimeout) {
+  bool done = false;
+  double rtt = 0;
+  k->spawn("recv-timeout", [&](Sys& s) -> Sub<void> {
+    const int fd = s.socket_udp(0);
+    const hw::Cycles t0 = s.cpu().now();
+    const auto r = co_await s.recvfrom(fd, 2000.0);  // nothing will arrive
+    rtt = hw::cycles_to_us(s.cpu().now() - t0);
+    done = !r.ok;
+  });
+  EXPECT_TRUE(
+      k->run_until([&] { return done; }, 100 * hw::kCyclesPerMillisecond));
+  EXPECT_GE(rtt, 2000.0);
+  EXPECT_LT(rtt, 50'000.0);
+}
+
+}  // namespace
+}  // namespace mercury::testing

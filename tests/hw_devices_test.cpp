@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "hw/costs.hpp"
+#include "hw/devices/disk.hpp"
+#include "hw/devices/nic.hpp"
+#include "hw/devices/sensors.hpp"
+#include "hw/interrupts.hpp"
+#include "hw/machine.hpp"
+#include "util/assert.hpp"
+
+namespace mercury::hw {
+namespace {
+
+std::array<std::uint8_t, Disk::kBlockSize> buf{};
+
+TEST(DiskTest, SequentialCheaperThanRandom) {
+  Disk disk;
+  (void)disk.write(100, buf);
+  const Cycles seq = disk.write(101, buf);
+  const Cycles random = disk.write(4'000'000, buf);
+  EXPECT_LT(seq, random);
+  EXPECT_GE(random, costs::kDiskSeek);
+}
+
+TEST(DiskTest, ShortHopCheaperThanFullSeek) {
+  Disk disk;
+  (void)disk.write(1000, buf);
+  const Cycles hop = disk.write(1010, buf);  // gap < 256
+  (void)disk.write(2000, buf);
+  const Cycles medium = disk.write(2000 + 3000, buf);  // gap < 4096
+  (void)disk.write(3000, buf);
+  const Cycles full = disk.write(3000 + 100000, buf);
+  EXPECT_LT(hop, medium);
+  EXPECT_LT(medium, full);
+}
+
+TEST(DiskTest, DataPersists) {
+  Disk disk;
+  std::array<std::uint8_t, Disk::kBlockSize> in{};
+  in[17] = 0xAA;
+  (void)disk.write(55, in);
+  std::array<std::uint8_t, Disk::kBlockSize> out{};
+  (void)disk.read(55, out);
+  EXPECT_EQ(out[17], 0xAA);
+}
+
+TEST(DiskTest, UnwrittenBlocksReadZero) {
+  Disk disk;
+  std::array<std::uint8_t, Disk::kBlockSize> out{};
+  out[3] = 9;
+  (void)disk.read(7777, out);
+  EXPECT_EQ(out[3], 0);
+}
+
+TEST(DiskTest, FlushCostGrowsWithPendingWrites) {
+  Disk d1, d2;
+  (void)d1.write(1, buf);
+  const Cycles small = d1.flush();
+  for (int i = 0; i < 200; ++i) (void)d2.write(i * 10, buf);
+  const Cycles big = d2.flush();
+  EXPECT_LT(small, big);
+}
+
+TEST(DiskTest, BeyondDeviceIsInvariantError) {
+  Disk::Params p;
+  p.block_count = 10;
+  Disk disk(p);
+  EXPECT_THROW((void)disk.read(10, buf), util::InvariantError);
+}
+
+TEST(LinkTest, DeliversWithLatencyAndSerialization) {
+  Nic a(1), b(2);
+  Link::Params lp;
+  lp.per_byte = 24;
+  lp.latency = 1000;
+  Link link(lp);
+  link.attach(&a, &b);
+
+  Packet pkt;
+  pkt.payload_bytes = 1000;
+  (void)a.send(pkt, /*now=*/0);
+  // Not yet arrived right after send.
+  EXPECT_FALSE(b.poll(100).has_value());
+  auto arrival = b.earliest_arrival();
+  ASSERT_TRUE(arrival.has_value());
+  EXPECT_GE(*arrival, 1000u + 24u * 1064);
+  EXPECT_TRUE(b.poll(*arrival).has_value());
+}
+
+TEST(LinkTest, BandwidthSerializesBackToBack) {
+  Nic a(1), b(2);
+  Link link;
+  link.attach(&a, &b);
+  Packet pkt;
+  pkt.payload_bytes = 1500;
+  (void)a.send(pkt, 0);
+  (void)a.send(pkt, 0);
+  // The second packet must arrive one serialization time after the first.
+  (void)b.poll(~Cycles{0} / 2);
+  auto second = b.earliest_arrival();
+  ASSERT_TRUE(second.has_value());
+  const Cycles wire = 24 * (1500 + 64);
+  EXPECT_GE(*second, 2 * wire);
+}
+
+TEST(LinkTest, DownLinkDropsEverything) {
+  Nic a(1), b(2);
+  Link link;
+  link.attach(&a, &b);
+  link.set_up(false);
+  Packet pkt;
+  (void)a.send(pkt, 0);
+  EXPECT_EQ(link.packets_dropped(), 1u);
+  EXPECT_FALSE(b.earliest_arrival().has_value());
+  link.set_up(true);
+  (void)a.send(pkt, 0);
+  EXPECT_EQ(link.packets_carried(), 1u);
+}
+
+TEST(LinkTest, LossProbabilityDropsSome) {
+  Nic a(1), b(2);
+  Link link;
+  link.attach(&a, &b);
+  link.set_drop_probability(0.5);
+  Packet pkt;
+  for (int i = 0; i < 200; ++i) (void)a.send(pkt, i * 100000);
+  EXPECT_GT(link.packets_dropped(), 50u);
+  EXPECT_GT(link.packets_carried(), 50u);
+}
+
+TEST(NicTest, RxInterruptRaisedOnDelivery) {
+  MachineConfig mc;
+  mc.mem_kb = 8 * 1024;
+  Machine m(mc);
+  m.nic().bind_irq(&m.interrupts(), 0);
+  Nic peer(99);
+  Link link;
+  link.attach(&peer, &m.nic());
+  Packet pkt;
+  pkt.payload_bytes = 64;
+  (void)peer.send(pkt, 0);
+  auto arrival = m.nic().earliest_arrival();
+  ASSERT_TRUE(arrival.has_value());
+  m.cpu(0).advance_to(*arrival);
+  m.cpu(0).set_iflag_raw(true);
+  auto irq = m.interrupts().next_pending(m.cpu(0));
+  ASSERT_TRUE(irq.has_value());
+  EXPECT_EQ(irq->vector, kVecNic);
+}
+
+TEST(SensorsTest, DefaultsHealthyAndInjectable) {
+  HealthSensors s;
+  SensorReadings r;
+  (void)s.read(r);
+  EXPECT_FALSE(HealthSensors::predicts_failure(r));
+  s.inject_overheat(97.0);
+  (void)s.read(r);
+  EXPECT_TRUE(HealthSensors::predicts_failure(r));
+  s.clear_anomalies();
+  (void)s.read(r);
+  EXPECT_FALSE(HealthSensors::predicts_failure(r));
+  s.inject_fan_failure();
+  (void)s.read(r);
+  EXPECT_TRUE(HealthSensors::predicts_failure(r));
+}
+
+TEST(InterruptControllerTest, PriorityAndFifoOrdering) {
+  InterruptController ic(1);
+  Cpu cpu(0);
+  cpu.set_iflag_raw(true);
+  ic.raise(0, kVecNic, 0, 1);
+  ic.raise(0, kVecTimer, 0, 2);  // lower vector = higher priority
+  ic.raise(0, kVecNic, 0, 3);
+  auto a = ic.next_pending(cpu);
+  auto b = ic.next_pending(cpu);
+  auto c = ic.next_pending(cpu);
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(a->vector, kVecTimer);
+  EXPECT_EQ(b->payload, 1u);  // FIFO within a vector
+  EXPECT_EQ(c->payload, 3u);
+}
+
+TEST(InterruptControllerTest, MaskedWhenIfClear) {
+  InterruptController ic(1);
+  Cpu cpu(0);
+  cpu.set_iflag_raw(false);
+  ic.raise(0, kVecTimer, 0);
+  EXPECT_FALSE(ic.next_pending(cpu).has_value());
+  cpu.set_iflag_raw(true);
+  EXPECT_TRUE(ic.next_pending(cpu).has_value());
+}
+
+TEST(InterruptControllerTest, FutureArrivalNotVisible) {
+  InterruptController ic(1);
+  Cpu cpu(0);
+  cpu.set_iflag_raw(true);
+  ic.raise(0, kVecTimer, 5000);
+  EXPECT_FALSE(ic.next_pending(cpu).has_value());
+  cpu.advance_to(5000);
+  EXPECT_TRUE(ic.next_pending(cpu).has_value());
+}
+
+TEST(InterruptControllerTest, IpiChargesSenderAndArrivesLater) {
+  InterruptController ic(2);
+  Cpu cpu0(0), cpu1(1);
+  cpu1.set_iflag_raw(true);
+  const Cycles before = cpu0.now();
+  ic.send_ipi(cpu0, 1, kVecIpiReschedule, 7);
+  EXPECT_GT(cpu0.now(), before);
+  EXPECT_FALSE(ic.next_pending(cpu1).has_value());
+  cpu1.advance_to(cpu0.now() + costs::kIpiSendLatency);
+  auto irq = ic.next_pending(cpu1);
+  ASSERT_TRUE(irq.has_value());
+  EXPECT_EQ(irq->payload, 7u);
+}
+
+TEST(InterruptControllerTest, BroadcastSkipsSelf) {
+  InterruptController ic(3);
+  Cpu cpu0(0), cpu1(1), cpu2(2);
+  ic.broadcast_ipi(cpu0, kVecIpiModeSwitch);
+  EXPECT_EQ(ic.ipis_sent(), 2u);
+  EXPECT_FALSE(ic.earliest_arrival(0).has_value());
+  EXPECT_TRUE(ic.earliest_arrival(1).has_value());
+  EXPECT_TRUE(ic.earliest_arrival(2).has_value());
+}
+
+TEST(TimerBankTest, PeriodicDeadlines) {
+  TimerBank timers(1, 1000);
+  Cpu cpu(0);
+  EXPECT_FALSE(timers.tick_due(cpu));
+  cpu.advance_to(1000);
+  EXPECT_TRUE(timers.tick_due(cpu));
+  EXPECT_FALSE(timers.tick_due(cpu)) << "tick must be consumed";
+  EXPECT_EQ(timers.next_deadline(0), 2000u);
+}
+
+TEST(TimerBankTest, MissedTicksCoalesce) {
+  TimerBank timers(1, 1000);
+  Cpu cpu(0);
+  cpu.advance_to(5500);
+  EXPECT_TRUE(timers.tick_due(cpu));
+  EXPECT_FALSE(timers.tick_due(cpu)) << "burst replay would be wrong";
+  EXPECT_EQ(timers.next_deadline(0), 6000u);
+}
+
+TEST(CpuTest, PrivilegedOpsFaultAtRing1) {
+  Cpu cpu(0);
+  struct CountSink : TrapSink {
+    int gp = 0;
+    void on_trap(Cpu&, const TrapInfo& info) override {
+      if (info.kind == TrapKind::kGeneralProtection) ++gp;
+    }
+  } sink;
+  cpu.install_trap_sink(&sink);
+  cpu.set_cpl(Ring::kRing1);
+  EXPECT_FALSE(cpu.write_cr3(5));
+  EXPECT_FALSE(cpu.set_interrupts_enabled(true));
+  EXPECT_FALSE(cpu.load_idt(TableToken{3}));
+  EXPECT_FALSE(cpu.halt());
+  EXPECT_EQ(sink.gp, 4);
+  cpu.set_cpl(Ring::kRing0);
+  EXPECT_TRUE(cpu.write_cr3(5));
+  EXPECT_EQ(cpu.read_cr3(), 5u);
+}
+
+TEST(CpuTest, Cr3WriteFlushesNonGlobalTlb) {
+  Cpu cpu(0);
+  cpu.tlb().insert(1, make_pte(1, true, true, /*global=*/false));
+  cpu.tlb().insert(2, make_pte(2, true, true, /*global=*/true));
+  struct S : TrapSink {
+    void on_trap(Cpu&, const TrapInfo&) override {}
+  } sink;
+  cpu.install_trap_sink(&sink);
+  cpu.write_cr3(9);
+  EXPECT_FALSE(cpu.tlb().lookup(1).has_value());
+  EXPECT_TRUE(cpu.tlb().lookup(2).has_value());
+}
+
+TEST(CpuTest, RdtscMonotonicAndCharges) {
+  Cpu cpu(0);
+  const Cycles a = cpu.rdtsc();
+  const Cycles b = cpu.rdtsc();
+  EXPECT_GT(b, a);
+}
+
+TEST(MachineTest, ConfigShapesTheBox) {
+  MachineConfig mc;
+  mc.num_cpus = 2;
+  mc.mem_kb = 900'000;
+  Machine m(mc);
+  EXPECT_EQ(m.num_cpus(), 2u);
+  EXPECT_EQ(m.memory().total_frames(), 225'000u);
+  EXPECT_EQ(m.frames().total_frames(), 225'000u);
+}
+
+}  // namespace
+}  // namespace mercury::hw

@@ -1,0 +1,220 @@
+// Process lifecycle: spawn/exit/wait, fork semantics (COW), exec, kill.
+#include "tests/kernel_fixture.hpp"
+
+namespace mercury::testing {
+namespace {
+
+using kernel::Pid;
+using kernel::Sub;
+using kernel::Sys;
+using kernel::Task;
+using kernel::TaskState;
+
+using TaskTest = KernelFixture;
+
+TEST_F(TaskTest, SpawnRunsToCompletion) {
+  bool ran = false;
+  EXPECT_TRUE(run_task([&](Sys&) -> Sub<void> {
+    ran = true;
+    co_return;
+  }));
+  EXPECT_TRUE(ran);
+}
+
+TEST_F(TaskTest, ExitStatusPropagatesToWaiter) {
+  int status = -99;
+  EXPECT_TRUE(run_task([&](Sys& s) -> Sub<void> {
+    const Pid child = s.fork([](Sys& cs) -> Sub<void> {
+      cs.exit(42);
+      co_return;
+    });
+    status = co_await s.wait_pid(child);
+  }));
+  EXPECT_EQ(status, 42);
+}
+
+TEST_F(TaskTest, WaitReapsZombie) {
+  EXPECT_TRUE(run_task([&](Sys& s) -> Sub<void> {
+    const Pid child = s.fork([](Sys& cs) -> Sub<void> {
+      cs.exit(0);
+      co_return;
+    });
+    co_await s.wait_pid(child);
+    EXPECT_EQ(s.kernel().find_task(child), nullptr);
+    co_return;
+  }));
+}
+
+TEST_F(TaskTest, ForkChildSeesCopyOnWriteMemory) {
+  // Parent writes A to a page; child writes B; parent must still read A's
+  // frame (logically: the pages are separated on write).
+  std::uint32_t parent_after_child = 0;
+  EXPECT_TRUE(run_task([&](Sys& s) -> Sub<void> {
+    const hw::VirtAddr va = s.mmap(hw::kPageSize, true);
+    auto& mmu = s.kernel().machine().mmu();
+    mmu.write_u32(s.cpu(), va, 0xAAAA5555);
+
+    const Pid child = s.fork([va](Sys& cs) -> Sub<void> {
+      auto& cmmu = cs.kernel().machine().mmu();
+      // The child observes the parent's value, then COW-breaks it.
+      if (cmmu.read_u32(cs.cpu(), va) != 0xAAAA5555) cs.exit(1);
+      cmmu.write_u32(cs.cpu(), va, 0xBBBB0000);
+      if (cmmu.read_u32(cs.cpu(), va) != 0xBBBB0000) cs.exit(2);
+      cs.exit(0);
+      co_return;  // makes this body a coroutine (exit unwinds the frame)
+    });
+    const int rc = co_await s.wait_pid(child);
+    EXPECT_EQ(rc, 0);
+    parent_after_child = mmu.read_u32(s.cpu(), va);
+  }));
+  EXPECT_EQ(parent_after_child, 0xAAAA5555u);
+}
+
+TEST_F(TaskTest, ForkIncrementsCowBreakStats) {
+  EXPECT_TRUE(run_task([&](Sys& s) -> Sub<void> {
+    const hw::VirtAddr va = s.mmap(4 * hw::kPageSize, true);
+    s.touch_pages(va, 4, true);
+    const Pid child = s.fork([va](Sys& cs) -> Sub<void> {
+      cs.touch_pages(va, 4, true);  // 4 COW breaks
+      cs.exit(0);
+      co_return;
+    });
+    co_await s.wait_pid(child);
+  }));
+  EXPECT_GE(k->stats().cow_breaks, 4u);
+}
+
+TEST_F(TaskTest, ForkChildInheritsAndChildExitFreesFrames) {
+  const std::size_t used_before = k->pool().used_count();
+  EXPECT_TRUE(run_task([&](Sys& s) -> Sub<void> {
+    const hw::VirtAddr va = s.mmap(16 * hw::kPageSize, true);
+    s.touch_pages(va, 16, true);
+    const Pid child = s.fork([](Sys& cs) -> Sub<void> {
+      cs.exit(0);
+      co_return;
+    });
+    co_await s.wait_pid(child);
+    s.munmap(va, 16 * hw::kPageSize);
+    co_return;
+  }));
+  k->reap_zombies();
+  // No frame leak: the only diff should be transient/none.
+  EXPECT_LE(k->pool().used_count(), used_before + 2);
+}
+
+TEST_F(TaskTest, ExecReplacesAddressSpace) {
+  EXPECT_TRUE(run_task([&](Sys& s) -> Sub<void> {
+    const hw::VirtAddr va = s.mmap(8 * hw::kPageSize, true);
+    s.touch_pages(va, 8, true);
+    const std::size_t before = s.task().aspace->resident_pages();
+    EXPECT_GE(before, 8u);
+    s.exec(kernel::hello_image());
+    // Old mappings are gone; the new image's startup pages are resident.
+    bool old_mapped = true;
+    auto pte = s.kernel().machine().mmu().peek_pte(s.cpu(), va);
+    old_mapped = pte.has_value();
+    EXPECT_FALSE(old_mapped);
+    EXPECT_EQ(s.task().name, "hello");
+    co_return;
+  }));
+}
+
+TEST_F(TaskTest, KillTerminatesBlockedTask) {
+  const Pid pid = k->spawn("sleeper", [](Sys& s) -> Sub<void> {
+    for (;;) co_await s.sleep_us(1e6);
+  });
+  k->run_for(hw::kCyclesPerMillisecond);
+  Task* t = k->find_task(pid);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->state, TaskState::kBlocked);
+  k->kill(pid, 9);
+  EXPECT_TRUE(
+      k->run_until([&] { return k->find_task(pid)->state == TaskState::kZombie; },
+                   100 * hw::kCyclesPerMillisecond));
+  EXPECT_EQ(k->find_task(pid)->exit_status, -9);
+}
+
+TEST_F(TaskTest, SegfaultKillsTask) {
+  const Pid pid = k->spawn("crasher", [](Sys& s) -> Sub<void> {
+    s.touch_pages(0x70000000, 1, true);  // no VMA there
+    co_return;
+  });
+  EXPECT_TRUE(k->run_until(
+      [&] {
+        Task* t = k->find_task(pid);
+        return t != nullptr && t->state == TaskState::kZombie;
+      },
+      100 * hw::kCyclesPerMillisecond));
+  EXPECT_EQ(k->find_task(pid)->exit_status, -11);
+}
+
+TEST_F(TaskTest, CatchSegvSurvivesProtFault) {
+  EXPECT_TRUE(run_task([&](Sys& s) -> Sub<void> {
+    s.task().catch_segv = true;
+    const hw::VirtAddr va = s.mmap(hw::kPageSize, true);
+    s.touch_pages(va, 1, true);
+    s.mprotect(va, hw::kPageSize, false);
+    s.prot_fault_once(va);
+    s.prot_fault_once(va);
+    EXPECT_EQ(s.task().segv_caught, 2u);
+    co_return;
+  }));
+}
+
+TEST_F(TaskTest, ForkExecRunsChildBodyAfterExec) {
+  std::string child_name;
+  EXPECT_TRUE(run_task([&](Sys& s) -> Sub<void> {
+    const Pid child =
+        s.fork_exec(kernel::hello_image(), [&](Sys& cs) -> Sub<void> {
+          child_name = cs.task().name;
+          cs.exit(7);
+          co_return;
+        });
+    const int rc = co_await s.wait_pid(child);
+    EXPECT_EQ(rc, 7);
+  }));
+  EXPECT_EQ(child_name, "hello");
+}
+
+TEST_F(TaskTest, FdTableAllocatesLowestFree) {
+  EXPECT_TRUE(run_task([&](Sys& s) -> Sub<void> {
+    const auto [r, w] = s.pipe();
+    EXPECT_EQ(r, 0);
+    EXPECT_EQ(w, 1);
+    s.close(r);
+    const int f = s.open("/x", true);
+    EXPECT_EQ(f, 0) << "freed slot must be reused";
+    co_return;
+  }));
+}
+
+TEST_F(TaskTest, ReapZombiesCollectsOrphans) {
+  EXPECT_TRUE(run_task([&](Sys& s) -> Sub<void> {
+    s.fork([](Sys& cs) -> Sub<void> {
+      cs.exit(0);
+      co_return;
+    });
+    co_await s.sleep_us(1000.0);  // let the orphan exit; nobody waits
+    co_return;
+  }));
+  EXPECT_GE(k->reap_zombies(), 1u);
+  EXPECT_EQ(k->live_tasks(), 0u);
+}
+
+TEST_F(TaskTest, SpawnStatsCount) {
+  run_task([](Sys&) -> Sub<void> { co_return; });
+  EXPECT_GE(k->stats().tasks_spawned, 1u);
+}
+
+TEST_F(TaskTest, ComputeAdvancesSimulatedTime) {
+  hw::Cycles before = 0, after = 0;
+  EXPECT_TRUE(run_task([&](Sys& s) -> Sub<void> {
+    before = s.cpu().now();
+    co_await s.compute_us(1000.0);
+    after = s.cpu().now();
+  }));
+  EXPECT_GE(after - before, hw::us_to_cycles(1000.0));
+}
+
+}  // namespace
+}  // namespace mercury::testing

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace mercury::util {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng r(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = r.between(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(11);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng r(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i)
+    if (r.chance(0.25)) ++hits;
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(17);
+  double sum = 0;
+  for (int i = 0; i < 50000; ++i) sum += r.exponential(10.0);
+  EXPECT_NEAR(sum / 50000, 10.0, 0.5);
+}
+
+TEST(Rng, ZipfInRangeAndSkewed) {
+  Rng r(19);
+  std::uint64_t low = 0, total = 20000;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    const auto v = r.zipf(100, 1.0);
+    EXPECT_LT(v, 100u);
+    if (v < 10) ++low;
+  }
+  // Hot items dominate.
+  EXPECT_GT(low, total / 4);
+}
+
+TEST(Rng, SplitYieldsIndependentStream) {
+  Rng a(23);
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.01);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.add(5);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Histogram, QuantilesBracketValues) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.add(100);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_GE(h.quantile(0.5), 100u);
+  EXPECT_LE(h.quantile(0.5), 127u);  // bucket upper bound
+}
+
+TEST(Histogram, SummaryMentionsCount) {
+  Histogram h;
+  h.add(1);
+  h.add(1000000);
+  EXPECT_NE(h.summary().find("n=2"), std::string::npos);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"a", "bb"});
+  t.add_row({"x", "y"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| a"), std::string::npos);
+  EXPECT_NE(out.find("| x"), std::string::npos);
+}
+
+TEST(Table, NumericRowFormatting) {
+  Table t({"k", "v"});
+  t.add_numeric_row("pi", {3.14159}, 2);
+  EXPECT_NE(t.render().find("3.14"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchIsInvariantError) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvariantError);
+}
+
+TEST(Assert, CheckThrowsWithMessage) {
+  try {
+    MERC_CHECK_MSG(false, "ctx " << 42);
+    FAIL() << "should have thrown";
+  } catch (const InvariantError& e) {
+    EXPECT_NE(std::string(e.what()).find("ctx 42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mercury::util

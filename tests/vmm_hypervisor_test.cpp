@@ -1,0 +1,215 @@
+// Hypervisor: hypercall validation, isolation enforcement, adopt/release,
+// split-driver backends.
+#include <gtest/gtest.h>
+
+#include "tests/kernel_fixture.hpp"
+#include "kernel/layout.hpp"
+#include "vmm/hypervisor.hpp"
+#include "workloads/configs.hpp"
+
+namespace mercury::testing {
+namespace {
+
+using kernel::Sub;
+using kernel::Sys;
+using vmm::DomainId;
+using vmm::PageType;
+using workloads::Sut;
+using workloads::SutParams;
+using workloads::SystemId;
+
+SutParams small() {
+  SutParams p;
+  p.machine_mem_kb = 256 * 1024;
+  p.kernel_mem_kb = 96 * 1024;
+  p.domu_mem_kb = 64 * 1024;
+  return p;
+}
+
+class HvTest : public ::testing::Test {
+ protected:
+  // An X-0-style always-on stack gives us a live hypervisor + dom0.
+  HvTest() : sut(Sut::create(SystemId::kX0, small())) {}
+
+  vmm::Hypervisor& hv() { return *sut->hypervisor(); }
+  kernel::Kernel& k() { return sut->kernel(); }
+  hw::Cpu& cpu() { return sut->machine().cpu(0); }
+
+  std::unique_ptr<Sut> sut;
+};
+
+TEST_F(HvTest, BootLeavesConsistentPageInfo) {
+  EXPECT_TRUE(hv().active());
+  const auto err = hv().page_info().check_invariants();
+  EXPECT_FALSE(err.has_value()) << *err;
+  // Kernel page tables are typed and pinned.
+  for (const hw::Pfn l1 : k().kernel_l1_frames()) {
+    EXPECT_EQ(hv().page_info().at(l1).type, PageType::kL1);
+    EXPECT_TRUE(hv().page_info().at(l1).pinned);
+  }
+  EXPECT_EQ(hv().page_info().at(k().kernel_pd()).type, PageType::kL2);
+}
+
+TEST_F(HvTest, GuestWorkloadsKeepDomainAlive) {
+  bool done = false;
+  k().spawn("guest-work", [&](Sys& s) -> Sub<void> {
+    const auto va = s.mmap(32 * hw::kPageSize, true);
+    s.touch_pages(va, 32, true);
+    const auto child = s.fork([](Sys& cs) -> Sub<void> {
+      cs.exit(0);
+      co_return;
+    });
+    co_await s.wait_pid(child);
+    s.munmap(va, 32 * hw::kPageSize);
+    done = true;
+  });
+  EXPECT_TRUE(k().run_until([&] { return done; },
+                            200 * hw::kCyclesPerMillisecond));
+  EXPECT_EQ(hv().stats().domains_crashed, 0u);
+  EXPECT_GT(hv().stats().hypercalls, 0u);
+  EXPECT_GT(hv().stats().emulated_pte_writes, 0u);
+  EXPECT_GT(hv().stats().pins, 0u);
+}
+
+TEST_F(HvTest, MappingHypervisorFrameCrashesDomain) {
+  // A rogue PTE pointing into the VMM's reserved region must be rejected.
+  const DomainId dom = 0;
+  kernel::Task* t = nullptr;
+  k().spawn("rogue", [](Sys& s) -> Sub<void> {
+    const auto va = s.mmap(hw::kPageSize, true);
+    s.touch_pages(va, 1, true);
+    for (;;) co_await s.sleep_us(10'000.0);
+  });
+  k().run_for(5 * hw::kCyclesPerMillisecond);
+  k().for_each_task([&](kernel::Task& task) { t = &task; });
+  ASSERT_NE(t, nullptr);
+  const hw::Pfn l1 = t->aspace->page_table_frames().back();
+  hw::Pte evil = hw::make_pte(hv().reserved_first(), true, true);
+  hv().hc_pte_write_emulate(cpu(), dom, hw::addr_of(l1) + 8, evil);
+  EXPECT_TRUE(hv().domain(dom).crashed);
+  EXPECT_NE(hv().domain(dom).crash_reason.find("hypervisor"),
+            std::string::npos);
+}
+
+TEST_F(HvTest, WritableMappingOfPageTableRejected) {
+  const DomainId dom = 0;
+  const hw::Pfn some_l1 = k().kernel_l1_frames().front();
+  const hw::Pfn victim_pt = k().kernel_l1_frames().back();
+  // Try to install a *writable* user mapping of a page-table frame.
+  hw::Pte evil = hw::make_pte(victim_pt, /*writable=*/true, true);
+  hv().hc_pte_write_emulate(cpu(), dom, hw::addr_of(some_l1) + 16, evil);
+  EXPECT_TRUE(hv().domain(dom).crashed);
+  // Read-only mappings of page tables are fine (direct paging!).
+  auto sut2 = Sut::create(SystemId::kX0, small());
+  vmm::Hypervisor& hv2 = *sut2->hypervisor();
+  hw::Pte ok = hw::make_pte(sut2->kernel().kernel_l1_frames().back(),
+                            /*writable=*/false, true);
+  hv2.hc_pte_write_emulate(sut2->machine().cpu(0), 0,
+                           hw::addr_of(sut2->kernel().kernel_l1_frames().front()) + 16,
+                           ok);
+  EXPECT_FALSE(hv2.domain(0).crashed);
+}
+
+TEST_F(HvTest, UpdateOutsidePageTableRejected) {
+  // Writing a "PTE" into a plain RAM frame is not a legal mmu_update.
+  hw::Pfn plain = 0;
+  ASSERT_TRUE(k().pool().alloc(plain));
+  pv::PteUpdate u{hw::addr_of(plain), hw::make_pte(plain, false, true)};
+  hv().hc_mmu_update(cpu(), 0, std::span<const pv::PteUpdate>(&u, 1));
+  EXPECT_TRUE(hv().domain(0).crashed);
+}
+
+TEST_F(HvTest, Cr3OfUnpinnedFrameRejected) {
+  hw::Pfn plain = 0;
+  ASSERT_TRUE(k().pool().alloc(plain));
+  hv().hc_write_cr3(cpu(), 0, plain);
+  EXPECT_TRUE(hv().domain(0).crashed);
+}
+
+TEST_F(HvTest, PinOfForeignFrameRejected) {
+  // The hypervisor's own frames are not pinnable by a guest.
+  hv().hc_pin_table(cpu(), 0, hv().reserved_first(), pv::PtLevel::kL1);
+  EXPECT_TRUE(hv().domain(0).crashed);
+}
+
+TEST_F(HvTest, TamperedVmmPdeDetectedAtValidation) {
+  // Rewrite a reserved PDE in the kernel PD, then revalidate.
+  const hw::PhysAddr pde_addr =
+      hw::addr_of(k().kernel_pd()) + hw::pde_index(kernel::kVmmBase) * 4;
+  sut->machine().memory().write_u32(pde_addr,
+                                    hw::make_pte(1234, true, true).raw);
+  std::size_t present = 0;
+  EXPECT_FALSE(
+      hv().validate_l2(cpu(), hv().domain(0), k().kernel_pd(), 0, &present));
+  EXPECT_TRUE(hv().domain(0).crashed);
+}
+
+TEST_F(HvTest, PageTablesAreHardwareProtectedUnderVmm) {
+  // Direct writes to a pinned page table must fault (RO in the direct map):
+  // this is what forces the trap-&-emulate path.
+  const hw::Pfn l1 = k().kernel_l1_frames().front();
+  const hw::VirtAddr kva = k().kva_of_frame(l1);
+  auto& mmu = sut->machine().mmu();
+  hw::Cpu& c = cpu();
+  c.set_cpl(hw::Ring::kRing1);  // deprivileged guest kernel
+  hw::PageFault pf;
+  c.tlb().flush_global();
+  EXPECT_FALSE(mmu.translate(c, kva, hw::Access::kWrite, &pf).has_value())
+      << "pinned page table must be read-only for the guest";
+  EXPECT_TRUE(mmu.translate(c, kva, hw::Access::kRead, &pf).has_value())
+      << "direct paging grants read access";
+  c.set_cpl(hw::Ring::kRing0);
+}
+
+TEST_F(HvTest, DomUSplitIoGoesThroughBackend) {
+  auto xu = Sut::create(SystemId::kXU, small());
+  bool done = false;
+  xu->kernel().spawn("io", [&](Sys& s) -> Sub<void> {
+    const int fd = s.open("/f", true);
+    co_await s.file_write(fd, 256 * 1024);
+    s.fsync(fd);
+    done = true;
+  });
+  EXPECT_TRUE(xu->kernel().run_until([&] { return done; },
+                                     500 * hw::kCyclesPerMillisecond));
+  vmm::Hypervisor& hvx = *xu->hypervisor();
+  EXPECT_GT(hvx.blk_backend().requests_served(), 0u);
+  EXPECT_GT(hvx.grant_table().maps_performed(), 0u);
+  EXPECT_GT(hvx.event_channels().total_notifications(), 0u);
+}
+
+TEST_F(HvTest, DomUFlushIsBarrierNotDurability) {
+  auto xu = Sut::create(SystemId::kXU, small());
+  bool done = false;
+  const auto disk_writes_before = xu->machine().disk().writes();
+  xu->kernel().spawn("io", [&](Sys& s) -> Sub<void> {
+    const int fd = s.open("/f", true);
+    co_await s.file_write(fd, 64 * 1024);
+    s.fsync(fd);  // absorbed by the backend's write-behind cache
+    done = true;
+  });
+  EXPECT_TRUE(xu->kernel().run_until([&] { return done; },
+                                     500 * hw::kCyclesPerMillisecond));
+  EXPECT_EQ(xu->machine().disk().writes(), disk_writes_before)
+      << "paper §7.3: domU caching avoids the disk at crash-consistency risk";
+}
+
+TEST_F(HvTest, HealModeRepairsInsteadOfCrashing) {
+  const hw::Pfn some_l1 = k().kernel_l1_frames().front();
+  const hw::PhysAddr pte_addr = hw::addr_of(some_l1) + 24;
+  const std::uint32_t good = sut->machine().memory().read_u32(pte_addr);
+  // Taint directly (bypassing hypercalls, like a wild write).
+  hw::Pte evil = hw::make_pte(hv().reserved_first(), true, true);
+  sut->machine().memory().write_u32(pte_addr, evil.raw);
+  hv().set_heal_mode(true);
+  std::size_t present = 0;
+  EXPECT_TRUE(hv().validate_l1(cpu(), hv().domain(0), some_l1, 0, &present));
+  hv().set_heal_mode(false);
+  EXPECT_FALSE(hv().domain(0).crashed);
+  EXPECT_GE(hv().stats().entries_healed, 1u);
+  EXPECT_EQ(sut->machine().memory().read_u32(pte_addr), 0u);
+  (void)good;
+}
+
+}  // namespace
+}  // namespace mercury::testing

@@ -1,0 +1,169 @@
+// Page-info table, event channels, grant tables, rings.
+#include <gtest/gtest.h>
+
+#include "hw/machine.hpp"
+#include "util/assert.hpp"
+#include "vmm/event_channel.hpp"
+#include "vmm/grant_table.hpp"
+#include "vmm/page_info.hpp"
+#include "vmm/ring.hpp"
+
+namespace mercury::vmm {
+namespace {
+
+TEST(PageInfoTableTest, StartsInvalid) {
+  PageInfoTable t(100);
+  EXPECT_FALSE(t.valid());
+  EXPECT_EQ(t.size(), 100u);
+}
+
+TEST(PageInfoTableTest, InvariantsAcceptConsistentState) {
+  PageInfoTable t(10);
+  t.at(3) = PageInfo{0, PageType::kL1, 1, 1, true};
+  t.at(4) = PageInfo{0, PageType::kWritable, 0, 1, false};
+  t.set_valid(true);
+  EXPECT_FALSE(t.check_invariants().has_value());
+}
+
+TEST(PageInfoTableTest, PinnedNonTableIsInconsistent) {
+  PageInfoTable t(10);
+  t.at(3) = PageInfo{0, PageType::kWritable, 1, 1, true};
+  t.set_valid(true);
+  auto err = t.check_invariants();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("pinned"), std::string::npos);
+}
+
+TEST(PageInfoTableTest, PinnedZeroCountIsInconsistent) {
+  PageInfoTable t(10);
+  t.at(3) = PageInfo{0, PageType::kL2, 0, 1, true};
+  t.set_valid(true);
+  EXPECT_TRUE(t.check_invariants().has_value());
+}
+
+TEST(PageInfoTableTest, TypedUnownedIsInconsistent) {
+  PageInfoTable t(10);
+  t.at(5) = PageInfo{kDomInvalid, PageType::kWritable, 0, 1, false};
+  t.set_valid(true);
+  EXPECT_TRUE(t.check_invariants().has_value());
+}
+
+TEST(PageInfoTableTest, InvalidateIsCheapAndMarksStale) {
+  PageInfoTable t(1 << 20);  // a million frames
+  t.set_valid(true);
+  t.invalidate_all();  // must be O(1), not a million writes
+  EXPECT_FALSE(t.valid());
+  EXPECT_TRUE(t.check_invariants().has_value());
+}
+
+TEST(PageInfoTableTest, OutOfRangeIsInvariantError) {
+  PageInfoTable t(10);
+  EXPECT_THROW(t.at(10), util::InvariantError);
+}
+
+TEST(EventChannelsTest, HandlerInvokedOnNotify) {
+  EventChannels ec;
+  hw::Cpu cpu(0);
+  int fired = 0;
+  const int port = ec.alloc(0, 1, [&](hw::Cpu&) { ++fired; });
+  ec.notify(cpu, port);
+  ec.notify(cpu, port);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(ec.channel(port).notifications, 2u);
+}
+
+TEST(EventChannelsTest, HandlerlessChannelLatchesPending) {
+  EventChannels ec;
+  hw::Cpu cpu(0);
+  const int port = ec.alloc(0, 1);
+  EXPECT_FALSE(ec.pending(port));
+  ec.notify(cpu, port);
+  EXPECT_TRUE(ec.pending(port));
+  EXPECT_TRUE(ec.take_pending(port));
+  EXPECT_FALSE(ec.take_pending(port)) << "pending is edge, not level";
+}
+
+TEST(EventChannelsTest, NotifyChargesCycles) {
+  EventChannels ec;
+  hw::Cpu cpu(0);
+  const int port = ec.alloc(0, 1);
+  const hw::Cycles before = cpu.now();
+  ec.notify(cpu, port);
+  EXPECT_GT(cpu.now(), before);
+}
+
+TEST(EventChannelsTest, ClosedChannelRejectsNotify) {
+  EventChannels ec;
+  hw::Cpu cpu(0);
+  const int port = ec.alloc(0, 1);
+  ec.close(port);
+  EXPECT_THROW(ec.notify(cpu, port), util::InvariantError);
+}
+
+TEST(EventChannelsTest, PortsAreReusedAfterClose) {
+  EventChannels ec;
+  const int a = ec.alloc(0, 1);
+  ec.close(a);
+  const int b = ec.alloc(2, 3);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(ec.open_channels(), 1u);
+}
+
+TEST(GrantTableTest, GrantMapUnmapEndLifecycle) {
+  GrantTable gt;
+  hw::Cpu cpu(0);
+  const int ref = gt.grant(/*owner=*/1, /*frame=*/500, /*grantee=*/0, false);
+  EXPECT_EQ(gt.map(cpu, 0, ref), 500u);
+  gt.unmap(cpu, 0, ref);
+  gt.end(1, ref);
+  EXPECT_EQ(gt.active_grants(), 0u);
+  EXPECT_EQ(gt.maps_performed(), 1u);
+}
+
+TEST(GrantTableTest, WrongGranteeRejected) {
+  GrantTable gt;
+  hw::Cpu cpu(0);
+  const int ref = gt.grant(1, 500, 0, false);
+  EXPECT_THROW(gt.map(cpu, /*grantee=*/2, ref), util::InvariantError);
+}
+
+TEST(GrantTableTest, EndWhileMappedRejected) {
+  GrantTable gt;
+  hw::Cpu cpu(0);
+  const int ref = gt.grant(1, 500, 0, false);
+  (void)gt.map(cpu, 0, ref);
+  EXPECT_THROW(gt.end(1, ref), util::InvariantError);
+}
+
+TEST(GrantTableTest, WrongOwnerCannotEnd) {
+  GrantTable gt;
+  const int ref = gt.grant(1, 500, 0, false);
+  EXPECT_THROW(gt.end(2, ref), util::InvariantError);
+}
+
+TEST(IoRingTest, RequestResponseFlow) {
+  IoRing<int, int> ring(4);
+  hw::Cpu cpu(0);
+  EXPECT_TRUE(ring.push_request(cpu, 10));
+  EXPECT_TRUE(ring.has_request());
+  auto req = ring.pop_request(cpu);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(*req, 10);
+  ring.push_response(cpu, 20);
+  auto resp = ring.pop_response(cpu);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(*resp, 20);
+}
+
+TEST(IoRingTest, FullRingRejectsProduce) {
+  IoRing<int, int> ring(2);
+  hw::Cpu cpu(0);
+  EXPECT_TRUE(ring.push_request(cpu, 1));
+  EXPECT_TRUE(ring.push_request(cpu, 2));
+  EXPECT_FALSE(ring.push_request(cpu, 3)) << "ring full";
+  (void)ring.pop_request(cpu);
+  EXPECT_TRUE(ring.push_request(cpu, 3));
+}
+
+}  // namespace
+}  // namespace mercury::vmm
