@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_apps_smp.dir/bench_apps_smp.cpp.o"
+  "CMakeFiles/bench_apps_smp.dir/bench_apps_smp.cpp.o.d"
+  "bench_apps_smp"
+  "bench_apps_smp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_apps_smp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

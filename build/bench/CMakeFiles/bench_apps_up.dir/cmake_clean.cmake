@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_apps_up.dir/bench_apps_up.cpp.o"
+  "CMakeFiles/bench_apps_up.dir/bench_apps_up.cpp.o.d"
+  "bench_apps_up"
+  "bench_apps_up.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_apps_up.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

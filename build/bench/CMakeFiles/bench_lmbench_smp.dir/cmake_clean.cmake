@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lmbench_smp.dir/bench_lmbench_smp.cpp.o"
+  "CMakeFiles/bench_lmbench_smp.dir/bench_lmbench_smp.cpp.o.d"
+  "bench_lmbench_smp"
+  "bench_lmbench_smp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lmbench_smp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

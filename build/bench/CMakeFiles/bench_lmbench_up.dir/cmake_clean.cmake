@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lmbench_up.dir/bench_lmbench_up.cpp.o"
+  "CMakeFiles/bench_lmbench_up.dir/bench_lmbench_up.cpp.o.d"
+  "bench_lmbench_up"
+  "bench_lmbench_up.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lmbench_up.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

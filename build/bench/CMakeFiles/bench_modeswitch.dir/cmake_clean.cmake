@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_modeswitch.dir/bench_modeswitch.cpp.o"
+  "CMakeFiles/bench_modeswitch.dir/bench_modeswitch.cpp.o.d"
+  "bench_modeswitch"
+  "bench_modeswitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_modeswitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rendezvous.dir/bench_rendezvous.cpp.o"
+  "CMakeFiles/bench_rendezvous.dir/bench_rendezvous.cpp.o.d"
+  "bench_rendezvous"
+  "bench_rendezvous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rendezvous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

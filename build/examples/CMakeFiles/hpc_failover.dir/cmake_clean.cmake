@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_failover.dir/hpc_failover.cpp.o"
+  "CMakeFiles/hpc_failover.dir/hpc_failover.cpp.o.d"
+  "hpc_failover"
+  "hpc_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_update.dir/live_update.cpp.o"
+  "CMakeFiles/live_update.dir/live_update.cpp.o.d"
+  "live_update"
+  "live_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

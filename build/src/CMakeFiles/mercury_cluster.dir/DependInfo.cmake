@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/availability.cpp" "src/CMakeFiles/mercury_cluster.dir/cluster/availability.cpp.o" "gcc" "src/CMakeFiles/mercury_cluster.dir/cluster/availability.cpp.o.d"
+  "/root/repo/src/cluster/fabric.cpp" "src/CMakeFiles/mercury_cluster.dir/cluster/fabric.cpp.o" "gcc" "src/CMakeFiles/mercury_cluster.dir/cluster/fabric.cpp.o.d"
+  "/root/repo/src/cluster/failure.cpp" "src/CMakeFiles/mercury_cluster.dir/cluster/failure.cpp.o" "gcc" "src/CMakeFiles/mercury_cluster.dir/cluster/failure.cpp.o.d"
+  "/root/repo/src/cluster/node.cpp" "src/CMakeFiles/mercury_cluster.dir/cluster/node.cpp.o" "gcc" "src/CMakeFiles/mercury_cluster.dir/cluster/node.cpp.o.d"
+  "/root/repo/src/cluster/scenarios.cpp" "src/CMakeFiles/mercury_cluster.dir/cluster/scenarios.cpp.o" "gcc" "src/CMakeFiles/mercury_cluster.dir/cluster/scenarios.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mercury_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mercury_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mercury_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mercury_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mercury_pv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mercury_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mercury_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

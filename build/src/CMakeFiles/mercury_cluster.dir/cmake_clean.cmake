@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_cluster.dir/cluster/availability.cpp.o"
+  "CMakeFiles/mercury_cluster.dir/cluster/availability.cpp.o.d"
+  "CMakeFiles/mercury_cluster.dir/cluster/fabric.cpp.o"
+  "CMakeFiles/mercury_cluster.dir/cluster/fabric.cpp.o.d"
+  "CMakeFiles/mercury_cluster.dir/cluster/failure.cpp.o"
+  "CMakeFiles/mercury_cluster.dir/cluster/failure.cpp.o.d"
+  "CMakeFiles/mercury_cluster.dir/cluster/node.cpp.o"
+  "CMakeFiles/mercury_cluster.dir/cluster/node.cpp.o.d"
+  "CMakeFiles/mercury_cluster.dir/cluster/scenarios.cpp.o"
+  "CMakeFiles/mercury_cluster.dir/cluster/scenarios.cpp.o.d"
+  "libmercury_cluster.a"
+  "libmercury_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/eager_tracker.cpp" "src/CMakeFiles/mercury_core.dir/core/eager_tracker.cpp.o" "gcc" "src/CMakeFiles/mercury_core.dir/core/eager_tracker.cpp.o.d"
+  "/root/repo/src/core/mercury.cpp" "src/CMakeFiles/mercury_core.dir/core/mercury.cpp.o" "gcc" "src/CMakeFiles/mercury_core.dir/core/mercury.cpp.o.d"
+  "/root/repo/src/core/native_vo.cpp" "src/CMakeFiles/mercury_core.dir/core/native_vo.cpp.o" "gcc" "src/CMakeFiles/mercury_core.dir/core/native_vo.cpp.o.d"
+  "/root/repo/src/core/rendezvous.cpp" "src/CMakeFiles/mercury_core.dir/core/rendezvous.cpp.o" "gcc" "src/CMakeFiles/mercury_core.dir/core/rendezvous.cpp.o.d"
+  "/root/repo/src/core/stack_fixup.cpp" "src/CMakeFiles/mercury_core.dir/core/stack_fixup.cpp.o" "gcc" "src/CMakeFiles/mercury_core.dir/core/stack_fixup.cpp.o.d"
+  "/root/repo/src/core/state_transfer.cpp" "src/CMakeFiles/mercury_core.dir/core/state_transfer.cpp.o" "gcc" "src/CMakeFiles/mercury_core.dir/core/state_transfer.cpp.o.d"
+  "/root/repo/src/core/switch_engine.cpp" "src/CMakeFiles/mercury_core.dir/core/switch_engine.cpp.o" "gcc" "src/CMakeFiles/mercury_core.dir/core/switch_engine.cpp.o.d"
+  "/root/repo/src/core/virt_object.cpp" "src/CMakeFiles/mercury_core.dir/core/virt_object.cpp.o" "gcc" "src/CMakeFiles/mercury_core.dir/core/virt_object.cpp.o.d"
+  "/root/repo/src/core/virtual_vo.cpp" "src/CMakeFiles/mercury_core.dir/core/virtual_vo.cpp.o" "gcc" "src/CMakeFiles/mercury_core.dir/core/virtual_vo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mercury_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mercury_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mercury_pv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mercury_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mercury_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

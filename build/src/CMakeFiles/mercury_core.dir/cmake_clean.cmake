@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_core.dir/core/eager_tracker.cpp.o"
+  "CMakeFiles/mercury_core.dir/core/eager_tracker.cpp.o.d"
+  "CMakeFiles/mercury_core.dir/core/mercury.cpp.o"
+  "CMakeFiles/mercury_core.dir/core/mercury.cpp.o.d"
+  "CMakeFiles/mercury_core.dir/core/native_vo.cpp.o"
+  "CMakeFiles/mercury_core.dir/core/native_vo.cpp.o.d"
+  "CMakeFiles/mercury_core.dir/core/rendezvous.cpp.o"
+  "CMakeFiles/mercury_core.dir/core/rendezvous.cpp.o.d"
+  "CMakeFiles/mercury_core.dir/core/stack_fixup.cpp.o"
+  "CMakeFiles/mercury_core.dir/core/stack_fixup.cpp.o.d"
+  "CMakeFiles/mercury_core.dir/core/state_transfer.cpp.o"
+  "CMakeFiles/mercury_core.dir/core/state_transfer.cpp.o.d"
+  "CMakeFiles/mercury_core.dir/core/switch_engine.cpp.o"
+  "CMakeFiles/mercury_core.dir/core/switch_engine.cpp.o.d"
+  "CMakeFiles/mercury_core.dir/core/virt_object.cpp.o"
+  "CMakeFiles/mercury_core.dir/core/virt_object.cpp.o.d"
+  "CMakeFiles/mercury_core.dir/core/virtual_vo.cpp.o"
+  "CMakeFiles/mercury_core.dir/core/virtual_vo.cpp.o.d"
+  "libmercury_core.a"
+  "libmercury_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

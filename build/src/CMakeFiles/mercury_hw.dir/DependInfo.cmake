@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cpu.cpp" "src/CMakeFiles/mercury_hw.dir/hw/cpu.cpp.o" "gcc" "src/CMakeFiles/mercury_hw.dir/hw/cpu.cpp.o.d"
+  "/root/repo/src/hw/devices/disk.cpp" "src/CMakeFiles/mercury_hw.dir/hw/devices/disk.cpp.o" "gcc" "src/CMakeFiles/mercury_hw.dir/hw/devices/disk.cpp.o.d"
+  "/root/repo/src/hw/devices/nic.cpp" "src/CMakeFiles/mercury_hw.dir/hw/devices/nic.cpp.o" "gcc" "src/CMakeFiles/mercury_hw.dir/hw/devices/nic.cpp.o.d"
+  "/root/repo/src/hw/devices/sensors.cpp" "src/CMakeFiles/mercury_hw.dir/hw/devices/sensors.cpp.o" "gcc" "src/CMakeFiles/mercury_hw.dir/hw/devices/sensors.cpp.o.d"
+  "/root/repo/src/hw/frame_alloc.cpp" "src/CMakeFiles/mercury_hw.dir/hw/frame_alloc.cpp.o" "gcc" "src/CMakeFiles/mercury_hw.dir/hw/frame_alloc.cpp.o.d"
+  "/root/repo/src/hw/interrupts.cpp" "src/CMakeFiles/mercury_hw.dir/hw/interrupts.cpp.o" "gcc" "src/CMakeFiles/mercury_hw.dir/hw/interrupts.cpp.o.d"
+  "/root/repo/src/hw/machine.cpp" "src/CMakeFiles/mercury_hw.dir/hw/machine.cpp.o" "gcc" "src/CMakeFiles/mercury_hw.dir/hw/machine.cpp.o.d"
+  "/root/repo/src/hw/mmu.cpp" "src/CMakeFiles/mercury_hw.dir/hw/mmu.cpp.o" "gcc" "src/CMakeFiles/mercury_hw.dir/hw/mmu.cpp.o.d"
+  "/root/repo/src/hw/phys_mem.cpp" "src/CMakeFiles/mercury_hw.dir/hw/phys_mem.cpp.o" "gcc" "src/CMakeFiles/mercury_hw.dir/hw/phys_mem.cpp.o.d"
+  "/root/repo/src/hw/tlb.cpp" "src/CMakeFiles/mercury_hw.dir/hw/tlb.cpp.o" "gcc" "src/CMakeFiles/mercury_hw.dir/hw/tlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mercury_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_hw.dir/hw/cpu.cpp.o"
+  "CMakeFiles/mercury_hw.dir/hw/cpu.cpp.o.d"
+  "CMakeFiles/mercury_hw.dir/hw/devices/disk.cpp.o"
+  "CMakeFiles/mercury_hw.dir/hw/devices/disk.cpp.o.d"
+  "CMakeFiles/mercury_hw.dir/hw/devices/nic.cpp.o"
+  "CMakeFiles/mercury_hw.dir/hw/devices/nic.cpp.o.d"
+  "CMakeFiles/mercury_hw.dir/hw/devices/sensors.cpp.o"
+  "CMakeFiles/mercury_hw.dir/hw/devices/sensors.cpp.o.d"
+  "CMakeFiles/mercury_hw.dir/hw/frame_alloc.cpp.o"
+  "CMakeFiles/mercury_hw.dir/hw/frame_alloc.cpp.o.d"
+  "CMakeFiles/mercury_hw.dir/hw/interrupts.cpp.o"
+  "CMakeFiles/mercury_hw.dir/hw/interrupts.cpp.o.d"
+  "CMakeFiles/mercury_hw.dir/hw/machine.cpp.o"
+  "CMakeFiles/mercury_hw.dir/hw/machine.cpp.o.d"
+  "CMakeFiles/mercury_hw.dir/hw/mmu.cpp.o"
+  "CMakeFiles/mercury_hw.dir/hw/mmu.cpp.o.d"
+  "CMakeFiles/mercury_hw.dir/hw/phys_mem.cpp.o"
+  "CMakeFiles/mercury_hw.dir/hw/phys_mem.cpp.o.d"
+  "CMakeFiles/mercury_hw.dir/hw/tlb.cpp.o"
+  "CMakeFiles/mercury_hw.dir/hw/tlb.cpp.o.d"
+  "libmercury_hw.a"
+  "libmercury_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

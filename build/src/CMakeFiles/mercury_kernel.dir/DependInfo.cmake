@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/addr_space.cpp" "src/CMakeFiles/mercury_kernel.dir/kernel/addr_space.cpp.o" "gcc" "src/CMakeFiles/mercury_kernel.dir/kernel/addr_space.cpp.o.d"
+  "/root/repo/src/kernel/fs/block_cache.cpp" "src/CMakeFiles/mercury_kernel.dir/kernel/fs/block_cache.cpp.o" "gcc" "src/CMakeFiles/mercury_kernel.dir/kernel/fs/block_cache.cpp.o.d"
+  "/root/repo/src/kernel/fs/minifs.cpp" "src/CMakeFiles/mercury_kernel.dir/kernel/fs/minifs.cpp.o" "gcc" "src/CMakeFiles/mercury_kernel.dir/kernel/fs/minifs.cpp.o.d"
+  "/root/repo/src/kernel/kernel.cpp" "src/CMakeFiles/mercury_kernel.dir/kernel/kernel.cpp.o" "gcc" "src/CMakeFiles/mercury_kernel.dir/kernel/kernel.cpp.o.d"
+  "/root/repo/src/kernel/net/stack.cpp" "src/CMakeFiles/mercury_kernel.dir/kernel/net/stack.cpp.o" "gcc" "src/CMakeFiles/mercury_kernel.dir/kernel/net/stack.cpp.o.d"
+  "/root/repo/src/kernel/syscalls.cpp" "src/CMakeFiles/mercury_kernel.dir/kernel/syscalls.cpp.o" "gcc" "src/CMakeFiles/mercury_kernel.dir/kernel/syscalls.cpp.o.d"
+  "/root/repo/src/kernel/task.cpp" "src/CMakeFiles/mercury_kernel.dir/kernel/task.cpp.o" "gcc" "src/CMakeFiles/mercury_kernel.dir/kernel/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mercury_pv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mercury_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mercury_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_kernel.dir/kernel/addr_space.cpp.o"
+  "CMakeFiles/mercury_kernel.dir/kernel/addr_space.cpp.o.d"
+  "CMakeFiles/mercury_kernel.dir/kernel/fs/block_cache.cpp.o"
+  "CMakeFiles/mercury_kernel.dir/kernel/fs/block_cache.cpp.o.d"
+  "CMakeFiles/mercury_kernel.dir/kernel/fs/minifs.cpp.o"
+  "CMakeFiles/mercury_kernel.dir/kernel/fs/minifs.cpp.o.d"
+  "CMakeFiles/mercury_kernel.dir/kernel/kernel.cpp.o"
+  "CMakeFiles/mercury_kernel.dir/kernel/kernel.cpp.o.d"
+  "CMakeFiles/mercury_kernel.dir/kernel/net/stack.cpp.o"
+  "CMakeFiles/mercury_kernel.dir/kernel/net/stack.cpp.o.d"
+  "CMakeFiles/mercury_kernel.dir/kernel/syscalls.cpp.o"
+  "CMakeFiles/mercury_kernel.dir/kernel/syscalls.cpp.o.d"
+  "CMakeFiles/mercury_kernel.dir/kernel/task.cpp.o"
+  "CMakeFiles/mercury_kernel.dir/kernel/task.cpp.o.d"
+  "libmercury_kernel.a"
+  "libmercury_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_pv.dir/pv/direct_ops.cpp.o"
+  "CMakeFiles/mercury_pv.dir/pv/direct_ops.cpp.o.d"
+  "libmercury_pv.a"
+  "libmercury_pv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_pv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mercury_pv.
+# This may be replaced when dependencies are built.

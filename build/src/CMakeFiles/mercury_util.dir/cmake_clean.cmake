@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_util.dir/util/log.cpp.o"
+  "CMakeFiles/mercury_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/mercury_util.dir/util/rng.cpp.o"
+  "CMakeFiles/mercury_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/mercury_util.dir/util/stats.cpp.o"
+  "CMakeFiles/mercury_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/mercury_util.dir/util/table.cpp.o"
+  "CMakeFiles/mercury_util.dir/util/table.cpp.o.d"
+  "libmercury_util.a"
+  "libmercury_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

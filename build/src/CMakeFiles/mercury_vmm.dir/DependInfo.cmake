@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmm/blkif.cpp" "src/CMakeFiles/mercury_vmm.dir/vmm/blkif.cpp.o" "gcc" "src/CMakeFiles/mercury_vmm.dir/vmm/blkif.cpp.o.d"
+  "/root/repo/src/vmm/checkpoint.cpp" "src/CMakeFiles/mercury_vmm.dir/vmm/checkpoint.cpp.o" "gcc" "src/CMakeFiles/mercury_vmm.dir/vmm/checkpoint.cpp.o.d"
+  "/root/repo/src/vmm/domain.cpp" "src/CMakeFiles/mercury_vmm.dir/vmm/domain.cpp.o" "gcc" "src/CMakeFiles/mercury_vmm.dir/vmm/domain.cpp.o.d"
+  "/root/repo/src/vmm/event_channel.cpp" "src/CMakeFiles/mercury_vmm.dir/vmm/event_channel.cpp.o" "gcc" "src/CMakeFiles/mercury_vmm.dir/vmm/event_channel.cpp.o.d"
+  "/root/repo/src/vmm/grant_table.cpp" "src/CMakeFiles/mercury_vmm.dir/vmm/grant_table.cpp.o" "gcc" "src/CMakeFiles/mercury_vmm.dir/vmm/grant_table.cpp.o.d"
+  "/root/repo/src/vmm/hypercalls.cpp" "src/CMakeFiles/mercury_vmm.dir/vmm/hypercalls.cpp.o" "gcc" "src/CMakeFiles/mercury_vmm.dir/vmm/hypercalls.cpp.o.d"
+  "/root/repo/src/vmm/hypervisor.cpp" "src/CMakeFiles/mercury_vmm.dir/vmm/hypervisor.cpp.o" "gcc" "src/CMakeFiles/mercury_vmm.dir/vmm/hypervisor.cpp.o.d"
+  "/root/repo/src/vmm/migrate.cpp" "src/CMakeFiles/mercury_vmm.dir/vmm/migrate.cpp.o" "gcc" "src/CMakeFiles/mercury_vmm.dir/vmm/migrate.cpp.o.d"
+  "/root/repo/src/vmm/netif.cpp" "src/CMakeFiles/mercury_vmm.dir/vmm/netif.cpp.o" "gcc" "src/CMakeFiles/mercury_vmm.dir/vmm/netif.cpp.o.d"
+  "/root/repo/src/vmm/page_info.cpp" "src/CMakeFiles/mercury_vmm.dir/vmm/page_info.cpp.o" "gcc" "src/CMakeFiles/mercury_vmm.dir/vmm/page_info.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mercury_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mercury_pv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mercury_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mercury_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

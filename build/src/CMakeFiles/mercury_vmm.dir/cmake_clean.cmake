@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_vmm.dir/vmm/blkif.cpp.o"
+  "CMakeFiles/mercury_vmm.dir/vmm/blkif.cpp.o.d"
+  "CMakeFiles/mercury_vmm.dir/vmm/checkpoint.cpp.o"
+  "CMakeFiles/mercury_vmm.dir/vmm/checkpoint.cpp.o.d"
+  "CMakeFiles/mercury_vmm.dir/vmm/domain.cpp.o"
+  "CMakeFiles/mercury_vmm.dir/vmm/domain.cpp.o.d"
+  "CMakeFiles/mercury_vmm.dir/vmm/event_channel.cpp.o"
+  "CMakeFiles/mercury_vmm.dir/vmm/event_channel.cpp.o.d"
+  "CMakeFiles/mercury_vmm.dir/vmm/grant_table.cpp.o"
+  "CMakeFiles/mercury_vmm.dir/vmm/grant_table.cpp.o.d"
+  "CMakeFiles/mercury_vmm.dir/vmm/hypercalls.cpp.o"
+  "CMakeFiles/mercury_vmm.dir/vmm/hypercalls.cpp.o.d"
+  "CMakeFiles/mercury_vmm.dir/vmm/hypervisor.cpp.o"
+  "CMakeFiles/mercury_vmm.dir/vmm/hypervisor.cpp.o.d"
+  "CMakeFiles/mercury_vmm.dir/vmm/migrate.cpp.o"
+  "CMakeFiles/mercury_vmm.dir/vmm/migrate.cpp.o.d"
+  "CMakeFiles/mercury_vmm.dir/vmm/netif.cpp.o"
+  "CMakeFiles/mercury_vmm.dir/vmm/netif.cpp.o.d"
+  "CMakeFiles/mercury_vmm.dir/vmm/page_info.cpp.o"
+  "CMakeFiles/mercury_vmm.dir/vmm/page_info.cpp.o.d"
+  "libmercury_vmm.a"
+  "libmercury_vmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

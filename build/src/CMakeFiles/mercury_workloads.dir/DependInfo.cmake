@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/configs.cpp" "src/CMakeFiles/mercury_workloads.dir/workloads/configs.cpp.o" "gcc" "src/CMakeFiles/mercury_workloads.dir/workloads/configs.cpp.o.d"
+  "/root/repo/src/workloads/dbench.cpp" "src/CMakeFiles/mercury_workloads.dir/workloads/dbench.cpp.o" "gcc" "src/CMakeFiles/mercury_workloads.dir/workloads/dbench.cpp.o.d"
+  "/root/repo/src/workloads/kbuild.cpp" "src/CMakeFiles/mercury_workloads.dir/workloads/kbuild.cpp.o" "gcc" "src/CMakeFiles/mercury_workloads.dir/workloads/kbuild.cpp.o.d"
+  "/root/repo/src/workloads/lmbench.cpp" "src/CMakeFiles/mercury_workloads.dir/workloads/lmbench.cpp.o" "gcc" "src/CMakeFiles/mercury_workloads.dir/workloads/lmbench.cpp.o.d"
+  "/root/repo/src/workloads/netperf.cpp" "src/CMakeFiles/mercury_workloads.dir/workloads/netperf.cpp.o" "gcc" "src/CMakeFiles/mercury_workloads.dir/workloads/netperf.cpp.o.d"
+  "/root/repo/src/workloads/osdb.cpp" "src/CMakeFiles/mercury_workloads.dir/workloads/osdb.cpp.o" "gcc" "src/CMakeFiles/mercury_workloads.dir/workloads/osdb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mercury_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mercury_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mercury_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mercury_pv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mercury_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mercury_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_workloads.dir/workloads/configs.cpp.o"
+  "CMakeFiles/mercury_workloads.dir/workloads/configs.cpp.o.d"
+  "CMakeFiles/mercury_workloads.dir/workloads/dbench.cpp.o"
+  "CMakeFiles/mercury_workloads.dir/workloads/dbench.cpp.o.d"
+  "CMakeFiles/mercury_workloads.dir/workloads/kbuild.cpp.o"
+  "CMakeFiles/mercury_workloads.dir/workloads/kbuild.cpp.o.d"
+  "CMakeFiles/mercury_workloads.dir/workloads/lmbench.cpp.o"
+  "CMakeFiles/mercury_workloads.dir/workloads/lmbench.cpp.o.d"
+  "CMakeFiles/mercury_workloads.dir/workloads/netperf.cpp.o"
+  "CMakeFiles/mercury_workloads.dir/workloads/netperf.cpp.o.d"
+  "CMakeFiles/mercury_workloads.dir/workloads/osdb.cpp.o"
+  "CMakeFiles/mercury_workloads.dir/workloads/osdb.cpp.o.d"
+  "libmercury_workloads.a"
+  "libmercury_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

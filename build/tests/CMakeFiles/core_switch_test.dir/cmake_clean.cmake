@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_switch_test.dir/core_switch_test.cpp.o"
+  "CMakeFiles/core_switch_test.dir/core_switch_test.cpp.o.d"
+  "core_switch_test"
+  "core_switch_test.pdb"
+  "core_switch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_switch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_vo_test.dir/core_vo_test.cpp.o"
+  "CMakeFiles/core_vo_test.dir/core_vo_test.cpp.o.d"
+  "core_vo_test"
+  "core_vo_test.pdb"
+  "core_vo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_vo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

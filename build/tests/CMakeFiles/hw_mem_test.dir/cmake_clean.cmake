@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_mem_test.dir/hw_mem_test.cpp.o"
+  "CMakeFiles/hw_mem_test.dir/hw_mem_test.cpp.o.d"
+  "hw_mem_test"
+  "hw_mem_test.pdb"
+  "hw_mem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_mem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

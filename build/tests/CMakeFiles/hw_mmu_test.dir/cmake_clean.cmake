@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_mmu_test.dir/hw_mmu_test.cpp.o"
+  "CMakeFiles/hw_mmu_test.dir/hw_mmu_test.cpp.o.d"
+  "hw_mmu_test"
+  "hw_mmu_test.pdb"
+  "hw_mmu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_mmu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_net_test.dir/kernel_net_test.cpp.o"
+  "CMakeFiles/kernel_net_test.dir/kernel_net_test.cpp.o.d"
+  "kernel_net_test"
+  "kernel_net_test.pdb"
+  "kernel_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

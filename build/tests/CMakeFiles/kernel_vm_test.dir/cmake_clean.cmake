@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_vm_test.dir/kernel_vm_test.cpp.o"
+  "CMakeFiles/kernel_vm_test.dir/kernel_vm_test.cpp.o.d"
+  "kernel_vm_test"
+  "kernel_vm_test.pdb"
+  "kernel_vm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_vm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

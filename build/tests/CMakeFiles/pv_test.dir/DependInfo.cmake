@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pv_test.cpp" "tests/CMakeFiles/pv_test.dir/pv_test.cpp.o" "gcc" "tests/CMakeFiles/pv_test.dir/pv_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mercury_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mercury_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mercury_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mercury_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mercury_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mercury_pv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mercury_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mercury_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

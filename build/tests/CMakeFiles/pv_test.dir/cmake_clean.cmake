@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pv_test.dir/pv_test.cpp.o"
+  "CMakeFiles/pv_test.dir/pv_test.cpp.o.d"
+  "pv_test"
+  "pv_test.pdb"
+  "pv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

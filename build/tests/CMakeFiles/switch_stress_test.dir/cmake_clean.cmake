@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_stress_test.dir/switch_stress_test.cpp.o"
+  "CMakeFiles/switch_stress_test.dir/switch_stress_test.cpp.o.d"
+  "switch_stress_test"
+  "switch_stress_test.pdb"
+  "switch_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmm_hypervisor_test.dir/vmm_hypervisor_test.cpp.o"
+  "CMakeFiles/vmm_hypervisor_test.dir/vmm_hypervisor_test.cpp.o.d"
+  "vmm_hypervisor_test"
+  "vmm_hypervisor_test.pdb"
+  "vmm_hypervisor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmm_hypervisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmm_migration_test.dir/vmm_migration_test.cpp.o"
+  "CMakeFiles/vmm_migration_test.dir/vmm_migration_test.cpp.o.d"
+  "vmm_migration_test"
+  "vmm_migration_test.pdb"
+  "vmm_migration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmm_migration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

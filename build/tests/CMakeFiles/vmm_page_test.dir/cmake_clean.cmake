@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmm_page_test.dir/vmm_page_test.cpp.o"
+  "CMakeFiles/vmm_page_test.dir/vmm_page_test.cpp.o.d"
+  "vmm_page_test"
+  "vmm_page_test.pdb"
+  "vmm_page_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmm_page_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

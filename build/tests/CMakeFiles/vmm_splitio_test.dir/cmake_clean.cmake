@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmm_splitio_test.dir/vmm_splitio_test.cpp.o"
+  "CMakeFiles/vmm_splitio_test.dir/vmm_splitio_test.cpp.o.d"
+  "vmm_splitio_test"
+  "vmm_splitio_test.pdb"
+  "vmm_splitio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmm_splitio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

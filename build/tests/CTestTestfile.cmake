@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_mem_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_mmu_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_devices_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_task_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_vm_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_sched_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_fs_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_net_test[1]_include.cmake")
+include("/root/repo/build/tests/vmm_page_test[1]_include.cmake")
+include("/root/repo/build/tests/vmm_hypervisor_test[1]_include.cmake")
+include("/root/repo/build/tests/vmm_migration_test[1]_include.cmake")
+include("/root/repo/build/tests/core_switch_test[1]_include.cmake")
+include("/root/repo/build/tests/core_transparency_test[1]_include.cmake")
+include("/root/repo/build/tests/core_vo_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/pv_test[1]_include.cmake")
+include("/root/repo/build/tests/coro_test[1]_include.cmake")
+include("/root/repo/build/tests/vmm_splitio_test[1]_include.cmake")
+include("/root/repo/build/tests/switch_stress_test[1]_include.cmake")
