@@ -78,6 +78,8 @@ BENCHMARK(BM_EagerTrackingForkOverhead)
 }  // namespace
 
 int main(int argc, char** argv) {
+  const mercury::bench::ObsOptions obs_opts =
+      mercury::bench::consume_obs_flags(argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
@@ -112,5 +114,6 @@ int main(int argc, char** argv) {
   std::printf("paper: eager variant costs ~2-3%% in native mode and \"saves "
               "only a small amount of mode switch time\"; the lazy rebuild "
               "was chosen.\n");
+  mercury::bench::write_obs_artifacts(obs_opts);
   return 0;
 }

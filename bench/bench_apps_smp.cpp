@@ -1,6 +1,8 @@
 // Fig.4 reproduction: application-level relative performance, SMP (2 CPUs).
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include "bench_apps_common.hpp"
 
 namespace {
@@ -18,10 +20,13 @@ BENCHMARK(BM_KbuildSmpNative)->Unit(benchmark::kMillisecond)->Iterations(1);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const mercury::bench::ObsOptions obs_opts =
+      mercury::bench::consume_obs_flags(argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   mercury::bench::run_fig("Fig.4 (SMP, 2 CPUs)", 2,
                           mercury::bench::fig4_reference());
+  mercury::bench::write_obs_artifacts(obs_opts);
   return 0;
 }

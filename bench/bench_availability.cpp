@@ -8,6 +8,8 @@
 //                   tax is paid only during the (rare) migration windows.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <cmath>
 #include <cstdio>
 
@@ -86,6 +88,8 @@ BENCHMARK(BM_EvacuationDowntime)->Unit(benchmark::kMillisecond)->Iterations(1);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const mercury::bench::ObsOptions obs_opts =
+      mercury::bench::consume_obs_flags(argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
@@ -134,5 +138,6 @@ int main(int argc, char** argv) {
   std::printf("paper §6: \"the market is heading toward 99.999%% availability\" "
               "— only the self-virtualizing strategy reaches five nines "
               "without sacrificing native throughput.\n");
+  mercury::bench::write_obs_artifacts(obs_opts);
   return 0;
 }

@@ -50,6 +50,8 @@ BENCHMARK(BM_LmbenchSmpForkNative)->Unit(benchmark::kMillisecond)->Iterations(1)
 }  // namespace
 
 int main(int argc, char** argv) {
+  const mercury::bench::ObsOptions obs_opts =
+      mercury::bench::consume_obs_flags(argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
@@ -59,5 +61,6 @@ int main(int argc, char** argv) {
               mercury::bench::render_paper_reference(
                   mercury::bench::paper_table2())
                   .c_str());
+  mercury::bench::write_obs_artifacts(obs_opts);
   return 0;
 }

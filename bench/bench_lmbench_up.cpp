@@ -59,6 +59,8 @@ BENCHMARK(BM_LmbenchNativeSweep)->Unit(benchmark::kMillisecond)->Iterations(1);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const mercury::bench::ObsOptions obs_opts =
+      mercury::bench::consume_obs_flags(argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
@@ -70,5 +72,6 @@ int main(int argc, char** argv) {
               mercury::bench::render_paper_reference(
                   mercury::bench::paper_table1())
                   .c_str());
+  mercury::bench::write_obs_artifacts(obs_opts);
   return 0;
 }

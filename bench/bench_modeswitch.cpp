@@ -79,6 +79,8 @@ BENCHMARK(BM_AttachPaperScale)->Unit(benchmark::kMillisecond)->Iterations(1);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const mercury::bench::ObsOptions obs_opts =
+      mercury::bench::consume_obs_flags(argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
@@ -119,5 +121,6 @@ int main(int argc, char** argv) {
                 s.detach_ms);
     std::printf("paper:    attach ~0.22 ms, detach ~0.06 ms\n");
   }
+  mercury::bench::write_obs_artifacts(obs_opts);
   return 0;
 }

@@ -3,6 +3,8 @@
 // protocol it suggests for larger core counts.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <cstdio>
 #include <memory>
 
@@ -37,6 +39,8 @@ BENCHMARK(BM_RendezvousIpi32)->Iterations(1);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const mercury::bench::ObsOptions obs_opts =
+      mercury::bench::consume_obs_flags(argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
@@ -55,5 +59,6 @@ int main(int argc, char** argv) {
               "might be necessary ... instead of current protocols using IPI "
               "and shared variables\" — the cacheline-bouncing shared counter "
               "grows linearly with core count, the tree logarithmically.\n");
+  mercury::bench::write_obs_artifacts(obs_opts);
   return 0;
 }

@@ -2,16 +2,88 @@
 // the "run op across the six systems" loop.
 #pragma once
 
+#include <cstdio>
+#include <cstring>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/table.hpp"
 #include "workloads/configs.hpp"
 
 namespace mercury::bench {
+
+/// Telemetry export destinations, parsed from the command line before
+/// google-benchmark sees it (benchmark::Initialize rejects unknown flags).
+struct ObsOptions {
+  std::string metrics_json;  // --metrics-json <path>: obs registry snapshot
+  std::string trace_json;    // --trace-json <path>: Chrome trace_event file
+
+  bool any() const { return !metrics_json.empty() || !trace_json.empty(); }
+};
+
+/// Strip `--metrics-json <path>` / `--trace-json <path>` (and the `=`-joined
+/// forms) out of argv. Call before benchmark::Initialize. When only
+/// --metrics-json is given, the Chrome trace defaults to
+/// `<metrics-json>.trace.json` so one flag yields both artifacts.
+inline ObsOptions consume_obs_flags(int& argc, char** argv) {
+  ObsOptions opts;
+  const auto match = [&](int& i, const char* flag, std::string& out) {
+    const std::size_t n = std::strlen(flag);
+    if (std::strncmp(argv[i], flag, n) != 0) return false;
+    if (argv[i][n] == '=') {
+      out = argv[i] + n + 1;
+      return true;
+    }
+    if (argv[i][n] == '\0' && i + 1 < argc) {
+      out = argv[++i];
+      return true;
+    }
+    return false;
+  };
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (match(i, "--metrics-json", opts.metrics_json) ||
+        match(i, "--trace-json", opts.trace_json))
+      continue;
+    argv[w++] = argv[i];
+  }
+  argc = w;
+  argv[argc] = nullptr;
+  if (!opts.metrics_json.empty() && opts.trace_json.empty())
+    opts.trace_json = opts.metrics_json + ".trace.json";
+  if (opts.any()) obs::trace_buffer().set_enabled(true);
+  return opts;
+}
+
+/// Dump the registry snapshot / trace ring to the paths in `opts`.
+/// Call once, after the bench's workloads have run.
+inline void write_obs_artifacts(const ObsOptions& opts) {
+  if (!opts.metrics_json.empty()) {
+    if (std::FILE* f = std::fopen(opts.metrics_json.c_str(), "w")) {
+      const std::string json = obs::to_json(obs::snapshot());
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("metrics snapshot written to %s\n",
+                  opts.metrics_json.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   opts.metrics_json.c_str());
+    }
+  }
+  if (!opts.trace_json.empty()) {
+    if (obs::write_chrome_trace(opts.trace_json)) {
+      std::printf("chrome trace written to %s (open via chrome://tracing)\n",
+                  opts.trace_json.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   opts.trace_json.c_str());
+    }
+  }
+}
 
 using workloads::Sut;
 using workloads::SutParams;

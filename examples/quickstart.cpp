@@ -7,6 +7,7 @@
 
 #include "core/mercury.hpp"
 #include "kernel/syscalls.hpp"
+#include "obs/obs.hpp"
 
 using namespace mercury;
 using kernel::Sub;
@@ -78,5 +79,12 @@ int main() {
               static_cast<unsigned long long>(st.detaches),
               static_cast<unsigned long long>(st.deferrals));
   std::printf("the application ran continuously through every switch.\n");
+
+#if MERCURY_OBS_ENABLED
+  // End-of-run telemetry: everything the registry collected along the way
+  // (switch phases, hypercalls, kernel events, fs/net activity).
+  std::printf("\n=== telemetry snapshot ===\n%s",
+              obs::summary_table(obs::snapshot()).c_str());
+#endif
   return 0;
 }

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Validate a bench --metrics-json artifact against the mercury.metrics.v1 schema.
+
+Usage:
+    scripts/check_bench_json.py out.json
+    scripts/check_bench_json.py out.json --require switch.attach.total_cycles \
+        --require switch.detach.total_cycles
+
+Exits 0 when the document is a well-formed mercury.metrics.v1 snapshot (and
+every --require name is present as an instrument); nonzero otherwise.
+Stdlib-only on purpose: usable on any machine that can run the benches.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "mercury.metrics.v1"
+HIST_FIELDS = ("count", "sum", "min", "mean", "max", "p50", "p90", "p99")
+
+
+def fail(msg):
+    print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_entry(section, i, entry, extra_fields):
+    where = f"{section}[{i}]"
+    if not isinstance(entry, dict):
+        fail(f"{where} is not an object")
+    name = entry.get("name")
+    if not isinstance(name, str) or not name:
+        fail(f"{where} lacks a non-empty string 'name'")
+    if "label" in entry and not isinstance(entry["label"], str):
+        fail(f"{where} ('{name}') has a non-string 'label'")
+    for field in extra_fields:
+        if field not in entry:
+            fail(f"{where} ('{name}') lacks '{field}'")
+        if not isinstance(entry[field], (int, float)) or isinstance(
+            entry[field], bool
+        ):
+            fail(f"{where} ('{name}') field '{field}' is not a number")
+    return name
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("path", help="metrics JSON file written by a bench")
+    ap.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="instrument name that must be present (repeatable)",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {args.path}: {e}")
+
+    if not isinstance(doc, dict):
+        fail("top-level value is not an object")
+    if doc.get("schema") != SCHEMA:
+        fail(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+
+    names = set()
+    for section, extra in (
+        ("counters", ("value",)),
+        ("gauges", ("value",)),
+        ("histograms", HIST_FIELDS),
+    ):
+        entries = doc.get(section)
+        if not isinstance(entries, list):
+            fail(f"'{section}' is missing or not an array")
+        for i, entry in enumerate(entries):
+            names.add(check_entry(section, i, entry, extra))
+
+    for i, entry in enumerate(doc["histograms"]):
+        name = entry["name"]
+        if entry["count"] > 0:
+            if not entry["min"] <= entry["mean"] <= entry["max"]:
+                fail(f"histograms[{i}] ('{name}'): min <= mean <= max violated")
+            if not entry["p50"] <= entry["p90"] <= entry["p99"]:
+                fail(f"histograms[{i}] ('{name}'): quantiles not monotonic")
+        if entry["count"] < 0:
+            fail(f"histograms[{i}] ('{name}'): negative count")
+
+    missing = [n for n in args.require if n not in names]
+    if missing:
+        fail(f"required instruments absent: {', '.join(missing)}")
+
+    print(
+        f"check_bench_json: OK: {args.path} — "
+        f"{len(doc['counters'])} counters, {len(doc['gauges'])} gauges, "
+        f"{len(doc['histograms'])} histograms"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,5 +1,6 @@
 #include "cluster/availability.hpp"
 
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 
 namespace mercury::cluster {
@@ -20,6 +21,10 @@ void AvailabilityTracker::service_up(hw::Cycles at) {
   current_.ended = at;
   interruptions_.push_back(current_);
   end_ = at;
+  MERC_COUNT("availability.interruptions");
+  MERC_HIST("availability.interruption_cycles", current_.duration());
+  MERC_GAUGE_SET("availability.total_downtime_us",
+                 hw::cycles_to_us(total_downtime()));
 }
 
 void AvailabilityTracker::finish(hw::Cycles at) {
@@ -27,6 +32,7 @@ void AvailabilityTracker::finish(hw::Cycles at) {
   began_ = true;
   if (down_) service_up(at);
   end_ = at;
+  MERC_GAUGE_SET("availability.fraction", availability());
 }
 
 hw::Cycles AvailabilityTracker::total_downtime() const {

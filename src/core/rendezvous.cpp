@@ -5,6 +5,7 @@
 
 #include "hw/costs.hpp"
 #include "hw/interrupts.hpp"
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 
 namespace mercury::core {
@@ -108,11 +109,21 @@ RendezvousStats Rendezvous::run(hw::Machine& machine, hw::Cpu& cp,
     stats.completion_time = cp.now();
     return stats;
   }
+  const auto record = [&](const RendezvousStats& stats) {
+    MERC_COUNT("rendezvous.runs");
+    MERC_GAUGE_SET("rendezvous.cpus", stats.cpus);
+    MERC_HIST("rendezvous.cycles", stats.latency());
+    return stats;
+  };
   switch (protocol) {
-    case RendezvousProtocol::kIpiSharedVar:
-      return run_ipi_shared_var(machine, cp);
-    case RendezvousProtocol::kTree:
-      return run_tree(machine, cp);
+    case RendezvousProtocol::kIpiSharedVar: {
+      MERC_SPAN(cp, kRendezvous, "rendezvous.ipi_shared_var");
+      return record(run_ipi_shared_var(machine, cp));
+    }
+    case RendezvousProtocol::kTree: {
+      MERC_SPAN(cp, kRendezvous, "rendezvous.tree");
+      return record(run_tree(machine, cp));
+    }
   }
   MERC_CHECK(false);
   return {};

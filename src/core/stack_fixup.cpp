@@ -1,6 +1,7 @@
 #include "core/stack_fixup.hpp"
 
 #include "kernel/kernel.hpp"
+#include "obs/obs.hpp"
 #include "pv/costs.hpp"
 
 namespace mercury::core {
@@ -8,6 +9,7 @@ namespace mercury::core {
 FixupStats fix_all_saved_contexts(hw::Cpu& cpu, kernel::Kernel& k,
                                   hw::Ring target) {
   FixupStats stats;
+  MERC_SPAN(cpu, kFixup, "fixup.walk_tasks");
   k.for_each_task([&](kernel::Task& t) {
     ++stats.tasks_scanned;
     cpu.charge(pv::costs::kPerTaskSelectorFixup / 4);  // locate the frame
@@ -19,6 +21,8 @@ FixupStats fix_all_saved_contexts(hw::Cpu& cpu, kernel::Kernel& k,
     t.saved_ctx.ss.set_rpl(target);
     ++stats.selectors_fixed;
   });
+  MERC_COUNT_N("fixup.tasks_scanned", stats.tasks_scanned);
+  MERC_COUNT_N("fixup.selectors_fixed", stats.selectors_fixed);
   return stats;
 }
 

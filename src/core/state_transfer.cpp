@@ -2,6 +2,7 @@
 
 #include "core/stack_fixup.hpp"
 #include "kernel/kernel.hpp"
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 
 namespace mercury::core {
@@ -12,19 +13,29 @@ TransferStats transfer_to_virtual(hw::Cpu& cpu, kernel::Kernel& k,
   TransferStats stats;
 
   hw::Cycles t0 = cpu.now();
-  const vmm::DomainId dom = hv.adopt_running_os(cpu, k, trust_page_info);
+  {
+    MERC_SPAN(cpu, kTransfer, "transfer.page_info_rebuild");
+    const vmm::DomainId dom = hv.adopt_running_os(cpu, k, trust_page_info);
+    vo.bind(dom);
+  }
   stats.page_info_cycles = cpu.now() - t0;  // rebuild + typing + protection
-  vo.bind(dom);
 
   if (eager_fixup) {
     t0 = cpu.now();
+    MERC_SPAN(cpu, kFixup, "transfer.eager_fixup");
     fix_all_saved_contexts(cpu, k, hw::Ring::kRing1);
     stats.fixup_cycles = cpu.now() - t0;
   }
 
   t0 = cpu.now();
-  vo.state_transfer_in(cpu, k);  // register guest trap/descriptor tables
+  {
+    MERC_SPAN(cpu, kTransfer, "transfer.rebind_traps");
+    vo.state_transfer_in(cpu, k);  // register guest trap/descriptor tables
+  }
   stats.binding_cycles = cpu.now() - t0;
+  MERC_HIST("transfer.page_info_cycles", stats.page_info_cycles);
+  MERC_HIST("transfer.binding_cycles", stats.binding_cycles);
+  if (eager_fixup) MERC_HIST("transfer.fixup_cycles", stats.fixup_cycles);
   return stats;
 }
 
@@ -36,19 +47,29 @@ TransferStats transfer_to_native(hw::Cpu& cpu, kernel::Kernel& k,
                  "detach without an adopted domain");
 
   hw::Cycles t0 = cpu.now();
-  hv.release_os(cpu, vo.dom());
+  {
+    MERC_SPAN(cpu, kTransfer, "transfer.unprotect_tables");
+    hv.release_os(cpu, vo.dom());
+  }
   stats.protection_cycles = cpu.now() - t0;  // PT RW restore (O(#PTs))
 
   if (eager_fixup) {
     t0 = cpu.now();
+    MERC_SPAN(cpu, kFixup, "transfer.eager_fixup");
     fix_all_saved_contexts(cpu, k, hw::Ring::kRing0);
     stats.fixup_cycles = cpu.now() - t0;
   }
 
   t0 = cpu.now();
-  // Interrupt bindings return to the kernel: it becomes the trap owner.
-  k.machine().install_trap_sink(&k);
+  {
+    MERC_SPAN(cpu, kTransfer, "transfer.rebind_traps");
+    // Interrupt bindings return to the kernel: it becomes the trap owner.
+    k.machine().install_trap_sink(&k);
+  }
   stats.binding_cycles = cpu.now() - t0;
+  MERC_HIST("transfer.protection_cycles", stats.protection_cycles);
+  MERC_HIST("transfer.binding_cycles", stats.binding_cycles);
+  if (eager_fixup) MERC_HIST("transfer.fixup_cycles", stats.fixup_cycles);
   return stats;
 }
 

@@ -1,6 +1,7 @@
 #include "core/switch_engine.hpp"
 
 #include "hw/interrupts.hpp"
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
@@ -28,6 +29,36 @@ SwitchEngine::SwitchEngine(kernel::Kernel& k, vmm::Hypervisor& hv,
       [this](hw::Cpu& cpu, std::uint8_t vector, std::uint32_t payload) {
         on_interrupt(cpu, vector, payload);
       });
+  register_obs_instruments();
+}
+
+void SwitchEngine::register_obs_instruments() {
+#if MERCURY_OBS_ENABLED
+  // SwitchStats is the storage; the registry views it live through callback
+  // gauges so per-engine numbers appear in obs::snapshot() without a second
+  // set of counters to keep in sync.
+  static std::uint64_t next_engine_id = 0;
+  obs_label_ = "engine=" + std::to_string(next_engine_id++);
+  const auto expose = [this](const char* name, auto getter) {
+    obs_callbacks_.add(name, obs_label_, [this, getter] {
+      return static_cast<double>(getter(stats_));
+    });
+  };
+  expose("switch.attaches", [](const SwitchStats& s) { return s.attaches; });
+  expose("switch.detaches", [](const SwitchStats& s) { return s.detaches; });
+  expose("switch.reroles", [](const SwitchStats& s) { return s.reroles; });
+  expose("switch.deferrals", [](const SwitchStats& s) { return s.deferrals; });
+  expose("switch.validation_aborts",
+         [](const SwitchStats& s) { return s.validation_aborts; });
+  expose("switch.last_attach_cycles",
+         [](const SwitchStats& s) { return s.last_attach_cycles; });
+  expose("switch.last_detach_cycles",
+         [](const SwitchStats& s) { return s.last_detach_cycles; });
+  expose("switch.last_rendezvous_cycles",
+         [](const SwitchStats& s) { return s.last_rendezvous_cycles; });
+  expose("switch.last_defer_wait_cycles",
+         [](const SwitchStats& s) { return s.last_defer_wait_cycles; });
+#endif
 }
 
 VirtObject& SwitchEngine::current_vo() {
@@ -43,6 +74,7 @@ void SwitchEngine::request(ExecMode target) {
   if (target == mode_ && !pending_) return;
   pending_ = true;
   pending_target_ = target;
+  request_time_ = kernel_.machine().cpu(0).now();
   const std::uint8_t vector = target == ExecMode::kNative
                                   ? hw::kVecSelfVirtDetach
                                   : hw::kVecSelfVirtAttach;
@@ -63,6 +95,8 @@ void SwitchEngine::try_commit(hw::Cpu& cpu) {
   // §5.1.1: never switch while sensitive code is in flight.
   if (current_vo().active_refs() != 0) {
     ++stats_.deferrals;
+    MERC_COUNT("switch.deferrals");
+    MERC_INSTANT(cpu, kSwitch, "switch.deferred");
     kernel_.add_timer(
         cpu.now() + hw::us_to_cycles(config_.defer_retry_ms * 1000.0),
         [this] {
@@ -73,6 +107,7 @@ void SwitchEngine::try_commit(hw::Cpu& cpu) {
           } else {
             // Still busy: re-arm through the interrupt path.
             ++stats_.deferrals;
+            MERC_COUNT("switch.deferrals");
             m.interrupts().raise(0,
                                  pending_target_ == ExecMode::kNative
                                      ? hw::kVecSelfVirtDetach
@@ -117,10 +152,24 @@ void SwitchEngine::commit(hw::Cpu& cpu, ExecMode target) {
   }
   if (config_.validate_before_commit && !validate_for_switch(cpu, target)) {
     ++stats_.validation_aborts;
+    MERC_COUNT("switch.validation_aborts");
     pending_ = false;
     util::log_warn("mercury", "mode switch aborted by pre-commit validation");
     return;
   }
+
+  // Deferral wait (§5.1.1): simulated time between the switch request and
+  // this commit attempt — dominated by the 10 ms retry timer when the VO
+  // refcount gated the switch.
+  stats_.last_defer_wait_cycles =
+      cpu.now() >= request_time_ ? cpu.now() - request_time_ : 0;
+
+#if MERCURY_OBS_ENABLED
+  const char* commit_name = mode_ == ExecMode::kNative ? "switch.attach"
+                            : target == ExecMode::kNative ? "switch.detach"
+                                                          : "switch.rerole";
+  obs::TraceSpan commit_span(cpu, obs::TraceCat::kSwitch, commit_name);
+#endif
 
   // §5.4: bring every CPU to the barrier before touching global state.
   const RendezvousStats rv =
@@ -155,11 +204,33 @@ void SwitchEngine::commit(hw::Cpu& cpu, ExecMode target) {
   if (from == ExecMode::kNative) {
     stats_.last_attach_cycles = elapsed;
     ++stats_.attaches;
+    MERC_COUNT("switch.attaches");
+    MERC_HIST("switch.attach.total_cycles", elapsed);
+    MERC_HIST("switch.attach.defer_cycles", stats_.last_defer_wait_cycles);
+    MERC_HIST("switch.attach.rendezvous_cycles", rv.latency());
+    MERC_HIST("switch.attach.transfer_cycles",
+              stats_.last_transfer.page_info_cycles +
+                  stats_.last_transfer.protection_cycles +
+                  stats_.last_transfer.binding_cycles);
+    MERC_HIST("switch.attach.fixup_cycles", stats_.last_transfer.fixup_cycles);
   } else if (mode_ == ExecMode::kNative) {
     stats_.last_detach_cycles = elapsed;
     ++stats_.detaches;
+    MERC_COUNT("switch.detaches");
+    MERC_HIST("switch.detach.total_cycles", elapsed);
+    MERC_HIST("switch.detach.defer_cycles", stats_.last_defer_wait_cycles);
+    MERC_HIST("switch.detach.rendezvous_cycles", rv.latency());
+    MERC_HIST("switch.detach.transfer_cycles",
+              stats_.last_transfer.page_info_cycles +
+                  stats_.last_transfer.protection_cycles +
+                  stats_.last_transfer.binding_cycles);
+    MERC_HIST("switch.detach.fixup_cycles", stats_.last_transfer.fixup_cycles);
+  } else {
+    // partial <-> full re-roles are neither attaches nor detaches.
+    ++stats_.reroles;
+    MERC_COUNT("switch.reroles");
+    MERC_HIST("switch.rerole.total_cycles", elapsed);
   }
-  // partial <-> full re-roles are neither attaches nor detaches.
   pending_ = false;
 
   // §5.1.3: the handler returns to the *new* kernel privilege level — the
@@ -189,6 +260,7 @@ void SwitchEngine::attach(hw::Cpu& cpu, ExecMode target) {
     hv_.blk_backend().connect_frontend(vo.dom());
     hv_.net_backend().connect_frontend(vo.dom());
   }
+  MERC_SPAN(cpu, kSwitch, "switch.reload_hw_state");
   reload_all_cpus(vo);
   kernel_.set_ops(vo);
   mode_ = target;
@@ -208,6 +280,7 @@ void SwitchEngine::detach(hw::Cpu& cpu) {
     // it stays authoritative across the detach (§5.1.2 alternative 1).
     hv_.page_info().set_valid(true);
   }
+  MERC_SPAN(cpu, kSwitch, "switch.reload_hw_state");
   reload_all_cpus(native_vo_);
   kernel_.set_ops(native_vo_);
   mode_ = ExecMode::kNative;

@@ -11,11 +11,14 @@
 
 #include <cstdint>
 
+#include <string>
+
 #include "core/native_vo.hpp"
 #include "core/rendezvous.hpp"
 #include "core/state_transfer.hpp"
 #include "core/virtual_vo.hpp"
 #include "kernel/kernel.hpp"
+#include "obs/metrics.hpp"
 #include "vmm/hypervisor.hpp"
 
 namespace mercury::core {
@@ -36,14 +39,23 @@ struct SwitchConfig {
   bool validate_before_commit = false;  // failure-resistant switch (§8)
 };
 
+/// Per-engine switch telemetry. This struct is the single storage for these
+/// values; when telemetry is compiled in, the engine exposes every field
+/// through the central obs registry as callback gauges labeled
+/// "engine=<id>" (obs::snapshot() reads them live — no parallel counting),
+/// and additionally feeds the unlabeled per-phase cycle histograms
+/// (`switch.attach.*_cycles` / `switch.detach.*_cycles`) that benches dump
+/// with --metrics-json.
 struct SwitchStats {
   std::uint64_t attaches = 0;
   std::uint64_t detaches = 0;
+  std::uint64_t reroles = 0;         // partial <-> full transitions
   std::uint64_t deferrals = 0;       // refcount non-zero at request time
   std::uint64_t validation_aborts = 0;
   hw::Cycles last_attach_cycles = 0;
   hw::Cycles last_detach_cycles = 0;
   hw::Cycles last_rendezvous_cycles = 0;
+  hw::Cycles last_defer_wait_cycles = 0;  // request -> commit-start (§5.1.1)
   TransferStats last_transfer{};
 };
 
@@ -77,9 +89,13 @@ class SwitchEngine {
   VirtualVo& guest_vo() { return guest_vo_; }
   VirtObject& current_vo();
 
+  /// The registry label ("engine=<n>") this engine's stats appear under.
+  const std::string& obs_label() const { return obs_label_; }
+
  private:
   void try_commit(hw::Cpu& cpu);
   void commit(hw::Cpu& cpu, ExecMode target);
+  void register_obs_instruments();
   void attach(hw::Cpu& cpu, ExecMode target);
   void detach(hw::Cpu& cpu);
   bool validate_for_switch(hw::Cpu& cpu, ExecMode target);
@@ -95,7 +111,10 @@ class SwitchEngine {
   ExecMode mode_ = ExecMode::kNative;
   bool pending_ = false;
   ExecMode pending_target_ = ExecMode::kNative;
+  hw::Cycles request_time_ = 0;  // CP clock when the live request was made
   SwitchStats stats_;
+  std::string obs_label_;
+  obs::CallbackGuard obs_callbacks_;  // unregisters when the engine dies
 };
 
 }  // namespace mercury::core

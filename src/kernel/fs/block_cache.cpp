@@ -1,5 +1,6 @@
 #include "kernel/fs/block_cache.hpp"
 
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 
 namespace mercury::kernel {
@@ -12,9 +13,11 @@ bool BlockCache::lookup(std::uint64_t block) {
   auto it = map_.find(block);
   if (it == map_.end()) {
     ++misses_;
+    MERC_COUNT("fs.block_cache.misses");
     return false;
   }
   ++hits_;
+  MERC_COUNT("fs.block_cache.hits");
   lru_.erase(it->second.lru_pos);
   lru_.push_front(block);
   it->second.lru_pos = lru_.begin();

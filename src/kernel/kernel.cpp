@@ -7,6 +7,7 @@
 #include "kernel/layout.hpp"
 #include "kernel/net/stack.hpp"
 #include "kernel/syscalls.hpp"
+#include "obs/obs.hpp"
 #include "pv/costs.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
@@ -344,6 +345,7 @@ bool Kernel::fixup_saved_selectors(Task& t, hw::Cpu& cpu) {
   t.saved_ctx.cs.set_rpl(want);
   t.saved_ctx.ss.set_rpl(want);
   ++stats_.selector_fixups;
+  MERC_COUNT("kernel.selector_fixups");
   return true;
 }
 
@@ -353,6 +355,7 @@ void Kernel::dispatch(hw::Cpu& cpu, Task& t) {
   const bool switching = prev != &t;
   if (switching) {
     ++stats_.context_switches;
+    MERC_COUNT("kernel.context_switches");
     cpu.charge(costs::kCtxSwitchBase + vo_path_tax_);
     smp_tax(cpu, costs::kSmpDispatchTax);
     lock_kernel(cpu);
@@ -447,6 +450,7 @@ void Kernel::deliver_timer_tick(hw::Cpu& cpu) {
 
 void Kernel::handle_interrupt(hw::Cpu& cpu, const hw::PendingInterrupt& irq) {
   ++stats_.interrupts;
+  MERC_COUNT("kernel.interrupts");
   cpu.charge(hw::costs::kTrapEntry + vo_path_tax_);
   if (ops_->is_virtual()) {
     // Hardware interrupts land in the VMM first and are forwarded to the
@@ -581,6 +585,7 @@ void Kernel::guest_trap(hw::Cpu& cpu, const hw::TrapInfo& info) {
   switch (info.kind) {
     case hw::TrapKind::kPageFault: {
       ++stats_.page_faults;
+      MERC_COUNT("kernel.page_faults");
       MERC_CHECK_MSG(cur != nullptr, "page fault with no current task at 0x"
                                          << std::hex << info.fault_addr);
       lock_kernel(cpu);

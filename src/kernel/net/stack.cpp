@@ -4,6 +4,7 @@
 
 #include "kernel/costs.hpp"
 #include "kernel/kernel.hpp"
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
@@ -82,6 +83,7 @@ Socket* NetStack::find_tcp_conn(std::uint16_t local_port, std::uint32_t peer,
 void NetStack::udp_send(hw::Cpu& cpu, Socket& s, std::uint32_t dst,
                         std::uint16_t dst_port, std::size_t bytes) {
   ++stats_.udp_tx;
+  MERC_COUNT("net.udp_tx");
   cpu.charge(costs::kUdpTxStack);
   hw::Packet pkt;
   pkt.src_addr = local_addr();
@@ -122,6 +124,7 @@ bool NetStack::tcp_pump(hw::Cpu& cpu, Socket& s, std::uint64_t& remaining) {
     const std::size_t seg = static_cast<std::size_t>(
         std::min<std::uint64_t>(remaining, kTcpSegmentBytes));
     ++stats_.tcp_segments_tx;
+    MERC_COUNT("net.tcp_segments_tx");
     cpu.charge(costs::kTcpTxStack);
     hw::Packet pkt;
     pkt.src_addr = local_addr();
@@ -209,6 +212,7 @@ void NetStack::handle_tcp(hw::Cpu& cpu, const hw::Packet& pkt) {
 
   // Data segment.
   ++stats_.tcp_segments_rx;
+  MERC_COUNT("net.tcp_segments_rx");
   cpu.charge(costs::kTcpRxStack);
   t.rcv_bytes += pkt.payload_bytes;
   if (++t.segs_since_ack >= 2) {
@@ -246,6 +250,7 @@ void NetStack::rx_drain(hw::Cpu& cpu) {
       }
       case kProtoUdp: {
         ++stats_.udp_rx;
+        MERC_COUNT("net.udp_rx");
         cpu.charge(costs::kUdpRxStack);
         Socket* s = find_by_port(pkt->dst_port, Socket::Kind::kUdp);
         if (s == nullptr) {

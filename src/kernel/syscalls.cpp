@@ -1,5 +1,7 @@
 #include "kernel/syscalls.hpp"
 
+#include "obs/obs.hpp"
+
 #include <algorithm>
 
 #include "hw/costs.hpp"
@@ -48,6 +50,7 @@ ExecImage cc1_image() {
 
 void Sys::syscall_prologue(hw::Cpu& cpu) {
   ++kernel_.stats().syscalls;
+  MERC_COUNT("kernel.syscalls");
   kernel_.ops().syscall_entered(cpu);
   cpu.set_cpl(kernel_.ops().kernel_ring());
   cpu.charge(costs::kSyscallDispatch + kernel_.vo_path_tax());

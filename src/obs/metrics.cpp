@@ -1,0 +1,288 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/table.hpp"
+
+namespace mercury::obs {
+
+const char* instrument_kind_name(InstrumentKind k) {
+  switch (k) {
+    case InstrumentKind::kCounter: return "counter";
+    case InstrumentKind::kGauge: return "gauge";
+    case InstrumentKind::kHist: return "histogram";
+    case InstrumentKind::kCallback: return "callback";
+  }
+  return "?";
+}
+
+const InstrumentSample* Snapshot::find(std::string_view name,
+                                       std::string_view label) const {
+  for (const auto& s : samples)
+    if (s.name == name && (label.empty() || s.label == label)) return &s;
+  return nullptr;
+}
+
+MetricsRegistry::Owned& MetricsRegistry::get_or_create(std::string_view name,
+                                                       std::string_view label,
+                                                       InstrumentKind kind) {
+  for (auto& o : owned_)
+    if (o->name == name && o->label == label) {
+      MERC_CHECK_MSG(o->kind == kind, "instrument '" << o->name
+                                                     << "' re-registered as "
+                                                     << instrument_kind_name(kind));
+      return *o;
+    }
+  auto o = std::make_unique<Owned>();
+  o->name = std::string(name);
+  o->label = std::string(label);
+  o->kind = kind;
+  switch (kind) {
+    case InstrumentKind::kCounter: o->counter = std::make_unique<Counter>(); break;
+    case InstrumentKind::kGauge: o->gauge = std::make_unique<Gauge>(); break;
+    case InstrumentKind::kHist: o->hist = std::make_unique<Hist>(); break;
+    case InstrumentKind::kCallback: MERC_CHECK(false); break;
+  }
+  owned_.push_back(std::move(o));
+  return *owned_.back();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, std::string_view label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return *get_or_create(name, label, InstrumentKind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return *get_or_create(name, label, InstrumentKind::kGauge).gauge;
+}
+
+Hist& MetricsRegistry::histogram(std::string_view name, std::string_view label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return *get_or_create(name, label, InstrumentKind::kHist).hist;
+}
+
+std::uint64_t MetricsRegistry::register_callback(std::string_view name,
+                                                 std::string_view label,
+                                                 std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_cb_id_++;
+  callbacks_.push_back(
+      {id, std::string(name), std::string(label), std::move(fn)});
+  return id;
+}
+
+void MetricsRegistry::unregister_callback(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callbacks_.erase(std::remove_if(callbacks_.begin(), callbacks_.end(),
+                                  [&](const Callback& c) { return c.id == id; }),
+                   callbacks_.end());
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.samples.reserve(owned_.size() + callbacks_.size());
+  for (const auto& o : owned_) {
+    InstrumentSample s;
+    s.name = o->name;
+    s.label = o->label;
+    s.kind = o->kind;
+    switch (o->kind) {
+      case InstrumentKind::kCounter:
+        s.value = static_cast<double>(o->counter->value());
+        break;
+      case InstrumentKind::kGauge:
+        s.value = o->gauge->value();
+        break;
+      case InstrumentKind::kHist: {
+        const auto& rs = o->hist->stats();
+        s.count = o->hist->count();
+        s.sum = rs.sum();
+        s.min = rs.min();
+        s.mean = rs.mean();
+        s.max = rs.max();
+        s.p50 = o->hist->quantile(0.50);
+        s.p90 = o->hist->quantile(0.90);
+        s.p99 = o->hist->quantile(0.99);
+        s.value = s.mean;
+        break;
+      }
+      case InstrumentKind::kCallback: break;
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  for (const auto& c : callbacks_) {
+    InstrumentSample s;
+    s.name = c.name;
+    s.label = c.label;
+    s.kind = InstrumentKind::kCallback;
+    s.value = c.fn ? c.fn() : 0.0;
+    snap.samples.push_back(std::move(s));
+  }
+  std::stable_sort(snap.samples.begin(), snap.samples.end(),
+                   [](const InstrumentSample& a, const InstrumentSample& b) {
+                     return a.name != b.name ? a.name < b.name
+                                             : a.label < b.label;
+                   });
+  return snap;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& o : owned_) {
+    switch (o->kind) {
+      case InstrumentKind::kCounter: o->counter->reset(); break;
+      case InstrumentKind::kGauge: o->gauge->reset(); break;
+      case InstrumentKind::kHist: o->hist->reset(); break;
+      case InstrumentKind::kCallback: break;
+    }
+  }
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return owned_.size() + callbacks_.size();
+}
+
+MetricsRegistry& registry() {
+  static MetricsRegistry r;
+  return r;
+}
+
+Snapshot snapshot() { return registry().snapshot(); }
+
+namespace {
+
+// JSON string escaping (instrument names are plain identifiers, but labels
+// may carry arbitrary text).
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  // Integral values print without a fraction so counters stay exact.
+  if (v == static_cast<double>(static_cast<long long>(v)) && std::abs(v) < 1e15) {
+    out += std::to_string(static_cast<long long>(v));
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    out += buf;
+  }
+}
+
+void append_kv(std::string& out, const char* key, double v, bool comma = true) {
+  append_json_string(out, key);
+  out += ':';
+  append_number(out, v);
+  if (comma) out += ',';
+}
+
+}  // namespace
+
+std::string to_json(const Snapshot& snap) {
+  std::string out = "{\"schema\":\"mercury.metrics.v1\",";
+  out += "\"counters\":[";
+  bool first = true;
+  auto emit_scalar = [&](const InstrumentSample& s) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, s.name);
+    if (!s.label.empty()) {
+      out += ",\"label\":";
+      append_json_string(out, s.label);
+    }
+    out += ",\"value\":";
+    append_number(out, s.value);
+    out += '}';
+  };
+  for (const auto& s : snap.samples)
+    if (s.kind == InstrumentKind::kCounter) emit_scalar(s);
+  out += "],\"gauges\":[";
+  first = true;
+  for (const auto& s : snap.samples)
+    if (s.kind == InstrumentKind::kGauge || s.kind == InstrumentKind::kCallback)
+      emit_scalar(s);
+  out += "],\"histograms\":[";
+  first = true;
+  for (const auto& s : snap.samples) {
+    if (s.kind != InstrumentKind::kHist) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, s.name);
+    if (!s.label.empty()) {
+      out += ",\"label\":";
+      append_json_string(out, s.label);
+    }
+    out += ',';
+    append_kv(out, "count", static_cast<double>(s.count));
+    append_kv(out, "sum", s.sum);
+    append_kv(out, "min", s.count ? s.min : 0.0);
+    append_kv(out, "mean", s.mean);
+    append_kv(out, "max", s.count ? s.max : 0.0);
+    append_kv(out, "p50", static_cast<double>(s.p50));
+    append_kv(out, "p90", static_cast<double>(s.p90));
+    append_kv(out, "p99", static_cast<double>(s.p99), /*comma=*/false);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string summary_table(const Snapshot& snap) {
+  std::ostringstream os;
+  util::Table scalars({"instrument", "kind", "value"});
+  bool have_scalars = false;
+  for (const auto& s : snap.samples) {
+    if (s.kind == InstrumentKind::kHist) continue;
+    std::ostringstream v;
+    v << s.value;
+    const std::string name =
+        s.label.empty() ? s.name : s.name + "{" + s.label + "}";
+    scalars.add_row({name, instrument_kind_name(s.kind), v.str()});
+    have_scalars = true;
+  }
+  if (have_scalars) os << scalars.render();
+  util::Table hists({"histogram", "count", "mean", "p50<=", "p90<=", "p99<=",
+                     "max"});
+  bool have_hists = false;
+  for (const auto& s : snap.samples) {
+    if (s.kind != InstrumentKind::kHist) continue;
+    const std::string name =
+        s.label.empty() ? s.name : s.name + "{" + s.label + "}";
+    hists.add_numeric_row(name,
+                          {static_cast<double>(s.count), s.mean,
+                           static_cast<double>(s.p50), static_cast<double>(s.p90),
+                           static_cast<double>(s.p99), s.count ? s.max : 0.0},
+                          0);
+    have_hists = true;
+  }
+  if (have_hists) os << hists.render();
+  return os.str();
+}
+
+}  // namespace mercury::obs

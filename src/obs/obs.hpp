@@ -1,0 +1,99 @@
+// Telemetry umbrella: instrumentation macros for the hot paths
+// (telemetry pillar 3).
+//
+// Every hook compiles away completely when the MERCURY_OBS CMake option is
+// OFF (MERCURY_OBS_ENABLED=0): no registry lookups, no ring writes, no
+// cpu.now() samples — mirroring Mercury's "pay only when attached"
+// philosophy. The obs library itself still builds in both configurations so
+// benches and tests that *read* telemetry keep linking (they simply see
+// empty registries).
+//
+// Macro cost when enabled: the registry lookup happens once per call site
+// (function-local static reference); the steady-state update is an inlined
+// integer add / ring-slot store. Instrumentation must never cpu.charge():
+// telemetry observes simulated time, it does not create it.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#ifndef MERCURY_OBS_ENABLED
+#define MERCURY_OBS_ENABLED 1
+#endif
+
+#include "hw/cpu.hpp"
+
+namespace mercury::obs {
+
+/// RAII span over simulated cycles on one CPU (see trace.hpp).
+class TraceSpan {
+ public:
+  TraceSpan(hw::Cpu& cpu, TraceCat cat, const char* name)
+      : cpu_(&cpu), cat_(cat), name_(name), begin_(cpu.now()) {}
+  ~TraceSpan() {
+    trace_buffer().record(
+        TraceEvent{name_, cat_, cpu_->id(), begin_, cpu_->now()});
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  hw::Cpu* cpu_;
+  TraceCat cat_;
+  const char* name_;
+  hw::Cycles begin_;
+};
+
+}  // namespace mercury::obs
+
+#if MERCURY_OBS_ENABLED
+
+#define MERC_OBS_CONCAT_(a, b) a##b
+#define MERC_OBS_CONCAT(a, b) MERC_OBS_CONCAT_(a, b)
+
+/// Count an event on the global registry: MERC_COUNT("kernel.syscalls").
+#define MERC_COUNT(name_) MERC_COUNT_N(name_, 1)
+#define MERC_COUNT_N(name_, n_)                                         \
+  do {                                                                  \
+    static ::mercury::obs::Counter& MERC_OBS_CONCAT(merc_obs_c_, __LINE__) = \
+        ::mercury::obs::registry().counter(name_);                      \
+    MERC_OBS_CONCAT(merc_obs_c_, __LINE__).inc(n_);                     \
+  } while (0)
+
+/// Set a gauge: MERC_GAUGE_SET("availability.fraction", 0.99999).
+#define MERC_GAUGE_SET(name_, v_)                                       \
+  do {                                                                  \
+    static ::mercury::obs::Gauge& MERC_OBS_CONCAT(merc_obs_g_, __LINE__) = \
+        ::mercury::obs::registry().gauge(name_);                        \
+    MERC_OBS_CONCAT(merc_obs_g_, __LINE__).set(static_cast<double>(v_)); \
+  } while (0)
+
+/// Record a value into a named histogram (cycles, bytes, counts).
+#define MERC_HIST(name_, v_)                                            \
+  do {                                                                  \
+    static ::mercury::obs::Hist& MERC_OBS_CONCAT(merc_obs_h_, __LINE__) = \
+        ::mercury::obs::registry().histogram(name_);                    \
+    MERC_OBS_CONCAT(merc_obs_h_, __LINE__).record(                      \
+        static_cast<std::uint64_t>(v_));                                \
+  } while (0)
+
+/// Scoped trace span over cpu_'s simulated clock for the rest of the block.
+#define MERC_SPAN(cpu_, cat_, name_)                                    \
+  ::mercury::obs::TraceSpan MERC_OBS_CONCAT(merc_obs_span_, __LINE__)(  \
+      cpu_, ::mercury::obs::TraceCat::cat_, name_)
+
+/// Zero-duration marker event at cpu_'s current simulated time.
+#define MERC_INSTANT(cpu_, cat_, name_)                                  \
+  ::mercury::obs::trace_buffer().record_instant(                         \
+      (cpu_).id(), ::mercury::obs::TraceCat::cat_, name_, (cpu_).now())
+
+#else  // !MERCURY_OBS_ENABLED
+
+#define MERC_COUNT(name_) ((void)0)
+#define MERC_COUNT_N(name_, n_) ((void)0)
+#define MERC_GAUGE_SET(name_, v_) ((void)0)
+#define MERC_HIST(name_, v_) ((void)0)
+#define MERC_SPAN(cpu_, cat_, name_) ((void)0)
+#define MERC_INSTANT(cpu_, cat_, name_) ((void)0)
+
+#endif  // MERCURY_OBS_ENABLED

@@ -1,0 +1,110 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mercury::obs {
+
+const char* trace_cat_name(TraceCat cat) {
+  switch (cat) {
+    case TraceCat::kSwitch: return "switch";
+    case TraceCat::kRendezvous: return "rendezvous";
+    case TraceCat::kTransfer: return "transfer";
+    case TraceCat::kFixup: return "fixup";
+    case TraceCat::kVmm: return "vmm";
+    case TraceCat::kNet: return "net";
+    case TraceCat::kFs: return "fs";
+    case TraceCat::kCluster: return "cluster";
+    case TraceCat::kOther: return "other";
+  }
+  return "?";
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity_per_cpu)
+    : capacity_(capacity_per_cpu ? capacity_per_cpu : 1) {}
+
+void TraceBuffer::set_capacity(std::size_t per_cpu) {
+  capacity_ = per_cpu ? per_cpu : 1;
+  clear();
+}
+
+void TraceBuffer::clear() {
+  rings_.clear();
+  recorded_ = 0;
+  dropped_ = 0;
+}
+
+void TraceBuffer::record(const TraceEvent& ev) {
+  if (!enabled_) return;
+  if (ev.cpu >= rings_.size()) rings_.resize(ev.cpu + 1);
+  Ring& r = rings_[ev.cpu];
+  if (r.slots.empty()) r.slots.resize(capacity_);
+  if (r.size == r.slots.size()) ++dropped_;  // overwriting the oldest
+  else ++r.size;
+  r.slots[r.head] = ev;
+  r.head = (r.head + 1) % r.slots.size();
+  ++recorded_;
+}
+
+std::vector<TraceEvent> TraceBuffer::events() const {
+  std::vector<TraceEvent> out;
+  for (const Ring& r : rings_) {
+    // Oldest retained event sits at head when the ring has wrapped.
+    const std::size_t cap = r.slots.size();
+    const std::size_t start = r.size == cap ? r.head : 0;
+    for (std::size_t i = 0; i < r.size; ++i)
+      out.push_back(r.slots[(start + i) % cap]);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.begin < b.begin;
+                   });
+  return out;
+}
+
+TraceBuffer& trace_buffer() {
+  static TraceBuffer buf;
+  return buf;
+}
+
+std::string chrome_trace_json(const TraceBuffer& buf) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char num[64];
+  for (const TraceEvent& ev : buf.events()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += ev.name;  // names are C literals: no escaping needed
+    out += "\",\"cat\":\"";
+    out += trace_cat_name(ev.cat);
+    if (ev.instant()) {
+      out += "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+      std::snprintf(num, sizeof num, "%.3f", hw::cycles_to_us(ev.begin));
+      out += num;
+    } else {
+      out += "\",\"ph\":\"X\",\"ts\":";
+      std::snprintf(num, sizeof num, "%.3f", hw::cycles_to_us(ev.begin));
+      out += num;
+      out += ",\"dur\":";
+      std::snprintf(num, sizeof num, "%.3f",
+                    hw::cycles_to_us(ev.end - ev.begin));
+      out += num;
+    }
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(ev.cpu);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path, const TraceBuffer& buf) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string json = chrome_trace_json(buf);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace mercury::obs

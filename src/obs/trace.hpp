@@ -1,0 +1,107 @@
+// Span-based tracer (telemetry pillar 2).
+//
+// Fixed-capacity per-CPU ring buffers of trace events over simulated
+// hw::Cycles, recorded by scoped RAII TraceSpans. The buffer exports Chrome
+// `trace_event` JSON (chrome://tracing / Perfetto "Open trace file"): one
+// track per simulated CPU, ts/dur in simulated microseconds.
+//
+// Rings overwrite their oldest event when full (the dropped count is kept),
+// so tracing never allocates on the hot path after the first event on a CPU
+// and a runaway workload cannot exhaust memory — Mercury's "pay only when
+// attached" philosophy applied to telemetry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/types.hpp"
+
+namespace mercury::hw {
+class Cpu;
+}
+
+namespace mercury::obs {
+
+enum class TraceCat : std::uint8_t {
+  kSwitch,      // whole mode-switch commits
+  kRendezvous,  // §5.4 SMP barrier
+  kTransfer,    // §5.1.2 state-transfer phases
+  kFixup,       // stack segment-selector rewriting
+  kVmm,         // hypervisor: adopt/release, hypercall storms
+  kNet,         // network stack
+  kFs,          // filesystem / block cache
+  kCluster,     // cross-node scenarios
+  kOther,
+};
+
+const char* trace_cat_name(TraceCat cat);
+
+struct TraceEvent {
+  const char* name = "";  // static string (event names are literals)
+  TraceCat cat = TraceCat::kOther;
+  std::uint32_t cpu = 0;
+  hw::Cycles begin = 0;
+  hw::Cycles end = 0;  // == begin for instant events
+  bool instant() const { return end == begin; }
+};
+
+class TraceBuffer {
+ public:
+  static constexpr std::size_t kDefaultCapacityPerCpu = 4096;
+
+  explicit TraceBuffer(std::size_t capacity_per_cpu = kDefaultCapacityPerCpu);
+
+  /// Tracing starts enabled; disable to make record() a cheap early-out.
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  /// Change per-CPU ring capacity; drops everything recorded so far.
+  void set_capacity(std::size_t per_cpu);
+  std::size_t capacity() const { return capacity_; }
+
+  void record(const TraceEvent& ev);
+  void record_instant(std::uint32_t cpu, TraceCat cat, const char* name,
+                      hw::Cycles at) {
+    record(TraceEvent{name, cat, cpu, at, at});
+  }
+
+  /// All retained events, oldest first, across CPUs (stable by begin time).
+  std::vector<TraceEvent> events() const;
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t dropped() const { return dropped_; }
+  void clear();
+
+ private:
+  struct Ring {
+    std::vector<TraceEvent> slots;
+    std::size_t head = 0;  // next write position
+    std::size_t size = 0;
+  };
+
+  bool enabled_ = true;
+  std::size_t capacity_;
+  std::vector<Ring> rings_;  // indexed by cpu id, grown on demand
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// The process-global buffer the instrumentation macros record into.
+TraceBuffer& trace_buffer();
+
+/// Chrome trace_event JSON for the buffer ("X" complete events, one tid per
+/// simulated CPU). Loadable by chrome://tracing and ui.perfetto.dev.
+std::string chrome_trace_json(const TraceBuffer& buf = trace_buffer());
+
+/// Write chrome_trace_json() to `path`; false on I/O failure.
+bool write_chrome_trace(const std::string& path,
+                        const TraceBuffer& buf = trace_buffer());
+
+/// RAII span over simulated time: samples cpu.now() at construction and
+/// destruction and records a complete event. Constructing spans inside
+/// spans yields properly nested Chrome trace stacks. Implemented inline in
+/// obs/obs.hpp (needs hw::Cpu); prefer the MERC_SPAN macro, which compiles
+/// away when MERCURY_OBS_ENABLED=0.
+class TraceSpan;
+
+}  // namespace mercury::obs

@@ -1,9 +1,21 @@
 #include "util/log.hpp"
 
+#include <atomic>
+#include <mutex>
+#include <utility>
+#include <vector>
+
 namespace mercury::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<std::FILE*> g_sink{nullptr};  // nullptr -> stderr
+
+// Subsystem overrides: tiny vector, linearly scanned. The hot path (no
+// overrides installed) skips the lock entirely via g_has_overrides.
+std::mutex g_override_mu;
+std::atomic<bool> g_has_overrides{false};
+std::vector<std::pair<std::string, LogLevel>> g_overrides;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -18,12 +30,71 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void set_log_level(std::string_view subsystem, LogLevel level) {
+  std::lock_guard<std::mutex> lock(g_override_mu);
+  for (auto& [name, lvl] : g_overrides)
+    if (name == subsystem) {
+      lvl = level;
+      return;
+    }
+  g_overrides.emplace_back(std::string(subsystem), level);
+  g_has_overrides.store(true, std::memory_order_relaxed);
+}
+
+void clear_log_level(std::string_view subsystem) {
+  std::lock_guard<std::mutex> lock(g_override_mu);
+  for (auto it = g_overrides.begin(); it != g_overrides.end(); ++it)
+    if (it->first == subsystem) {
+      g_overrides.erase(it);
+      break;
+    }
+  g_has_overrides.store(!g_overrides.empty(), std::memory_order_relaxed);
+}
+
+void clear_log_level_overrides() {
+  std::lock_guard<std::mutex> lock(g_override_mu);
+  g_overrides.clear();
+  g_has_overrides.store(false, std::memory_order_relaxed);
+}
+
+LogLevel log_level(std::string_view subsystem) {
+  if (!g_has_overrides.load(std::memory_order_relaxed)) return log_level();
+  std::lock_guard<std::mutex> lock(g_override_mu);
+  for (const auto& [name, lvl] : g_overrides)
+    if (name == subsystem) return lvl;
+  return log_level();
+}
+
+void set_log_sink(std::FILE* sink) {
+  g_sink.store(sink, std::memory_order_relaxed);
+}
+
+std::string format_log_line(LogLevel level, std::string_view subsystem,
+                            const std::string& msg) {
+  std::string line;
+  line.reserve(subsystem.size() + msg.size() + 12);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += subsystem;
+  line += ": ";
+  line += msg;
+  line += '\n';
+  return line;
+}
 
 void log_emit(LogLevel level, std::string_view subsystem, const std::string& msg) {
-  std::fprintf(stderr, "[%s] %.*s: %s\n", level_name(level),
-               static_cast<int>(subsystem.size()), subsystem.data(), msg.c_str());
+  // One fwrite of the fully formatted line: interleaving emitters (or a
+  // signal-interrupted process) can never shear a line in half.
+  const std::string line = format_log_line(level, subsystem, msg);
+  std::FILE* sink = g_sink.load(std::memory_order_relaxed);
+  if (!sink) sink = stderr;
+  std::fwrite(line.data(), 1, line.size(), sink);
 }
 
 }  // namespace mercury::util

@@ -1,5 +1,6 @@
 #include "util/stats.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <sstream>
@@ -36,14 +37,22 @@ void Histogram::add(std::uint64_t value) {
 }
 
 std::uint64_t Histogram::quantile(double q) const {
+  // Contract: an empty histogram yields 0 for every q; q is clamped to
+  // [0, 1] (NaN behaves like 0). q==0 gives the smallest recorded bucket's
+  // upper bound, q==1 the largest — never a sentinel.
   if (total_ == 0) return 0;
-  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  if (!(q > 0.0)) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank in [1, total_]: the smallest cumulative count covering fraction q.
+  auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  target = std::max<std::uint64_t>(1, std::min(target, total_));
   std::uint64_t seen = 0;
   for (int b = 0; b < kBuckets; ++b) {
     seen += buckets_[b];
-    if (seen > target) return b == 0 ? 0 : (1ull << b) - 1;
+    if (seen >= target) return b == 0 ? 0 : (1ull << b) - 1;
   }
-  return ~0ull;
+  return (1ull << (kBuckets - 1)) - 1;  // unreachable: seen reaches total_
 }
 
 std::string Histogram::summary() const {

@@ -35,7 +35,9 @@ class Histogram {
  public:
   void add(std::uint64_t value);
   std::uint64_t count() const { return total_; }
-  /// Approximate quantile (bucket upper bound), q in [0,1].
+  /// Approximate quantile as a bucket upper bound. `q` is clamped to
+  /// [0, 1]: q<=0 -> smallest recorded bucket, q>=1 -> largest recorded
+  /// bucket. An empty histogram returns 0 for every q.
   std::uint64_t quantile(double q) const;
   std::string summary() const;
 

@@ -3,6 +3,7 @@
 
 #include "hw/costs.hpp"
 #include "kernel/kernel.hpp"
+#include "obs/obs.hpp"
 #include "pv/costs.hpp"
 #include "util/assert.hpp"
 #include "vmm/hypervisor.hpp"
@@ -27,6 +28,7 @@ void Hypervisor::hypercall_exit(hw::Cpu& cpu) {
 void Hypervisor::hc_mmu_update(hw::Cpu& cpu, DomainId dom,
                                std::span<const pv::PteUpdate> updates) {
   hypercall_enter(cpu);
+  MERC_COUNT("vmm.hypercall.mmu_update");
   Domain& d = domain(dom);
   for (const auto& u : updates) {
     cpu.charge(pv::costs::kValidatePte);
@@ -53,6 +55,7 @@ void Hypervisor::hc_pte_write_emulate(hw::Cpu& cpu, DomainId dom,
   MERC_CHECK_MSG(state_ == State::kActive, "pte emulation into inactive VMM");
   ++stats_.hypercalls;
   ++stats_.emulated_pte_writes;
+  MERC_COUNT("vmm.hypercall.pte_write_emulate");
   cpu.charge(hw::costs::kTrapEntry + pv::costs::kVmmTrapDispatch +
              pv::costs::kPteEmulateDecode);
   cpu.set_cpl(hw::Ring::kRing0);
@@ -75,6 +78,7 @@ void Hypervisor::hc_pte_write_emulate(hw::Cpu& cpu, DomainId dom,
 void Hypervisor::hc_pin_table(hw::Cpu& cpu, DomainId dom, hw::Pfn table,
                               pv::PtLevel level) {
   hypercall_enter(cpu);
+  MERC_COUNT("vmm.hypercall.pin_table");
   Domain& d = domain(dom);
   PageInfo& pi = page_info_.at(table);
   if (pi.owner != dom) {
@@ -109,6 +113,7 @@ void Hypervisor::hc_pin_table(hw::Cpu& cpu, DomainId dom, hw::Pfn table,
 
 void Hypervisor::hc_unpin_table(hw::Cpu& cpu, DomainId dom, hw::Pfn table) {
   hypercall_enter(cpu);
+  MERC_COUNT("vmm.hypercall.unpin_table");
   Domain& d = domain(dom);
   PageInfo& pi = page_info_.at(table);
   if (pi.owner != dom || !pi.pinned) {
@@ -137,6 +142,7 @@ void Hypervisor::hc_unpin_table(hw::Cpu& cpu, DomainId dom, hw::Pfn table) {
 
 void Hypervisor::hc_write_cr3(hw::Cpu& cpu, DomainId dom, hw::Pfn root) {
   hypercall_enter(cpu);
+  MERC_COUNT("vmm.hypercall.write_cr3");
   Domain& d = domain(dom);
   const PageInfo& pi = page_info_.at(root);
   if (pi.owner != dom || pi.type != PageType::kL2 || !pi.pinned) {
@@ -157,6 +163,7 @@ void Hypervisor::hc_write_cr3(hw::Cpu& cpu, DomainId dom, hw::Pfn root) {
 void Hypervisor::hc_set_trap_table(hw::Cpu& cpu, DomainId dom,
                                    hw::TableToken guest_idt) {
   hypercall_enter(cpu);
+  MERC_COUNT("vmm.hypercall.set_trap_table");
   Domain& d = domain(dom);
   for (std::size_t v = 0; v < d.num_vcpus(); ++v) d.vcpu(v).guest_idt = guest_idt;
   // The hardware IDT stays the hypervisor's own.
@@ -167,6 +174,7 @@ void Hypervisor::hc_set_trap_table(hw::Cpu& cpu, DomainId dom,
 void Hypervisor::hc_load_guest_gdt(hw::Cpu& cpu, DomainId dom,
                                    hw::TableToken guest_gdt) {
   hypercall_enter(cpu);
+  MERC_COUNT("vmm.hypercall.load_guest_gdt");
   Domain& d = domain(dom);
   for (std::size_t v = 0; v < d.num_vcpus(); ++v) d.vcpu(v).guest_gdt = guest_gdt;
   at_ring0(cpu, [&] { cpu.load_gdt(gdt_token_); });
@@ -175,6 +183,7 @@ void Hypervisor::hc_load_guest_gdt(hw::Cpu& cpu, DomainId dom,
 
 void Hypervisor::hc_stack_switch(hw::Cpu& cpu, DomainId dom) {
   hypercall_enter(cpu);
+  MERC_COUNT("vmm.hypercall.stack_switch");
   (void)domain(dom);
   cpu.charge(hw::costs::kPrivRegWrite * 2);  // TSS esp0/ss0 update
   hypercall_exit(cpu);
@@ -182,6 +191,7 @@ void Hypervisor::hc_stack_switch(hw::Cpu& cpu, DomainId dom) {
 
 void Hypervisor::hc_flush_tlb(hw::Cpu& cpu, DomainId dom) {
   hypercall_enter(cpu);
+  MERC_COUNT("vmm.hypercall.flush_tlb");
   (void)domain(dom);
   cpu.charge(hw::costs::kTlbFlushAll);
   cpu.tlb().flush_all();
@@ -190,6 +200,7 @@ void Hypervisor::hc_flush_tlb(hw::Cpu& cpu, DomainId dom) {
 
 void Hypervisor::hc_flush_tlb_page(hw::Cpu& cpu, DomainId dom, hw::VirtAddr va) {
   hypercall_enter(cpu);
+  MERC_COUNT("vmm.hypercall.flush_tlb_page");
   (void)domain(dom);
   cpu.charge(hw::costs::kTlbFlushPage);
   cpu.tlb().flush_page(hw::vpn_of(va));
@@ -198,6 +209,7 @@ void Hypervisor::hc_flush_tlb_page(hw::Cpu& cpu, DomainId dom, hw::VirtAddr va) 
 
 void Hypervisor::hc_set_virq_mask(hw::Cpu& cpu, DomainId dom, bool enabled) {
   // Not a trap: the guest toggles its virtual IF in writable shared info.
+  MERC_COUNT("vmm.hypercall.set_virq_mask");
   Domain& d = domain(dom);
   cpu.charge(pv::costs::kVirtIrqToggle);
   d.vcpu(cpu.id() % d.num_vcpus()).virq_enabled = enabled;
@@ -208,6 +220,7 @@ void Hypervisor::hc_set_virq_mask(hw::Cpu& cpu, DomainId dom, bool enabled) {
 void Hypervisor::hc_send_ipi(hw::Cpu& cpu, DomainId dom, std::uint32_t dst,
                              std::uint8_t vector, std::uint32_t payload) {
   hypercall_enter(cpu);
+  MERC_COUNT("vmm.hypercall.send_ipi");
   (void)domain(dom);
   machine_.interrupts().send_ipi(cpu, dst, vector, payload);
   hypercall_exit(cpu);

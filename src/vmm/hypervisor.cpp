@@ -5,6 +5,7 @@
 #include "hw/costs.hpp"
 #include "kernel/kernel.hpp"
 #include "kernel/layout.hpp"
+#include "obs/obs.hpp"
 #include "pv/costs.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
@@ -202,6 +203,7 @@ bool Hypervisor::validate_l2(hw::Cpu& cpu, Domain& d, hw::Pfn table,
 void Hypervisor::rebuild_page_info(hw::Cpu& cpu, Domain& d) {
   Kernel* k = d.guest();
   MERC_CHECK(k != nullptr);
+  MERC_SPAN(cpu, kVmm, "vmm.rebuild_page_info");
   // Hypervisor's own frames.
   for (std::size_t i = 0; i < reserved_count_; ++i) {
     PageInfo& pi = page_info_.at(reserved_first_ + static_cast<hw::Pfn>(i));
@@ -209,13 +211,17 @@ void Hypervisor::rebuild_page_info(hw::Cpu& cpu, Domain& d) {
   }
   // Every frame the kernel was ever granted: reset to plain writable RAM.
   // This linear pass over ~all of memory is the paper's dominant attach cost.
+  std::uint64_t frames = 0;
   for (const hw::Pfn pfn : k->pool().owned()) {
     cpu.charge(pv::costs::kPerFrameInfoRebuild);
     page_info_.at(pfn) = PageInfo{d.id(), PageType::kWritable, 0, 1, false};
+    ++frames;
   }
+  MERC_COUNT_N("vmm.page_info.frames_reconstructed", frames);
 }
 
 void Hypervisor::type_and_protect_tables(hw::Cpu& cpu, Domain& d, Kernel& k) {
+  MERC_SPAN(cpu, kVmm, "vmm.type_and_protect");
   // Pass 1: discover every page-table frame, set its type, and revoke its
   // writable direct-map mapping. Protection must precede validation so the
   // "no writable mapping of a PT frame" rule holds when pass 2 checks it.
@@ -270,6 +276,7 @@ void Hypervisor::forget_frame_range(hw::Pfn first, std::size_t count) {
 void Hypervisor::set_frame_writable(hw::Cpu& cpu, Kernel& k, hw::Pfn pfn,
                                     bool writable) {
   cpu.charge(pv::costs::kPerPtWritabilityFlip);
+  MERC_COUNT("vmm.pt_protection_flips");
   const std::size_t idx = pfn - k.base_pfn();
   const auto& l1s = k.kernel_l1_frames();
   const std::size_t table = idx / hw::kPtEntries;
@@ -293,6 +300,8 @@ DomainId Hypervisor::adopt_running_os(hw::Cpu& cpu, Kernel& k,
                                       bool trust_page_info) {
   MERC_CHECK_MSG(state_ == State::kDormant, "adopt while not dormant");
   ++stats_.adopts;
+  MERC_COUNT("vmm.adopts");
+  MERC_SPAN(cpu, kVmm, "vmm.adopt_running_os");
   // Reuse an existing domain record for this kernel if one exists.
   DomainId id = kDomInvalid;
   for (auto& d : domains_)
@@ -323,6 +332,8 @@ DomainId Hypervisor::adopt_running_os(hw::Cpu& cpu, Kernel& k,
 void Hypervisor::release_os(hw::Cpu& cpu, DomainId id) {
   MERC_CHECK_MSG(state_ == State::kActive, "release while not active");
   ++stats_.releases;
+  MERC_COUNT("vmm.releases");
+  MERC_SPAN(cpu, kVmm, "vmm.release_os");
   Domain& d = domain(id);
   Kernel* k = d.guest();
   MERC_CHECK(k != nullptr);

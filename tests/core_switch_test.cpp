@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 
 #include "core/mercury.hpp"
 #include "kernel/syscalls.hpp"
+#include "obs/obs.hpp"
 
 namespace mercury::testing {
 namespace {
@@ -243,6 +245,62 @@ TEST(SwitchEngine, IdtReloadedPerMode) {
   EXPECT_EQ(box.machine->cpu(0).idt(), m.hypervisor().idt_token())
       << "hardware IDT belongs to the VMM in virtual mode";
 }
+
+#if MERCURY_OBS_ENABLED
+// Each phase histogram must gain a sample per committed switch, and the
+// per-engine callback gauges must mirror SwitchStats live. The registry is
+// process-global, so assert on deltas.
+TEST(SwitchEngine, PerPhaseMetricsPopulatedByAttachAndDetach) {
+  const auto hist_count = [](const obs::Snapshot& snap, const char* name) {
+    const obs::InstrumentSample* s = snap.find(name);
+    return s ? s->count : 0u;
+  };
+  const obs::Snapshot before = obs::snapshot();
+
+  MercuryBox box;
+  Mercury& m = *box.mercury;
+  ASSERT_TRUE(m.switch_to(ExecMode::kPartialVirtual));
+  ASSERT_TRUE(m.switch_to(ExecMode::kNative));
+
+  const obs::Snapshot after = obs::snapshot();
+  for (const char* h :
+       {"switch.attach.total_cycles", "switch.attach.defer_cycles",
+        "switch.attach.rendezvous_cycles", "switch.attach.transfer_cycles",
+        "switch.attach.fixup_cycles", "switch.detach.total_cycles",
+        "switch.detach.defer_cycles", "switch.detach.rendezvous_cycles",
+        "switch.detach.transfer_cycles", "switch.detach.fixup_cycles"}) {
+    EXPECT_EQ(hist_count(after, h), hist_count(before, h) + 1) << h;
+  }
+  // Total time is the whole commit: at least the sum of the parts it spans.
+  const obs::InstrumentSample* total = after.find("switch.attach.total_cycles");
+  ASSERT_NE(total, nullptr);
+  EXPECT_GT(total->max, 0.0);
+
+  // The engine's stats surface as live callback gauges under its label.
+  const std::string& label = m.engine().obs_label();
+  ASSERT_FALSE(label.empty());
+  const obs::InstrumentSample* attaches = after.find("switch.attaches", label);
+  ASSERT_NE(attaches, nullptr);
+  EXPECT_DOUBLE_EQ(attaches->value,
+                   static_cast<double>(m.engine().stats().attaches));
+  const obs::InstrumentSample* last_attach =
+      after.find("switch.last_attach_cycles", label);
+  ASSERT_NE(last_attach, nullptr);
+  EXPECT_DOUBLE_EQ(last_attach->value,
+                   static_cast<double>(m.engine().stats().last_attach_cycles));
+}
+
+// Engine destruction must unregister its callback gauges (no dangling reads).
+TEST(SwitchEngine, CallbackGaugesUnregisterWithEngine) {
+  std::string label;
+  {
+    MercuryBox box;
+    label = box.mercury->engine().obs_label();
+    ASSERT_NE(obs::snapshot().find("switch.attaches", label), nullptr);
+  }
+  EXPECT_EQ(obs::snapshot().find("switch.attaches", label), nullptr);
+}
+#endif  // MERCURY_OBS_ENABLED
 
 }  // namespace
 }  // namespace mercury::testing

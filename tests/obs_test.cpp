@@ -1,0 +1,316 @@
+// Telemetry layer: registry semantics, trace ring buffer, span nesting over
+// simulated time, and well-formedness of the JSON exports.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+#include "hw/machine.hpp"
+#include "obs/obs.hpp"
+
+namespace mercury::testing {
+namespace {
+
+// --- a minimal JSON syntax checker (no deps) --------------------------------
+// Validates structure and answers "does this string literal appear as a key
+// or value"; enough to prove the exporters emit parseable documents.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {
+    skip_ws();
+    ok_ = value();
+    skip_ws();
+    if (pos_ != s_.size()) ok_ = false;
+  }
+  bool ok() const { return ok_; }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    const std::string l(lit);
+    if (s_.compare(pos_, l.size(), l) != 0) return false;
+    pos_ += l.size();
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  bool ok_ = false;
+};
+
+// The registry is process-global and shared across test cases, so every test
+// uses its own instrument names and asserts on deltas, never totals.
+
+TEST(MetricsRegistry, CounterGetOrCreateAndInc) {
+  obs::Counter& c = obs::registry().counter("test.obs.counter_a");
+  const std::uint64_t before = c.value();
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), before + 42);
+  // Same name -> same instrument.
+  EXPECT_EQ(&obs::registry().counter("test.obs.counter_a"), &c);
+  // Different label -> different instrument.
+  obs::Counter& labeled = obs::registry().counter("test.obs.counter_a", "x=1");
+  EXPECT_NE(&labeled, &c);
+  labeled.inc(7);
+  EXPECT_EQ(c.value(), before + 42);
+}
+
+TEST(MetricsRegistry, GaugeSetAndAdd) {
+  obs::Gauge& g = obs::registry().gauge("test.obs.gauge_a");
+  g.set(2.5);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.set(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+}
+
+TEST(MetricsRegistry, HistogramRecordsMomentsAndQuantiles) {
+  obs::Hist& h = obs::registry().histogram("test.obs.hist_a");
+  h.reset();
+  for (std::uint64_t v : {100ull, 200ull, 300ull, 400ull}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.stats().sum(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.stats().min(), 100.0);
+  EXPECT_DOUBLE_EQ(h.stats().max(), 400.0);
+  EXPECT_GT(h.quantile(0.5), 0u);
+  EXPECT_GE(h.quantile(0.99), h.quantile(0.5));
+}
+
+TEST(MetricsRegistry, SnapshotFindsInstrumentsByNameAndLabel) {
+  obs::registry().counter("test.obs.snap_counter", "cpu=0").inc(3);
+  obs::registry().counter("test.obs.snap_counter", "cpu=1").inc(5);
+  obs::registry().histogram("test.obs.snap_hist").record(64);
+  const obs::Snapshot snap = obs::snapshot();
+  const obs::InstrumentSample* c0 = snap.find("test.obs.snap_counter", "cpu=0");
+  const obs::InstrumentSample* c1 = snap.find("test.obs.snap_counter", "cpu=1");
+  ASSERT_NE(c0, nullptr);
+  ASSERT_NE(c1, nullptr);
+  EXPECT_DOUBLE_EQ(c0->value, 3.0);
+  EXPECT_DOUBLE_EQ(c1->value, 5.0);
+  EXPECT_EQ(c0->kind, obs::InstrumentKind::kCounter);
+  const obs::InstrumentSample* h = snap.find("test.obs.snap_hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->kind, obs::InstrumentKind::kHist);
+  EXPECT_GE(h->count, 1u);
+  EXPECT_EQ(snap.find("test.obs.does_not_exist"), nullptr);
+}
+
+TEST(MetricsRegistry, CallbackGaugeViewsLiveStateAndUnregisters) {
+  double live = 1.0;
+  {
+    obs::CallbackGuard guard;
+    guard.add("test.obs.cb", "engine=test", [&] { return live; });
+    const obs::Snapshot snap = obs::snapshot();  // keep alive while s points in
+    const obs::InstrumentSample* s = snap.find("test.obs.cb", "engine=test");
+    ASSERT_NE(s, nullptr);
+    EXPECT_DOUBLE_EQ(s->value, 1.0);
+    EXPECT_EQ(s->kind, obs::InstrumentKind::kCallback);
+    live = 17.0;  // no re-registration needed: read at snapshot time
+    EXPECT_DOUBLE_EQ(obs::snapshot().find("test.obs.cb", "engine=test")->value,
+                     17.0);
+  }
+  // Guard destroyed -> callback gone (and snapshot no longer dereferences
+  // the dangling `live`).
+  EXPECT_EQ(obs::snapshot().find("test.obs.cb", "engine=test"), nullptr);
+}
+
+TEST(MetricsRegistry, ResetValuesZeroesButKeepsInstruments) {
+  obs::Counter& c = obs::registry().counter("test.obs.reset_counter");
+  c.inc(9);
+  const std::size_t n = obs::registry().size();
+  obs::registry().reset_values();
+  EXPECT_EQ(obs::registry().size(), n);  // nothing destroyed
+  EXPECT_EQ(c.value(), 0u);              // cached reference still valid
+  c.inc();
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(TraceBuffer, RecordsAndReportsEvents) {
+  obs::TraceBuffer buf(8);
+  buf.record(obs::TraceEvent{"a", obs::TraceCat::kSwitch, 0, 100, 200});
+  buf.record_instant(0, obs::TraceCat::kOther, "b", 150);
+  const auto evs = buf.events();
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_STREQ(evs[0].name, "a");
+  EXPECT_FALSE(evs[0].instant());
+  EXPECT_TRUE(evs[1].instant());
+  EXPECT_EQ(buf.recorded(), 2u);
+  EXPECT_EQ(buf.dropped(), 0u);
+}
+
+TEST(TraceBuffer, WrapsAroundKeepingNewestEvents) {
+  obs::TraceBuffer buf(4);
+  for (std::uint64_t i = 0; i < 10; ++i)
+    buf.record_instant(0, obs::TraceCat::kOther, "e", 1000 + i);
+  const auto evs = buf.events();
+  ASSERT_EQ(evs.size(), 4u);  // capacity, not 10
+  EXPECT_EQ(buf.recorded(), 10u);
+  EXPECT_EQ(buf.dropped(), 6u);
+  // Oldest evicted: the survivors are the last four, oldest first.
+  EXPECT_EQ(evs.front().begin, 1006u);
+  EXPECT_EQ(evs.back().begin, 1009u);
+}
+
+TEST(TraceBuffer, PerCpuRingsAreIndependent) {
+  obs::TraceBuffer buf(2);
+  for (std::uint64_t i = 0; i < 5; ++i)
+    buf.record_instant(0, obs::TraceCat::kOther, "cpu0", 10 + i);
+  buf.record_instant(3, obs::TraceCat::kOther, "cpu3", 7);
+  const auto evs = buf.events();
+  ASSERT_EQ(evs.size(), 3u);  // 2 survivors on cpu0 + 1 on cpu3
+  // Merged oldest-first across CPUs.
+  EXPECT_STREQ(evs[0].name, "cpu3");
+  EXPECT_EQ(evs[1].cpu, 0u);
+}
+
+TEST(TraceBuffer, DisabledBufferRecordsNothing) {
+  obs::TraceBuffer buf(4);
+  buf.set_enabled(false);
+  buf.record_instant(0, obs::TraceCat::kOther, "e", 1);
+  EXPECT_TRUE(buf.events().empty());
+  EXPECT_EQ(buf.recorded(), 0u);
+}
+
+TEST(TraceSpan, NestedSpansNestOverSimulatedTime) {
+  hw::MachineConfig mc;
+  mc.mem_kb = 16 * 1024;
+  hw::Machine machine(mc);
+  hw::Cpu& cpu = machine.cpu(0);
+
+  obs::TraceBuffer& buf = obs::trace_buffer();
+  buf.set_enabled(true);
+  buf.clear();
+  {
+    obs::TraceSpan outer(cpu, obs::TraceCat::kSwitch, "outer");
+    cpu.charge(1000);
+    {
+      obs::TraceSpan inner(cpu, obs::TraceCat::kTransfer, "inner");
+      cpu.charge(500);
+    }
+    cpu.charge(250);
+  }
+  const auto evs = buf.events();
+  ASSERT_EQ(evs.size(), 2u);
+  const obs::TraceEvent* outer = &evs[0];
+  const obs::TraceEvent* inner = &evs[1];
+  if (std::string(outer->name) != "outer") std::swap(outer, inner);
+  EXPECT_STREQ(outer->name, "outer");
+  EXPECT_STREQ(inner->name, "inner");
+  // Proper nesting: inner entirely inside outer, durations in cycles.
+  EXPECT_GE(inner->begin, outer->begin);
+  EXPECT_LE(inner->end, outer->end);
+  EXPECT_EQ(inner->end - inner->begin, 500u);
+  EXPECT_EQ(outer->end - outer->begin, 1750u);
+  buf.clear();
+}
+
+TEST(JsonExport, MetricsJsonIsWellFormedAndCarriesSchema) {
+  obs::registry().counter("test.obs.json \"quoted\"\\name").inc();
+  obs::registry().histogram("test.obs.json_hist").record(4096);
+  obs::registry().gauge("test.obs.json_gauge").set(-0.25);
+  const std::string json = obs::to_json(obs::snapshot());
+  EXPECT_TRUE(JsonChecker(json).ok()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"schema\":\"mercury.metrics.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("test.obs.json_hist"), std::string::npos);
+  // The quote and backslash in the instrument name must arrive escaped.
+  EXPECT_NE(json.find("\\\"quoted\\\"\\\\name"), std::string::npos);
+}
+
+TEST(JsonExport, ChromeTraceIsWellFormedAndHasOurEvents) {
+  obs::TraceBuffer buf(16);
+  buf.record(obs::TraceEvent{"span_x", obs::TraceCat::kVmm, 2, 3000, 9000});
+  buf.record_instant(1, obs::TraceCat::kSwitch, "mark_y", 4500);
+  const std::string json = obs::chrome_trace_json(buf);
+  EXPECT_TRUE(JsonChecker(json).ok()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"span_x\""), std::string::npos);
+  EXPECT_NE(json.find("\"mark_y\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // complete event
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // instant event
+  EXPECT_NE(json.find("\"vmm\""), std::string::npos);        // category name
+}
+
+TEST(SummaryTable, RendersCountersAndHistograms) {
+  obs::registry().counter("test.obs.table_counter").inc(5);
+  obs::registry().histogram("test.obs.table_hist").record(1234);
+  const std::string table = obs::summary_table(obs::snapshot());
+  EXPECT_NE(table.find("test.obs.table_counter"), std::string::npos);
+  EXPECT_NE(table.find("test.obs.table_hist"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mercury::testing

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <set>
 
 #include "util/assert.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -145,6 +147,50 @@ TEST(Histogram, SummaryMentionsCount) {
   EXPECT_NE(h.summary().find("n=2"), std::string::npos);
 }
 
+TEST(Histogram, QuantileOfEmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(1.0), 0u);
+}
+
+TEST(Histogram, QuantileClampsOutOfRangeArguments) {
+  Histogram h;
+  h.add(100);
+  h.add(100000);
+  // Below 0 behaves like the smallest recorded bucket, above 1 like the
+  // largest; neither may fall back to a sentinel or read out of bounds.
+  EXPECT_EQ(h.quantile(-3.0), h.quantile(0.0));
+  EXPECT_EQ(h.quantile(7.5), h.quantile(1.0));
+  EXPECT_LE(h.quantile(0.0), 127u);       // bucket containing 100
+  EXPECT_GE(h.quantile(1.0), 100000u);    // bucket containing 100000
+  EXPECT_EQ(h.quantile(std::nan("")), h.quantile(0.0));
+}
+
+TEST(Histogram, QuantileBoundsSingleValue) {
+  Histogram h;
+  h.add(1000);
+  // Every quantile of a single-sample distribution is that sample's bucket.
+  const std::uint64_t b = h.quantile(0.5);
+  EXPECT_EQ(h.quantile(0.0), b);
+  EXPECT_EQ(h.quantile(0.01), b);
+  EXPECT_EQ(h.quantile(0.99), b);
+  EXPECT_EQ(h.quantile(1.0), b);
+  EXPECT_GE(b, 1000u);
+  EXPECT_LE(b, 1023u);
+}
+
+TEST(Histogram, QuantilesAreMonotonic) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 4096; v *= 2) h.add(v);
+  std::uint64_t prev = 0;
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const std::uint64_t cur = h.quantile(q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+}
+
 TEST(Table, RendersAlignedColumns) {
   Table t({"a", "bb"});
   t.add_row({"x", "y"});
@@ -171,6 +217,84 @@ TEST(Assert, CheckThrowsWithMessage) {
   } catch (const InvariantError& e) {
     EXPECT_NE(std::string(e.what()).find("ctx 42"), std::string::npos);
   }
+}
+
+// Restores global logger state around each log test (the logger is
+// process-global; leaking an override would poison unrelated tests).
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_level_ = log_level(); }
+  void TearDown() override {
+    set_log_level(saved_level_);
+    clear_log_level_overrides();
+    set_log_sink(nullptr);
+  }
+  LogLevel saved_level_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, FormatIsOneTerminatedLine) {
+  const std::string line =
+      format_log_line(LogLevel::kError, "vmm", "domain 3 crashed");
+  EXPECT_EQ(line, "[ERROR] vmm: domain 3 crashed\n");
+  // Exactly one newline, at the end: a single fwrite of this string can
+  // never interleave partial lines from concurrent emitters.
+  EXPECT_EQ(line.find('\n'), line.size() - 1);
+}
+
+TEST_F(LogTest, EmitWritesExactlyTheFormattedLine) {
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  set_log_sink(tmp);
+  log_emit(LogLevel::kInfo, "kernel", "boot complete");
+  std::fflush(tmp);
+  std::rewind(tmp);
+  char buf[128] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof buf - 1, tmp);
+  EXPECT_EQ(std::string(buf, n), "[INFO ] kernel: boot complete\n");
+  set_log_sink(nullptr);
+  std::fclose(tmp);
+}
+
+TEST_F(LogTest, SubsystemOverrideBeatsGlobalLevel) {
+  set_log_level(LogLevel::kWarn);
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug, "vmm"));
+  set_log_level("vmm", LogLevel::kDebug);
+  EXPECT_TRUE(log_enabled(LogLevel::kDebug, "vmm"));
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug, "kernel")) << "override is scoped";
+  EXPECT_EQ(log_level("vmm"), LogLevel::kDebug);
+  EXPECT_EQ(log_level("kernel"), LogLevel::kWarn);
+  // An override can also *silence* a subsystem below the global threshold.
+  set_log_level("net", LogLevel::kOff);
+  EXPECT_FALSE(log_enabled(LogLevel::kError, "net"));
+  clear_log_level("vmm");
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug, "vmm"));
+  EXPECT_FALSE(log_enabled(LogLevel::kError, "net")) << "net override remains";
+  clear_log_level_overrides();
+  EXPECT_TRUE(log_enabled(LogLevel::kError, "net"));
+}
+
+TEST_F(LogTest, OffLevelNeverLogs) {
+  set_log_level(LogLevel::kTrace);
+  EXPECT_FALSE(log_enabled(LogLevel::kOff, "any"));
+}
+
+TEST_F(LogTest, LogRespectsSubsystemOverride) {
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  set_log_sink(tmp);
+  set_log_level(LogLevel::kError);
+  set_log_level("sched", LogLevel::kTrace);
+  log_debug("sched", "pick task ", 7);
+  log_debug("kernel", "suppressed");
+  std::fflush(tmp);
+  std::rewind(tmp);
+  char buf[256] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof buf - 1, tmp);
+  const std::string out(buf, n);
+  EXPECT_NE(out.find("[DEBUG] sched: pick task 7\n"), std::string::npos);
+  EXPECT_EQ(out.find("suppressed"), std::string::npos);
+  set_log_sink(nullptr);
+  std::fclose(tmp);
 }
 
 }  // namespace
