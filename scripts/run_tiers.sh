@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Build and run the Mercury test tiers.
+#
+#   scripts/run_tiers.sh [tier1|tier2|asan|ubsan|all]
+#
+#   tier1  - the fast regression suite (default; every unit/integration test)
+#   tier2  - the dependability sweeps: fault matrix + seeded switch fuzzer
+#   asan   - full suite under AddressSanitizer  (build-asan/)
+#   ubsan  - full suite under UBSanitizer       (build-ubsan/)
+#   all    - tier1, tier2, then both sanitizer suites
+#
+# Seeded tests print MERCURY_TEST_SEED=<n> on start; export that variable to
+# replay a failure exactly (see TESTING.md).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+CTEST_FLAGS=(--output-on-failure)
+
+configure_and_build() {
+  local dir="$1"; shift
+  cmake -S . -B "$dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo "$@" >/dev/null
+  cmake --build "$dir" -j "$JOBS"
+}
+
+run_label() {
+  local dir="$1" label="$2"
+  ctest --test-dir "$dir" -L "$label" "${CTEST_FLAGS[@]}"
+}
+
+run_sanitizer() {
+  local kind="$1"  # address | undefined
+  local dir=build-ubsan
+  [[ $kind == address ]] && dir=build-asan
+  configure_and_build "$dir" -DMERCURY_SANITIZE="$kind"
+  ctest --test-dir "$dir" "${CTEST_FLAGS[@]}"
+}
+
+mode="${1:-tier1}"
+case "$mode" in
+  tier1|tier2)
+    configure_and_build build
+    run_label build "$mode"
+    ;;
+  asan)
+    run_sanitizer address
+    ;;
+  ubsan)
+    run_sanitizer undefined
+    ;;
+  all)
+    configure_and_build build
+    run_label build tier1
+    run_label build tier2
+    run_sanitizer address
+    run_sanitizer undefined
+    ;;
+  *)
+    echo "usage: $0 [tier1|tier2|asan|ubsan|all]" >&2
+    exit 2
+    ;;
+esac

@@ -1,0 +1,84 @@
+#include "core/fault_inject.hpp"
+
+#include <sstream>
+
+#include "obs/obs.hpp"
+#include "util/log.hpp"
+
+namespace mercury::core {
+
+const char* fault_site_name(FaultSite s) {
+  switch (s) {
+    case FaultSite::kRendezvous: return "rendezvous";
+    case FaultSite::kAdoptRebuild: return "adopt.rebuild";
+    case FaultSite::kAdoptProtect: return "adopt.protect";
+    case FaultSite::kStackFixup: return "stack.fixup";
+    case FaultSite::kTransferBindings: return "transfer.bindings";
+    case FaultSite::kReleaseUnprotect: return "release.unprotect";
+    case FaultSite::kReloadHwState: return "reload.hw_state";
+    case FaultSite::kNumSites: break;
+  }
+  return "?";
+}
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kFail: return "fail";
+    case FaultKind::kTimeout: return "timeout";
+    case FaultKind::kCorruptFrame: return "corrupt-frame";
+  }
+  return "?";
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  os << fault_kind_name(kind) << "@" << fault_site_name(site) << "#"
+     << trigger_count;
+  if (latency != 0) os << "+" << latency << "cy";
+  return os.str();
+}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  plan_ = plan;
+  armed_ = true;
+  for (std::uint64_t& v : visits_) v = 0;
+}
+
+void FaultInjector::on_site(FaultSite site, hw::Cpu* cpu) {
+  const std::uint64_t n = ++visits_[static_cast<std::size_t>(site)];
+  if (!armed_ || site != plan_.site || n != plan_.trigger_count) return;
+  // Single-shot: disarm before throwing so the rollback path, which walks
+  // the same sites in reverse, cannot re-fire.
+  armed_ = false;
+  ++injected_;
+  if (cpu != nullptr && plan_.latency != 0) cpu->charge(plan_.latency);
+  MERC_COUNT("fault.injected");
+#if MERCURY_OBS_ENABLED
+  obs::registry().counter("fault.injected_at", fault_site_name(site)).inc();
+#endif
+  util::log_warn("fault", "injecting ", plan_.describe());
+  throw FaultInjected{site, plan_.kind};
+}
+
+FaultInjector& fault_injector() {
+  static FaultInjector instance;
+  return instance;
+}
+
+FaultPlan random_fault_plan(util::Rng& rng) {
+  FaultPlan plan;
+  plan.site = static_cast<FaultSite>(rng.below(kNumFaultSites));
+  // Bias toward early hits (most sites see one visit per switch) but reach
+  // deep into the per-frame loops now and then.
+  plan.trigger_count = rng.chance(0.5) ? 1 + rng.below(4)
+                                       : 1 + rng.below(4096);
+  if (plan.site == FaultSite::kStackFixup && rng.chance(0.5)) {
+    plan.kind = FaultKind::kCorruptFrame;
+  } else if (rng.chance(0.25)) {
+    plan.kind = FaultKind::kTimeout;
+    plan.latency = hw::us_to_cycles(50.0 + rng.uniform() * 450.0);
+  }
+  return plan;
+}
+
+}  // namespace mercury::core

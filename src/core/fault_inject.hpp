@@ -1,0 +1,111 @@
+// Deterministic fault injection for the mode-switch path (dependability
+// tooling, paper §8's failure-resistant switch made testable).
+//
+// A FaultPlan names one injection site threaded through the switch engine,
+// the rendezvous, the state-transfer functions, the stack fixup, and the
+// VMM's adopt/release loops, plus a trigger count: the plan fires on the
+// Nth visit to that site after arming, then disarms itself (single-shot, so
+// recovery code that re-traverses the same sites cannot re-fault). Firing
+// throws FaultInjected; SwitchEngine catches it at the commit level and
+// rolls the machine back to its pre-switch mode.
+//
+// Everything is deterministic: the simulator is single-threaded, site
+// visits are a pure function of the workload, and `random_fault_plan`
+// derives plans from a caller-supplied seeded Rng — a failing fuzz seed
+// replays exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/cpu.hpp"
+#include "util/rng.hpp"
+
+namespace mercury::core {
+
+/// Named injection sites, in the order a switch traverses them.
+enum class FaultSite : std::uint8_t {
+  kRendezvous,        // §5.4 barrier entry (both directions, reroles too)
+  kAdoptRebuild,      // VMM page-info rebuild, per frame (attach)
+  kAdoptProtect,      // PT typing + write-protection, per table (attach)
+  kStackFixup,        // eager selector-fixup walk, per task (both)
+  kTransferBindings,  // trap/descriptor-table rebinding (both)
+  kReleaseUnprotect,  // PT writability restore, per frame (detach)
+  kReloadHwState,     // per-CPU control-state reload (both)
+  kNumSites,
+};
+
+inline constexpr std::size_t kNumFaultSites =
+    static_cast<std::size_t>(FaultSite::kNumSites);
+
+const char* fault_site_name(FaultSite s);
+
+enum class FaultKind : std::uint8_t {
+  kFail,          // the step reports a clean failure
+  kTimeout,       // the step hangs for `latency` cycles, then fails
+  kCorruptFrame,  // stack fixup walked into a malformed saved frame
+};
+
+const char* fault_kind_name(FaultKind k);
+
+/// One planned fault: fire `kind` on the `trigger_count`-th visit to `site`
+/// (1-based, counted from arming).
+struct FaultPlan {
+  FaultSite site = FaultSite::kRendezvous;
+  std::uint64_t trigger_count = 1;
+  FaultKind kind = FaultKind::kFail;
+  /// Simulated cycles the faulting step burns before failing (a rendezvous
+  /// timeout, a wedged transfer). Charged to the CPU at the site, if known.
+  hw::Cycles latency = 0;
+
+  std::string describe() const;
+};
+
+/// Thrown at a site when the armed plan fires.
+struct FaultInjected {
+  FaultSite site;
+  FaultKind kind;
+};
+
+/// The process-global injector every site reports to. Disarmed it is a
+/// handful of loads per visit; tests arm exactly one single-shot plan.
+class FaultInjector {
+ public:
+  /// Arm `plan` (replacing any armed plan) and zero the per-arm counters.
+  void arm(const FaultPlan& plan);
+  void disarm() { armed_ = false; }
+  bool armed() const { return armed_; }
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Total faults fired since process start / since the last arm.
+  std::uint64_t injected() const { return injected_; }
+  /// Visits to `site` since the last arm.
+  std::uint64_t visits(FaultSite s) const {
+    return visits_[static_cast<std::size_t>(s)];
+  }
+
+  /// Report a visit to `site`. Throws FaultInjected (after charging
+  /// `plan.latency` to `cpu`, when given) if the armed plan fires; the plan
+  /// disarms first so unwind/rollback code revisiting sites is safe.
+  void on_site(FaultSite site, hw::Cpu* cpu = nullptr);
+
+ private:
+  bool armed_ = false;
+  FaultPlan plan_{};
+  std::uint64_t visits_[kNumFaultSites] = {};
+  std::uint64_t injected_ = 0;
+};
+
+FaultInjector& fault_injector();
+
+/// Site marker used by the switch path. Cheap when disarmed.
+inline void fault_point(FaultSite site, hw::Cpu* cpu = nullptr) {
+  FaultInjector& fi = fault_injector();
+  if (fi.armed()) fi.on_site(site, cpu);
+}
+
+/// Derive a plan from a seeded Rng (the fuzzer's source of variety): any
+/// site, trigger counts spanning first-hit to deep-in-the-loop, all kinds.
+FaultPlan random_fault_plan(util::Rng& rng);
+
+}  // namespace mercury::core

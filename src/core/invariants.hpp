@@ -1,0 +1,33 @@
+// Machine-state invariant checker for the mode-switch path.
+//
+// A mode switch — committed, or rolled back after an injected fault — must
+// leave the machine in a state where every layer agrees on which mode the
+// OS is in: the kernel's ops pointer, the per-CPU trap routing and IDT, the
+// hypervisor's activity state, page-table writability, the frame accounting
+// table, the split-driver backends, and the privilege levels saved in
+// blocked threads' kernel stacks. This checker cross-examines all of them;
+// the fault-matrix and fuzz tests call it between phases, and an engine can
+// be configured to self-check after every commit/rollback.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mercury::core {
+
+class SwitchEngine;
+
+struct InvariantReport {
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  /// One violation per line (empty string when consistent).
+  std::string to_string() const;
+};
+
+/// Cross-check every mode-dependent piece of machine state against the
+/// engine's current mode. Read-only (no simulated cost, no state change);
+/// callable between any two switch phases and from tests.
+InvariantReport check_machine_invariants(SwitchEngine& engine);
+
+}  // namespace mercury::core

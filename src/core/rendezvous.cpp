@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/fault_inject.hpp"
+
 #include "hw/costs.hpp"
 #include "hw/interrupts.hpp"
 #include "obs/obs.hpp"
@@ -102,6 +104,7 @@ const char* rendezvous_protocol_name(RendezvousProtocol p) {
 
 RendezvousStats Rendezvous::run(hw::Machine& machine, hw::Cpu& cp,
                                 RendezvousProtocol protocol) {
+  fault_point(FaultSite::kRendezvous, &cp);
   if (machine.num_cpus() == 1) {
     RendezvousStats stats;
     stats.cpus = 1;

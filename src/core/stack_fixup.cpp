@@ -1,5 +1,6 @@
 #include "core/stack_fixup.hpp"
 
+#include "core/fault_inject.hpp"
 #include "kernel/kernel.hpp"
 #include "obs/obs.hpp"
 #include "pv/costs.hpp"
@@ -12,14 +13,27 @@ FixupStats fix_all_saved_contexts(hw::Cpu& cpu, kernel::Kernel& k,
   MERC_SPAN(cpu, kFixup, "fixup.walk_tasks");
   k.for_each_task([&](kernel::Task& t) {
     ++stats.tasks_scanned;
+    fault_point(FaultSite::kStackFixup, &cpu);
     cpu.charge(pv::costs::kPerTaskSelectorFixup / 4);  // locate the frame
     if (!t.saved_ctx.valid) return;
-    if (t.saved_ctx.cs.rpl() == hw::Ring::kRing3) return;  // user frame
-    if (t.saved_ctx.cs.rpl() == target) return;
-    cpu.charge(pv::costs::kPerTaskSelectorFixup);
-    t.saved_ctx.cs.set_rpl(target);
-    t.saved_ctx.ss.set_rpl(target);
-    ++stats.selectors_fixed;
+    const auto patch = [&](hw::SegmentSelector& cs, hw::SegmentSelector& ss) {
+      if (cs.rpl() == hw::Ring::kRing3) return;  // user frame
+      if (cs.rpl() == target) return;
+      cpu.charge(pv::costs::kPerTaskSelectorFixup);
+      cs.set_rpl(target);
+      ss.set_rpl(target);
+      ++stats.selectors_fixed;
+    };
+    // Base frame first. A frame flush against the stack top has no headroom
+    // above it — the walk stops at the boundary rather than probing past
+    // the stack end; locating it costs the same.
+    patch(t.saved_ctx.cs, t.saved_ctx.ss);
+    // Then every nested interrupt frame stacked above it (outermost first;
+    // each iret pops its own selectors, so each must be rewritten).
+    for (kernel::NestedFrame& f : t.saved_ctx.nested) {
+      ++stats.nested_frames_scanned;
+      patch(f.cs, f.ss);
+    }
   });
   MERC_COUNT_N("fixup.tasks_scanned", stats.tasks_scanned);
   MERC_COUNT_N("fixup.selectors_fixed", stats.selectors_fixed);

@@ -21,10 +21,12 @@ namespace mercury::core {
 
 struct FixupStats {
   std::size_t tasks_scanned = 0;
-  std::size_t selectors_fixed = 0;
+  std::size_t selectors_fixed = 0;         // frames rewritten (base + nested)
+  std::size_t nested_frames_scanned = 0;   // nested interrupt frames visited
 };
 
-/// Rewrite the RPL of every valid saved kernel-mode selector to `target`.
+/// Rewrite the RPL of every valid saved kernel-mode selector to `target`,
+/// including the selectors of interrupt frames nested above the base frame.
 FixupStats fix_all_saved_contexts(hw::Cpu& cpu, kernel::Kernel& k,
                                   hw::Ring target);
 

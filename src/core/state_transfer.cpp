@@ -1,5 +1,6 @@
 #include "core/state_transfer.hpp"
 
+#include "core/fault_inject.hpp"
 #include "core/stack_fixup.hpp"
 #include "kernel/kernel.hpp"
 #include "obs/obs.hpp"
@@ -29,6 +30,7 @@ TransferStats transfer_to_virtual(hw::Cpu& cpu, kernel::Kernel& k,
 
   t0 = cpu.now();
   {
+    fault_point(FaultSite::kTransferBindings, &cpu);
     MERC_SPAN(cpu, kTransfer, "transfer.rebind_traps");
     vo.state_transfer_in(cpu, k);  // register guest trap/descriptor tables
   }
@@ -62,6 +64,7 @@ TransferStats transfer_to_native(hw::Cpu& cpu, kernel::Kernel& k,
 
   t0 = cpu.now();
   {
+    fault_point(FaultSite::kTransferBindings, &cpu);
     MERC_SPAN(cpu, kTransfer, "transfer.rebind_traps");
     // Interrupt bindings return to the kernel: it becomes the trap owner.
     k.machine().install_trap_sink(&k);

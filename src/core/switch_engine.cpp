@@ -1,5 +1,8 @@
 #include "core/switch_engine.hpp"
 
+#include "core/fault_inject.hpp"
+#include "core/invariants.hpp"
+#include "core/stack_fixup.hpp"
 #include "hw/interrupts.hpp"
 #include "obs/obs.hpp"
 #include "util/assert.hpp"
@@ -29,6 +32,23 @@ SwitchEngine::SwitchEngine(kernel::Kernel& k, vmm::Hypervisor& hv,
       [this](hw::Cpu& cpu, std::uint8_t vector, std::uint32_t payload) {
         on_interrupt(cpu, vector, payload);
       });
+  // The hypervisor links below core/ and cannot name the fault injector;
+  // bridge its probe points to the engine's injection sites. Adopt/release
+  // run on the control processor, so faults charge their latency there.
+  hv_.set_fault_probe([this](vmm::HvFaultPoint p) {
+    hw::Cpu* cp = &kernel_.machine().cpu(0);
+    switch (p) {
+      case vmm::HvFaultPoint::kAdoptRebuild:
+        fault_point(FaultSite::kAdoptRebuild, cp);
+        break;
+      case vmm::HvFaultPoint::kAdoptProtect:
+        fault_point(FaultSite::kAdoptProtect, cp);
+        break;
+      case vmm::HvFaultPoint::kReleaseUnprotect:
+        fault_point(FaultSite::kReleaseUnprotect, cp);
+        break;
+    }
+  });
   register_obs_instruments();
 }
 
@@ -50,6 +70,7 @@ void SwitchEngine::register_obs_instruments() {
   expose("switch.deferrals", [](const SwitchStats& s) { return s.deferrals; });
   expose("switch.validation_aborts",
          [](const SwitchStats& s) { return s.validation_aborts; });
+  expose("switch.rollbacks", [](const SwitchStats& s) { return s.rollbacks; });
   expose("switch.last_attach_cycles",
          [](const SwitchStats& s) { return s.last_attach_cycles; });
   expose("switch.last_detach_cycles",
@@ -171,43 +192,56 @@ void SwitchEngine::commit(hw::Cpu& cpu, ExecMode target) {
   obs::TraceSpan commit_span(cpu, obs::TraceCat::kSwitch, commit_name);
 #endif
 
-  // §5.4: bring every CPU to the barrier before touching global state.
-  const RendezvousStats rv =
-      Rendezvous::run(kernel_.machine(), cpu, config_.rendezvous);
-  stats_.last_rendezvous_cycles = rv.latency();
-
   const ExecMode from = mode_;
   const hw::Cycles t0 = cpu.now();
-  // Transitions through intermediate modes: native <-> partial <-> full.
-  if (mode_ == ExecMode::kNative) {
-    attach(cpu, target);
-  } else if (target == ExecMode::kNative) {
-    detach(cpu);
-  } else {
-    // partial <-> full: re-role the virtual VO without detaching the VMM.
-    const vmm::DomainId dom =
-        (mode_ == ExecMode::kPartialVirtual ? driver_vo_ : guest_vo_).dom();
-    VirtualVo& next =
-        target == ExecMode::kPartialVirtual ? driver_vo_ : guest_vo_;
-    next.bind(dom);
-    if (target == ExecMode::kFullVirtual) {
-      hv_.blk_backend().connect_frontend(dom);
-      hv_.net_backend().connect_frontend(dom);
+  bool committed = true;
+  hw::Cycles rendezvous_cycles = 0;
+  try {
+    // §5.4: bring every CPU to the barrier before touching global state.
+    const RendezvousStats rv =
+        Rendezvous::run(kernel_.machine(), cpu, config_.rendezvous);
+    stats_.last_rendezvous_cycles = rv.latency();
+    rendezvous_cycles = rv.latency();
+
+    // Transitions through intermediate modes: native <-> partial <-> full.
+    if (mode_ == ExecMode::kNative) {
+      attach(cpu, target);
+    } else if (target == ExecMode::kNative) {
+      detach(cpu);
     } else {
-      hv_.blk_backend().disconnect_frontend(cpu);
-      hv_.net_backend().disconnect_frontend();
+      // partial <-> full: re-role the virtual VO without detaching the VMM.
+      const vmm::DomainId dom =
+          (mode_ == ExecMode::kPartialVirtual ? driver_vo_ : guest_vo_).dom();
+      VirtualVo& next =
+          target == ExecMode::kPartialVirtual ? driver_vo_ : guest_vo_;
+      next.bind(dom);
+      if (target == ExecMode::kFullVirtual) {
+        hv_.blk_backend().connect_frontend(dom);
+        hv_.net_backend().connect_frontend(dom);
+      } else {
+        hv_.blk_backend().disconnect_frontend(cpu);
+        hv_.net_backend().disconnect_frontend();
+      }
+      kernel_.set_ops(next);
+      mode_ = target;
     }
-    kernel_.set_ops(next);
-    mode_ = target;
+  } catch (const FaultInjected& fault) {
+    // A fault fired at one of the pre-commit injection sites: unwind the
+    // partial transition instead of crashing mid-switch (paper §8).
+    committed = false;
+    rollback(cpu, from, target, fault);
   }
   const hw::Cycles elapsed = cpu.now() - t0;
-  if (from == ExecMode::kNative) {
+  if (!committed) {
+    // Stay in `from`; the caller sees the request resolve without a mode
+    // change and may re-request.
+  } else if (from == ExecMode::kNative) {
     stats_.last_attach_cycles = elapsed;
     ++stats_.attaches;
     MERC_COUNT("switch.attaches");
     MERC_HIST("switch.attach.total_cycles", elapsed);
     MERC_HIST("switch.attach.defer_cycles", stats_.last_defer_wait_cycles);
-    MERC_HIST("switch.attach.rendezvous_cycles", rv.latency());
+    MERC_HIST("switch.attach.rendezvous_cycles", rendezvous_cycles);
     MERC_HIST("switch.attach.transfer_cycles",
               stats_.last_transfer.page_info_cycles +
                   stats_.last_transfer.protection_cycles +
@@ -219,7 +253,7 @@ void SwitchEngine::commit(hw::Cpu& cpu, ExecMode target) {
     MERC_COUNT("switch.detaches");
     MERC_HIST("switch.detach.total_cycles", elapsed);
     MERC_HIST("switch.detach.defer_cycles", stats_.last_defer_wait_cycles);
-    MERC_HIST("switch.detach.rendezvous_cycles", rv.latency());
+    MERC_HIST("switch.detach.rendezvous_cycles", rendezvous_cycles);
     MERC_HIST("switch.detach.transfer_cycles",
               stats_.last_transfer.page_info_cycles +
                   stats_.last_transfer.protection_cycles +
@@ -242,12 +276,19 @@ void SwitchEngine::commit(hw::Cpu& cpu, ExecMode target) {
   hw::Machine& m = kernel_.machine();
   for (std::size_t i = 0; i < m.num_cpus(); ++i)
     m.cpu(i).set_cpl(hw::Ring::kRing0);
+
+  if (config_.paranoid_invariants) {
+    const InvariantReport report = check_machine_invariants(*this);
+    MERC_CHECK_MSG(report.ok(), report.to_string());
+  }
 }
 
 void SwitchEngine::reload_all_cpus(VirtObject& vo) {
   hw::Machine& m = kernel_.machine();
-  for (std::size_t i = 0; i < m.num_cpus(); ++i)
+  for (std::size_t i = 0; i < m.num_cpus(); ++i) {
+    fault_point(FaultSite::kReloadHwState, &m.cpu(i));
     vo.reload_hw_state(m.cpu(i), kernel_);
+  }
 }
 
 void SwitchEngine::attach(hw::Cpu& cpu, ExecMode target) {
@@ -284,6 +325,68 @@ void SwitchEngine::detach(hw::Cpu& cpu) {
   reload_all_cpus(native_vo_);
   kernel_.set_ops(native_vo_);
   mode_ = ExecMode::kNative;
+}
+
+void SwitchEngine::rollback(hw::Cpu& cpu, ExecMode from, ExecMode target,
+                            const FaultInjected& fault) {
+  ++stats_.rollbacks;
+  MERC_COUNT("switch.rollbacks");
+  MERC_SPAN(cpu, kFault, "switch.rollback");
+  util::log_warn("mercury",
+                 std::string("mode switch ") + exec_mode_name(from) + " -> " +
+                     exec_mode_name(target) + " faulted at " +
+                     fault_site_name(fault.site) + " (" +
+                     fault_kind_name(fault.kind) + "), rolling back");
+
+  // The injector disarmed before throwing, so re-traversing fault sites
+  // below cannot re-fire. Every site is pre-commit: mode_ still names the
+  // state the machine must return to.
+  if (from == ExecMode::kNative) {
+    // Aborted attach. The full-virtual frontends connect before the hardware
+    // reload, so a late fault may leave them attached.
+    if (hv_.blk_backend().connected()) hv_.blk_backend().disconnect_frontend(cpu);
+    if (hv_.net_backend().connected()) hv_.net_backend().disconnect_frontend();
+    // Undo however much of the adoption applied: writability, accounting
+    // (kept authoritative under eager tracking), trap ownership, dormancy.
+    hv_.rollback_adopt(cpu, kernel_, config_.eager_page_tracking);
+    // The eager walk may already have moved saved selectors to ring 1.
+    if (config_.eager_selector_fixup)
+      fix_all_saved_contexts(cpu, kernel_, hw::Ring::kRing0);
+    reload_all_cpus(native_vo_);
+    kernel_.set_ops(native_vo_);
+  } else if (target == ExecMode::kNative) {
+    // Aborted detach: restore the fully attached state.
+    VirtualVo& vo = from == ExecMode::kPartialVirtual ? driver_vo_ : guest_vo_;
+    if (hv_.state() == vmm::Hypervisor::State::kActive) {
+      // The release never completed — re-protect the unwound tables and
+      // re-take the traps in place.
+      hv_.reprotect_os(cpu, vo.dom(), kernel_);
+    } else {
+      // The release committed before the fault (it hit a later phase): the
+      // accounting was dropped O(1), so restoring virtual mode pays a full
+      // re-adoption — the price asymmetry of the cheap detach (§7.4).
+      if (config_.eager_page_tracking) hv_.page_info().set_valid(true);
+      const vmm::DomainId dom =
+          hv_.adopt_running_os(cpu, kernel_, config_.eager_page_tracking);
+      vo.bind(dom);
+    }
+    if (config_.eager_selector_fixup)
+      fix_all_saved_contexts(cpu, kernel_, hw::Ring::kRing1);
+    vo.state_transfer_in(cpu, kernel_);  // re-publish guest trap/GDT tokens
+    // A rendezvous fault aborts before detach() dropped the frontends, so
+    // they may still be attached — reconnecting would leak event channels.
+    if (from == ExecMode::kFullVirtual) {
+      if (!hv_.blk_backend().connected())
+        hv_.blk_backend().connect_frontend(vo.dom());
+      if (!hv_.net_backend().connected())
+        hv_.net_backend().connect_frontend(vo.dom());
+    }
+    reload_all_cpus(vo);
+    kernel_.set_ops(vo);
+  } else {
+    // partial <-> full re-role: the only reachable site (the rendezvous)
+    // precedes any mutation — nothing to unwind.
+  }
 }
 
 bool SwitchEngine::switch_now(ExecMode target, hw::Cycles budget) {

@@ -23,6 +23,8 @@
 
 namespace mercury::core {
 
+struct FaultInjected;
+
 enum class ExecMode : std::uint8_t {
   kNative,         // bare hardware, full speed
   kPartialVirtual, // VMM attached, OS is the driver domain (can host domUs)
@@ -37,6 +39,10 @@ struct SwitchConfig {
   RendezvousProtocol rendezvous = RendezvousProtocol::kIpiSharedVar;
   double defer_retry_ms = 10.0;      // §5.1.1 timer interval
   bool validate_before_commit = false;  // failure-resistant switch (§8)
+  /// Run the machine-state invariant checker after every commit attempt
+  /// (committed or rolled back) and abort the simulation on a violation.
+  /// Test-only: the checks are free of simulated cost but not of host cost.
+  bool paranoid_invariants = false;
 };
 
 /// Per-engine switch telemetry. This struct is the single storage for these
@@ -52,6 +58,7 @@ struct SwitchStats {
   std::uint64_t reroles = 0;         // partial <-> full transitions
   std::uint64_t deferrals = 0;       // refcount non-zero at request time
   std::uint64_t validation_aborts = 0;
+  std::uint64_t rollbacks = 0;       // mid-switch faults unwound (§8)
   hw::Cycles last_attach_cycles = 0;
   hw::Cycles last_detach_cycles = 0;
   hw::Cycles last_rendezvous_cycles = 0;
@@ -88,6 +95,8 @@ class SwitchEngine {
   VirtualVo& driver_vo() { return driver_vo_; }
   VirtualVo& guest_vo() { return guest_vo_; }
   VirtObject& current_vo();
+  kernel::Kernel& kernel() { return kernel_; }
+  vmm::Hypervisor& hypervisor() { return hv_; }
 
   /// The registry label ("engine=<n>") this engine's stats appear under.
   const std::string& obs_label() const { return obs_label_; }
@@ -100,6 +109,10 @@ class SwitchEngine {
   void detach(hw::Cpu& cpu);
   bool validate_for_switch(hw::Cpu& cpu, ExecMode target);
   void reload_all_cpus(VirtObject& vo);
+  /// Unwind a partially applied `from`→`target` transition after an injected
+  /// fault, returning the machine to `from` (paper §8: dependable switch).
+  void rollback(hw::Cpu& cpu, ExecMode from, ExecMode target,
+                const FaultInjected& fault);
 
   kernel::Kernel& kernel_;
   vmm::Hypervisor& hv_;

@@ -329,9 +329,16 @@ bool Kernel::fixup_saved_selectors(Task& t, hw::Cpu& cpu) {
   if (!t.saved_ctx.valid) return true;
   const hw::Ring want = ops_->kernel_ring();
   // Only kernel-mode frames carry the kernel's ring; ring-3 frames are
-  // privilege-invariant across mode switches.
-  if (t.saved_ctx.cs.rpl() == hw::Ring::kRing3) return true;
-  if (t.saved_ctx.cs.rpl() == want) return true;
+  // privilege-invariant across mode switches. Nested interrupt frames above
+  // the base frame are checked the same way: any stale one would #GP when
+  // its iret pops it.
+  const auto stale = [&](hw::SegmentSelector cs) {
+    return cs.rpl() != hw::Ring::kRing3 && cs.rpl() != want;
+  };
+  bool any_stale = stale(t.saved_ctx.cs);
+  for (const NestedFrame& f : t.saved_ctx.nested)
+    any_stale = any_stale || stale(f.cs);
+  if (!any_stale) return true;
 
   if (!selector_fixup_) {
     // The paper's failure mode: popping a stale selector raises #GP and the
@@ -341,11 +348,21 @@ bool Kernel::fixup_saved_selectors(Task& t, hw::Cpu& cpu) {
                hw::costs::kTrapReturn);
     return false;
   }
-  cpu.charge(pv::costs::kPerTaskSelectorFixup);
-  t.saved_ctx.cs.set_rpl(want);
-  t.saved_ctx.ss.set_rpl(want);
-  ++stats_.selector_fixups;
-  MERC_COUNT("kernel.selector_fixups");
+  if (stale(t.saved_ctx.cs)) {
+    cpu.charge(pv::costs::kPerTaskSelectorFixup);
+    t.saved_ctx.cs.set_rpl(want);
+    t.saved_ctx.ss.set_rpl(want);
+    ++stats_.selector_fixups;
+    MERC_COUNT("kernel.selector_fixups");
+  }
+  for (NestedFrame& f : t.saved_ctx.nested) {
+    if (!stale(f.cs)) continue;
+    cpu.charge(pv::costs::kPerTaskSelectorFixup);
+    f.cs.set_rpl(want);
+    f.ss.set_rpl(want);
+    ++stats_.selector_fixups;
+    MERC_COUNT("kernel.selector_fixups");
+  }
   return true;
 }
 

@@ -32,11 +32,26 @@ enum class TaskState : std::uint8_t {
   kZombie,  // exited, waiting to be reaped
 };
 
+/// One pushed cs/ss pair of an interrupt frame nested above the base frame
+/// (an interrupt that fired while the thread was already in the kernel).
+struct NestedFrame {
+  hw::SegmentSelector cs{};
+  hw::SegmentSelector ss{};
+};
+
 /// The privilege-carrying part of a suspended thread's kernel-stack frame.
 struct SavedContext {
   hw::SegmentSelector cs{};
   hw::SegmentSelector ss{};
   bool valid = false;
+  /// Interrupt frames stacked above the base frame, outermost first. Every
+  /// nested frame carries its own saved selectors and must be patched by
+  /// the stack fixup exactly like the base frame (paper §5.1.2).
+  std::vector<NestedFrame> nested;
+  /// The base frame sits flush against the top of the kernel stack (zero
+  /// headroom) — the boundary the fixup walk must handle without stepping
+  /// past the stack end.
+  bool at_stack_top = false;
 };
 
 struct OpenFile {

@@ -15,6 +15,7 @@ const char* trace_cat_name(TraceCat cat) {
     case TraceCat::kNet: return "net";
     case TraceCat::kFs: return "fs";
     case TraceCat::kCluster: return "cluster";
+    case TraceCat::kFault: return "fault";
     case TraceCat::kOther: return "other";
   }
   return "?";

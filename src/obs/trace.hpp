@@ -32,6 +32,7 @@ enum class TraceCat : std::uint8_t {
   kNet,         // network stack
   kFs,          // filesystem / block cache
   kCluster,     // cross-node scenarios
+  kFault,       // injected faults + mid-switch rollbacks
   kOther,
 };
 

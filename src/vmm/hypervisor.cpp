@@ -213,6 +213,7 @@ void Hypervisor::rebuild_page_info(hw::Cpu& cpu, Domain& d) {
   // This linear pass over ~all of memory is the paper's dominant attach cost.
   std::uint64_t frames = 0;
   for (const hw::Pfn pfn : k->pool().owned()) {
+    if (fault_probe_) fault_probe_(HvFaultPoint::kAdoptRebuild);
     cpu.charge(pv::costs::kPerFrameInfoRebuild);
     page_info_.at(pfn) = PageInfo{d.id(), PageType::kWritable, 0, 1, false};
     ++frames;
@@ -241,6 +242,7 @@ void Hypervisor::type_and_protect_tables(hw::Cpu& cpu, Domain& d, Kernel& k) {
   });
 
   for (const auto& [pfn, type] : tables) {
+    if (fault_probe_) fault_probe_(HvFaultPoint::kAdoptProtect);
     PageInfo& pi = page_info_.at(pfn);
     pi.type = type;
     pi.pinned = true;
@@ -259,8 +261,10 @@ void Hypervisor::type_and_protect_tables(hw::Cpu& cpu, Domain& d, Kernel& k) {
 
 void Hypervisor::unprotect_tables(hw::Cpu& cpu, Kernel& k) {
   for (const hw::Pfn pfn : std::vector<hw::Pfn>(protected_frames_.begin(),
-                                                protected_frames_.end()))
+                                                protected_frames_.end())) {
+    if (fault_probe_) fault_probe_(HvFaultPoint::kReleaseUnprotect);
     set_frame_writable(cpu, k, pfn, true);
+  }
   MERC_CHECK(protected_frames_.empty());
 }
 
@@ -342,6 +346,41 @@ void Hypervisor::release_os(hw::Cpu& cpu, DomainId id) {
   // than attach (paper §7.4).
   page_info_.invalidate_all();
   state_ = State::kDormant;
+}
+
+void Hypervisor::rollback_adopt(hw::Cpu& cpu, Kernel& k, bool keep_page_info) {
+  ++stats_.adopt_rollbacks;
+  MERC_COUNT("vmm.adopt_rollbacks");
+  MERC_SPAN(cpu, kFault, "vmm.rollback_adopt");
+  // Restore writability of everything the aborted adopt protected. The
+  // per-frame probe must not re-fire here (the injector is single-shot);
+  // set_frame_writable re-derives the direct-map PTE, so a frame protected
+  // before the fault and one never reached are both handled.
+  for (const hw::Pfn pfn : std::vector<hw::Pfn>(protected_frames_.begin(),
+                                                protected_frames_.end()))
+    set_frame_writable(cpu, k, pfn, true);
+  // Lazy tracking: the half-built table is garbage, exactly as before the
+  // attach began. Eager tracking: the tracker's table was authoritative
+  // going in and keeps being maintained from native mode, so it stays valid.
+  page_info_.set_valid(keep_page_info);
+  state_ = State::kDormant;
+  for (auto& gb : guest_on_cpu_)
+    if (gb.kernel == &k) gb = GuestBinding{};
+  machine_.install_trap_sink(&k);
+}
+
+void Hypervisor::reprotect_os(hw::Cpu& cpu, DomainId id, Kernel& k) {
+  MERC_CHECK_MSG(state_ == State::kActive, "reprotect while not active");
+  ++stats_.reprotects;
+  MERC_COUNT("vmm.reprotects");
+  MERC_SPAN(cpu, kFault, "vmm.reprotect_os");
+  // A detach fault left some page tables writable; re-running the protect
+  // pass re-discovers every table, re-protects the unwound ones (already
+  // protected frames are flipped to the same value), and re-validates.
+  type_and_protect_tables(cpu, domain(id), k);
+  for (std::size_t c = 0; c < machine_.num_cpus(); ++c)
+    set_guest_on_cpu(static_cast<std::uint32_t>(c), &k, id);
+  take_traps();
 }
 
 void Hypervisor::take_traps() { machine_.install_trap_sink(this); }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -42,6 +43,19 @@ struct HvStats {
   std::uint64_t entries_healed = 0;
   std::uint64_t adopts = 0;
   std::uint64_t releases = 0;
+  std::uint64_t adopt_rollbacks = 0;
+  std::uint64_t reprotects = 0;
+};
+
+/// Probe points inside the adopt/release loops. The hypervisor sits below
+/// core/ in the link graph, so it cannot name core's fault injector; the
+/// switch engine installs a probe that maps these to its injection sites.
+/// A probe may throw to abort the surrounding operation mid-flight — that
+/// is the point: the engine's rollback must unwind the partial mutation.
+enum class HvFaultPoint : std::uint8_t {
+  kAdoptRebuild,      // once per frame during the page-info rebuild
+  kAdoptProtect,      // once per page-table frame during type-and-protect
+  kReleaseUnprotect,  // once per frame during the writability restore
 };
 
 class Hypervisor : public hw::TrapSink {
@@ -90,6 +104,21 @@ class Hypervisor : public hw::TrapSink {
   /// Undo adoption: page tables become writable again, accounting is
   /// dropped (O(1)), the hypervisor returns to dormancy.
   void release_os(hw::Cpu& cpu, DomainId id);
+  /// Unwind a *partially applied* adoption after a mid-switch fault: restore
+  /// writability of every frame protected so far, drop (or, for eager
+  /// tracking, keep) the page accounting, return to dormancy, and hand the
+  /// traps back to the kernel. Safe to call however far the adopt got —
+  /// including not at all.
+  void rollback_adopt(hw::Cpu& cpu, kernel::Kernel& k, bool keep_page_info);
+  /// Recover from a partially applied release while still active: re-protect
+  /// and re-validate every page table and re-take the traps, restoring the
+  /// fully attached state (detach rollback).
+  void reprotect_os(hw::Cpu& cpu, DomainId id, kernel::Kernel& k);
+  /// Install a fault probe called at the HvFaultPoint sites (tests; unset in
+  /// production paths). The probe may throw.
+  void set_fault_probe(std::function<void(HvFaultPoint)> probe) {
+    fault_probe_ = std::move(probe);
+  }
   /// Make the hypervisor the machine's trap owner (or stop being it).
   void take_traps();
 
@@ -196,6 +225,7 @@ class Hypervisor : public hw::TrapSink {
 
   std::unordered_set<hw::Pfn> protected_frames_;
   bool heal_mode_ = false;
+  std::function<void(HvFaultPoint)> fault_probe_;
   HvStats stats_;
 };
 

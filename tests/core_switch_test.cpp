@@ -130,6 +130,129 @@ TEST(SwitchEngine, RefcountDefersCommit) {
       << "switch commits once the reference count drains";
 }
 
+TEST(SwitchEngine, DeferralRetriesOnTimerUntilRefcountDrains) {
+  MercuryBox box;
+  Mercury& m = *box.mercury;
+  // An in-flight VO entry (§5.1.1) held across several 10 ms retry periods:
+  // every expiry must re-defer, and the commit lands only once the count
+  // drains — charging the full wait to last_defer_wait_cycles.
+  bool release_now = false;
+  m.kernel().spawn("holder", [&](Sys& s) -> Sub<void> {
+    core::VirtObject::Section section(m.native_vo());
+    while (!release_now) co_await s.sleep_us(2'000.0);
+    section.release();
+    for (;;) co_await s.sleep_us(10'000.0);
+  });
+  m.kernel().run_for(hw::kCyclesPerMillisecond);
+  ASSERT_EQ(m.native_vo().active_refs(), 1);
+
+  const auto deferrals_before = m.engine().stats().deferrals;
+  m.engine().request(ExecMode::kPartialVirtual);
+  m.kernel().run_for(35 * hw::kCyclesPerMillisecond);
+  EXPECT_EQ(m.mode(), ExecMode::kNative);
+  EXPECT_GE(m.engine().stats().deferrals, deferrals_before + 2)
+      << "each 10 ms retry against a held refcount must count a deferral";
+
+  release_now = true;
+  ASSERT_TRUE(m.kernel().run_until(
+      [&] { return m.mode() == ExecMode::kPartialVirtual; },
+      200 * hw::kCyclesPerMillisecond));
+  EXPECT_GE(m.engine().stats().last_defer_wait_cycles,
+            hw::us_to_cycles(10'000.0))
+      << "the commit waited through at least one full retry period";
+#if MERCURY_OBS_ENABLED
+  const obs::Snapshot snap = obs::snapshot();
+  const obs::InstrumentSample* deferrals =
+      snap.find("switch.deferrals", m.engine().obs_label());
+  ASSERT_NE(deferrals, nullptr);
+  EXPECT_GE(deferrals->value,
+            static_cast<double>(deferrals_before + 2));
+#endif
+
+  // Detach direction: a reference into the *virtual* VO defers the same way.
+  bool release_detach = false;
+  m.kernel().spawn("holder2", [&](Sys& s) -> Sub<void> {
+    core::VirtObject::Section section(m.driver_vo());
+    while (!release_detach) co_await s.sleep_us(2'000.0);
+    section.release();
+    for (;;) co_await s.sleep_us(10'000.0);
+  });
+  m.kernel().run_for(hw::kCyclesPerMillisecond);
+  const auto detach_deferrals_before = m.engine().stats().deferrals;
+  m.engine().request(ExecMode::kNative);
+  m.kernel().run_for(25 * hw::kCyclesPerMillisecond);
+  EXPECT_EQ(m.mode(), ExecMode::kPartialVirtual);
+  EXPECT_GE(m.engine().stats().deferrals, detach_deferrals_before + 1);
+  release_detach = true;
+  EXPECT_TRUE(m.kernel().run_until(
+      [&] { return m.mode() == ExecMode::kNative; },
+      200 * hw::kCyclesPerMillisecond));
+}
+
+TEST(SwitchEngine, NestedInterruptFramesPatchedByResumeStub) {
+  MercuryBox box;
+  Mercury& m = *box.mercury;
+  m.kernel().spawn("sleeper", [](Sys& s) -> Sub<void> {
+    for (;;) co_await s.sleep_us(3'000.0);
+  });
+  m.kernel().run_for(hw::kCyclesPerMillisecond);
+  kernel::Task* t = nullptr;
+  m.kernel().for_each_task([&](kernel::Task& task) { t = &task; });
+  ASSERT_NE(t, nullptr);
+  ASSERT_TRUE(t->saved_ctx.valid);
+  // Interrupts that fired while the thread was already in the kernel leave
+  // nested frames above the base one; each carries its own stale selectors.
+  t->saved_ctx.nested.push_back(
+      {hw::make_selector(hw::kGdtKernelCs, hw::Ring::kRing0),
+       hw::make_selector(hw::kGdtKernelDs, hw::Ring::kRing0)});
+  t->saved_ctx.nested.push_back(
+      {hw::make_selector(hw::kGdtKernelCs, hw::Ring::kRing0),
+       hw::make_selector(hw::kGdtKernelDs, hw::Ring::kRing0)});
+
+  ASSERT_TRUE(m.switch_to(ExecMode::kPartialVirtual));
+  const auto fixups_before = m.kernel().stats().selector_fixups;
+  m.kernel().run_for(10 * hw::kCyclesPerMillisecond);  // resume under ring 1
+  EXPECT_GE(m.kernel().stats().selector_fixups, fixups_before + 3)
+      << "the stub must rewrite the base frame and both nested frames";
+  EXPECT_EQ(m.kernel().stats().gp_faults_on_resume, 0u);
+}
+
+TEST(SwitchEngine, NestedFramesAndStackTopFixedEagerlyBothDirections) {
+  MercuryConfig cfg;
+  cfg.switch_config.eager_selector_fixup = true;
+  MercuryBox box(cfg);
+  Mercury& m = *box.mercury;
+  // Block long enough to stay suspended across both switches: the eager
+  // walk must patch the frames in place, without the task ever resuming.
+  m.kernel().spawn("sleeper", [](Sys& s) -> Sub<void> {
+    for (;;) co_await s.sleep_us(500'000.0);
+  });
+  m.kernel().run_for(hw::kCyclesPerMillisecond);
+  kernel::Task* t = nullptr;
+  m.kernel().for_each_task([&](kernel::Task& task) { t = &task; });
+  ASSERT_NE(t, nullptr);
+  ASSERT_TRUE(t->saved_ctx.valid);
+  t->saved_ctx.nested.push_back(
+      {hw::make_selector(hw::kGdtKernelCs, hw::Ring::kRing0),
+       hw::make_selector(hw::kGdtKernelDs, hw::Ring::kRing0)});
+  t->saved_ctx.at_stack_top = true;  // base frame flush with the stack end
+
+  ASSERT_TRUE(m.switch_to(ExecMode::kPartialVirtual));
+  EXPECT_EQ(t->saved_ctx.cs.rpl(), hw::Ring::kRing1);
+  EXPECT_EQ(t->saved_ctx.ss.rpl(), hw::Ring::kRing1);
+  ASSERT_EQ(t->saved_ctx.nested.size(), 1u);
+  EXPECT_EQ(t->saved_ctx.nested[0].cs.rpl(), hw::Ring::kRing1)
+      << "attach direction: the nested frame must be walked too";
+
+  ASSERT_TRUE(m.switch_to(ExecMode::kNative));
+  EXPECT_EQ(t->saved_ctx.cs.rpl(), hw::Ring::kRing0);
+  EXPECT_EQ(t->saved_ctx.nested[0].cs.rpl(), hw::Ring::kRing0)
+      << "detach direction: the nested frame returns to ring 0";
+  EXPECT_TRUE(t->saved_ctx.at_stack_top) << "boundary flag must survive";
+  m.kernel().run_for(10 * hw::kCyclesPerMillisecond);
+  EXPECT_EQ(m.kernel().stats().gp_faults_on_resume, 0u);
+}
+
 TEST(SwitchEngine, SelectorFixupStubPatchesBlockedTasks) {
   MercuryBox box;
   Mercury& m = *box.mercury;

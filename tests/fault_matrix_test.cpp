@@ -1,0 +1,274 @@
+// Deterministic fault matrix for the mode-switch path: every injection site
+// × switch direction × trigger depth either commits cleanly (the site was
+// never reached) or rolls back to the pre-switch mode — and in both cases
+// the machine-state invariant checker finds nothing and the OS keeps
+// running. A clean retry after every rollback must then commit.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/fault_inject.hpp"
+#include "core/invariants.hpp"
+#include "core/mercury.hpp"
+#include "kernel/syscalls.hpp"
+#include "obs/obs.hpp"
+
+namespace mercury::testing {
+namespace {
+
+using core::ExecMode;
+using core::FaultInjector;
+using core::FaultKind;
+using core::FaultPlan;
+using core::FaultSite;
+using core::Mercury;
+using kernel::Sub;
+using kernel::Sys;
+
+/// Disarm on scope exit so one trial can never leak a plan into the next.
+struct InjectorGuard {
+  ~InjectorGuard() { core::fault_injector().disarm(); }
+};
+
+struct Box {
+  hw::Machine machine;
+  Mercury m;
+  long progress = 0;
+
+  explicit Box(core::SwitchConfig sc = {}, std::size_t cpus = 1)
+      : machine([&] {
+          hw::MachineConfig mc;
+          mc.num_cpus = cpus;
+          mc.mem_kb = 96 * 1024;
+          return mc;
+        }()),
+        m(machine, [&] {
+          core::MercuryConfig cfg;
+          cfg.kernel_frames = (32ull * 1024 * 1024) / hw::kPageSize;
+          cfg.switch_config = sc;
+          return cfg;
+        }()) {
+    // A small workload so the switch path has address spaces to protect,
+    // saved contexts to fix up, and something that must survive a rollback.
+    for (int i = 0; i < 3; ++i) {
+      m.kernel().spawn("load" + std::to_string(i), [this](Sys& s) -> Sub<void> {
+        const auto va = s.mmap(8 * hw::kPageSize, true);
+        for (;;) {
+          s.touch_pages(va, 8, true);
+          co_await s.compute_us(40.0);
+          ++progress;
+        }
+      });
+    }
+    m.kernel().run_for(2 * hw::kCyclesPerMillisecond);
+  }
+
+  /// Drive one switch request to quiescence; true if it went idle in budget.
+  bool settle(ExecMode target) {
+    m.engine().request(target);
+    return m.kernel().run_until([&] { return m.engine().idle(); },
+                                300 * hw::kCyclesPerMillisecond);
+  }
+
+  void expect_consistent(const std::string& ctx) {
+    const core::InvariantReport report =
+        core::check_machine_invariants(m.engine());
+    EXPECT_TRUE(report.ok()) << ctx << ":\n" << report.to_string();
+  }
+
+  void expect_os_runs(const std::string& ctx) {
+    const long before = progress;
+    m.kernel().run_for(3 * hw::kCyclesPerMillisecond);
+    EXPECT_GT(progress, before) << ctx << ": workload stopped making progress";
+  }
+};
+
+/// Arm `plan`, request `from`→`target`, and verify the dichotomy: either the
+/// fault fired and the engine rolled back to `from`, or the site was never
+/// reached and the switch committed — with zero invariant violations and a
+/// live OS either way. Returns true if the fault fired.
+bool run_faulted_switch(Box& box, ExecMode from, ExecMode target,
+                        const FaultPlan& plan, const std::string& ctx) {
+  FaultInjector& fi = core::fault_injector();
+  EXPECT_EQ(box.m.mode(), from) << ctx;
+  const std::uint64_t injected_before = fi.injected();
+  const std::uint64_t rollbacks_before = box.m.engine().stats().rollbacks;
+
+  fi.arm(plan);
+  EXPECT_TRUE(box.settle(target)) << ctx << ": engine never went idle";
+  fi.disarm();
+
+  const bool fired = fi.injected() > injected_before;
+  if (fired) {
+    EXPECT_EQ(box.m.mode(), from) << ctx << ": faulted switch changed mode";
+    EXPECT_EQ(box.m.engine().stats().rollbacks, rollbacks_before + 1) << ctx;
+  } else {
+    EXPECT_EQ(box.m.mode(), target) << ctx << ": unreached site blocked commit";
+    EXPECT_EQ(box.m.engine().stats().rollbacks, rollbacks_before) << ctx;
+  }
+  box.expect_consistent(ctx + (fired ? " post-rollback" : " post-commit"));
+  box.expect_os_runs(ctx);
+
+  if (fired) {
+    // The dependable-switch promise: a rollback is recoverable, not sticky.
+    EXPECT_TRUE(box.settle(target)) << ctx << ": clean retry stuck";
+    EXPECT_EQ(box.m.mode(), target) << ctx << ": clean retry did not commit";
+    box.expect_consistent(ctx + " post-retry");
+  }
+  // Return to `from` for the next trial.
+  EXPECT_TRUE(box.settle(from)) << ctx;
+  EXPECT_EQ(box.m.mode(), from) << ctx;
+  box.expect_consistent(ctx + " post-restore");
+  return fired;
+}
+
+const FaultSite kAllSites[] = {
+    FaultSite::kRendezvous,      FaultSite::kAdoptRebuild,
+    FaultSite::kAdoptProtect,    FaultSite::kStackFixup,
+    FaultSite::kTransferBindings, FaultSite::kReleaseUnprotect,
+    FaultSite::kReloadHwState,
+};
+
+std::string ctx_of(FaultSite site, ExecMode from, ExecMode target,
+                   std::uint64_t trigger) {
+  return std::string(core::fault_site_name(site)) + " " +
+         core::exec_mode_name(from) + "->" + core::exec_mode_name(target) +
+         " trigger=" + std::to_string(trigger);
+}
+
+void sweep(Box& box, ExecMode virt_mode, std::size_t* fired_count) {
+  for (const FaultSite site : kAllSites) {
+    for (const std::uint64_t trigger : {std::uint64_t{1}, std::uint64_t{3}}) {
+      FaultPlan plan;
+      plan.site = site;
+      plan.trigger_count = trigger;
+      plan.kind = site == FaultSite::kStackFixup ? FaultKind::kCorruptFrame
+                                                 : FaultKind::kFail;
+      {
+        // Attach direction (native -> virtual).
+        const std::string ctx =
+            ctx_of(site, ExecMode::kNative, virt_mode, trigger);
+        SCOPED_TRACE(ctx);
+        if (run_faulted_switch(box, ExecMode::kNative, virt_mode, plan, ctx))
+          ++*fired_count;
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+      {
+        // Detach direction (virtual -> native): enter virtual cleanly first.
+        ASSERT_TRUE(box.settle(virt_mode));
+        const std::string ctx =
+            ctx_of(site, virt_mode, ExecMode::kNative, trigger);
+        SCOPED_TRACE(ctx);
+        if (run_faulted_switch(box, virt_mode, ExecMode::kNative, plan, ctx))
+          ++*fired_count;
+        if (::testing::Test::HasFatalFailure()) return;
+        // run_faulted_switch left the box in `from` (virtual); the next
+        // attach trial starts from native.
+        ASSERT_TRUE(box.settle(ExecMode::kNative));
+      }
+    }
+  }
+}
+
+TEST(FaultMatrix, LazyTrackingPartialVirtual) {
+  InjectorGuard guard;
+  Box box;
+  std::size_t fired = 0;
+  sweep(box, ExecMode::kPartialVirtual, &fired);
+  // Lazy attach reaches rebuild/protect/bindings/reload; detach reaches
+  // unprotect/bindings/reload; rendezvous fires in both directions.
+  EXPECT_GE(fired, 8u);
+}
+
+TEST(FaultMatrix, LazyTrackingFullVirtual) {
+  InjectorGuard guard;
+  Box box;
+  std::size_t fired = 0;
+  sweep(box, ExecMode::kFullVirtual, &fired);
+  EXPECT_GE(fired, 8u);
+}
+
+TEST(FaultMatrix, EagerTrackingAndEagerFixup) {
+  InjectorGuard guard;
+  core::SwitchConfig sc;
+  sc.eager_page_tracking = true;
+  sc.eager_selector_fixup = true;
+  Box box(sc);
+  std::size_t fired = 0;
+  sweep(box, ExecMode::kPartialVirtual, &fired);
+  // Eager tracking skips the rebuild but the fixup walk now faults too.
+  EXPECT_GE(fired, 8u);
+}
+
+TEST(FaultMatrix, SmpRendezvousAndReload) {
+  InjectorGuard guard;
+  Box box({}, /*cpus=*/2);
+  std::size_t fired = 0;
+  // On SMP the reload loop has one site visit per CPU: trigger 2 lands on
+  // the second CPU, leaving the first already reloaded — the rollback must
+  // walk everyone back.
+  for (const FaultSite site :
+       {FaultSite::kRendezvous, FaultSite::kReloadHwState}) {
+    for (const std::uint64_t trigger : {std::uint64_t{1}, std::uint64_t{2}}) {
+      FaultPlan plan;
+      plan.site = site;
+      plan.trigger_count = trigger;
+      const std::string ctx =
+          ctx_of(site, ExecMode::kNative, ExecMode::kPartialVirtual, trigger);
+      SCOPED_TRACE(ctx);
+      if (run_faulted_switch(box, ExecMode::kNative, ExecMode::kPartialVirtual,
+                             plan, ctx))
+        ++fired;
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+  EXPECT_GE(fired, 3u);
+}
+
+TEST(FaultMatrix, TimeoutFaultChargesLatency) {
+  InjectorGuard guard;
+  Box box;
+  FaultPlan plan;
+  plan.site = FaultSite::kTransferBindings;
+  plan.kind = FaultKind::kTimeout;
+  plan.latency = hw::us_to_cycles(200.0);
+
+  core::fault_injector().arm(plan);
+  const hw::Cycles before = box.machine.cpu(0).now();
+  ASSERT_TRUE(box.settle(ExecMode::kPartialVirtual));
+  core::fault_injector().disarm();
+
+  EXPECT_EQ(box.m.mode(), ExecMode::kNative);
+  EXPECT_EQ(box.m.engine().stats().rollbacks, 1u);
+  // The wedged transfer burned at least its timeout before failing.
+  EXPECT_GE(box.machine.cpu(0).now() - before, plan.latency);
+  box.expect_consistent("timeout rollback");
+}
+
+#if MERCURY_OBS_ENABLED
+TEST(FaultMatrix, RollbackAndInjectionMetricsAreExported) {
+  InjectorGuard guard;
+  Box box;
+  FaultPlan plan;
+  plan.site = FaultSite::kAdoptProtect;
+  core::fault_injector().arm(plan);
+  ASSERT_TRUE(box.settle(ExecMode::kPartialVirtual));
+  ASSERT_EQ(box.m.mode(), ExecMode::kNative);
+
+  const obs::Snapshot snap = obs::snapshot();
+  const obs::InstrumentSample* rollbacks =
+      snap.find("switch.rollbacks", box.m.engine().obs_label());
+  ASSERT_NE(rollbacks, nullptr);
+  EXPECT_GE(rollbacks->value, 1.0);
+  ASSERT_NE(snap.find("fault.injected"), nullptr);
+
+  const std::string json = obs::to_json(snap);
+  EXPECT_NE(json.find("switch.rollbacks"), std::string::npos);
+  EXPECT_NE(json.find("fault.injected"), std::string::npos);
+  EXPECT_NE(json.find("vmm.adopt_rollbacks"), std::string::npos);
+}
+#endif
+
+}  // namespace
+}  // namespace mercury::testing

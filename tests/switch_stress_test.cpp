@@ -6,6 +6,8 @@
 
 #include "core/mercury.hpp"
 #include "kernel/syscalls.hpp"
+#include "tests/test_seed.hpp"
+#include "util/rng.hpp"
 
 namespace mercury::testing {
 namespace {
@@ -16,6 +18,10 @@ using kernel::Sub;
 using kernel::Sys;
 
 TEST(SwitchStress, FiftyRoundTripsUnderLoadAreStable) {
+  // Dwell times between switches are randomized so round trips land at
+  // varying phases of the workload. The seed is logged (and overridable via
+  // MERCURY_TEST_SEED) so any failure replays exactly.
+  util::Rng rng(test_seed(0x57E55ull));
   hw::MachineConfig mc;
   mc.mem_kb = 192 * 1024;
   hw::Machine machine(mc);
@@ -41,9 +47,9 @@ TEST(SwitchStress, FiftyRoundTripsUnderLoadAreStable) {
     ASSERT_TRUE(m.switch_to(ExecMode::kPartialVirtual)) << "round " << i;
     if (i == 0) first_attach = m.engine().stats().last_attach_cycles;
     last_attach = m.engine().stats().last_attach_cycles;
-    m.kernel().run_for(hw::kCyclesPerMillisecond);
+    m.kernel().run_for(hw::us_to_cycles(static_cast<double>(rng.between(500, 1500))));
     ASSERT_TRUE(m.switch_to(ExecMode::kNative)) << "round " << i;
-    m.kernel().run_for(hw::kCyclesPerMillisecond);
+    m.kernel().run_for(hw::us_to_cycles(static_cast<double>(rng.between(500, 1500))));
   }
 
   EXPECT_EQ(m.engine().stats().attaches, 50u);

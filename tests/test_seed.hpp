@@ -1,0 +1,32 @@
+// Reproducible randomness for seeded tests.
+//
+// Every randomized test derives its Rng from test_seed(): the seed is
+// printed on stdout and recorded as a gtest property, and the MERCURY_TEST_SEED
+// environment variable overrides it — so a failure log always contains the
+// exact command to replay it:
+//
+//   MERCURY_TEST_SEED=<seed> ./switch_fuzz_test --gtest_filter=<test>
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mercury::testing {
+
+/// The seed for this test: `fallback` unless MERCURY_TEST_SEED is set
+/// (decimal, or hex with a 0x prefix). Logged either way.
+inline std::uint64_t test_seed(std::uint64_t fallback) {
+  std::uint64_t seed = fallback;
+  if (const char* env = std::getenv("MERCURY_TEST_SEED"))
+    seed = std::strtoull(env, nullptr, 0);
+  std::printf("MERCURY_TEST_SEED=%llu\n",
+              static_cast<unsigned long long>(seed));
+  std::fflush(stdout);
+  ::testing::Test::RecordProperty("mercury_test_seed",
+                                  std::to_string(seed));
+  return seed;
+}
+
+}  // namespace mercury::testing
