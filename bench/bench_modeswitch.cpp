@@ -7,6 +7,8 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/mercury.hpp"
@@ -22,6 +24,12 @@ using mercury::core::MercuryConfig;
 struct SwitchTimes {
   double attach_ms = 0;
   double detach_ms = 0;
+  // Bulk transfer phases only (page-info rebuild + protect on attach, PT
+  // unprotect on detach). On SMP machines the totals above also carry the
+  // rendezvous wait — inter-CPU clock skew identical on the serial and crew
+  // paths — so the crew speedup is visible here, not in the totals.
+  double attach_transfer_ms = 0;
+  double detach_transfer_ms = 0;
 };
 
 std::unique_ptr<mercury::hw::Machine> make_machine(std::size_t mem_kb,
@@ -33,10 +41,11 @@ std::unique_ptr<mercury::hw::Machine> make_machine(std::size_t mem_kb,
 }
 
 SwitchTimes measure(std::size_t kernel_mem_kb, std::size_t cpus, int processes,
-                    int round_trips = 3) {
+                    int round_trips = 3, std::size_t crew_workers = 0) {
   auto machine = make_machine(kernel_mem_kb, cpus);
   MercuryConfig cfg;
   cfg.kernel_frames = (kernel_mem_kb * 1024) / mercury::hw::kPageSize;
+  cfg.switch_config.crew_workers = crew_workers;
   Mercury mercury(*machine, cfg);
 
   // Populate with long-lived processes so the switch walks real tasks/PTs.
@@ -57,14 +66,37 @@ SwitchTimes measure(std::size_t kernel_mem_kb, std::size_t cpus, int processes,
     t.attach_ms +=
         mercury::hw::cycles_to_us(mercury.engine().stats().last_attach_cycles) /
         1000.0;
+    t.attach_transfer_ms +=
+        mercury::hw::cycles_to_us(
+            mercury.engine().stats().last_transfer.page_info_cycles) /
+        1000.0;
     if (!mercury.switch_to(ExecMode::kNative)) return t;
     t.detach_ms +=
         mercury::hw::cycles_to_us(mercury.engine().stats().last_detach_cycles) /
         1000.0;
+    t.detach_transfer_ms +=
+        mercury::hw::cycles_to_us(
+            mercury.engine().stats().last_transfer.protection_cycles) /
+        1000.0;
   }
   t.attach_ms /= round_trips;
   t.detach_ms /= round_trips;
+  t.attach_transfer_ms /= round_trips;
+  t.detach_transfer_ms /= round_trips;
   return t;
+}
+
+// Record one sweep cell into the obs registry so --metrics-json carries the
+// tracked baseline (BENCH_modeswitch.json) that check_bench_json.py
+// validates.
+void record_cell(const std::string& key, const SwitchTimes& s) {
+  mercury::obs::MetricsRegistry& reg = mercury::obs::registry();
+  reg.gauge("bench.modeswitch." + key + ".attach_ms").set(s.attach_ms);
+  reg.gauge("bench.modeswitch." + key + ".detach_ms").set(s.detach_ms);
+  reg.gauge("bench.modeswitch." + key + ".attach_transfer_ms")
+      .set(s.attach_transfer_ms);
+  reg.gauge("bench.modeswitch." + key + ".detach_transfer_ms")
+      .set(s.detach_transfer_ms);
 }
 
 void BM_AttachPaperScale(benchmark::State& state) {
@@ -79,8 +111,12 @@ BENCHMARK(BM_AttachPaperScale)->Unit(benchmark::kMillisecond)->Iterations(1);
 }  // namespace
 
 int main(int argc, char** argv) {
-  const mercury::bench::ObsOptions obs_opts =
+  mercury::bench::ObsOptions obs_opts =
       mercury::bench::consume_obs_flags(argc, argv);
+  // The mode-switch bench is the repo's tracked perf baseline: always emit
+  // the metrics artifact, defaulting to BENCH_modeswitch.json in the
+  // working directory when --metrics-json is not given.
+  if (obs_opts.metrics_json.empty()) obs_opts.metrics_json = "BENCH_modeswitch.json";
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
@@ -90,11 +126,44 @@ int main(int argc, char** argv) {
     for (const std::size_t mem_kb :
          {112'500ul, 225'000ul, 450'000ul, 900'000ul}) {
       const SwitchTimes s = measure(mem_kb, 1, 4);
+      record_cell("up.mem_kb=" + std::to_string(mem_kb), s);
       t.add_numeric_row(std::to_string(mem_kb),
                         {s.attach_ms, s.detach_ms}, 4);
     }
     std::printf("\n=== Mode switch time vs kernel memory (UP, 4 procs) ===\n%s\n",
                 t.render().c_str());
+  }
+  {
+    // Parallel switch pipeline ablation: kernel-memory size x crew width on
+    // a 4-CPU box. Serial (crew=0) vs crew transfer latency; the largest
+    // memory with crew_workers = ncpus-1 is the headline speedup.
+    constexpr std::size_t kCpus = 4;
+    mercury::util::Table t({"Memory (KB)", "crew=0 (ms)", "crew=1 (ms)",
+                            "crew=2 (ms)", "crew=3 (ms)", "speedup x"});
+    double largest_speedup = 0.0;
+    for (const std::size_t mem_kb :
+         {112'500ul, 225'000ul, 450'000ul, 900'000ul}) {
+      std::vector<double> attach(kCpus, 0.0);
+      for (std::size_t workers = 0; workers < kCpus; ++workers) {
+        const SwitchTimes s = measure(mem_kb, kCpus, 4, 3, workers);
+        record_cell("smp.mem_kb=" + std::to_string(mem_kb) +
+                        ".crew=" + std::to_string(workers),
+                    s);
+        attach[workers] = s.attach_transfer_ms;
+      }
+      largest_speedup = attach[0] / attach[kCpus - 1];
+      t.add_numeric_row(std::to_string(mem_kb),
+                        {attach[0], attach[1], attach[2], attach[3],
+                         largest_speedup}, 4);
+    }
+    mercury::obs::registry()
+        .gauge("bench.modeswitch.crew_speedup_largest_mem")
+        .set(largest_speedup);
+    std::printf(
+        "=== Attach transfer vs crew width (4 CPUs, 4 procs) ===\n%s\n",
+        t.render().c_str());
+    std::printf("crew=3 speedup at 900 000 KB: %.2fx (target >= 2x)\n\n",
+                largest_speedup);
   }
   {
     mercury::util::Table t({"Processes", "attach (ms)", "detach (ms)"});

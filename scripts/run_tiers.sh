@@ -20,7 +20,14 @@ CTEST_FLAGS=(--output-on-failure)
 
 configure_and_build() {
   local dir="$1"; shift
-  cmake -S . -B "$dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo "$@" >/dev/null
+  # Fail fast on configure errors: a failed configure leaves a stale (or
+  # half-written) CMakeCache that a subsequent --build could silently reuse,
+  # and the quiet stdout redirect would hide what went wrong.
+  if ! cmake -S . -B "$dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo "$@" >/dev/null; then
+    echo "run_tiers: cmake configure failed for $dir/" >&2
+    echo "run_tiers: rerun verbosely: cmake -S . -B $dir $*" >&2
+    exit 1
+  fi
   cmake --build "$dir" -j "$JOBS"
 }
 

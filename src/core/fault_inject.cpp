@@ -16,6 +16,9 @@ const char* fault_site_name(FaultSite s) {
     case FaultSite::kTransferBindings: return "transfer.bindings";
     case FaultSite::kReleaseUnprotect: return "release.unprotect";
     case FaultSite::kReloadHwState: return "reload.hw_state";
+    case FaultSite::kShardRebuild: return "shard.rebuild";
+    case FaultSite::kShardProtect: return "shard.protect";
+    case FaultSite::kShardUnprotect: return "shard.unprotect";
     case FaultSite::kNumSites: break;
   }
   return "?";

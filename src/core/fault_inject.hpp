@@ -32,6 +32,13 @@ enum class FaultSite : std::uint8_t {
   kTransferBindings,  // trap/descriptor-table rebinding (both)
   kReleaseUnprotect,  // PT writability restore, per frame (detach)
   kReloadHwState,     // per-CPU control-state reload (both)
+  // Worker-side sites: the same bulk loops as above, but executed on a
+  // rendezvous-parked crew CPU as a shard of the parallel switch pipeline.
+  // A fire here aborts the shard mid-flight on the *worker*; the crew joins
+  // and the control processor's rollback must still converge.
+  kShardRebuild,      // crew shard of the page-info rebuild (attach)
+  kShardProtect,      // crew shard of type-and-protect (attach)
+  kShardUnprotect,    // crew shard of the writability restore (detach)
   kNumSites,
 };
 

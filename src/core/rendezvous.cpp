@@ -20,10 +20,23 @@ constexpr hw::Cycles kCachelineBounce = 450;     // contended line transfer
 constexpr hw::Cycles kFlagCheck = 40;
 constexpr hw::Cycles kSpinVisibilityLag = 120;   // store-to-load latency
 
-RendezvousStats run_ipi_shared_var(hw::Machine& m, hw::Cpu& cp) {
-  RendezvousStats stats;
-  stats.cpus = m.num_cpus();
-  stats.entry_time = cp.now();
+}  // namespace
+
+const char* rendezvous_protocol_name(RendezvousProtocol p) {
+  switch (p) {
+    case RendezvousProtocol::kIpiSharedVar: return "ipi+shared-var";
+    case RendezvousProtocol::kTree: return "tree";
+  }
+  return "?";
+}
+
+Rendezvous::Rendezvous(hw::Machine& machine, hw::Cpu& cp,
+                       RendezvousProtocol protocol)
+    : machine_(machine), cp_(cp), protocol_(protocol) {}
+
+void Rendezvous::park_ipi_shared_var() {
+  hw::Machine& m = machine_;
+  hw::Cpu& cp = cp_;
 
   // CP broadcasts the mode-switch IPI (one ICR write per target). Serial
   // ICR writes: the CP pays per target (no broadcast shorthand on this APIC
@@ -42,35 +55,27 @@ RendezvousStats run_ipi_shared_var(hw::Machine& m, hw::Cpu& cp) {
   arrival[cp.id()] = cp.now();
 
   // Each CPU takes the IPI, increments the shared ready count (the line
-  // bounces between cores, so later arrivals pay more), then spins.
-  hw::Cycles all_ready = 0;
+  // bounces between cores, so later arrivals pay more), then spins. Each
+  // clock is advanced to its owner's parked time: from here until release
+  // (or until the crew hands it a shard) the core is idle-spinning.
   std::size_t inc_order = 0;
   for (std::size_t i = 0; i < m.num_cpus(); ++i) {
     hw::Cycles t = arrival[i];
     if (i != cp.id()) t += hw::costs::kIpiAck + hw::costs::kTrapEntry;
     t += kAtomicInc + kCachelineBounce * inc_order;
     ++inc_order;
-    all_ready = std::max(all_ready, t);
+    m.cpu(i).advance_to(t);
   }
-
-  // CP observes count == N, sets the release flag; everyone sees it after
-  // the store propagates.
-  const hw::Cycles flag_set = all_ready + kFlagCheck + kAtomicInc;
-  const hw::Cycles release = flag_set + kSpinVisibilityLag;
-  for (std::size_t i = 0; i < m.num_cpus(); ++i)
-    m.cpu(i).advance_to(release);
-  stats.completion_time = release;
-  return stats;
 }
 
-RendezvousStats run_tree(hw::Machine& m, hw::Cpu& cp) {
-  RendezvousStats stats;
-  stats.cpus = m.num_cpus();
-  stats.entry_time = cp.now();
+void Rendezvous::park_tree() {
+  hw::Machine& m = machine_;
+  hw::Cpu& cp = cp_;
 
   // Downward IPI wave along a binary tree rooted at the CP, then an upward
-  // pairwise ready wave, then a downward release wave. Per-level latency is
-  // one IPI hop + handshake on a *private* line (no global bouncing).
+  // pairwise ready wave. Per-level latency is one IPI hop + handshake on a
+  // *private* line (no global bouncing). The release wave runs in
+  // release().
   std::size_t levels = 0;
   for (std::size_t span = 1; span < m.num_cpus(); span <<= 1) ++levels;
   for (std::size_t i = 0; i < m.num_cpus(); ++i) {
@@ -84,48 +89,88 @@ RendezvousStats run_tree(hw::Machine& m, hw::Cpu& cp) {
   hw::Cycles base = cp.now();
   for (std::size_t i = 0; i < m.num_cpus(); ++i)
     base = std::max(base, m.cpu(i).now());
-  const hw::Cycles release =
-      base + 2 * static_cast<hw::Cycles>(levels) * hop + kSpinVisibilityLag;
+  const hw::Cycles parked =
+      base + static_cast<hw::Cycles>(levels) * hop;
   for (std::size_t i = 0; i < m.num_cpus(); ++i)
-    m.cpu(i).advance_to(release);
-  stats.completion_time = release;
-  return stats;
+    m.cpu(i).advance_to(parked);
 }
 
-}  // namespace
-
-const char* rendezvous_protocol_name(RendezvousProtocol p) {
-  switch (p) {
-    case RendezvousProtocol::kIpiSharedVar: return "ipi+shared-var";
-    case RendezvousProtocol::kTree: return "tree";
+void Rendezvous::park() {
+  MERC_CHECK_MSG(!parked_, "rendezvous parked twice");
+  fault_point(FaultSite::kRendezvous, &cp_);
+  stats_.cpus = machine_.num_cpus();
+  stats_.entry_time = cp_.now();
+  if (machine_.num_cpus() > 1) {
+    switch (protocol_) {
+      case RendezvousProtocol::kIpiSharedVar: park_ipi_shared_var(); break;
+      case RendezvousProtocol::kTree: park_tree(); break;
+    }
   }
-  return "?";
+  hw::Cycles all_parked = stats_.entry_time;
+  for (std::size_t i = 0; i < machine_.num_cpus(); ++i)
+    all_parked = std::max(all_parked, machine_.cpu(i).now());
+  // The CP spins on the ready count until the last CPU checks in: anything
+  // it does between park() and release() starts after that point. Without
+  // this, a run-ahead idle CPU's clock skew would be charged to the first
+  // crew phase instead of the barrier.
+  cp_.advance_to(all_parked);
+  park_cycles_ = all_parked - stats_.entry_time;
+  parked_ = true;
+}
+
+RendezvousStats Rendezvous::release() {
+  MERC_CHECK_MSG(parked_ && !released_, "release without a parked rendezvous");
+  released_ = true;
+  hw::Machine& m = machine_;
+  if (m.num_cpus() == 1) {
+    stats_.completion_time = cp_.now();
+    return stats_;
+  }
+
+  // CP observes count == N (and any crew work drained), sets the release
+  // flag; everyone sees it after the store propagates. The tree protocol
+  // pays a downward release wave instead of a flag broadcast.
+  hw::Cycles all_done = 0;
+  for (std::size_t i = 0; i < m.num_cpus(); ++i)
+    all_done = std::max(all_done, m.cpu(i).now());
+  switch (protocol_) {
+    case RendezvousProtocol::kIpiSharedVar:
+      release_cycles_ = kFlagCheck + kAtomicInc + kSpinVisibilityLag;
+      break;
+    case RendezvousProtocol::kTree: {
+      std::size_t levels = 0;
+      for (std::size_t span = 1; span < m.num_cpus(); span <<= 1) ++levels;
+      const hw::Cycles hop = hw::costs::kIpiSendLatency + hw::costs::kIpiAck +
+                             hw::costs::kTrapEntry + kAtomicInc;
+      release_cycles_ =
+          static_cast<hw::Cycles>(levels) * hop + kSpinVisibilityLag;
+      break;
+    }
+  }
+  const hw::Cycles released_at = all_done + release_cycles_;
+  for (std::size_t i = 0; i < m.num_cpus(); ++i)
+    m.cpu(i).advance_to(released_at);
+  stats_.completion_time = released_at;
+
+  MERC_COUNT("rendezvous.runs");
+  MERC_GAUGE_SET("rendezvous.cpus", stats_.cpus);
+  MERC_HIST("rendezvous.cycles", coordination_cycles());
+  return stats_;
 }
 
 RendezvousStats Rendezvous::run(hw::Machine& machine, hw::Cpu& cp,
                                 RendezvousProtocol protocol) {
-  fault_point(FaultSite::kRendezvous, &cp);
-  if (machine.num_cpus() == 1) {
-    RendezvousStats stats;
-    stats.cpus = 1;
-    stats.entry_time = cp.now();
-    stats.completion_time = cp.now();
-    return stats;
-  }
-  const auto record = [&](const RendezvousStats& stats) {
-    MERC_COUNT("rendezvous.runs");
-    MERC_GAUGE_SET("rendezvous.cpus", stats.cpus);
-    MERC_HIST("rendezvous.cycles", stats.latency());
-    return stats;
-  };
+  Rendezvous rv(machine, cp, protocol);
   switch (protocol) {
     case RendezvousProtocol::kIpiSharedVar: {
       MERC_SPAN(cp, kRendezvous, "rendezvous.ipi_shared_var");
-      return record(run_ipi_shared_var(machine, cp));
+      rv.park();
+      return rv.release();
     }
     case RendezvousProtocol::kTree: {
       MERC_SPAN(cp, kRendezvous, "rendezvous.tree");
-      return record(run_tree(machine, cp));
+      rv.park();
+      return rv.release();
     }
   }
   MERC_CHECK(false);

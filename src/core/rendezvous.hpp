@@ -3,6 +3,14 @@
 // shared flag; the CP releases them once everyone is parked. Also implements
 // the loosely-coupled tree protocol the paper's future work suggests for
 // large core counts (§8), for the scalability ablation.
+//
+// The rendezvous is an instantiable coordinator with an explicit
+// park()/release() lifetime: while the CPUs are held at the barrier the
+// switch engine may dispatch sharded bulk work to them through a SwitchCrew
+// (the parallel switch pipeline) before letting them go. The one-shot
+// static run() shim (park immediately followed by release) is kept for
+// callers that only need the classic barrier, and is cycle-identical to the
+// pre-object protocol.
 #pragma once
 
 #include <cstdint>
@@ -25,12 +33,49 @@ struct RendezvousStats {
   hw::Cycles latency() const { return completion_time - entry_time; }
 };
 
+/// One barrier episode. Construct, park(), optionally run crew work on the
+/// parked CPUs, then release(). Protocol state and stats live on the object
+/// instead of being recomputed per call.
 class Rendezvous {
  public:
-  /// Park every CPU at a barrier, starting from control processor `cp`.
-  /// On return all CPU clocks are aligned at the barrier exit time.
+  Rendezvous(hw::Machine& machine, hw::Cpu& cp, RendezvousProtocol protocol);
+
+  /// Bring every CPU to the barrier: IPI broadcast, ready handshake. On
+  /// return each CPU's clock sits at the moment it started spinning (the
+  /// non-CP cores are conceptually idle-spinning from here until release).
+  /// May throw FaultInjected at the kRendezvous site.
+  void park();
+  bool parked() const { return parked_; }
+
+  /// Set the release flag; every CPU's clock is aligned at the barrier-exit
+  /// time (max over the crew's clocks plus the release handshake).
+  RendezvousStats release();
+
+  /// Coordination cost excluding any work done while parked: the park
+  /// handshake plus the release handshake. Equal to latency() when nothing
+  /// ran between park() and release().
+  hw::Cycles park_cycles() const { return park_cycles_; }
+  hw::Cycles release_cycles() const { return release_cycles_; }
+  hw::Cycles coordination_cycles() const {
+    return park_cycles_ + release_cycles_;
+  }
+
+  /// One-shot shim: park + release back to back (the classic §5.4 barrier).
   static RendezvousStats run(hw::Machine& machine, hw::Cpu& cp,
                              RendezvousProtocol protocol);
+
+ private:
+  void park_ipi_shared_var();
+  void park_tree();
+
+  hw::Machine& machine_;
+  hw::Cpu& cp_;
+  RendezvousProtocol protocol_;
+  RendezvousStats stats_;
+  bool parked_ = false;
+  bool released_ = false;
+  hw::Cycles park_cycles_ = 0;
+  hw::Cycles release_cycles_ = 0;
 };
 
 }  // namespace mercury::core

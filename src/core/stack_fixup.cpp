@@ -1,5 +1,7 @@
 #include "core/stack_fixup.hpp"
 
+#include <vector>
+
 #include "core/fault_inject.hpp"
 #include "kernel/kernel.hpp"
 #include "obs/obs.hpp"
@@ -7,15 +9,15 @@
 
 namespace mercury::core {
 
-FixupStats fix_all_saved_contexts(hw::Cpu& cpu, kernel::Kernel& k,
-                                  hw::Ring target) {
-  FixupStats stats;
-  MERC_SPAN(cpu, kFixup, "fixup.walk_tasks");
-  k.for_each_task([&](kernel::Task& t) {
+void fix_saved_contexts_range(hw::Cpu& cpu,
+                              std::span<kernel::Task* const> tasks,
+                              hw::Ring target, FixupStats& stats) {
+  for (kernel::Task* tp : tasks) {
+    kernel::Task& t = *tp;
     ++stats.tasks_scanned;
     fault_point(FaultSite::kStackFixup, &cpu);
     cpu.charge(pv::costs::kPerTaskSelectorFixup / 4);  // locate the frame
-    if (!t.saved_ctx.valid) return;
+    if (!t.saved_ctx.valid) continue;
     const auto patch = [&](hw::SegmentSelector& cs, hw::SegmentSelector& ss) {
       if (cs.rpl() == hw::Ring::kRing3) return;  // user frame
       if (cs.rpl() == target) return;
@@ -34,7 +36,16 @@ FixupStats fix_all_saved_contexts(hw::Cpu& cpu, kernel::Kernel& k,
       ++stats.nested_frames_scanned;
       patch(f.cs, f.ss);
     }
-  });
+  }
+}
+
+FixupStats fix_all_saved_contexts(hw::Cpu& cpu, kernel::Kernel& k,
+                                  hw::Ring target) {
+  FixupStats stats;
+  MERC_SPAN(cpu, kFixup, "fixup.walk_tasks");
+  std::vector<kernel::Task*> tasks;
+  k.for_each_task([&](kernel::Task& t) { tasks.push_back(&t); });
+  fix_saved_contexts_range(cpu, tasks, target, stats);
   MERC_COUNT_N("fixup.tasks_scanned", stats.tasks_scanned);
   MERC_COUNT_N("fixup.selectors_fixed", stats.selectors_fixed);
   return stats;

@@ -9,12 +9,14 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 
 #include "hw/cpu.hpp"
 #include "hw/types.hpp"
 
 namespace mercury::kernel {
 class Kernel;
+class Task;
 }
 
 namespace mercury::core {
@@ -29,5 +31,12 @@ struct FixupStats {
 /// including the selectors of interrupt frames nested above the base frame.
 FixupStats fix_all_saved_contexts(hw::Cpu& cpu, kernel::Kernel& k,
                                   hw::Ring target);
+
+/// Shard variant for the parallel switch pipeline: fix exactly the tasks in
+/// `tasks`, charging `cpu` (a crew worker) and accumulating into `stats`.
+/// Reports the kStackFixup fault site on the executing CPU per task.
+void fix_saved_contexts_range(hw::Cpu& cpu,
+                              std::span<kernel::Task* const> tasks,
+                              hw::Ring target, FixupStats& stats);
 
 }  // namespace mercury::core

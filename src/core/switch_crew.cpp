@@ -1,0 +1,128 @@
+#include "core/switch_crew.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "core/fault_inject.hpp"
+#include "obs/obs.hpp"
+#include "util/assert.hpp"
+
+namespace mercury::core {
+
+namespace {
+
+// Cost atoms for the shared shard queue. Grabbing a shard is an atomic
+// fetch-add on a contended line (the "steal"); publishing and joining are a
+// flag store / arrival counter on the same line.
+constexpr hw::Cycles kShardPublish = 180;   // CP posts the work descriptor
+constexpr hw::Cycles kShardGrab = 350;      // lock xadd + line transfer
+constexpr hw::Cycles kJoinHandshake = 250;  // arrival count + done flag
+
+// Shards per crew member: enough slack for the earliest-finisher scheduling
+// to absorb uneven shard costs, small enough that grab overhead stays in
+// the noise against the per-frame work.
+constexpr std::size_t kShardsPerMember = 4;
+
+}  // namespace
+
+SwitchCrew::SwitchCrew(hw::Machine& machine, hw::Cpu& cp, std::size_t workers)
+    : machine_(machine) {
+  members_.push_back(&cp);
+  for (std::size_t i = 0; i < machine.num_cpus() && workers > 0; ++i) {
+    if (i == cp.id()) continue;
+    members_.push_back(&machine.cpu(i));
+    --workers;
+  }
+}
+
+void SwitchCrew::join() {
+  hw::Cycles maxt = 0;
+  for (hw::Cpu* m : members_) maxt = std::max(maxt, m->now());
+  maxt += kJoinHandshake;
+  for (hw::Cpu* m : members_) m->advance_to(maxt);
+}
+
+CrewPhaseStats SwitchCrew::run_phase(const char* name, std::size_t items,
+                                     const ShardFn& body) {
+  CrewPhaseStats stats;
+  if (items == 0) return stats;
+
+  hw::Cpu& cp = *members_[0];
+  const hw::Cycles phase_start = cp.now();
+
+  // CP publishes the work descriptor; parked members cannot start before
+  // the publish store reaches them (they were spinning, so advancing their
+  // clocks to the publish point costs nothing real).
+  cp.charge(kShardPublish);
+  for (hw::Cpu* m : members_) m->advance_to(cp.now());
+
+  const std::size_t nshards =
+      std::min(items, members_.size() * kShardsPerMember);
+  const std::size_t per = items / nshards;
+  const std::size_t extra = items % nshards;
+
+#if MERCURY_OBS_ENABLED
+  obs::Hist& shard_hist =
+      obs::registry().histogram(std::string(name) + ".shard_cycles");
+  obs::Hist& worker_hist =
+      obs::registry().histogram(std::string(name) + ".worker_cycles");
+  obs::Hist& phase_hist =
+      obs::registry().histogram(std::string(name) + ".phase_cycles");
+#endif
+  std::vector<hw::Cycles> member_busy(members_.size(), 0);
+
+  // Earliest-finisher dispatch: each shard goes to the member whose clock
+  // is lowest — the deterministic equivalent of an idle worker stealing the
+  // next range off the shared queue.
+  std::size_t begin = 0;
+  const FaultInjected* faulted = nullptr;
+  FaultInjected fault{};
+  for (std::size_t s = 0; s < nshards && faulted == nullptr; ++s) {
+    const std::size_t len = per + (s < extra ? 1 : 0);
+    const std::size_t end = begin + len;
+    std::size_t who = 0;
+    for (std::size_t m = 1; m < members_.size(); ++m)
+      if (members_[m]->now() < members_[who]->now()) who = m;
+    hw::Cpu& worker = *members_[who];
+    worker.charge(kShardGrab);
+    const hw::Cycles t0 = worker.now();
+    try {
+      body(worker, begin, end);
+    } catch (const FaultInjected& f) {
+      // Abort flag: no further shards are handed out; completed shards
+      // stay applied (the engine's rollback unwinds them).
+      fault = f;
+      faulted = &fault;
+    }
+    const hw::Cycles ran = worker.now() - t0;
+    member_busy[who] += ran;
+    stats.busy += ran;
+    ++stats.shards;
+#if MERCURY_OBS_ENABLED
+    shard_hist.record(ran);
+#endif
+    begin = end;
+  }
+
+  join();
+  stats.span = cp.now() - phase_start;
+  busy_total_ += stats.busy;
+  span_total_ += stats.span;
+  ++phases_;
+#if MERCURY_OBS_ENABLED
+  for (const hw::Cycles b : member_busy) worker_hist.record(b);
+  phase_hist.record(stats.span);
+  MERC_COUNT_N("switch.crew.shards", stats.shards);
+#endif
+  if (faulted != nullptr) throw fault;
+  return stats;
+}
+
+double SwitchCrew::utilization() const {
+  if (span_total_ == 0 || members_.empty()) return 0.0;
+  return static_cast<double>(busy_total_) /
+         (static_cast<double>(span_total_) *
+          static_cast<double>(members_.size()));
+}
+
+}  // namespace mercury::core

@@ -1,8 +1,13 @@
 #include "core/switch_engine.hpp"
 
+#include <span>
+#include <utility>
+#include <vector>
+
 #include "core/fault_inject.hpp"
 #include "core/invariants.hpp"
 #include "core/stack_fixup.hpp"
+#include "core/switch_crew.hpp"
 #include "hw/interrupts.hpp"
 #include "obs/obs.hpp"
 #include "util/assert.hpp"
@@ -33,19 +38,30 @@ SwitchEngine::SwitchEngine(kernel::Kernel& k, vmm::Hypervisor& hv,
         on_interrupt(cpu, vector, payload);
       });
   // The hypervisor links below core/ and cannot name the fault injector;
-  // bridge its probe points to the engine's injection sites. Adopt/release
-  // run on the control processor, so faults charge their latency there.
-  hv_.set_fault_probe([this](vmm::HvFaultPoint p) {
-    hw::Cpu* cp = &kernel_.machine().cpu(0);
+  // bridge its probe points to the engine's injection sites. The hypervisor
+  // reports the CPU executing the probed loop — the control processor on the
+  // serial path, a crew worker inside a shard — so injected latency charges
+  // the clock that was actually running.
+  hv_.set_fault_probe([this](vmm::HvFaultPoint p, hw::Cpu* cpu) {
+    if (cpu == nullptr) cpu = &kernel_.machine().cpu(0);
     switch (p) {
       case vmm::HvFaultPoint::kAdoptRebuild:
-        fault_point(FaultSite::kAdoptRebuild, cp);
+        fault_point(FaultSite::kAdoptRebuild, cpu);
         break;
       case vmm::HvFaultPoint::kAdoptProtect:
-        fault_point(FaultSite::kAdoptProtect, cp);
+        fault_point(FaultSite::kAdoptProtect, cpu);
         break;
       case vmm::HvFaultPoint::kReleaseUnprotect:
-        fault_point(FaultSite::kReleaseUnprotect, cp);
+        fault_point(FaultSite::kReleaseUnprotect, cpu);
+        break;
+      case vmm::HvFaultPoint::kShardRebuild:
+        fault_point(FaultSite::kShardRebuild, cpu);
+        break;
+      case vmm::HvFaultPoint::kShardProtect:
+        fault_point(FaultSite::kShardProtect, cpu);
+        break;
+      case vmm::HvFaultPoint::kShardUnprotect:
+        fault_point(FaultSite::kShardUnprotect, cpu);
         break;
     }
   });
@@ -197,33 +213,55 @@ void SwitchEngine::commit(hw::Cpu& cpu, ExecMode target) {
   bool committed = true;
   hw::Cycles rendezvous_cycles = 0;
   try {
-    // §5.4: bring every CPU to the barrier before touching global state.
-    const RendezvousStats rv =
-        Rendezvous::run(kernel_.machine(), cpu, config_.rendezvous);
-    stats_.last_rendezvous_cycles = rv.latency();
-    rendezvous_cycles = rv.latency();
+    if (config_.crew_workers == 0) {
+      // Legacy serial pipeline: §5.4 barrier completes, then the CP does all
+      // the state transfer alone while the other CPUs idle at the barrier
+      // exit. Kept cycle-identical for the serial-vs-crew ablation.
+      const RendezvousStats rv =
+          Rendezvous::run(kernel_.machine(), cpu, config_.rendezvous);
+      stats_.last_rendezvous_cycles = rv.latency();
+      rendezvous_cycles = rv.latency();
 
-    // Transitions through intermediate modes: native <-> partial <-> full.
-    if (mode_ == ExecMode::kNative) {
-      attach(cpu, target);
-    } else if (target == ExecMode::kNative) {
-      detach(cpu);
-    } else {
-      // partial <-> full: re-role the virtual VO without detaching the VMM.
-      const vmm::DomainId dom =
-          (mode_ == ExecMode::kPartialVirtual ? driver_vo_ : guest_vo_).dom();
-      VirtualVo& next =
-          target == ExecMode::kPartialVirtual ? driver_vo_ : guest_vo_;
-      next.bind(dom);
-      if (target == ExecMode::kFullVirtual) {
-        hv_.blk_backend().connect_frontend(dom);
-        hv_.net_backend().connect_frontend(dom);
+      // Transitions through intermediate modes: native <-> partial <-> full.
+      if (mode_ == ExecMode::kNative) {
+        attach(cpu, target);
+      } else if (target == ExecMode::kNative) {
+        detach(cpu);
       } else {
-        hv_.blk_backend().disconnect_frontend(cpu);
-        hv_.net_backend().disconnect_frontend();
+        rerole(cpu, target);
       }
-      kernel_.set_ops(next);
-      mode_ = target;
+    } else {
+      // Parallel switch pipeline: park every CPU at the barrier, recruit the
+      // parked cores as a shard work crew for the bulk phases, release only
+      // when the transfer is done.
+      Rendezvous rv(kernel_.machine(), cpu, config_.rendezvous);
+      SwitchCrew crew(kernel_.machine(), cpu, config_.crew_workers);
+      try {
+        rv.park();
+        // Shard dispatch must not begin before the §5.1.1 commit point: the
+        // crew mutates state that a live VO reference could be touching.
+        MERC_CHECK_MSG(current_vo().active_refs() == 0,
+                       "crew dispatch before the VO refcount-zero commit "
+                       "point");
+        if (mode_ == ExecMode::kNative) {
+          attach_with_crew(cpu, crew, target);
+        } else if (target == ExecMode::kNative) {
+          detach_with_crew(cpu, crew);
+        } else {
+          rerole(cpu, target);
+        }
+      } catch (...) {
+        // The barrier must never stay held: release the parked CPUs before
+        // the fault unwinds into the rollback (which runs serially on the
+        // CP, exactly like a serial-path rollback).
+        if (rv.parked()) rv.release();
+        throw;
+      }
+      rv.release();
+      stats_.last_rendezvous_cycles = rv.coordination_cycles();
+      rendezvous_cycles = rv.coordination_cycles();
+      MERC_GAUGE_SET("switch.crew.workers", crew.workers());
+      MERC_GAUGE_SET("switch.crew.utilization", crew.utilization());
     }
   } catch (const FaultInjected& fault) {
     // A fault fired at one of the pre-commit injection sites: unwind the
@@ -283,6 +321,23 @@ void SwitchEngine::commit(hw::Cpu& cpu, ExecMode target) {
   }
 }
 
+void SwitchEngine::rerole(hw::Cpu& cpu, ExecMode target) {
+  // partial <-> full: re-role the virtual VO without detaching the VMM.
+  const vmm::DomainId dom =
+      (mode_ == ExecMode::kPartialVirtual ? driver_vo_ : guest_vo_).dom();
+  VirtualVo& next = target == ExecMode::kPartialVirtual ? driver_vo_ : guest_vo_;
+  next.bind(dom);
+  if (target == ExecMode::kFullVirtual) {
+    hv_.blk_backend().connect_frontend(dom);
+    hv_.net_backend().connect_frontend(dom);
+  } else {
+    hv_.blk_backend().disconnect_frontend(cpu);
+    hv_.net_backend().disconnect_frontend();
+  }
+  kernel_.set_ops(next);
+  mode_ = target;
+}
+
 void SwitchEngine::reload_all_cpus(VirtObject& vo) {
   hw::Machine& m = kernel_.machine();
   for (std::size_t i = 0; i < m.num_cpus(); ++i) {
@@ -316,6 +371,173 @@ void SwitchEngine::detach(hw::Cpu& cpu) {
   }
   stats_.last_transfer = transfer_to_native(cpu, kernel_, hv_, vo,
                                             config_.eager_selector_fixup);
+  if (config_.eager_page_tracking) {
+    // The eager tracker keeps maintaining the table through native mode, so
+    // it stays authoritative across the detach (§5.1.2 alternative 1).
+    hv_.page_info().set_valid(true);
+  }
+  MERC_SPAN(cpu, kSwitch, "switch.reload_hw_state");
+  reload_all_cpus(native_vo_);
+  kernel_.set_ops(native_vo_);
+  mode_ = ExecMode::kNative;
+}
+
+void SwitchEngine::attach_with_crew(hw::Cpu& cpu, SwitchCrew& crew,
+                                    ExecMode target) {
+  VirtualVo& vo = target == ExecMode::kPartialVirtual ? driver_vo_ : guest_vo_;
+  TransferStats transfer;
+
+  hw::Cycles t0 = cpu.now();
+  {
+    MERC_SPAN(cpu, kTransfer, "transfer.page_info_rebuild");
+    const vmm::DomainId dom = hv_.begin_adopt(kernel_);
+    if (!config_.eager_page_tracking) {
+      // The paper's dominant attach cost, sharded across the parked CPUs:
+      // each shard rebuilds owner/type/count for a disjoint frame range.
+      hv_.init_reserved_page_info();
+      const std::vector<hw::Pfn>& frames = kernel_.pool().owned();
+      const std::span<const hw::Pfn> all(frames);
+      crew.run_phase("switch.crew.rebuild", frames.size(),
+                     [&](hw::Cpu& w, std::size_t b, std::size_t e) {
+                       hv_.adopt_rebuild_shard(w, dom, all.subspan(b, e - b));
+                     });
+      MERC_COUNT_N("vmm.page_info.frames_reconstructed", frames.size());
+    } else {
+      MERC_CHECK_MSG(hv_.page_info().valid(),
+                     "eager attach without a primed page-info table");
+      crew.run_phase("switch.crew.sweep", kernel_.pool().owned_count(),
+                     [&](hw::Cpu& w, std::size_t b, std::size_t e) {
+                       hv_.adopt_trusted_sweep_shard(w, e - b);
+                     });
+    }
+
+    // Type-and-protect, then validation. Protection of *every* table must
+    // precede validation of *any* L1 ("no writable mapping of a PT frame"),
+    // and all L1 typing must precede L2 validation — hence three phases
+    // with crew joins between them, not one.
+    const auto tables = hv_.collect_tables(kernel_);
+    std::vector<std::pair<hw::Pfn, vmm::PageType>> l1s, l2s;
+    for (const auto& t : tables)
+      (t.second == vmm::PageType::kL1 ? l1s : l2s).push_back(t);
+    const std::span<const std::pair<hw::Pfn, vmm::PageType>> all_tables(tables);
+    const std::span<const std::pair<hw::Pfn, vmm::PageType>> l1_span(l1s);
+    const std::span<const std::pair<hw::Pfn, vmm::PageType>> l2_span(l2s);
+    crew.run_phase("switch.crew.protect", tables.size(),
+                   [&](hw::Cpu& w, std::size_t b, std::size_t e) {
+                     hv_.adopt_protect_shard(w, dom, kernel_,
+                                             all_tables.subspan(b, e - b));
+                   });
+    crew.run_phase("switch.crew.validate_l1", l1s.size(),
+                   [&](hw::Cpu& w, std::size_t b, std::size_t e) {
+                     hv_.adopt_validate_shard(w, dom, l1_span.subspan(b, e - b),
+                                              vmm::PageType::kL1);
+                   });
+    crew.run_phase("switch.crew.validate_l2", l2s.size(),
+                   [&](hw::Cpu& w, std::size_t b, std::size_t e) {
+                     hv_.adopt_validate_shard(w, dom, l2_span.subspan(b, e - b),
+                                              vmm::PageType::kL2);
+                   });
+    hv_.finish_adopt(dom, kernel_);
+    vo.bind(dom);
+  }
+  transfer.page_info_cycles = cpu.now() - t0;
+
+  if (config_.eager_selector_fixup) {
+    t0 = cpu.now();
+    MERC_SPAN(cpu, kFixup, "transfer.eager_fixup");
+    std::vector<kernel::Task*> tasks;
+    kernel_.for_each_task([&](kernel::Task& t) { tasks.push_back(&t); });
+    const std::span<kernel::Task* const> all_tasks(tasks);
+    FixupStats fs;
+    crew.run_phase("switch.crew.fixup", tasks.size(),
+                   [&](hw::Cpu& w, std::size_t b, std::size_t e) {
+                     fix_saved_contexts_range(w, all_tasks.subspan(b, e - b),
+                                              hw::Ring::kRing1, fs);
+                   });
+    MERC_COUNT_N("fixup.tasks_scanned", fs.tasks_scanned);
+    MERC_COUNT_N("fixup.selectors_fixed", fs.selectors_fixed);
+    transfer.fixup_cycles = cpu.now() - t0;
+  }
+
+  t0 = cpu.now();
+  {
+    fault_point(FaultSite::kTransferBindings, &cpu);
+    MERC_SPAN(cpu, kTransfer, "transfer.rebind_traps");
+    vo.state_transfer_in(cpu, kernel_);  // CP-only: one IDT/GDT rebind
+  }
+  transfer.binding_cycles = cpu.now() - t0;
+  MERC_HIST("transfer.page_info_cycles", transfer.page_info_cycles);
+  MERC_HIST("transfer.binding_cycles", transfer.binding_cycles);
+  if (config_.eager_selector_fixup)
+    MERC_HIST("transfer.fixup_cycles", transfer.fixup_cycles);
+  stats_.last_transfer = transfer;
+
+  if (target == ExecMode::kFullVirtual) {
+    hv_.blk_backend().connect_frontend(vo.dom());
+    hv_.net_backend().connect_frontend(vo.dom());
+  }
+  MERC_SPAN(cpu, kSwitch, "switch.reload_hw_state");
+  reload_all_cpus(vo);
+  kernel_.set_ops(vo);
+  mode_ = target;
+}
+
+void SwitchEngine::detach_with_crew(hw::Cpu& cpu, SwitchCrew& crew) {
+  VirtualVo& vo = mode_ == ExecMode::kPartialVirtual ? driver_vo_ : guest_vo_;
+  if (mode_ == ExecMode::kFullVirtual) {
+    hv_.blk_backend().disconnect_frontend(cpu);
+    hv_.net_backend().disconnect_frontend();
+  }
+  MERC_CHECK_MSG(vo.dom() != vmm::kDomInvalid,
+                 "detach without an adopted domain");
+  TransferStats transfer;
+
+  hw::Cycles t0 = cpu.now();
+  {
+    MERC_SPAN(cpu, kTransfer, "transfer.unprotect_tables");
+    hv_.begin_release(vo.dom());
+    const std::vector<hw::Pfn> frames = hv_.protected_frames_snapshot();
+    const std::span<const hw::Pfn> all(frames);
+    crew.run_phase("switch.crew.unprotect", frames.size(),
+                   [&](hw::Cpu& w, std::size_t b, std::size_t e) {
+                     hv_.release_unprotect_shard(w, kernel_,
+                                                 all.subspan(b, e - b));
+                   });
+    hv_.finish_release();
+  }
+  transfer.protection_cycles = cpu.now() - t0;
+
+  if (config_.eager_selector_fixup) {
+    t0 = cpu.now();
+    MERC_SPAN(cpu, kFixup, "transfer.eager_fixup");
+    std::vector<kernel::Task*> tasks;
+    kernel_.for_each_task([&](kernel::Task& t) { tasks.push_back(&t); });
+    const std::span<kernel::Task* const> all_tasks(tasks);
+    FixupStats fs;
+    crew.run_phase("switch.crew.fixup", tasks.size(),
+                   [&](hw::Cpu& w, std::size_t b, std::size_t e) {
+                     fix_saved_contexts_range(w, all_tasks.subspan(b, e - b),
+                                              hw::Ring::kRing0, fs);
+                   });
+    MERC_COUNT_N("fixup.tasks_scanned", fs.tasks_scanned);
+    MERC_COUNT_N("fixup.selectors_fixed", fs.selectors_fixed);
+    transfer.fixup_cycles = cpu.now() - t0;
+  }
+
+  t0 = cpu.now();
+  {
+    fault_point(FaultSite::kTransferBindings, &cpu);
+    MERC_SPAN(cpu, kTransfer, "transfer.rebind_traps");
+    // Interrupt bindings return to the kernel: it becomes the trap owner.
+    kernel_.machine().install_trap_sink(&kernel_);
+  }
+  transfer.binding_cycles = cpu.now() - t0;
+  MERC_HIST("transfer.protection_cycles", transfer.protection_cycles);
+  MERC_HIST("transfer.binding_cycles", transfer.binding_cycles);
+  if (config_.eager_selector_fixup)
+    MERC_HIST("transfer.fixup_cycles", transfer.fixup_cycles);
+  stats_.last_transfer = transfer;
+
   if (config_.eager_page_tracking) {
     // The eager tracker keeps maintaining the table through native mode, so
     // it stays authoritative across the detach (§5.1.2 alternative 1).

@@ -24,6 +24,7 @@
 namespace mercury::core {
 
 struct FaultInjected;
+class SwitchCrew;
 
 enum class ExecMode : std::uint8_t {
   kNative,         // bare hardware, full speed
@@ -39,6 +40,13 @@ struct SwitchConfig {
   RendezvousProtocol rendezvous = RendezvousProtocol::kIpiSharedVar;
   double defer_retry_ms = 10.0;      // §5.1.1 timer interval
   bool validate_before_commit = false;  // failure-resistant switch (§8)
+  /// Parallel switch pipeline: number of rendezvous-parked CPUs recruited as
+  /// shard workers for the bulk switch phases (page-info rebuild,
+  /// type-and-protect, validation, eager fixup, release-time unprotect).
+  /// 0 selects the legacy serial path — cycle-identical to the pre-crew
+  /// engine, kept for the serial-vs-crew ablation. Clamped to the machine's
+  /// other CPUs; the control processor always works too.
+  std::size_t crew_workers = 0;
   /// Run the machine-state invariant checker after every commit attempt
   /// (committed or rolled back) and abort the simulation on a violation.
   /// Test-only: the checks are free of simulated cost but not of host cost.
@@ -107,6 +115,12 @@ class SwitchEngine {
   void register_obs_instruments();
   void attach(hw::Cpu& cpu, ExecMode target);
   void detach(hw::Cpu& cpu);
+  /// partial <-> full transition: re-role the virtual VO in place.
+  void rerole(hw::Cpu& cpu, ExecMode target);
+  /// Crew variants of attach/detach: the bulk phases run as shards across
+  /// the rendezvous-parked crew instead of serially on the CP.
+  void attach_with_crew(hw::Cpu& cpu, SwitchCrew& crew, ExecMode target);
+  void detach_with_crew(hw::Cpu& cpu, SwitchCrew& crew);
   bool validate_for_switch(hw::Cpu& cpu, ExecMode target);
   void reload_all_cpus(VirtObject& vo);
   /// Unwind a partially applied `from`→`target` transition after an injected

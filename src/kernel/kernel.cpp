@@ -527,7 +527,12 @@ bool Kernel::step() {
     return true;
   }
 
-  if (cpu.id() == 0 && run_due_timer(cpu)) return true;
+  // Any CPU may retire a due software timer. Pinning the timer wheel to
+  // CPU 0 livelocks on SMP: once CPU 0's clock runs past a due deadline,
+  // another CPU parks exactly at that deadline (idle_advance never moves a
+  // clock beyond timers_.begin()), stays the earliest forever, and CPU 0 —
+  // the only CPU allowed to run the timer — is never picked again.
+  if (run_due_timer(cpu)) return true;
 
   if (Task* t = pick_task(cpu)) {
     dispatch(cpu, *t);

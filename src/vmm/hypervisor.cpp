@@ -199,33 +199,56 @@ bool Hypervisor::validate_l2(hw::Cpu& cpu, Domain& d, hw::Pfn table,
 }
 
 // --- adopt / release (Mercury's heavy lifting) -----------------------------------
+//
+// The serial entry points (rebuild_page_info / type_and_protect_tables /
+// unprotect_tables, and adopt_running_os / release_os around them) are
+// compositions of the range-based shard functions below. The composition is
+// cycle-identical to the historical single-loop code: the serial path runs
+// one shard spanning the whole range on the control processor, with the
+// legacy fault-point names.
 
-void Hypervisor::rebuild_page_info(hw::Cpu& cpu, Domain& d) {
-  Kernel* k = d.guest();
-  MERC_CHECK(k != nullptr);
-  MERC_SPAN(cpu, kVmm, "vmm.rebuild_page_info");
-  // Hypervisor's own frames.
+DomainId Hypervisor::begin_adopt(Kernel& k) {
+  MERC_CHECK_MSG(state_ == State::kDormant, "adopt while not dormant");
+  ++stats_.adopts;
+  MERC_COUNT("vmm.adopts");
+  // Reuse an existing domain record for this kernel if one exists.
+  DomainId id = kDomInvalid;
+  for (auto& d : domains_)
+    if (d->guest() == &k) id = d->id();
+  if (id == kDomInvalid)
+    id = create_domain(k.name(), &k, k.base_pfn(), k.pool().owned_count(),
+                       /*privileged=*/true, machine_.num_cpus());
+  return id;
+}
+
+void Hypervisor::init_reserved_page_info() {
   for (std::size_t i = 0; i < reserved_count_; ++i) {
     PageInfo& pi = page_info_.at(reserved_first_ + static_cast<hw::Pfn>(i));
     pi = PageInfo{kDomHypervisor, PageType::kWritable, 0, 1, false};
   }
-  // Every frame the kernel was ever granted: reset to plain writable RAM.
-  // This linear pass over ~all of memory is the paper's dominant attach cost.
-  std::uint64_t frames = 0;
-  for (const hw::Pfn pfn : k->pool().owned()) {
-    if (fault_probe_) fault_probe_(HvFaultPoint::kAdoptRebuild);
-    cpu.charge(pv::costs::kPerFrameInfoRebuild);
-    page_info_.at(pfn) = PageInfo{d.id(), PageType::kWritable, 0, 1, false};
-    ++frames;
-  }
-  MERC_COUNT_N("vmm.page_info.frames_reconstructed", frames);
+  page_info_.reset_shard_counters();
 }
 
-void Hypervisor::type_and_protect_tables(hw::Cpu& cpu, Domain& d, Kernel& k) {
-  MERC_SPAN(cpu, kVmm, "vmm.type_and_protect");
-  // Pass 1: discover every page-table frame, set its type, and revoke its
-  // writable direct-map mapping. Protection must precede validation so the
-  // "no writable mapping of a PT frame" rule holds when pass 2 checks it.
+void Hypervisor::adopt_rebuild_shard(hw::Cpu& cpu, DomainId id,
+                                     std::span<const hw::Pfn> frames,
+                                     HvFaultPoint site) {
+  for (const hw::Pfn pfn : frames) {
+    if (fault_probe_) fault_probe_(site, &cpu);
+    cpu.charge(pv::costs::kPerFrameInfoRebuild);
+    page_info_.at(pfn) = PageInfo{id, PageType::kWritable, 0, 1, false};
+    page_info_.note_rebuilt(pfn);
+  }
+}
+
+void Hypervisor::adopt_trusted_sweep_shard(hw::Cpu& cpu, std::size_t frames) {
+  // Eager tracking kept the table fresh, but the VMM still cross-checks
+  // ownership with a light sweep before enforcing isolation on it.
+  for (std::size_t i = 0; i < frames; ++i) cpu.charge(1);
+}
+
+std::vector<std::pair<hw::Pfn, PageType>> Hypervisor::collect_tables(Kernel& k) {
+  // Discover every page-table frame (uncharged: pointer chasing over kernel
+  // metadata, negligible against the per-frame protection flips).
   std::vector<std::pair<hw::Pfn, PageType>> tables;
   for (const hw::Pfn l1 : k.kernel_l1_frames())
     tables.emplace_back(l1, PageType::kL1);
@@ -240,31 +263,104 @@ void Hypervisor::type_and_protect_tables(hw::Cpu& cpu, Domain& d, Kernel& k) {
   k.for_each_task([&](kernel::Task& t) {
     if (t.aspace) tables.emplace_back(t.aspace->page_directory(), PageType::kL2);
   });
+  return tables;
+}
 
+void Hypervisor::adopt_protect_shard(
+    hw::Cpu& cpu, DomainId id, Kernel& k,
+    std::span<const std::pair<hw::Pfn, PageType>> tables, HvFaultPoint site) {
+  (void)id;
   for (const auto& [pfn, type] : tables) {
-    if (fault_probe_) fault_probe_(HvFaultPoint::kAdoptProtect);
+    if (fault_probe_) fault_probe_(site, &cpu);
     PageInfo& pi = page_info_.at(pfn);
     pi.type = type;
     pi.pinned = true;
     pi.type_count = 1;
     set_frame_writable(cpu, k, pfn, false);
+    page_info_.note_typed(pfn);
   }
+}
 
-  // Pass 2: validate (L1s first, then L2s whose entries require L1 typing).
-  for (const auto& [pfn, type] : tables)
-    if (type == PageType::kL1)
+void Hypervisor::adopt_validate_shard(
+    hw::Cpu& cpu, DomainId id,
+    std::span<const std::pair<hw::Pfn, PageType>> tables, PageType level) {
+  Domain& d = domain(id);
+  for (const auto& [pfn, type] : tables) {
+    if (type != level) continue;
+    if (level == PageType::kL1)
       validate_l1(cpu, d, pfn, pv::costs::kPerPtePinScan, nullptr);
-  for (const auto& [pfn, type] : tables)
-    if (type == PageType::kL2)
+    else
       validate_l2(cpu, d, pfn, pv::costs::kPerPtePinScan, nullptr);
+  }
+}
+
+void Hypervisor::finish_adopt(DomainId id, Kernel& k) {
+  page_info_.set_valid(true);
+  state_ = State::kActive;
+  for (std::size_t c = 0; c < machine_.num_cpus(); ++c)
+    set_guest_on_cpu(static_cast<std::uint32_t>(c), &k, id);
+  take_traps();
+}
+
+void Hypervisor::begin_release(DomainId id) {
+  MERC_CHECK_MSG(state_ == State::kActive, "release while not active");
+  MERC_CHECK(domain(id).guest() != nullptr);
+  ++stats_.releases;
+  MERC_COUNT("vmm.releases");
+}
+
+std::vector<hw::Pfn> Hypervisor::protected_frames_snapshot() const {
+  std::vector<hw::Pfn> frames(protected_frames_.begin(),
+                              protected_frames_.end());
+  std::sort(frames.begin(), frames.end());
+  return frames;
+}
+
+void Hypervisor::release_unprotect_shard(hw::Cpu& cpu, Kernel& k,
+                                         std::span<const hw::Pfn> frames,
+                                         HvFaultPoint site) {
+  for (const hw::Pfn pfn : frames) {
+    if (fault_probe_) fault_probe_(site, &cpu);
+    set_frame_writable(cpu, k, pfn, true);
+  }
+}
+
+void Hypervisor::finish_release() {
+  MERC_CHECK(protected_frames_.empty());
+  // Dropping the accounting is O(1): this is why detach is much cheaper
+  // than attach (paper §7.4).
+  page_info_.invalidate_all();
+  state_ = State::kDormant;
+}
+
+void Hypervisor::rebuild_page_info(hw::Cpu& cpu, Domain& d) {
+  Kernel* k = d.guest();
+  MERC_CHECK(k != nullptr);
+  MERC_SPAN(cpu, kVmm, "vmm.rebuild_page_info");
+  // Hypervisor's own frames, then every frame the kernel was ever granted:
+  // reset to plain writable RAM. This linear pass over ~all of memory is the
+  // paper's dominant attach cost.
+  init_reserved_page_info();
+  adopt_rebuild_shard(cpu, d.id(), k->pool().owned(),
+                      HvFaultPoint::kAdoptRebuild);
+  MERC_COUNT_N("vmm.page_info.frames_reconstructed", k->pool().owned().size());
+}
+
+void Hypervisor::type_and_protect_tables(hw::Cpu& cpu, Domain& d, Kernel& k) {
+  MERC_SPAN(cpu, kVmm, "vmm.type_and_protect");
+  // Pass 1: discover every page-table frame, set its type, and revoke its
+  // writable direct-map mapping. Protection must precede validation so the
+  // "no writable mapping of a PT frame" rule holds when pass 2 checks it.
+  const auto tables = collect_tables(k);
+  adopt_protect_shard(cpu, d.id(), k, tables, HvFaultPoint::kAdoptProtect);
+  // Pass 2: validate (L1s first, then L2s whose entries require L1 typing).
+  adopt_validate_shard(cpu, d.id(), tables, PageType::kL1);
+  adopt_validate_shard(cpu, d.id(), tables, PageType::kL2);
 }
 
 void Hypervisor::unprotect_tables(hw::Cpu& cpu, Kernel& k) {
-  for (const hw::Pfn pfn : std::vector<hw::Pfn>(protected_frames_.begin(),
-                                                protected_frames_.end())) {
-    if (fault_probe_) fault_probe_(HvFaultPoint::kReleaseUnprotect);
-    set_frame_writable(cpu, k, pfn, true);
-  }
+  release_unprotect_shard(cpu, k, protected_frames_snapshot(),
+                          HvFaultPoint::kReleaseUnprotect);
   MERC_CHECK(protected_frames_.empty());
 }
 
@@ -302,50 +398,27 @@ void Hypervisor::set_frame_writable(hw::Cpu& cpu, Kernel& k, hw::Pfn pfn,
 
 DomainId Hypervisor::adopt_running_os(hw::Cpu& cpu, Kernel& k,
                                       bool trust_page_info) {
-  MERC_CHECK_MSG(state_ == State::kDormant, "adopt while not dormant");
-  ++stats_.adopts;
-  MERC_COUNT("vmm.adopts");
+  const DomainId id = begin_adopt(k);
   MERC_SPAN(cpu, kVmm, "vmm.adopt_running_os");
-  // Reuse an existing domain record for this kernel if one exists.
-  DomainId id = kDomInvalid;
-  for (auto& d : domains_)
-    if (d->guest() == &k) id = d->id();
-  if (id == kDomInvalid)
-    id = create_domain(k.name(), &k, k.base_pfn(), k.pool().owned_count(),
-                       /*privileged=*/true, machine_.num_cpus());
-
   Domain& d = domain(id);
   if (!trust_page_info) {
     rebuild_page_info(cpu, d);
   } else {
-    // Eager tracking kept the table fresh, but the VMM still cross-checks
-    // ownership with a light sweep before enforcing isolation on it.
     MERC_CHECK_MSG(page_info_.valid(),
                    "eager attach without a primed page-info table");
-    for (std::size_t i = 0; i < k.pool().owned_count(); ++i) cpu.charge(1);
+    adopt_trusted_sweep_shard(cpu, k.pool().owned_count());
   }
   type_and_protect_tables(cpu, d, k);
-  page_info_.set_valid(true);
-  state_ = State::kActive;
-  for (std::size_t c = 0; c < machine_.num_cpus(); ++c)
-    set_guest_on_cpu(static_cast<std::uint32_t>(c), &k, id);
-  take_traps();
+  finish_adopt(id, k);
   return id;
 }
 
 void Hypervisor::release_os(hw::Cpu& cpu, DomainId id) {
-  MERC_CHECK_MSG(state_ == State::kActive, "release while not active");
-  ++stats_.releases;
-  MERC_COUNT("vmm.releases");
+  begin_release(id);
   MERC_SPAN(cpu, kVmm, "vmm.release_os");
-  Domain& d = domain(id);
-  Kernel* k = d.guest();
-  MERC_CHECK(k != nullptr);
+  Kernel* k = domain(id).guest();
   unprotect_tables(cpu, *k);
-  // Dropping the accounting is O(1): this is why detach is much cheaper
-  // than attach (paper §7.4).
-  page_info_.invalidate_all();
-  state_ = State::kDormant;
+  finish_release();
 }
 
 void Hypervisor::rollback_adopt(hw::Cpu& cpu, Kernel& k, bool keep_page_info) {

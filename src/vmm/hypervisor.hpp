@@ -56,6 +56,12 @@ enum class HvFaultPoint : std::uint8_t {
   kAdoptRebuild,      // once per frame during the page-info rebuild
   kAdoptProtect,      // once per page-table frame during type-and-protect
   kReleaseUnprotect,  // once per frame during the writability restore
+  // Worker-side variants: the same loops, but executed as a shard of the
+  // parallel switch pipeline on a rendezvous-parked crew CPU. Distinct
+  // points so tests can target "a worker faulted mid-shard" specifically.
+  kShardRebuild,      // crew shard of the page-info rebuild
+  kShardProtect,      // crew shard of type-and-protect
+  kShardUnprotect,    // crew shard of the writability restore
 };
 
 class Hypervisor : public hw::TrapSink {
@@ -115,8 +121,10 @@ class Hypervisor : public hw::TrapSink {
   /// fully attached state (detach rollback).
   void reprotect_os(hw::Cpu& cpu, DomainId id, kernel::Kernel& k);
   /// Install a fault probe called at the HvFaultPoint sites (tests; unset in
-  /// production paths). The probe may throw.
-  void set_fault_probe(std::function<void(HvFaultPoint)> probe) {
+  /// production paths). The probe may throw. The second argument is the CPU
+  /// executing the probed loop — the control processor on the serial path, a
+  /// crew worker inside a shard — so injected latency charges the right clock.
+  void set_fault_probe(std::function<void(HvFaultPoint, hw::Cpu*)> probe) {
     fault_probe_ = std::move(probe);
   }
   /// Make the hypervisor the machine's trap owner (or stop being it).
@@ -127,6 +135,47 @@ class Hypervisor : public hw::TrapSink {
   void bootstrap_activate();
   /// Initialize page accounting for a freshly built domain (boot path).
   void init_domain_memory(Domain& d);
+
+  // --- parallel switch pipeline (sharded adopt/release) ---
+  // The serial adopt/release entry points above are compositions of these
+  // range-based pieces; the switch engine calls them directly when it farms
+  // the bulk loops out to a SwitchCrew. Every shard charges the CPU actually
+  // executing it and reports the worker-side fault points, so a mid-shard
+  // fault surfaces on the worker and the engine's rollback must converge.
+  /// State checks + stats + domain reuse/creation. No simulated cost.
+  DomainId begin_adopt(kernel::Kernel& k);
+  /// Reset the hypervisor's own reserved frames' accounting (CP-side, O(64MB
+  /// of frames), uncharged as in the serial path) and zero shard counters.
+  void init_reserved_page_info();
+  /// Rebuild owner/type/count for `frames`, charging `cpu` per frame.
+  void adopt_rebuild_shard(hw::Cpu& cpu, DomainId id,
+                           std::span<const hw::Pfn> frames,
+                           HvFaultPoint site = HvFaultPoint::kShardRebuild);
+  /// Eager-tracking cross-check sweep over `frames` frames (1 cycle each).
+  void adopt_trusted_sweep_shard(hw::Cpu& cpu, std::size_t frames);
+  /// Discover every page-table frame of `k` (uncharged discovery walk).
+  std::vector<std::pair<hw::Pfn, PageType>> collect_tables(kernel::Kernel& k);
+  /// Type + pin + write-protect the given tables, charging `cpu`.
+  void adopt_protect_shard(hw::Cpu& cpu, DomainId id, kernel::Kernel& k,
+                           std::span<const std::pair<hw::Pfn, PageType>> tables,
+                           HvFaultPoint site = HvFaultPoint::kShardProtect);
+  /// Validate the tables of `level` in the span (L1s must all be typed —
+  /// i.e. every protect shard done — before any L2 shard validates).
+  void adopt_validate_shard(hw::Cpu& cpu, DomainId id,
+                            std::span<const std::pair<hw::Pfn, PageType>> tables,
+                            PageType level);
+  /// Flip to kActive: table valid, guests bound, traps taken.
+  void finish_adopt(DomainId id, kernel::Kernel& k);
+  /// State checks + stats for a release episode.
+  void begin_release(DomainId id);
+  /// The currently protected frames, sorted (deterministic shard ranges).
+  std::vector<hw::Pfn> protected_frames_snapshot() const;
+  /// Restore writability of `frames`, charging `cpu` per frame.
+  void release_unprotect_shard(hw::Cpu& cpu, kernel::Kernel& k,
+                               std::span<const hw::Pfn> frames,
+                               HvFaultPoint site = HvFaultPoint::kShardUnprotect);
+  /// Flip to kDormant: accounting dropped O(1).
+  void finish_release();
 
   // --- page-info machinery (exposed for the eager tracker and tests) ---
   PageInfoTable& page_info() { return page_info_; }
@@ -225,7 +274,7 @@ class Hypervisor : public hw::TrapSink {
 
   std::unordered_set<hw::Pfn> protected_frames_;
   bool heal_mode_ = false;
-  std::function<void(HvFaultPoint)> fault_probe_;
+  std::function<void(HvFaultPoint, hw::Cpu*)> fault_probe_;
   HvStats stats_;
 };
 

@@ -16,7 +16,31 @@ const char* page_type_name(PageType t) {
   return "?";
 }
 
-PageInfoTable::PageInfoTable(std::size_t total_frames) : info_(total_frames) {}
+PageInfoTable::PageInfoTable(std::size_t total_frames)
+    : info_(total_frames),
+      shards_((total_frames + kFramesPerShard - 1) / kFramesPerShard) {}
+
+const PageInfoTable::ShardCounters& PageInfoTable::shard_counters(
+    std::size_t shard) const {
+  MERC_CHECK_MSG(shard < shards_.size(), "shard out of range: " << shard);
+  return shards_[shard].counters;
+}
+
+std::uint64_t PageInfoTable::rebuilt_total() const {
+  std::uint64_t n = 0;
+  for (const Shard& s : shards_) n += s.counters.rebuilt;
+  return n;
+}
+
+std::uint64_t PageInfoTable::typed_total() const {
+  std::uint64_t n = 0;
+  for (const Shard& s : shards_) n += s.counters.typed;
+  return n;
+}
+
+void PageInfoTable::reset_shard_counters() {
+  for (Shard& s : shards_) s.counters = ShardCounters{};
+}
 
 PageInfo& PageInfoTable::at(hw::Pfn pfn) {
   MERC_CHECK_MSG(pfn < info_.size(), "page info out of range: pfn " << pfn);

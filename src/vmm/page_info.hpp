@@ -42,6 +42,37 @@ class PageInfoTable {
   const PageInfo& at(hw::Pfn pfn) const;
   std::size_t size() const { return info_.size(); }
 
+  // --- sharded internals (parallel switch pipeline) ---
+  //
+  // The frame space is split into fixed-size shards, each with its own
+  // cache-line-padded accounting block. Crew workers rebuilding disjoint
+  // frame ranges during an attach therefore never write the same line: the
+  // per-frame PageInfo entries they touch are range-disjoint by
+  // construction (the crew hands out non-overlapping ranges), and the
+  // counters they bump live in their own shard's padded block. The padding
+  // is what makes the concurrent-rebuild story safe without a lock per
+  // update; the host-side simulator executes shards one at a time, so the
+  // shard blocks double as exact per-range telemetry.
+
+  /// Frames per shard (16 MB of physical memory at 4 KB pages).
+  static constexpr std::size_t kFramesPerShard = 4096;
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t shard_of(hw::Pfn pfn) const { return pfn / kFramesPerShard; }
+
+  /// Per-shard accounting bumped by the adopt/release paths.
+  struct ShardCounters {
+    std::uint64_t rebuilt = 0;  // frames reset by the adopt-time rebuild
+    std::uint64_t typed = 0;    // page-table frames typed + protected
+  };
+  const ShardCounters& shard_counters(std::size_t shard) const;
+  void note_rebuilt(hw::Pfn pfn) { ++shards_[shard_of(pfn)].counters.rebuilt; }
+  void note_typed(hw::Pfn pfn) { ++shards_[shard_of(pfn)].counters.typed; }
+  std::uint64_t rebuilt_total() const;
+  std::uint64_t typed_total() const;
+  /// Zero every shard's counters (start of an adopt episode).
+  void reset_shard_counters();
+
   /// Whether the table currently reflects reality. When the VMM is dormant
   /// (Mercury native mode, lazy tracking) the table is stale and must be
   /// rebuilt before enforcement resumes.
@@ -61,7 +92,14 @@ class PageInfoTable {
   std::vector<PageInfo> snapshot() const { return info_; }
 
  private:
+  /// One cache line per shard: two workers bumping counters for different
+  /// frame ranges never share a line (no false sharing on the hot rebuild).
+  struct alignas(64) Shard {
+    ShardCounters counters;
+  };
+
   std::vector<PageInfo> info_;
+  std::vector<Shard> shards_;
   bool valid_ = false;
 };
 

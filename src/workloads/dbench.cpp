@@ -22,11 +22,16 @@ DbenchResult Dbench::run(Kernel& k, const DbenchParams& p) {
   auto flusher_on = std::make_shared<bool>(true);
   auto flush_tick = std::make_shared<std::function<void()>>();
   Kernel* kp = &k;
-  *flush_tick = [kp, p, interval, flusher_on, flush_tick] {
+  // Capture the re-arm handle weakly: a shared self-capture would be a
+  // refcount cycle (the function object owning itself) and never free.
+  std::weak_ptr<std::function<void()>> weak_tick = flush_tick;
+  *flush_tick = [kp, p, interval, flusher_on, weak_tick] {
     if (!*flusher_on) return;
+    const auto tick = weak_tick.lock();
+    if (!tick) return;
     hw::Cpu& cpu = kp->machine().cpu(0);
     kp->fs().writeback_some(cpu, p.flusher_blocks);
-    kp->add_timer(cpu.now() + interval, *flush_tick);
+    kp->add_timer(cpu.now() + interval, *tick);
   };
   k.add_timer(k.machine().cpu(0).now() + interval, *flush_tick);
 

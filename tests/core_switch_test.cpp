@@ -5,6 +5,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/mercury.hpp"
 #include "kernel/syscalls.hpp"
@@ -343,6 +344,125 @@ TEST(SwitchEngine, AttachScalesWithMemoryDetachDoesNot) {
   EXPECT_LT(detach_big, 3 * detach_small)
       << "detach drops the accounting in O(1) + O(#page tables)";
   EXPECT_GT(attach_big, 5 * detach_big) << "attach >> detach, as measured";
+}
+
+TEST(SwitchEngine, CrewAttachMatchesSerialStateAndIsFaster) {
+  // Parallel switch pipeline vs. the legacy serial path on the same machine
+  // shape: the final machine state must be identical frame-for-frame, and
+  // the sharded bulk transfer must be at least 2x faster with 3 workers.
+  // Compare the transfer-phase cycles, not last_attach_cycles: on an SMP
+  // box the total is dominated by inter-CPU clock skew (idle CPUs run ahead
+  // until the switch interrupt, and the rendezvous aligns the CP to the max
+  // clock), identically on both paths.
+  hw::Cycles serial_attach = 0;
+  hw::Cycles serial_detach = 0;
+  std::vector<vmm::PageInfo> serial_snap;
+  {
+    MercuryBox serial({}, /*mem_mb=*/256, /*cpus=*/4);
+    Mercury& m = *serial.mercury;
+    ASSERT_TRUE(m.switch_to(ExecMode::kPartialVirtual));
+    serial_attach = m.engine().stats().last_transfer.page_info_cycles;
+    serial_snap = m.hypervisor().page_info().snapshot();
+    ASSERT_TRUE(m.switch_to(ExecMode::kNative));
+    serial_detach = m.engine().stats().last_transfer.protection_cycles;
+  }
+
+  MercuryConfig cfg;
+  cfg.switch_config.crew_workers = 3;
+  MercuryBox crew(cfg, /*mem_mb=*/256, /*cpus=*/4);
+  Mercury& m = *crew.mercury;
+  ASSERT_TRUE(m.switch_to(ExecMode::kPartialVirtual));
+  const hw::Cycles crew_attach =
+      m.engine().stats().last_transfer.page_info_cycles;
+  EXPECT_GE(serial_attach, 2 * crew_attach)
+      << "4 CPUs sharding the bulk phases must at least halve the transfer "
+         "latency (serial=" << serial_attach << " crew=" << crew_attach << ")";
+
+  const std::vector<vmm::PageInfo> crew_snap =
+      m.hypervisor().page_info().snapshot();
+  ASSERT_EQ(serial_snap.size(), crew_snap.size());
+  std::size_t mismatches = 0;
+  for (std::size_t pfn = 0; pfn < serial_snap.size(); ++pfn) {
+    const vmm::PageInfo& a = serial_snap[pfn];
+    const vmm::PageInfo& b = crew_snap[pfn];
+    if (a.owner != b.owner || a.type != b.type ||
+        a.type_count != b.type_count || a.ref_count != b.ref_count ||
+        a.pinned != b.pinned)
+      ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0u)
+      << "sharded rebuild diverged from the serial accounting";
+
+  ASSERT_TRUE(m.switch_to(ExecMode::kNative));
+  const hw::Cycles crew_detach =
+      m.engine().stats().last_transfer.protection_cycles;
+  EXPECT_LT(crew_detach, serial_detach)
+      << "sharded unprotect must not be slower than the serial walk";
+  EXPECT_FALSE(m.hypervisor().active());
+}
+
+TEST(SwitchEngine, CrewWorkersZeroTakesTheSerialPathExactly) {
+  // crew_workers = 0 must select the legacy serial pipeline, cycle for
+  // cycle: identical machines, one defaulted and one explicit, land on the
+  // same clock after a full round trip.
+  MercuryBox a({}, /*mem_mb=*/128, /*cpus=*/2);
+  MercuryConfig cfg;
+  cfg.switch_config.crew_workers = 0;
+  MercuryBox b(cfg, /*mem_mb=*/128, /*cpus=*/2);
+  ASSERT_TRUE(a.mercury->switch_to(ExecMode::kPartialVirtual));
+  ASSERT_TRUE(b.mercury->switch_to(ExecMode::kPartialVirtual));
+  EXPECT_EQ(a.mercury->engine().stats().last_attach_cycles,
+            b.mercury->engine().stats().last_attach_cycles);
+  ASSERT_TRUE(a.mercury->switch_to(ExecMode::kNative));
+  ASSERT_TRUE(b.mercury->switch_to(ExecMode::kNative));
+  EXPECT_EQ(a.mercury->engine().stats().last_detach_cycles,
+            b.mercury->engine().stats().last_detach_cycles);
+  EXPECT_EQ(a.machine->cpu(0).now(), b.machine->cpu(0).now());
+  EXPECT_EQ(a.machine->cpu(1).now(), b.machine->cpu(1).now());
+}
+
+TEST(SwitchEngine, CrewClampsToMachineSize) {
+  // More workers than the machine has spare CPUs: the crew clamps (UP means
+  // the control processor works alone) and the switch still commits.
+  MercuryConfig cfg;
+  cfg.switch_config.crew_workers = 16;
+  MercuryBox box(cfg, /*mem_mb=*/128, /*cpus=*/1);
+  Mercury& m = *box.mercury;
+  ASSERT_TRUE(m.switch_to(ExecMode::kPartialVirtual));
+  EXPECT_TRUE(m.hypervisor().active());
+  ASSERT_TRUE(m.switch_to(ExecMode::kNative));
+  EXPECT_FALSE(m.hypervisor().active());
+}
+
+TEST(SwitchEngine, CrewDispatchWaitsForRefcountZero) {
+  // Shard dispatch is gated on the §5.1.1 commit point: while a VO section
+  // is held the crewed switch must defer exactly like the serial one, and
+  // only dispatch (then commit) once the reference count drains.
+  MercuryConfig cfg;
+  cfg.switch_config.crew_workers = 3;
+  MercuryBox box(cfg, /*mem_mb=*/128, /*cpus=*/4);
+  Mercury& m = *box.mercury;
+  bool release_now = false;
+  m.kernel().spawn("holder", [&](Sys& s) -> Sub<void> {
+    core::VirtObject::Section section(m.native_vo());
+    while (!release_now) co_await s.sleep_us(2'000.0);
+    section.release();
+    for (;;) co_await s.sleep_us(10'000.0);
+  });
+  m.kernel().run_for(hw::kCyclesPerMillisecond);
+  ASSERT_EQ(m.native_vo().active_refs(), 1);
+
+  m.engine().request(ExecMode::kPartialVirtual);
+  m.kernel().run_for(25 * hw::kCyclesPerMillisecond);
+  EXPECT_EQ(m.mode(), ExecMode::kNative)
+      << "crew must not dispatch shards while a VO reference is live";
+  EXPECT_GE(m.engine().stats().deferrals, 1u);
+
+  release_now = true;
+  EXPECT_TRUE(m.kernel().run_until(
+      [&] { return m.mode() == ExecMode::kPartialVirtual; },
+      200 * hw::kCyclesPerMillisecond));
+  EXPECT_EQ(m.engine().stats().attaches, 1u);
 }
 
 TEST(SwitchEngine, SmpSwitchRendezvousesAllCpus) {

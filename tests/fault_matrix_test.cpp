@@ -226,6 +226,53 @@ TEST(FaultMatrix, SmpRendezvousAndReload) {
   EXPECT_GE(fired, 3u);
 }
 
+TEST(FaultMatrix, CrewWorkerShardFaults) {
+  InjectorGuard guard;
+  core::SwitchConfig sc;
+  sc.crew_workers = 3;
+  Box box(sc, /*cpus=*/4);
+  std::size_t fired = 0;
+  // Worker-side sites of the parallel switch pipeline: the fault fires on a
+  // rendezvous-parked crew CPU mid-shard, not on the control processor. Deep
+  // triggers land well inside a later shard (possibly a different worker);
+  // the crew must abort, join, rethrow on the CP, and the rollback must
+  // still converge in both directions.
+  for (const FaultSite site :
+       {FaultSite::kShardRebuild, FaultSite::kShardProtect,
+        FaultSite::kShardUnprotect}) {
+    for (const std::uint64_t trigger :
+         {std::uint64_t{1}, std::uint64_t{7}, std::uint64_t{1000}}) {
+      FaultPlan plan;
+      plan.site = site;
+      plan.trigger_count = trigger;
+      {
+        const std::string ctx =
+            ctx_of(site, ExecMode::kNative, ExecMode::kPartialVirtual, trigger);
+        SCOPED_TRACE(ctx);
+        if (run_faulted_switch(box, ExecMode::kNative,
+                               ExecMode::kPartialVirtual, plan, ctx))
+          ++fired;
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+      {
+        ASSERT_TRUE(box.settle(ExecMode::kPartialVirtual));
+        const std::string ctx =
+            ctx_of(site, ExecMode::kPartialVirtual, ExecMode::kNative, trigger);
+        SCOPED_TRACE(ctx);
+        if (run_faulted_switch(box, ExecMode::kPartialVirtual,
+                               ExecMode::kNative, plan, ctx))
+          ++fired;
+        if (::testing::Test::HasFatalFailure()) return;
+        ASSERT_TRUE(box.settle(ExecMode::kNative));
+      }
+    }
+  }
+  // Rebuild shards see one visit per frame (all three triggers fire on
+  // attach); protect/unprotect shards see one per page table (~tens, so the
+  // deep trigger commits untouched — exercising the unreached branch).
+  EXPECT_GE(fired, 7u);
+}
+
 TEST(FaultMatrix, TimeoutFaultChargesLatency) {
   InjectorGuard guard;
   Box box;

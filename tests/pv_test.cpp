@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <deque>
 
 #include "hw/machine.hpp"
 #include "pv/costs.hpp"
@@ -171,12 +172,14 @@ TEST(PvCosts, Cr3SwitchIncludesVmmContextSwitchWork) {
 }
 
 TEST(PvCosts, GuestNetworkPathFarDearerThanDriverDomain) {
+  // Declared before the systems so the wires outlive the attached NICs.
+  std::deque<hw::Link> links;
   auto x0 = Sut::create(SystemId::kX0, tiny());
   auto xu = Sut::create(SystemId::kXU, tiny());
-  auto cost = [](Sut& s) {
+  auto cost = [&links](Sut& s) {
     static hw::Nic dummy_peer(0xFE);  // wire sink
-    hw::Link* link = new hw::Link();  // lives for the test process
-    link->attach(&s.machine().nic(), &dummy_peer);
+    hw::Link& link = links.emplace_back();
+    link.attach(&s.machine().nic(), &dummy_peer);
     hw::Cpu& cpu = s.machine().cpu(0);
     hw::Packet pkt;
     pkt.payload_bytes = 1448;

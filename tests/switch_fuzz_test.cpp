@@ -30,10 +30,19 @@ ExecMode random_mode(util::Rng& rng) {
   }
 }
 
-void fuzz(std::uint64_t seed, core::SwitchConfig sc) {
+void fuzz(std::uint64_t seed, core::SwitchConfig sc,
+          bool randomize_crew = false) {
   util::Rng rng(seed);
   hw::MachineConfig mc;
-  mc.num_cpus = rng.chance(0.3) ? 2 : 1;
+  if (randomize_crew) {
+    // Parallel switch pipeline: random machine width and crew size (0 =
+    // serial path, up to every other CPU recruited). Seed-deterministic, so
+    // MERCURY_TEST_SEED replays the exact crew shape.
+    mc.num_cpus = 1 + rng.below(4);
+    sc.crew_workers = rng.below(mc.num_cpus);
+  } else {
+    mc.num_cpus = rng.chance(0.3) ? 2 : 1;
+  }
   mc.mem_kb = 96 * 1024;
   hw::Machine machine(mc);
   core::MercuryConfig cfg;
@@ -119,6 +128,13 @@ TEST(SwitchFuzz, EagerConfigSurvivesRandomFaultedSwitches) {
   // Self-check after every commit/rollback, on top of the per-round checks.
   sc.paranoid_invariants = true;
   fuzz(test_seed(0xC0FFEE02ull), sc);
+}
+
+TEST(SwitchFuzz, CrewConfigSurvivesRandomFaultedSwitches) {
+  core::SwitchConfig sc;
+  sc.eager_selector_fixup = true;  // exercise the crew fixup phase too
+  sc.paranoid_invariants = true;
+  fuzz(test_seed(0xC0FFEE03ull), sc, /*randomize_crew=*/true);
 }
 
 }  // namespace
