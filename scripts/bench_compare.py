@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Gate bench_modeswitch against the committed baseline.
+
+Usage:
+    scripts/bench_compare.py BENCH_modeswitch.json bench-new.json
+    scripts/bench_compare.py baseline.json current.json --tolerance 0.10
+
+Compares the `bench.modeswitch.*` gauges of two mercury.metrics.v1
+documents. Latency gauges (*.attach_ms, *.detach_ms, *.attach_transfer_ms,
+*.detach_transfer_ms) regress when the current value exceeds baseline *
+(1 + tolerance); speedup gauges (crew_speedup_largest_mem) regress when the
+current value falls below baseline * (1 - tolerance). A baseline gauge
+missing from the current run is a failure (a silently dropped sweep cell is
+a regression in coverage); new gauges in the current run are fine.
+
+The simulator is deterministic, so identical code produces byte-identical
+numbers — the tolerance only absorbs intentional cost-model adjustments.
+Exits nonzero (and lists every offender) when anything regressed.
+Stdlib-only, importable (see scripts/test_check_bench_json.py).
+"""
+
+import argparse
+import json
+import sys
+
+PREFIX = "bench.modeswitch."
+LATENCY_SUFFIXES = (
+    ".attach_ms",
+    ".detach_ms",
+    ".attach_transfer_ms",
+    ".detach_transfer_ms",
+)
+SPEEDUP_KEYS = ("bench.modeswitch.crew_speedup_largest_mem",)
+# Sub-millisecond jitter floor: values this small are dominated by rounding
+# in the ms conversion, not by a real cost change.
+ABS_FLOOR_MS = 1e-6
+
+
+def gauges(doc):
+    """name -> value for every gauge in a mercury.metrics.v1 document."""
+    out = {}
+    for entry in doc.get("gauges", []):
+        if isinstance(entry, dict) and isinstance(entry.get("name"), str):
+            out[entry["name"]] = entry.get("value")
+    return out
+
+
+def compare(baseline_doc, current_doc, tolerance=0.10, prefix=PREFIX):
+    """Returns (regressions, rows): regressions is a list of human-readable
+    failure strings, rows is [(name, baseline, current, verdict)] for every
+    compared gauge."""
+    base = gauges(baseline_doc)
+    cur = gauges(current_doc)
+    regressions = []
+    rows = []
+    for name in sorted(base):
+        if not name.startswith(prefix):
+            continue
+        is_latency = name.endswith(LATENCY_SUFFIXES)
+        is_speedup = name in SPEEDUP_KEYS
+        if not is_latency and not is_speedup:
+            continue
+        b = base[name]
+        if name not in cur:
+            regressions.append(f"{name}: present in baseline, missing now")
+            rows.append((name, b, None, "MISSING"))
+            continue
+        c = cur[name]
+        if is_latency:
+            limit = b * (1.0 + tolerance) + ABS_FLOOR_MS
+            ok = c <= limit
+            kind = f"latency over baseline*{1.0 + tolerance:.2f}"
+        else:
+            limit = b * (1.0 - tolerance)
+            ok = c >= limit
+            kind = f"speedup under baseline*{1.0 - tolerance:.2f}"
+        rows.append((name, b, c, "ok" if ok else "REGRESSED"))
+        if not ok:
+            regressions.append(
+                f"{name}: {c:.6g} vs baseline {b:.6g} ({kind})"
+            )
+    return regressions, rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="committed baseline metrics JSON")
+    ap.add_argument("current", help="freshly produced metrics JSON")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="fractional slack before a change counts as a regression "
+        "(default 0.10)",
+    )
+    ap.add_argument(
+        "--prefix",
+        default=PREFIX,
+        help=f"gauge-name prefix to compare (default {PREFIX})",
+    )
+    args = ap.parse_args()
+
+    docs = []
+    for path in (args.baseline, args.current):
+        try:
+            with open(path, encoding="utf-8") as f:
+                docs.append(json.load(f))
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_compare: FAIL: cannot parse {path}: {e}",
+                  file=sys.stderr)
+            sys.exit(2)
+
+    regressions, rows = compare(docs[0], docs[1], args.tolerance, args.prefix)
+    if not rows:
+        print("bench_compare: FAIL: baseline has no comparable gauges "
+              f"(prefix {args.prefix!r})", file=sys.stderr)
+        sys.exit(2)
+
+    width = max(len(r[0]) for r in rows)
+    for name, b, c, verdict in rows:
+        cur_txt = "missing" if c is None else f"{c:12.6f}"
+        print(f"  {name:<{width}}  base {b:12.6f}  now {cur_txt}  {verdict}")
+
+    if regressions:
+        print(f"bench_compare: FAIL: {len(regressions)} regression(s):",
+              file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        sys.exit(1)
+    print(f"bench_compare: OK: {len(rows)} gauges within "
+          f"{args.tolerance:.0%} of baseline")
+
+
+if __name__ == "__main__":
+    main()

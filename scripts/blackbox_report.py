@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Reconstruct a human-readable switch timeline from a postmortem bundle.
+
+Usage:
+    scripts/blackbox_report.py mercury-postmortem-0.json
+    scripts/blackbox_report.py bundle.json --tail 80
+
+Reads a `mercury.postmortem.v1` bundle (see obs/postmortem.hpp) and prints:
+the failure header, per-CPU clocks, the phase timeline reconstructed from
+paired phase.begin/phase.end flight events, refcount-retry storms, crew
+shard utilization, SLO breaches, and the raw tail of the flight ring.
+Stdlib-only, importable: render(doc) returns the report as a string.
+"""
+
+import argparse
+import json
+import sys
+
+CYCLES_PER_US = 3000.0  # the simulator's 3 GHz clock (hw/types.hpp)
+
+
+def _us(cycles):
+    return cycles / CYCLES_PER_US
+
+
+def _fmt_event(ev):
+    args = ev.get("args", [0, 0, 0])
+    return (
+        f"seq {ev['seq']:>8}  cpu {ev['cpu']:>2}  "
+        f"{_us(ev['cycles']):>12.3f}us  {ev['type']:<17} {ev['name']}"
+        f"  [{args[0]}, {args[1]}, {args[2]}]"
+    )
+
+
+def phase_timeline(events):
+    """Pair phase.begin/phase.end by (cpu, name), innermost-first. Returns
+    [(begin_cycles, cpu, name, duration_cycles_or_None)] — None marks a
+    phase still open when the recording stopped (the likely crime scene)."""
+    open_phases = {}  # (cpu, name) -> stack of begin events
+    rows = []
+    for ev in events:
+        key = (ev["cpu"], ev["name"])
+        if ev["type"] == "phase.begin":
+            open_phases.setdefault(key, []).append(ev)
+            rows.append([ev["cycles"], ev["cpu"], ev["name"], None])
+        elif ev["type"] == "phase.end" and open_phases.get(key):
+            begin = open_phases[key].pop()
+            for row in reversed(rows):
+                if row[1] == ev["cpu"] and row[2] == ev["name"] and (
+                    row[3] is None
+                ):
+                    row[3] = ev["cycles"] - begin["cycles"]
+                    break
+    return [tuple(r) for r in rows]
+
+
+def crew_utilization(events):
+    """Per-phase crew summary from crew.publish/grab/join events. Returns
+    [(phase_name, shards, busy_cycles, span_cycles, per_worker)] where
+    per_worker maps cpu -> busy cycles from its grab events."""
+    out = []
+    per_worker = {}
+    current = None
+    for ev in events:
+        if ev["type"] == "crew.publish":
+            current = ev["name"]
+            per_worker = {}
+        elif ev["type"] == "crew.grab" and current == ev["name"]:
+            per_worker[ev["cpu"]] = per_worker.get(ev["cpu"], 0) + (
+                ev["args"][2]
+            )
+        elif ev["type"] == "crew.join" and current == ev["name"]:
+            shards, busy, span = ev["args"]
+            out.append((ev["name"], shards, busy, span, dict(per_worker)))
+            current = None
+    return out
+
+
+def render(doc, tail_n=40):
+    """Render the bundle as a report string; raises KeyError/TypeError only
+    on documents that check_bench_json.py --schema postmortem would reject."""
+    lines = []
+    add = lines.append
+
+    add("=== Mercury black-box postmortem ===")
+    add(f"reason : {doc['reason']}")
+    if doc.get("detail"):
+        add(f"detail : {doc['detail']}")
+    sw = doc.get("switch", {})
+    if sw.get("from") or sw.get("target"):
+        add(f"switch : {sw.get('from') or '?'} -> {sw.get('target') or '?'}")
+    fault = doc.get("fault")
+    if fault:
+        add(
+            f"fault  : site={fault['site']} kind={fault['kind']} "
+            f"cpu={fault['cpu']}"
+        )
+    add(f"active_refs: {doc.get('active_refs')}")
+
+    clocks = doc.get("cpu_clocks", [])
+    if clocks:
+        add("")
+        add("--- per-CPU simulated clocks ---")
+        for c in clocks:
+            add(f"  cpu {c['cpu']:>2}: {_us(c['cycles']):>14.3f} us")
+
+    flight = doc.get("flight", {})
+    events = flight.get("events", [])
+    add("")
+    add(
+        f"--- flight ring: {flight.get('recorded', 0)} recorded, "
+        f"{flight.get('dropped', 0)} dropped, {len(events)} in tail ---"
+    )
+
+    timeline = phase_timeline(events)
+    if timeline:
+        add("")
+        add("--- phase timeline ---")
+        for begin, cpu, name, dur in timeline:
+            dur_txt = (
+                f"{_us(dur):>12.3f} us" if dur is not None else "   (unfinished)"
+            )
+            add(f"  {_us(begin):>14.3f}us  cpu {cpu:>2}  {name:<32} {dur_txt}")
+
+    retries = [e for e in events if e["type"] == "refcount.retry"]
+    if retries:
+        add("")
+        max_refs = max(e["args"][0] for e in retries)
+        add(
+            f"--- refcount retry storm: {len(retries)} deferrals in tail, "
+            f"max observed active_refs {max_refs} ---"
+        )
+
+    crews = crew_utilization(events)
+    if crews:
+        add("")
+        add("--- crew utilization ---")
+        for name, shards, busy, span, per_worker in crews:
+            util = busy / span if span else 0.0
+            add(
+                f"  {name:<28} {shards:>4} shards  busy {_us(busy):>12.3f}us"
+                f"  span {_us(span):>12.3f}us  busy/span {util:.2f}"
+            )
+            for cpu in sorted(per_worker):
+                add(f"    cpu {cpu:>2}: {_us(per_worker[cpu]):>12.3f} us busy")
+
+    breaches = [e for e in events if e["type"] == "slo.breach"]
+    if breaches:
+        add("")
+        add("--- SLO breaches ---")
+        for e in breaches:
+            add(
+                f"  {e['name']}: ran {_us(e['args'][0]):.3f} us against a "
+                f"budget of {_us(e['args'][1]):.3f} us (cpu {e['cpu']})"
+            )
+
+    hits = [e for e in events if e["type"] == "fault.hit"]
+    if hits:
+        add("")
+        add("--- fault hits ---")
+        for e in hits:
+            add(
+                f"  {e['name']} on cpu {e['cpu']} "
+                f"(visit #{e['args'][2]}, kind {e['args'][1]})"
+            )
+
+    rollback = [e for e in events if e["type"] == "rollback.step"]
+    if rollback:
+        add("")
+        add("--- rollback steps ---")
+        for e in rollback:
+            add(f"  step {e['args'][0]}: {e['name']} (cpu {e['cpu']})")
+
+    if events:
+        add("")
+        add(f"--- last {min(tail_n, len(events))} flight events ---")
+        for ev in events[-tail_n:]:
+            add("  " + _fmt_event(ev))
+
+    extra = doc.get("extra", [])
+    if extra:
+        add("")
+        add("--- extra ---")
+        for e in extra:
+            add(f"  {e['name']} = {e['value']}")
+    return "\n".join(lines) + "\n"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("path", help="mercury.postmortem.v1 bundle to render")
+    ap.add_argument(
+        "--tail",
+        type=int,
+        default=40,
+        metavar="N",
+        help="raw flight events to print at the end (default 40)",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"blackbox_report: FAIL: cannot parse {args.path}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != "mercury.postmortem.v1":
+        print(
+            f"blackbox_report: FAIL: schema is {doc.get('schema')!r}, "
+            "expected 'mercury.postmortem.v1'",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    sys.stdout.write(render(doc, args.tail))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,22 +1,189 @@
 #!/usr/bin/env python3
-"""Validate a bench --metrics-json artifact against the mercury.metrics.v1 schema.
+"""Validate Mercury JSON artifacts: bench metrics and postmortem bundles.
 
 Usage:
     scripts/check_bench_json.py out.json
     scripts/check_bench_json.py out.json --require switch.attach.total_cycles \
         --require switch.detach.total_cycles
+    scripts/check_bench_json.py mercury-postmortem-0.json --schema postmortem
 
-Exits 0 when the document is a well-formed mercury.metrics.v1 snapshot (and
-every --require name is present as an instrument); nonzero otherwise.
-Stdlib-only on purpose: usable on any machine that can run the benches.
+Exits 0 when the document is well-formed against the selected schema
+(mercury.metrics.v1 by default, mercury.postmortem.v1 with
+--schema postmortem) and every --require name is present as an instrument;
+nonzero otherwise. Stdlib-only on purpose: usable on any machine that can
+run the benches. The validators are importable (see
+scripts/test_check_bench_json.py).
 """
 
 import argparse
 import json
 import sys
 
-SCHEMA = "mercury.metrics.v1"
+METRICS_SCHEMA = "mercury.metrics.v1"
+POSTMORTEM_SCHEMA = "mercury.postmortem.v1"
 HIST_FIELDS = ("count", "sum", "min", "mean", "max", "p50", "p90", "p99")
+
+
+class SchemaError(Exception):
+    """Raised by the validators on the first schema violation found."""
+
+
+def _is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def _check_entry(section, i, entry, extra_fields):
+    where = f"{section}[{i}]"
+    if not isinstance(entry, dict):
+        raise SchemaError(f"{where} is not an object")
+    name = entry.get("name")
+    if not isinstance(name, str) or not name:
+        raise SchemaError(f"{where} lacks a non-empty string 'name'")
+    if "label" in entry and not isinstance(entry["label"], str):
+        raise SchemaError(f"{where} ('{name}') has a non-string 'label'")
+    for field in extra_fields:
+        if field not in entry:
+            raise SchemaError(f"{where} ('{name}') lacks '{field}'")
+        if not _is_number(entry[field]):
+            raise SchemaError(
+                f"{where} ('{name}') field '{field}' is not a number"
+            )
+    return name
+
+
+def validate_metrics(doc):
+    """Validate a mercury.metrics.v1 document; returns the set of
+    instrument names. Raises SchemaError on the first violation."""
+    if not isinstance(doc, dict):
+        raise SchemaError("top-level value is not an object")
+    if doc.get("schema") != METRICS_SCHEMA:
+        raise SchemaError(
+            f"schema is {doc.get('schema')!r}, expected {METRICS_SCHEMA!r}"
+        )
+
+    names = set()
+    for section, extra in (
+        ("counters", ("value",)),
+        ("gauges", ("value",)),
+        ("histograms", HIST_FIELDS),
+    ):
+        entries = doc.get(section)
+        if not isinstance(entries, list):
+            raise SchemaError(f"'{section}' is missing or not an array")
+        for i, entry in enumerate(entries):
+            names.add(_check_entry(section, i, entry, extra))
+
+    for i, entry in enumerate(doc["histograms"]):
+        name = entry["name"]
+        if entry["count"] > 0:
+            if not entry["min"] <= entry["mean"] <= entry["max"]:
+                raise SchemaError(
+                    f"histograms[{i}] ('{name}'): min <= mean <= max violated"
+                )
+            if not entry["p50"] <= entry["p90"] <= entry["p99"]:
+                raise SchemaError(
+                    f"histograms[{i}] ('{name}'): quantiles not monotonic"
+                )
+        if entry["count"] < 0:
+            raise SchemaError(f"histograms[{i}] ('{name}'): negative count")
+    return names
+
+
+def validate_flight_event(i, ev):
+    where = f"flight.events[{i}]"
+    if not isinstance(ev, dict):
+        raise SchemaError(f"{where} is not an object")
+    for field in ("seq", "cpu", "cycles"):
+        if not _is_number(ev.get(field)):
+            raise SchemaError(f"{where} field '{field}' is not a number")
+    for field in ("type", "name"):
+        if not isinstance(ev.get(field), str) or not ev[field]:
+            raise SchemaError(
+                f"{where} lacks a non-empty string '{field}'"
+            )
+    args = ev.get("args")
+    if not isinstance(args, list) or len(args) != 3 or not all(
+        _is_number(a) for a in args
+    ):
+        raise SchemaError(f"{where} 'args' is not a list of 3 numbers")
+
+
+def validate_postmortem(doc):
+    """Validate a mercury.postmortem.v1 bundle (including its embedded
+    metrics snapshot). Returns the set of embedded instrument names.
+    Raises SchemaError on the first violation."""
+    if not isinstance(doc, dict):
+        raise SchemaError("top-level value is not an object")
+    if doc.get("schema") != POSTMORTEM_SCHEMA:
+        raise SchemaError(
+            f"schema is {doc.get('schema')!r}, expected {POSTMORTEM_SCHEMA!r}"
+        )
+    if not isinstance(doc.get("reason"), str) or not doc["reason"]:
+        raise SchemaError("'reason' is missing or not a non-empty string")
+    if not isinstance(doc.get("detail"), str):
+        raise SchemaError("'detail' is missing or not a string")
+
+    sw = doc.get("switch")
+    if not isinstance(sw, dict):
+        raise SchemaError("'switch' is missing or not an object")
+    for field in ("from", "target"):
+        if not isinstance(sw.get(field), str):
+            raise SchemaError(f"switch.{field} is not a string")
+
+    if "fault" in doc:
+        fault = doc["fault"]
+        if not isinstance(fault, dict):
+            raise SchemaError("'fault' is not an object")
+        for field in ("site", "kind"):
+            if not isinstance(fault.get(field), str) or not fault[field]:
+                raise SchemaError(
+                    f"fault.{field} is missing or not a non-empty string"
+                )
+        if not _is_number(fault.get("cpu")):
+            raise SchemaError("fault.cpu is not a number")
+
+    if not _is_number(doc.get("active_refs")):
+        raise SchemaError("'active_refs' is missing or not a number")
+
+    clocks = doc.get("cpu_clocks")
+    if not isinstance(clocks, list):
+        raise SchemaError("'cpu_clocks' is missing or not an array")
+    for i, c in enumerate(clocks):
+        if not isinstance(c, dict) or not _is_number(c.get("cpu")) or not (
+            _is_number(c.get("cycles"))
+        ):
+            raise SchemaError(f"cpu_clocks[{i}] lacks numeric cpu/cycles")
+
+    flight = doc.get("flight")
+    if not isinstance(flight, dict):
+        raise SchemaError("'flight' is missing or not an object")
+    for field in ("recorded", "dropped"):
+        if not _is_number(flight.get(field)):
+            raise SchemaError(f"flight.{field} is not a number")
+    events = flight.get("events")
+    if not isinstance(events, list):
+        raise SchemaError("flight.events is missing or not an array")
+    prev_seq = None
+    for i, ev in enumerate(events):
+        validate_flight_event(i, ev)
+        if prev_seq is not None and ev["seq"] <= prev_seq:
+            raise SchemaError(
+                f"flight.events[{i}]: seq {ev['seq']} not strictly increasing"
+            )
+        prev_seq = ev["seq"]
+
+    extra = doc.get("extra")
+    if not isinstance(extra, list):
+        raise SchemaError("'extra' is missing or not an array")
+    for i, e in enumerate(extra):
+        if not isinstance(e, dict) or not isinstance(e.get("name"), str) or (
+            not _is_number(e.get("value"))
+        ):
+            raise SchemaError(f"extra[{i}] lacks string name / numeric value")
+
+    if "metrics" not in doc:
+        raise SchemaError("'metrics' (embedded snapshot) is missing")
+    return validate_metrics(doc["metrics"])
 
 
 def fail(msg):
@@ -24,28 +191,15 @@ def fail(msg):
     sys.exit(1)
 
 
-def check_entry(section, i, entry, extra_fields):
-    where = f"{section}[{i}]"
-    if not isinstance(entry, dict):
-        fail(f"{where} is not an object")
-    name = entry.get("name")
-    if not isinstance(name, str) or not name:
-        fail(f"{where} lacks a non-empty string 'name'")
-    if "label" in entry and not isinstance(entry["label"], str):
-        fail(f"{where} ('{name}') has a non-string 'label'")
-    for field in extra_fields:
-        if field not in entry:
-            fail(f"{where} ('{name}') lacks '{field}'")
-        if not isinstance(entry[field], (int, float)) or isinstance(
-            entry[field], bool
-        ):
-            fail(f"{where} ('{name}') field '{field}' is not a number")
-    return name
-
-
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("path", help="metrics JSON file written by a bench")
+    ap.add_argument("path", help="JSON artifact to validate")
+    ap.add_argument(
+        "--schema",
+        choices=("metrics", "postmortem"),
+        default="metrics",
+        help="document schema to validate against (default: metrics)",
+    )
     ap.add_argument(
         "--require",
         action="append",
@@ -61,42 +215,29 @@ def main():
     except (OSError, json.JSONDecodeError) as e:
         fail(f"cannot parse {args.path}: {e}")
 
-    if not isinstance(doc, dict):
-        fail("top-level value is not an object")
-    if doc.get("schema") != SCHEMA:
-        fail(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
-
-    names = set()
-    for section, extra in (
-        ("counters", ("value",)),
-        ("gauges", ("value",)),
-        ("histograms", HIST_FIELDS),
-    ):
-        entries = doc.get(section)
-        if not isinstance(entries, list):
-            fail(f"'{section}' is missing or not an array")
-        for i, entry in enumerate(entries):
-            names.add(check_entry(section, i, entry, extra))
-
-    for i, entry in enumerate(doc["histograms"]):
-        name = entry["name"]
-        if entry["count"] > 0:
-            if not entry["min"] <= entry["mean"] <= entry["max"]:
-                fail(f"histograms[{i}] ('{name}'): min <= mean <= max violated")
-            if not entry["p50"] <= entry["p90"] <= entry["p99"]:
-                fail(f"histograms[{i}] ('{name}'): quantiles not monotonic")
-        if entry["count"] < 0:
-            fail(f"histograms[{i}] ('{name}'): negative count")
+    try:
+        if args.schema == "metrics":
+            names = validate_metrics(doc)
+        else:
+            names = validate_postmortem(doc)
+    except SchemaError as e:
+        fail(str(e))
 
     missing = [n for n in args.require if n not in names]
     if missing:
         fail(f"required instruments absent: {', '.join(missing)}")
 
-    print(
-        f"check_bench_json: OK: {args.path} — "
-        f"{len(doc['counters'])} counters, {len(doc['gauges'])} gauges, "
-        f"{len(doc['histograms'])} histograms"
-    )
+    if args.schema == "metrics":
+        print(
+            f"check_bench_json: OK: {args.path} — "
+            f"{len(doc['counters'])} counters, {len(doc['gauges'])} gauges, "
+            f"{len(doc['histograms'])} histograms"
+        )
+    else:
+        print(
+            f"check_bench_json: OK: {args.path} — postmortem "
+            f"({doc['reason']}), {len(doc['flight']['events'])} flight events"
+        )
 
 
 if __name__ == "__main__":

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Build and run the Mercury test tiers.
 #
-#   scripts/run_tiers.sh [tier1|tier2|asan|ubsan|all]
+#   scripts/run_tiers.sh [tier1|tier2|obsoff|asan|ubsan|all]
 #
 #   tier1  - the fast regression suite (default; every unit/integration test)
 #   tier2  - the dependability sweeps: fault matrix + seeded switch fuzzer
+#   obsoff - tier1 with -DMERCURY_OBS=OFF (build-obsoff/), then diff the
+#            CYCLE_IDENTITY probe lines against the normal build: telemetry
+#            must compile away without moving a single simulated cycle
 #   asan   - full suite under AddressSanitizer  (build-asan/)
 #   ubsan  - full suite under UBSanitizer       (build-ubsan/)
-#   all    - tier1, tier2, then both sanitizer suites
+#   all    - tier1, tier2, obsoff, then both sanitizer suites
 #
 # Seeded tests print MERCURY_TEST_SEED=<n> on start; export that variable to
 # replay a failure exactly (see TESTING.md).
@@ -44,11 +47,40 @@ run_sanitizer() {
   ctest --test-dir "$dir" "${CTEST_FLAGS[@]}"
 }
 
+# The obs-off guard: MERC_SPAN/MERC_FLIGHT/metrics must be free when compiled
+# out, and — because instrumentation never cpu.charge()s — the *simulated*
+# switch cost must be identical with them compiled in. The CycleIdentityProbe
+# test prints that cost; the same lines from both builds must match exactly.
+cycle_identity_of() {
+  local dir="$1"
+  "$dir"/tests/core_switch_test --gtest_filter='*CycleIdentityProbe*' \
+    --gtest_brief=1 | grep '^CYCLE_IDENTITY'
+}
+
+run_obsoff() {
+  configure_and_build build
+  configure_and_build build-obsoff -DMERCURY_OBS=OFF
+  run_label build-obsoff tier1
+  local on off
+  on="$(cycle_identity_of build)"
+  off="$(cycle_identity_of build-obsoff)"
+  if [[ "$on" != "$off" ]]; then
+    echo "run_tiers: FAIL: switch cycle counts differ between MERCURY_OBS=ON and OFF" >&2
+    diff <(echo "$on") <(echo "$off") >&2 || true
+    exit 1
+  fi
+  echo "run_tiers: obsoff OK — cycle identity holds:"
+  echo "$on"
+}
+
 mode="${1:-tier1}"
 case "$mode" in
   tier1|tier2)
     configure_and_build build
     run_label build "$mode"
+    ;;
+  obsoff)
+    run_obsoff
     ;;
   asan)
     run_sanitizer address
@@ -60,11 +92,12 @@ case "$mode" in
     configure_and_build build
     run_label build tier1
     run_label build tier2
+    run_obsoff
     run_sanitizer address
     run_sanitizer undefined
     ;;
   *)
-    echo "usage: $0 [tier1|tier2|asan|ubsan|all]" >&2
+    echo "usage: $0 [tier1|tier2|obsoff|asan|ubsan|all]" >&2
     exit 2
     ;;
 esac

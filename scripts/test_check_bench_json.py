@@ -1,0 +1,308 @@
+#!/usr/bin/env python3
+"""Unit tests for the stdlib JSON tooling: check_bench_json.py (both
+schemas), bench_compare.py, and blackbox_report.py.
+
+Run directly (`python3 scripts/test_check_bench_json.py`) or via ctest
+(`ctest -L tier1 -R py_json_tools`). Stdlib-only: unittest + json.
+"""
+
+import copy
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_compare  # noqa: E402
+import blackbox_report  # noqa: E402
+import check_bench_json as cbj  # noqa: E402
+
+
+def metrics_doc():
+    return {
+        "schema": "mercury.metrics.v1",
+        "counters": [
+            {"name": "switch.attach.count", "value": 4},
+            {"name": "switch.rollbacks", "label": "engine", "value": 1},
+        ],
+        "gauges": [
+            {"name": "bench.modeswitch.up.mem_kb=1024.attach_ms",
+             "value": 1.25},
+            {"name": "bench.modeswitch.up.mem_kb=1024.detach_ms",
+             "value": 0.75},
+            {"name": "bench.modeswitch.crew_speedup_largest_mem",
+             "value": 3.1},
+            {"name": "obs.flight.recorded", "value": 512},
+        ],
+        "histograms": [
+            {"name": "switch.attach.total_cycles", "count": 4, "sum": 400.0,
+             "min": 50.0, "mean": 100.0, "max": 200.0,
+             "p50": 90.0, "p90": 150.0, "p99": 200.0},
+            {"name": "empty.hist", "count": 0, "sum": 0, "min": 0,
+             "mean": 0, "max": 0, "p50": 0, "p90": 0, "p99": 0},
+        ],
+    }
+
+
+def flight_event(seq, cpu=0, cycles=3000, type_="phase.begin",
+                 name="switch.attach.total_cycles", args=(0, 0, 0)):
+    return {"seq": seq, "cpu": cpu, "cycles": cycles, "type": type_,
+            "name": name, "args": list(args)}
+
+
+def postmortem_doc():
+    return {
+        "schema": "mercury.postmortem.v1",
+        "reason": "fault-rollback",
+        "detail": "fault at vmm.adopt_protect during attach",
+        "switch": {"from": "native", "target": "full-virtual"},
+        "fault": {"site": "vmm.adopt_protect", "kind": "fail", "cpu": 2},
+        "active_refs": 0,
+        "cpu_clocks": [
+            {"cpu": 0, "cycles": 9000000},
+            {"cpu": 1, "cycles": 9000000},
+        ],
+        "flight": {
+            "recorded": 7,
+            "dropped": 0,
+            "events": [
+                flight_event(1, 0, 3000, "switch.request", "attach"),
+                flight_event(2, 0, 6000, "phase.begin",
+                             "switch.attach.total_cycles"),
+                flight_event(3, 0, 9000, "refcount.retry", "attach",
+                             (2, 1, 0)),
+                flight_event(4, 0, 12000, "crew.publish",
+                             "vmm.adopt_rebuild", (64, 8, 4)),
+                flight_event(5, 1, 15000, "crew.grab", "vmm.adopt_rebuild",
+                             (0, 8, 4500)),
+                flight_event(6, 0, 21000, "crew.join", "vmm.adopt_rebuild",
+                             (8, 36000, 9000)),
+                flight_event(7, 2, 24000, "fault.hit", "vmm.adopt_protect",
+                             (4, 0, 1)),
+            ],
+        },
+        "metrics": metrics_doc(),
+        "extra": [{"name": "page_info.shard_count", "value": 8}],
+    }
+
+
+class MetricsSchemaTest(unittest.TestCase):
+    def test_valid_doc_returns_names(self):
+        names = cbj.validate_metrics(metrics_doc())
+        self.assertIn("switch.attach.count", names)
+        self.assertIn("switch.attach.total_cycles", names)
+        self.assertIn("obs.flight.recorded", names)
+
+    def test_wrong_schema_string(self):
+        doc = metrics_doc()
+        doc["schema"] = "mercury.metrics.v2"
+        with self.assertRaisesRegex(cbj.SchemaError, "schema"):
+            cbj.validate_metrics(doc)
+
+    def test_missing_section(self):
+        doc = metrics_doc()
+        del doc["gauges"]
+        with self.assertRaisesRegex(cbj.SchemaError, "gauges"):
+            cbj.validate_metrics(doc)
+
+    def test_non_numeric_value(self):
+        doc = metrics_doc()
+        doc["counters"][0]["value"] = "4"
+        with self.assertRaisesRegex(cbj.SchemaError, "not a number"):
+            cbj.validate_metrics(doc)
+
+    def test_bool_is_not_a_number(self):
+        doc = metrics_doc()
+        doc["gauges"][0]["value"] = True
+        with self.assertRaises(cbj.SchemaError):
+            cbj.validate_metrics(doc)
+
+    def test_non_monotonic_quantiles(self):
+        doc = metrics_doc()
+        doc["histograms"][0]["p90"] = 500.0  # p90 > p99
+        with self.assertRaisesRegex(cbj.SchemaError, "quantiles"):
+            cbj.validate_metrics(doc)
+
+    def test_mean_outside_min_max(self):
+        doc = metrics_doc()
+        doc["histograms"][0]["mean"] = 1000.0
+        with self.assertRaisesRegex(cbj.SchemaError, "mean"):
+            cbj.validate_metrics(doc)
+
+    def test_empty_histogram_skips_ordering_checks(self):
+        cbj.validate_metrics(metrics_doc())  # empty.hist has count == 0
+
+
+class PostmortemSchemaTest(unittest.TestCase):
+    def test_valid_bundle(self):
+        names = cbj.validate_postmortem(postmortem_doc())
+        self.assertIn("switch.rollbacks", names)  # embedded metrics names
+
+    def test_fault_section_optional(self):
+        doc = postmortem_doc()
+        del doc["fault"]
+        cbj.validate_postmortem(doc)
+
+    def test_empty_flight_tail_is_valid(self):
+        # Obs-off builds still dump bundles, with zero flight events.
+        doc = postmortem_doc()
+        doc["flight"] = {"recorded": 0, "dropped": 0, "events": []}
+        cbj.validate_postmortem(doc)
+
+    def test_missing_reason(self):
+        doc = postmortem_doc()
+        doc["reason"] = ""
+        with self.assertRaisesRegex(cbj.SchemaError, "reason"):
+            cbj.validate_postmortem(doc)
+
+    def test_non_increasing_seq(self):
+        doc = postmortem_doc()
+        doc["flight"]["events"][3]["seq"] = 2  # duplicates event 2's seq
+        with self.assertRaisesRegex(cbj.SchemaError, "strictly increasing"):
+            cbj.validate_postmortem(doc)
+
+    def test_bad_flight_args(self):
+        doc = postmortem_doc()
+        doc["flight"]["events"][0]["args"] = [1, 2]
+        with self.assertRaisesRegex(cbj.SchemaError, "3 numbers"):
+            cbj.validate_postmortem(doc)
+
+    def test_fault_without_cpu(self):
+        doc = postmortem_doc()
+        del doc["fault"]["cpu"]
+        with self.assertRaisesRegex(cbj.SchemaError, "fault.cpu"):
+            cbj.validate_postmortem(doc)
+
+    def test_embedded_metrics_validated(self):
+        doc = postmortem_doc()
+        doc["metrics"]["histograms"][0]["p90"] = 500.0
+        with self.assertRaisesRegex(cbj.SchemaError, "quantiles"):
+            cbj.validate_postmortem(doc)
+
+    def test_missing_embedded_metrics(self):
+        doc = postmortem_doc()
+        del doc["metrics"]
+        with self.assertRaisesRegex(cbj.SchemaError, "metrics"):
+            cbj.validate_postmortem(doc)
+
+
+class BenchCompareTest(unittest.TestCase):
+    def test_identical_docs_pass(self):
+        doc = metrics_doc()
+        regressions, rows = bench_compare.compare(doc, doc)
+        self.assertEqual(regressions, [])
+        self.assertEqual(len(rows), 3)  # 2 latency gauges + 1 speedup
+
+    def test_latency_regression_detected(self):
+        base = metrics_doc()
+        cur = copy.deepcopy(base)
+        cur["gauges"][0]["value"] = 1.25 * 1.5  # 50% slower attach
+        regressions, _ = bench_compare.compare(base, cur, tolerance=0.10)
+        self.assertEqual(len(regressions), 1)
+        self.assertIn("attach_ms", regressions[0])
+
+    def test_latency_within_tolerance_passes(self):
+        base = metrics_doc()
+        cur = copy.deepcopy(base)
+        cur["gauges"][0]["value"] = 1.25 * 1.05  # 5% slower, 10% allowed
+        regressions, _ = bench_compare.compare(base, cur, tolerance=0.10)
+        self.assertEqual(regressions, [])
+
+    def test_latency_improvement_passes(self):
+        base = metrics_doc()
+        cur = copy.deepcopy(base)
+        cur["gauges"][0]["value"] = 0.5
+        regressions, _ = bench_compare.compare(base, cur)
+        self.assertEqual(regressions, [])
+
+    def test_speedup_regression_detected(self):
+        base = metrics_doc()
+        cur = copy.deepcopy(base)
+        cur["gauges"][2]["value"] = 3.1 * 0.5  # crew speedup halved
+        regressions, _ = bench_compare.compare(base, cur)
+        self.assertEqual(len(regressions), 1)
+        self.assertIn("crew_speedup", regressions[0])
+
+    def test_speedup_improvement_passes(self):
+        base = metrics_doc()
+        cur = copy.deepcopy(base)
+        cur["gauges"][2]["value"] = 10.0
+        regressions, _ = bench_compare.compare(base, cur)
+        self.assertEqual(regressions, [])
+
+    def test_missing_gauge_is_a_regression(self):
+        base = metrics_doc()
+        cur = copy.deepcopy(base)
+        del cur["gauges"][1]  # drop detach_ms from the current run
+        regressions, rows = bench_compare.compare(base, cur)
+        self.assertEqual(len(regressions), 1)
+        self.assertIn("missing", regressions[0])
+        self.assertIn(("bench.modeswitch.up.mem_kb=1024.detach_ms",
+                       0.75, None, "MISSING"), rows)
+
+    def test_new_gauge_in_current_is_fine(self):
+        base = metrics_doc()
+        cur = copy.deepcopy(base)
+        cur["gauges"].append(
+            {"name": "bench.modeswitch.up.mem_kb=4096.attach_ms",
+             "value": 9.0})
+        regressions, _ = bench_compare.compare(base, cur)
+        self.assertEqual(regressions, [])
+
+    def test_non_bench_gauges_ignored(self):
+        base = metrics_doc()
+        cur = copy.deepcopy(base)
+        cur["gauges"][3]["value"] = 10**9  # obs.flight.recorded exploded
+        regressions, _ = bench_compare.compare(base, cur)
+        self.assertEqual(regressions, [])
+
+
+class BlackboxReportTest(unittest.TestCase):
+    def test_renders_full_bundle(self):
+        text = blackbox_report.render(postmortem_doc())
+        self.assertIn("fault-rollback", text)
+        self.assertIn("vmm.adopt_protect", text)
+        self.assertIn("crew utilization", text)
+        self.assertIn("retry storm", text)
+        self.assertIn("native -> full-virtual", text)
+
+    def test_renders_empty_flight_bundle(self):
+        # The obs-off shape: no flight events at all must still render.
+        doc = postmortem_doc()
+        doc["flight"] = {"recorded": 0, "dropped": 0, "events": []}
+        text = blackbox_report.render(doc)
+        self.assertIn("fault-rollback", text)
+        self.assertIn("0 in tail", text)
+
+    def test_unfinished_phase_marked(self):
+        doc = postmortem_doc()
+        text = blackbox_report.render(doc)
+        self.assertIn("(unfinished)", text)  # attach never saw phase.end
+
+    def test_phase_timeline_pairs_by_cpu_and_name(self):
+        events = [
+            flight_event(1, 0, 3000, "phase.begin", "p"),
+            flight_event(2, 1, 3000, "phase.begin", "p"),
+            flight_event(3, 1, 9000, "phase.end", "p"),
+            flight_event(4, 0, 30000, "phase.end", "p"),
+        ]
+        rows = blackbox_report.phase_timeline(events)
+        self.assertEqual(rows[0][3], 27000)  # cpu 0 pairs with its own end
+        self.assertEqual(rows[1][3], 6000)
+
+    def test_crew_utilization_sums_worker_busy(self):
+        crews = blackbox_report.crew_utilization(
+            postmortem_doc()["flight"]["events"])
+        self.assertEqual(len(crews), 1)
+        name, shards, busy, span, per_worker = crews[0]
+        self.assertEqual(name, "vmm.adopt_rebuild")
+        self.assertEqual(shards, 8)
+        self.assertEqual(per_worker, {1: 4500})
+
+    def test_render_tail_limit(self):
+        text = blackbox_report.render(postmortem_doc(), tail_n=2)
+        self.assertIn("last 2 flight events", text)
+
+
+if __name__ == "__main__":
+    unittest.main()

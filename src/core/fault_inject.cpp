@@ -58,9 +58,21 @@ void FaultInjector::on_site(FaultSite site, hw::Cpu* cpu) {
   MERC_COUNT("fault.injected");
 #if MERCURY_OBS_ENABLED
   obs::registry().counter("fault.injected_at", fault_site_name(site)).inc();
+  // Black box: the fault hit is the last thing the flight tail must explain,
+  // stamped with the site, kind, visit ordinal, and the executing CPU.
+  if (cpu != nullptr) {
+    MERC_FLIGHT(*cpu, kFaultHit, fault_site_name(site),
+                static_cast<std::uint64_t>(site),
+                static_cast<std::uint64_t>(plan_.kind), n);
+  } else {
+    obs::flight_recorder().record(0, obs::FlightType::kFaultHit,
+                                  fault_site_name(site), 0,
+                                  static_cast<std::uint64_t>(site),
+                                  static_cast<std::uint64_t>(plan_.kind), n);
+  }
 #endif
   util::log_warn("fault", "injecting ", plan_.describe());
-  throw FaultInjected{site, plan_.kind};
+  throw FaultInjected{site, plan_.kind, cpu != nullptr ? cpu->id() : 0u};
 }
 
 FaultInjector& fault_injector() {

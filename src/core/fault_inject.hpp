@@ -68,10 +68,13 @@ struct FaultPlan {
   std::string describe() const;
 };
 
-/// Thrown at a site when the armed plan fires.
+/// Thrown at a site when the armed plan fires. Carries the id of the CPU
+/// that was executing the faulted step (the control processor on the serial
+/// path, a crew worker inside a shard) so rollback postmortems can name it.
 struct FaultInjected {
   FaultSite site;
   FaultKind kind;
+  std::uint32_t cpu = 0;
 };
 
 /// The process-global injector every site reports to. Disarmed it is a

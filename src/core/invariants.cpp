@@ -6,6 +6,7 @@
 #include "core/switch_engine.hpp"
 #include "hw/pte.hpp"
 #include "obs/obs.hpp"
+#include "obs/postmortem.hpp"
 
 namespace mercury::core {
 
@@ -167,6 +168,26 @@ InvariantReport check_machine_invariants(SwitchEngine& engine) {
 
   MERC_COUNT("invariants.checks");
   MERC_COUNT_N("invariants.violations", report.violations.size());
+  MERC_FLIGHT(m.cpu(0), kInvariantVerdict, "invariants.check",
+              report.violations.size());
+  if (!report.ok()) {
+    // A violated machine invariant is exactly what the black box exists
+    // for: dump the bundle before the caller decides whether to abort.
+    obs::PostmortemContext ctx;
+    ctx.reason = "invariant-failure";
+    ctx.detail = report.to_string();
+    ctx.switch_from = exec_mode_name(mode);
+    ctx.active_refs =
+        static_cast<std::int64_t>(engine.current_vo().active_refs());
+    for (std::size_t i = 0; i < m.num_cpus(); ++i)
+      ctx.cpu_clocks.emplace_back(m.cpu(i).id(), m.cpu(i).now());
+    const vmm::PageInfoTable& pit = hv.page_info();
+    ctx.extra.emplace_back("page_info.shard_count", pit.shard_count());
+    ctx.extra.emplace_back("page_info.rebuilt_total", pit.rebuilt_total());
+    ctx.extra.emplace_back("page_info.typed_total", pit.typed_total());
+    ctx.extra.emplace_back("invariants.violations", report.violations.size());
+    obs::write_postmortem(ctx);
+  }
   return report;
 }
 

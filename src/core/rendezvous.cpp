@@ -97,6 +97,7 @@ void Rendezvous::park_tree() {
 
 void Rendezvous::park() {
   MERC_CHECK_MSG(!parked_, "rendezvous parked twice");
+  MERC_FLIGHT(cp_, kPhaseBegin, "rendezvous.park", machine_.num_cpus());
   fault_point(FaultSite::kRendezvous, &cp_);
   stats_.cpus = machine_.num_cpus();
   stats_.entry_time = cp_.now();
@@ -116,6 +117,8 @@ void Rendezvous::park() {
   cp_.advance_to(all_parked);
   park_cycles_ = all_parked - stats_.entry_time;
   parked_ = true;
+  MERC_FLIGHT(cp_, kPhaseEnd, "rendezvous.park", machine_.num_cpus(),
+              park_cycles_);
 }
 
 RendezvousStats Rendezvous::release() {
@@ -155,6 +158,8 @@ RendezvousStats Rendezvous::release() {
   MERC_COUNT("rendezvous.runs");
   MERC_GAUGE_SET("rendezvous.cpus", stats_.cpus);
   MERC_HIST("rendezvous.cycles", coordination_cycles());
+  MERC_FLIGHT(cp_, kPhaseEnd, "rendezvous.release", stats_.cpus,
+              release_cycles_);
   return stats_;
 }
 

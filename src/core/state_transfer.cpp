@@ -16,25 +16,34 @@ TransferStats transfer_to_virtual(hw::Cpu& cpu, kernel::Kernel& k,
   hw::Cycles t0 = cpu.now();
   {
     MERC_SPAN(cpu, kTransfer, "transfer.page_info_rebuild");
+    MERC_FLIGHT(cpu, kPhaseBegin, "transfer.page_info_rebuild",
+                k.pool().owned_count());
     const vmm::DomainId dom = hv.adopt_running_os(cpu, k, trust_page_info);
     vo.bind(dom);
   }
   stats.page_info_cycles = cpu.now() - t0;  // rebuild + typing + protection
+  MERC_FLIGHT(cpu, kPhaseEnd, "transfer.page_info_rebuild",
+              k.pool().owned_count(), stats.page_info_cycles);
 
   if (eager_fixup) {
     t0 = cpu.now();
     MERC_SPAN(cpu, kFixup, "transfer.eager_fixup");
+    MERC_FLIGHT(cpu, kPhaseBegin, "transfer.eager_fixup");
     fix_all_saved_contexts(cpu, k, hw::Ring::kRing1);
     stats.fixup_cycles = cpu.now() - t0;
+    MERC_FLIGHT(cpu, kPhaseEnd, "transfer.eager_fixup", 0, stats.fixup_cycles);
   }
 
   t0 = cpu.now();
   {
     fault_point(FaultSite::kTransferBindings, &cpu);
     MERC_SPAN(cpu, kTransfer, "transfer.rebind_traps");
+    MERC_FLIGHT(cpu, kPhaseBegin, "transfer.rebind_traps");
     vo.state_transfer_in(cpu, k);  // register guest trap/descriptor tables
   }
   stats.binding_cycles = cpu.now() - t0;
+  MERC_FLIGHT(cpu, kPhaseEnd, "transfer.rebind_traps", 0,
+              stats.binding_cycles);
   MERC_HIST("transfer.page_info_cycles", stats.page_info_cycles);
   MERC_HIST("transfer.binding_cycles", stats.binding_cycles);
   if (eager_fixup) MERC_HIST("transfer.fixup_cycles", stats.fixup_cycles);
@@ -51,25 +60,33 @@ TransferStats transfer_to_native(hw::Cpu& cpu, kernel::Kernel& k,
   hw::Cycles t0 = cpu.now();
   {
     MERC_SPAN(cpu, kTransfer, "transfer.unprotect_tables");
+    MERC_FLIGHT(cpu, kPhaseBegin, "transfer.unprotect_tables");
     hv.release_os(cpu, vo.dom());
   }
   stats.protection_cycles = cpu.now() - t0;  // PT RW restore (O(#PTs))
+  MERC_FLIGHT(cpu, kPhaseEnd, "transfer.unprotect_tables", 0,
+              stats.protection_cycles);
 
   if (eager_fixup) {
     t0 = cpu.now();
     MERC_SPAN(cpu, kFixup, "transfer.eager_fixup");
+    MERC_FLIGHT(cpu, kPhaseBegin, "transfer.eager_fixup");
     fix_all_saved_contexts(cpu, k, hw::Ring::kRing0);
     stats.fixup_cycles = cpu.now() - t0;
+    MERC_FLIGHT(cpu, kPhaseEnd, "transfer.eager_fixup", 0, stats.fixup_cycles);
   }
 
   t0 = cpu.now();
   {
     fault_point(FaultSite::kTransferBindings, &cpu);
     MERC_SPAN(cpu, kTransfer, "transfer.rebind_traps");
+    MERC_FLIGHT(cpu, kPhaseBegin, "transfer.rebind_traps");
     // Interrupt bindings return to the kernel: it becomes the trap owner.
     k.machine().install_trap_sink(&k);
   }
   stats.binding_cycles = cpu.now() - t0;
+  MERC_FLIGHT(cpu, kPhaseEnd, "transfer.rebind_traps", 0,
+              stats.binding_cycles);
   MERC_HIST("transfer.protection_cycles", stats.protection_cycles);
   MERC_HIST("transfer.binding_cycles", stats.binding_cycles);
   if (eager_fixup) MERC_HIST("transfer.fixup_cycles", stats.fixup_cycles);

@@ -58,6 +58,7 @@ CrewPhaseStats SwitchCrew::run_phase(const char* name, std::size_t items,
 
   const std::size_t nshards =
       std::min(items, members_.size() * kShardsPerMember);
+  MERC_FLIGHT(cp, kCrewPublish, name, items, nshards, members_.size());
   const std::size_t per = items / nshards;
   const std::size_t extra = items % nshards;
 
@@ -100,6 +101,9 @@ CrewPhaseStats SwitchCrew::run_phase(const char* name, std::size_t items,
     ++stats.shards;
 #if MERCURY_OBS_ENABLED
     shard_hist.record(ran);
+    // One grab event per shard on the *worker's* ring: the black box keeps
+    // who ran which range and for how long.
+    MERC_FLIGHT(worker, kCrewGrab, name, begin, end, ran);
 #endif
     begin = end;
   }
@@ -113,6 +117,7 @@ CrewPhaseStats SwitchCrew::run_phase(const char* name, std::size_t items,
   for (const hw::Cycles b : member_busy) worker_hist.record(b);
   phase_hist.record(stats.span);
   MERC_COUNT_N("switch.crew.shards", stats.shards);
+  MERC_FLIGHT(cp, kCrewJoin, name, stats.shards, stats.busy, stats.span);
 #endif
   if (faulted != nullptr) throw fault;
   return stats;

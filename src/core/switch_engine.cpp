@@ -10,6 +10,7 @@
 #include "core/switch_crew.hpp"
 #include "hw/interrupts.hpp"
 #include "obs/obs.hpp"
+#include "obs/postmortem.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
@@ -65,6 +66,14 @@ SwitchEngine::SwitchEngine(kernel::Kernel& k, vmm::Hypervisor& hv,
         break;
     }
   });
+  // Black box: a failed MERC_CHECK anywhere in the simulator should leave a
+  // postmortem bundle behind once a switch engine exists. Idempotent.
+  obs::install_assert_postmortem_hook();
+  slo_.set_budget("switch.attach.total_cycles", config_.slo.attach_total);
+  slo_.set_budget("switch.detach.total_cycles", config_.slo.detach_total);
+  slo_.set_budget("switch.rendezvous_cycles", config_.slo.rendezvous);
+  slo_.set_budget("switch.transfer_cycles", config_.slo.transfer);
+  slo_.set_budget("switch.fixup_cycles", config_.slo.fixup);
   register_obs_instruments();
 }
 
@@ -95,6 +104,8 @@ void SwitchEngine::register_obs_instruments() {
          [](const SwitchStats& s) { return s.last_rendezvous_cycles; });
   expose("switch.last_defer_wait_cycles",
          [](const SwitchStats& s) { return s.last_defer_wait_cycles; });
+  obs_callbacks_.add("switch.slo.breach_count", obs_label_,
+                     [this] { return static_cast<double>(slo_.breaches()); });
 #endif
 }
 
@@ -112,6 +123,9 @@ void SwitchEngine::request(ExecMode target) {
   pending_ = true;
   pending_target_ = target;
   request_time_ = kernel_.machine().cpu(0).now();
+  MERC_FLIGHT(kernel_.machine().cpu(0), kSwitchRequest, "switch.request",
+              static_cast<std::uint64_t>(mode_),
+              static_cast<std::uint64_t>(target));
   const std::uint8_t vector = target == ExecMode::kNative
                                   ? hw::kVecSelfVirtDetach
                                   : hw::kVecSelfVirtAttach;
@@ -134,6 +148,8 @@ void SwitchEngine::try_commit(hw::Cpu& cpu) {
     ++stats_.deferrals;
     MERC_COUNT("switch.deferrals");
     MERC_INSTANT(cpu, kSwitch, "switch.deferred");
+    MERC_FLIGHT(cpu, kRefcountRetry, "switch.refcount_retry",
+                current_vo().active_refs(), stats_.deferrals);
     kernel_.add_timer(
         cpu.now() + hw::us_to_cycles(config_.defer_retry_ms * 1000.0),
         [this] {
@@ -145,6 +161,8 @@ void SwitchEngine::try_commit(hw::Cpu& cpu) {
             // Still busy: re-arm through the interrupt path.
             ++stats_.deferrals;
             MERC_COUNT("switch.deferrals");
+            MERC_FLIGHT(m.cpu(0), kRefcountRetry, "switch.refcount_retry",
+                        current_vo().active_refs(), stats_.deferrals);
             m.interrupts().raise(0,
                                  pending_target_ == ExecMode::kNative
                                      ? hw::kVecSelfVirtDetach
@@ -206,6 +224,9 @@ void SwitchEngine::commit(hw::Cpu& cpu, ExecMode target) {
                             : target == ExecMode::kNative ? "switch.detach"
                                                           : "switch.rerole";
   obs::TraceSpan commit_span(cpu, obs::TraceCat::kSwitch, commit_name);
+  MERC_FLIGHT(cpu, kPhaseBegin, commit_name,
+              static_cast<std::uint64_t>(mode_),
+              static_cast<std::uint64_t>(target));
 #endif
 
   const ExecMode from = mode_;
@@ -265,11 +286,22 @@ void SwitchEngine::commit(hw::Cpu& cpu, ExecMode target) {
     }
   } catch (const FaultInjected& fault) {
     // A fault fired at one of the pre-commit injection sites: unwind the
-    // partial transition instead of crashing mid-switch (paper §8).
+    // partial transition instead of crashing mid-switch (paper §8), then
+    // leave the black-box evidence behind.
     committed = false;
     rollback(cpu, from, target, fault);
+    dump_rollback_postmortem(from, target, fault);
   }
   const hw::Cycles elapsed = cpu.now() - t0;
+#if MERCURY_OBS_ENABLED
+  MERC_FLIGHT(cpu, kPhaseEnd, commit_name, static_cast<std::uint64_t>(target),
+              elapsed);
+  if (committed) {
+    MERC_FLIGHT(cpu, kSwitchCommit, commit_name,
+                static_cast<std::uint64_t>(from),
+                static_cast<std::uint64_t>(target), elapsed);
+  }
+#endif
   if (!committed) {
     // Stay in `from`; the caller sees the request resolve without a mode
     // change and may re-request.
@@ -285,6 +317,7 @@ void SwitchEngine::commit(hw::Cpu& cpu, ExecMode target) {
                   stats_.last_transfer.protection_cycles +
                   stats_.last_transfer.binding_cycles);
     MERC_HIST("switch.attach.fixup_cycles", stats_.last_transfer.fixup_cycles);
+    observe_slo(cpu, /*attach=*/true, elapsed, rendezvous_cycles);
   } else if (mode_ == ExecMode::kNative) {
     stats_.last_detach_cycles = elapsed;
     ++stats_.detaches;
@@ -297,6 +330,7 @@ void SwitchEngine::commit(hw::Cpu& cpu, ExecMode target) {
                   stats_.last_transfer.protection_cycles +
                   stats_.last_transfer.binding_cycles);
     MERC_HIST("switch.detach.fixup_cycles", stats_.last_transfer.fixup_cycles);
+    observe_slo(cpu, /*attach=*/false, elapsed, rendezvous_cycles);
   } else {
     // partial <-> full re-roles are neither attaches nor detaches.
     ++stats_.reroles;
@@ -316,9 +350,54 @@ void SwitchEngine::commit(hw::Cpu& cpu, ExecMode target) {
     m.cpu(i).set_cpl(hw::Ring::kRing0);
 
   if (config_.paranoid_invariants) {
+    // check_machine_invariants dumps an "invariant-failure" bundle itself
+    // when it finds violations; the MERC_CHECK then aborts the simulation.
     const InvariantReport report = check_machine_invariants(*this);
     MERC_CHECK_MSG(report.ok(), report.to_string());
   }
+}
+
+void SwitchEngine::observe_slo(hw::Cpu& cpu, bool attach, hw::Cycles total,
+                               hw::Cycles rendezvous_cycles) {
+  const TransferStats& tr = stats_.last_transfer;
+  slo_.observe(attach ? "switch.attach.total_cycles"
+                      : "switch.detach.total_cycles",
+               total, cpu.id(), cpu.now());
+  slo_.observe("switch.rendezvous_cycles", rendezvous_cycles, cpu.id(),
+               cpu.now());
+  slo_.observe("switch.transfer_cycles",
+               tr.page_info_cycles + tr.protection_cycles + tr.binding_cycles,
+               cpu.id(), cpu.now());
+  slo_.observe("switch.fixup_cycles", tr.fixup_cycles, cpu.id(), cpu.now());
+}
+
+void SwitchEngine::dump_rollback_postmortem(ExecMode from, ExecMode target,
+                                            const FaultInjected& fault) {
+  obs::PostmortemContext ctx;
+  ctx.reason = "fault-rollback";
+  ctx.detail = std::string("mode switch ") + exec_mode_name(from) + " -> " +
+               exec_mode_name(target) + " faulted at " +
+               fault_site_name(fault.site) + " (" +
+               fault_kind_name(fault.kind) + ") on cpu " +
+               std::to_string(fault.cpu) + ", rolled back";
+  ctx.switch_from = exec_mode_name(from);
+  ctx.switch_target = exec_mode_name(target);
+  ctx.has_fault = true;
+  ctx.fault_site = fault_site_name(fault.site);
+  ctx.fault_kind = fault_kind_name(fault.kind);
+  ctx.fault_cpu = fault.cpu;
+  ctx.active_refs = static_cast<std::int64_t>(current_vo().active_refs());
+  hw::Machine& m = kernel_.machine();
+  for (std::size_t i = 0; i < m.num_cpus(); ++i)
+    ctx.cpu_clocks.emplace_back(m.cpu(i).id(), m.cpu(i).now());
+  const vmm::PageInfoTable& pit = hv_.page_info();
+  ctx.extra.emplace_back("page_info.shard_count", pit.shard_count());
+  ctx.extra.emplace_back("page_info.rebuilt_total", pit.rebuilt_total());
+  ctx.extra.emplace_back("page_info.typed_total", pit.typed_total());
+  ctx.extra.emplace_back("switch.rollbacks", stats_.rollbacks);
+  ctx.extra.emplace_back("switch.deferrals", stats_.deferrals);
+  ctx.extra.emplace_back("fault.injected_total", fault_injector().injected());
+  obs::write_postmortem(ctx);
 }
 
 void SwitchEngine::rerole(hw::Cpu& cpu, ExecMode target) {
@@ -554,6 +633,20 @@ void SwitchEngine::rollback(hw::Cpu& cpu, ExecMode from, ExecMode target,
   ++stats_.rollbacks;
   MERC_COUNT("switch.rollbacks");
   MERC_SPAN(cpu, kFault, "switch.rollback");
+  MERC_FLIGHT(cpu, kSwitchRollback, "switch.rollback",
+              static_cast<std::uint64_t>(from),
+              static_cast<std::uint64_t>(target),
+              static_cast<std::uint64_t>(fault.site));
+  // Each named unwind step lands in the flight ring with an ordinal, so the
+  // postmortem tail shows how far the rollback got if *it* dies too.
+  std::uint64_t step = 0;
+  const auto flight_step = [&](const char* name) {
+    ++step;
+    MERC_FLIGHT(cpu, kRollbackStep, name, step);
+#if !MERCURY_OBS_ENABLED
+    (void)name;
+#endif
+  };
   util::log_warn("mercury",
                  std::string("mode switch ") + exec_mode_name(from) + " -> " +
                      exec_mode_name(target) + " faulted at " +
@@ -566,14 +659,19 @@ void SwitchEngine::rollback(hw::Cpu& cpu, ExecMode from, ExecMode target,
   if (from == ExecMode::kNative) {
     // Aborted attach. The full-virtual frontends connect before the hardware
     // reload, so a late fault may leave them attached.
+    flight_step("rollback.disconnect_frontends");
     if (hv_.blk_backend().connected()) hv_.blk_backend().disconnect_frontend(cpu);
     if (hv_.net_backend().connected()) hv_.net_backend().disconnect_frontend();
     // Undo however much of the adoption applied: writability, accounting
     // (kept authoritative under eager tracking), trap ownership, dormancy.
+    flight_step("rollback.adopt_unwind");
     hv_.rollback_adopt(cpu, kernel_, config_.eager_page_tracking);
     // The eager walk may already have moved saved selectors to ring 1.
-    if (config_.eager_selector_fixup)
+    if (config_.eager_selector_fixup) {
+      flight_step("rollback.selector_fixup");
       fix_all_saved_contexts(cpu, kernel_, hw::Ring::kRing0);
+    }
+    flight_step("rollback.reload_native");
     reload_all_cpus(native_vo_);
     kernel_.set_ops(native_vo_);
   } else if (target == ExecMode::kNative) {
@@ -582,27 +680,34 @@ void SwitchEngine::rollback(hw::Cpu& cpu, ExecMode from, ExecMode target,
     if (hv_.state() == vmm::Hypervisor::State::kActive) {
       // The release never completed — re-protect the unwound tables and
       // re-take the traps in place.
+      flight_step("rollback.reprotect_os");
       hv_.reprotect_os(cpu, vo.dom(), kernel_);
     } else {
       // The release committed before the fault (it hit a later phase): the
       // accounting was dropped O(1), so restoring virtual mode pays a full
       // re-adoption — the price asymmetry of the cheap detach (§7.4).
+      flight_step("rollback.readopt_os");
       if (config_.eager_page_tracking) hv_.page_info().set_valid(true);
       const vmm::DomainId dom =
           hv_.adopt_running_os(cpu, kernel_, config_.eager_page_tracking);
       vo.bind(dom);
     }
-    if (config_.eager_selector_fixup)
+    if (config_.eager_selector_fixup) {
+      flight_step("rollback.selector_fixup");
       fix_all_saved_contexts(cpu, kernel_, hw::Ring::kRing1);
+    }
+    flight_step("rollback.rebind_traps");
     vo.state_transfer_in(cpu, kernel_);  // re-publish guest trap/GDT tokens
     // A rendezvous fault aborts before detach() dropped the frontends, so
     // they may still be attached — reconnecting would leak event channels.
     if (from == ExecMode::kFullVirtual) {
+      flight_step("rollback.reconnect_frontends");
       if (!hv_.blk_backend().connected())
         hv_.blk_backend().connect_frontend(vo.dom());
       if (!hv_.net_backend().connected())
         hv_.net_backend().connect_frontend(vo.dom());
     }
+    flight_step("rollback.reload_virtual");
     reload_all_cpus(vo);
     kernel_.set_ops(vo);
   } else {

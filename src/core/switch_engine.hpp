@@ -19,6 +19,7 @@
 #include "core/virtual_vo.hpp"
 #include "kernel/kernel.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "vmm/hypervisor.hpp"
 
 namespace mercury::core {
@@ -33,6 +34,19 @@ enum class ExecMode : std::uint8_t {
 };
 
 const char* exec_mode_name(ExecMode m);
+
+/// Per-phase cycle budgets for the switch-SLO watchdog (0 = unlimited).
+/// After every committed switch the engine reports the phase actuals to an
+/// obs::SloWatchdog; each breach bumps `switch.slo.breaches`, lands in the
+/// flight recorder, and is logged — a live regression alarm for the paper's
+/// "a switch is cheap" promise.
+struct SwitchSloBudgets {
+  hw::Cycles attach_total = 0;
+  hw::Cycles detach_total = 0;
+  hw::Cycles rendezvous = 0;  // §5.4 barrier, either direction
+  hw::Cycles transfer = 0;    // bulk state-transfer phases, either direction
+  hw::Cycles fixup = 0;       // eager selector fixup, either direction
+};
 
 struct SwitchConfig {
   bool eager_page_tracking = false;  // §5.1.2 alternative 1
@@ -51,6 +65,8 @@ struct SwitchConfig {
   /// (committed or rolled back) and abort the simulation on a violation.
   /// Test-only: the checks are free of simulated cost but not of host cost.
   bool paranoid_invariants = false;
+  /// Switch-SLO cycle budgets; breaches are flagged, never enforced.
+  SwitchSloBudgets slo{};
 };
 
 /// Per-engine switch telemetry. This struct is the single storage for these
@@ -109,6 +125,9 @@ class SwitchEngine {
   /// The registry label ("engine=<n>") this engine's stats appear under.
   const std::string& obs_label() const { return obs_label_; }
 
+  /// The watchdog holding this engine's SLO budgets and breach count.
+  const obs::SloWatchdog& slo() const { return slo_; }
+
  private:
   void try_commit(hw::Cpu& cpu);
   void commit(hw::Cpu& cpu, ExecMode target);
@@ -127,6 +146,12 @@ class SwitchEngine {
   /// fault, returning the machine to `from` (paper §8: dependable switch).
   void rollback(hw::Cpu& cpu, ExecMode from, ExecMode target,
                 const FaultInjected& fault);
+  /// Feed the phase actuals of a committed attach/detach to the watchdog.
+  void observe_slo(hw::Cpu& cpu, bool attach, hw::Cycles total,
+                   hw::Cycles rendezvous_cycles);
+  /// Capture a mercury.postmortem.v1 bundle for a rolled-back switch.
+  void dump_rollback_postmortem(ExecMode from, ExecMode target,
+                                const FaultInjected& fault);
 
   kernel::Kernel& kernel_;
   vmm::Hypervisor& hv_;
@@ -140,6 +165,7 @@ class SwitchEngine {
   ExecMode pending_target_ = ExecMode::kNative;
   hw::Cycles request_time_ = 0;  // CP clock when the live request was made
   SwitchStats stats_;
+  obs::SloWatchdog slo_;
   std::string obs_label_;
   obs::CallbackGuard obs_callbacks_;  // unregisters when the engine dies
 };

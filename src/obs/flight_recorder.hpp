@@ -1,0 +1,111 @@
+// Black-box flight recorder (dependability pillar: make every rollback,
+// crash, and invariant failure diagnosable after the fact).
+//
+// A fixed-capacity, per-CPU ring of *typed, argument-carrying* events: phase
+// begin/end with item counts, refcount-retry with the observed count, crew
+// shard publish/grab/join with shard bounds and worker id, fault-injection
+// hits, rollback steps, invariant verdicts, SLO breaches. Unlike the Chrome
+// trace ring (obs/trace.hpp), every event carries up to three integer
+// arguments and a *global* sequence number, so cross-CPU causality survives
+// export: merging the per-CPU rings by `seq` reconstructs exactly the order
+// in which the single-threaded simulator emitted them.
+//
+// Recording is a ring-slot store plus a counter increment — no allocation
+// after the first event on a CPU, no simulated cost (instrumentation never
+// cpu.charge()s). The MERC_FLIGHT macro in obs/obs.hpp compiles away under
+// MERCURY_OBS=OFF exactly like MERC_SPAN.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/types.hpp"
+
+namespace mercury::obs {
+
+enum class FlightType : std::uint8_t {
+  kPhaseBegin,        // arg0 = item count (frames, tables, tasks)
+  kPhaseEnd,          // arg0 = item count, arg1 = elapsed cycles
+  kSwitchRequest,     // arg0 = from mode, arg1 = target mode
+  kSwitchCommit,      // arg0 = from mode, arg1 = target mode, arg2 = cycles
+  kSwitchRollback,    // arg0 = from mode, arg1 = target mode
+  kRefcountRetry,     // arg0 = observed active_refs, arg1 = total deferrals
+  kCrewPublish,       // arg0 = items, arg1 = shard count, arg2 = crew size
+  kCrewGrab,          // arg0 = shard begin, arg1 = shard end, arg2 = cycles
+  kCrewJoin,          // arg0 = shards run, arg1 = busy cycles, arg2 = span
+  kShardRange,        // arg0 = count, arg1 = first pfn, arg2 = last pfn
+  kFaultHit,          // arg0 = site, arg1 = kind, arg2 = visit count
+  kRollbackStep,      // arg0 = step ordinal
+  kInvariantVerdict,  // arg0 = violation count
+  kSloBreach,         // arg0 = actual cycles, arg1 = budget cycles
+  kAssertFail,        // arg0 = source line
+};
+
+const char* flight_type_name(FlightType t);
+
+struct FlightEvent {
+  std::uint64_t seq = 0;   // global emission order, across CPUs
+  hw::Cycles at = 0;       // emitting CPU's simulated clock
+  const char* name = "";   // static string (event names are literals)
+  FlightType type = FlightType::kPhaseBegin;
+  std::uint32_t cpu = 0;
+  std::uint64_t arg0 = 0, arg1 = 0, arg2 = 0;
+};
+
+/// Per-CPU rings of FlightEvents with one global sequence counter. Rings
+/// overwrite their oldest event when full (dropped count kept), mirroring
+/// TraceBuffer: the black box never allocates unboundedly and never loses
+/// the *newest* evidence.
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacityPerCpu = 1024;
+
+  explicit FlightRecorder(
+      std::size_t capacity_per_cpu = kDefaultCapacityPerCpu);
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  /// Change per-CPU ring capacity; drops everything recorded so far.
+  void set_capacity(std::size_t per_cpu);
+  std::size_t capacity() const { return capacity_; }
+
+  void record(std::uint32_t cpu, FlightType type, const char* name,
+              hw::Cycles at, std::uint64_t arg0 = 0, std::uint64_t arg1 = 0,
+              std::uint64_t arg2 = 0);
+
+  /// All retained events merged across CPUs, in emission (seq) order.
+  std::vector<FlightEvent> events() const;
+  /// The last `n` retained events in emission order — the black-box tail.
+  std::vector<FlightEvent> tail(std::size_t n) const;
+
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t dropped() const { return dropped_; }
+  void clear();
+
+ private:
+  struct Ring {
+    std::vector<FlightEvent> slots;
+    std::size_t head = 0;  // next write position
+    std::size_t size = 0;
+  };
+
+  bool enabled_ = true;
+  std::size_t capacity_;
+  std::vector<Ring> rings_;  // indexed by cpu id, grown on demand
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// The process-global recorder the MERC_FLIGHT macro records into. First use
+/// registers `obs.flight.recorded` / `obs.flight.dropped` callback gauges so
+/// ring overflow shows up in every --metrics-json artifact.
+FlightRecorder& flight_recorder();
+
+/// JSON array of `events` (each `{"seq":..,"cpu":..,"cycles":..,"type":..,
+/// "name":..,"args":[a0,a1,a2]}`), used by the postmortem bundle.
+std::string flight_events_json(const std::vector<FlightEvent>& events);
+
+}  // namespace mercury::obs

@@ -14,6 +14,7 @@
 // telemetry observes simulated time, it does not create it.
 #pragma once
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -87,6 +88,14 @@ class TraceSpan {
   ::mercury::obs::trace_buffer().record_instant(                         \
       (cpu_).id(), ::mercury::obs::TraceCat::cat_, name_, (cpu_).now())
 
+/// Black-box flight event on cpu_'s ring, stamped with its id and clock:
+/// MERC_FLIGHT(cpu, kFaultHit, "adopt.rebuild", site, kind, visits).
+/// Up to three integer arguments; type_ is a bare FlightType enumerator.
+#define MERC_FLIGHT(cpu_, type_, name_, ...)                             \
+  ::mercury::obs::flight_recorder().record(                              \
+      (cpu_).id(), ::mercury::obs::FlightType::type_, name_,             \
+      (cpu_).now() __VA_OPT__(, ) __VA_ARGS__)
+
 #else  // !MERCURY_OBS_ENABLED
 
 #define MERC_COUNT(name_) ((void)0)
@@ -95,5 +104,6 @@ class TraceSpan {
 #define MERC_HIST(name_, v_) ((void)0)
 #define MERC_SPAN(cpu_, cat_, name_) ((void)0)
 #define MERC_INSTANT(cpu_, cat_, name_) ((void)0)
+#define MERC_FLIGHT(...) ((void)0)
 
 #endif  // MERCURY_OBS_ENABLED

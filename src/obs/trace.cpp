@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/metrics.hpp"
+
 namespace mercury::obs {
 
 const char* trace_cat_name(TraceCat cat) {
@@ -65,6 +67,19 @@ std::vector<TraceEvent> TraceBuffer::events() const {
 
 TraceBuffer& trace_buffer() {
   static TraceBuffer buf;
+  // Ring overflow must be visible in every --metrics-json artifact, not
+  // silently lost: expose the running totals as callback gauges the first
+  // time anything touches the buffer.
+  static const bool registered = [] {
+    registry().register_callback("obs.trace.recorded", {}, [] {
+      return static_cast<double>(trace_buffer().recorded());
+    });
+    registry().register_callback("obs.trace.dropped", {}, [] {
+      return static_cast<double>(trace_buffer().dropped());
+    });
+    return true;
+  }();
+  (void)registered;
   return buf;
 }
 

@@ -1,0 +1,20 @@
+#include "util/assert.hpp"
+
+namespace mercury::util {
+
+namespace {
+InvariantFailureHook& hook_storage() {
+  static InvariantFailureHook hook = nullptr;
+  return hook;
+}
+}  // namespace
+
+InvariantFailureHook set_invariant_failure_hook(InvariantFailureHook hook) {
+  InvariantFailureHook previous = hook_storage();
+  hook_storage() = hook;
+  return previous;
+}
+
+InvariantFailureHook invariant_failure_hook() { return hook_storage(); }
+
+}  // namespace mercury::util

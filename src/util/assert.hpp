@@ -18,8 +18,21 @@ class InvariantError final : public std::logic_error {
   explicit InvariantError(const std::string& what) : std::logic_error(what) {}
 };
 
+/// Failure observer, called just before invariant_failure throws. The obs
+/// layer installs a postmortem dumper here (see obs/postmortem.hpp) so a
+/// failed MERC_CHECK leaves a black-box bundle behind; util itself stays
+/// dependency-free. The hook must not throw.
+using InvariantFailureHook = void (*)(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+
+/// Replace the hook (nullptr disables); returns the previous hook.
+InvariantFailureHook set_invariant_failure_hook(InvariantFailureHook hook);
+InvariantFailureHook invariant_failure_hook();
+
 [[noreturn]] inline void invariant_failure(const char* expr, const char* file,
                                            int line, const std::string& msg) {
+  if (InvariantFailureHook hook = invariant_failure_hook())
+    hook(expr, file, line, msg);
   std::ostringstream os;
   os << "invariant violated: " << expr << " at " << file << ':' << line;
   if (!msg.empty()) os << " — " << msg;

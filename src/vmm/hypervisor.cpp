@@ -232,6 +232,9 @@ void Hypervisor::init_reserved_page_info() {
 void Hypervisor::adopt_rebuild_shard(hw::Cpu& cpu, DomainId id,
                                      std::span<const hw::Pfn> frames,
                                      HvFaultPoint site) {
+  if (!frames.empty())
+    MERC_FLIGHT(cpu, kShardRange, "vmm.adopt_rebuild_shard", frames.size(),
+                frames.front(), frames.back());
   for (const hw::Pfn pfn : frames) {
     if (fault_probe_) fault_probe_(site, &cpu);
     cpu.charge(pv::costs::kPerFrameInfoRebuild);
@@ -243,6 +246,8 @@ void Hypervisor::adopt_rebuild_shard(hw::Cpu& cpu, DomainId id,
 void Hypervisor::adopt_trusted_sweep_shard(hw::Cpu& cpu, std::size_t frames) {
   // Eager tracking kept the table fresh, but the VMM still cross-checks
   // ownership with a light sweep before enforcing isolation on it.
+  if (frames != 0)
+    MERC_FLIGHT(cpu, kShardRange, "vmm.adopt_trusted_sweep_shard", frames);
   for (std::size_t i = 0; i < frames; ++i) cpu.charge(1);
 }
 
@@ -270,6 +275,9 @@ void Hypervisor::adopt_protect_shard(
     hw::Cpu& cpu, DomainId id, Kernel& k,
     std::span<const std::pair<hw::Pfn, PageType>> tables, HvFaultPoint site) {
   (void)id;
+  if (!tables.empty())
+    MERC_FLIGHT(cpu, kShardRange, "vmm.adopt_protect_shard", tables.size(),
+                tables.front().first, tables.back().first);
   for (const auto& [pfn, type] : tables) {
     if (fault_probe_) fault_probe_(site, &cpu);
     PageInfo& pi = page_info_.at(pfn);
@@ -285,6 +293,9 @@ void Hypervisor::adopt_validate_shard(
     hw::Cpu& cpu, DomainId id,
     std::span<const std::pair<hw::Pfn, PageType>> tables, PageType level) {
   Domain& d = domain(id);
+  if (!tables.empty())
+    MERC_FLIGHT(cpu, kShardRange, "vmm.adopt_validate_shard", tables.size(),
+                tables.front().first, tables.back().first);
   for (const auto& [pfn, type] : tables) {
     if (type != level) continue;
     if (level == PageType::kL1)
@@ -319,6 +330,9 @@ std::vector<hw::Pfn> Hypervisor::protected_frames_snapshot() const {
 void Hypervisor::release_unprotect_shard(hw::Cpu& cpu, Kernel& k,
                                          std::span<const hw::Pfn> frames,
                                          HvFaultPoint site) {
+  if (!frames.empty())
+    MERC_FLIGHT(cpu, kShardRange, "vmm.release_unprotect_shard", frames.size(),
+                frames.front(), frames.back());
   for (const hw::Pfn pfn : frames) {
     if (fault_probe_) fault_probe_(site, &cpu);
     set_frame_writable(cpu, k, pfn, true);

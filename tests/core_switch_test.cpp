@@ -3,6 +3,8 @@
 // full-virtual role, validation abort, switch-time proportionality.
 #include <gtest/gtest.h>
 
+#include <cinttypes>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -544,6 +546,37 @@ TEST(SwitchEngine, CallbackGaugesUnregisterWithEngine) {
   EXPECT_EQ(obs::snapshot().find("switch.attaches", label), nullptr);
 }
 #endif  // MERCURY_OBS_ENABLED
+
+// Obs-off guard probe (scripts/run_tiers.sh obsoff). Prints the simulated
+// attach/detach cost of two fixed scenarios; the obsoff tier runs this test
+// in a MERCURY_OBS=ON and a MERCURY_OBS=OFF build and diffs the
+// CYCLE_IDENTITY lines. Instrumentation (MERC_SPAN, MERC_FLIGHT, the SLO
+// watchdog, postmortem capture) must never charge simulated cycles, so the
+// numbers must be byte-identical across the two builds.
+TEST(SwitchEngine, CycleIdentityProbe) {
+  {
+    MercuryBox box({}, /*mem_mb=*/128);
+    Mercury& m = *box.mercury;
+    ASSERT_TRUE(m.switch_to(ExecMode::kPartialVirtual));
+    ASSERT_TRUE(m.switch_to(ExecMode::kNative));
+    const core::SwitchStats& st = m.engine().stats();
+    ASSERT_GT(st.last_attach_cycles, 0u);
+    ASSERT_GT(st.last_detach_cycles, 0u);
+    std::printf("CYCLE_IDENTITY up attach=%" PRIu64 " detach=%" PRIu64 "\n",
+                st.last_attach_cycles, st.last_detach_cycles);
+  }
+  {
+    MercuryConfig cfg;
+    cfg.switch_config.crew_workers = 3;
+    MercuryBox box(cfg, /*mem_mb=*/128, /*cpus=*/4);
+    Mercury& m = *box.mercury;
+    ASSERT_TRUE(m.switch_to(ExecMode::kPartialVirtual));
+    ASSERT_TRUE(m.switch_to(ExecMode::kNative));
+    const core::SwitchStats& st = m.engine().stats();
+    std::printf("CYCLE_IDENTITY smp attach=%" PRIu64 " detach=%" PRIu64 "\n",
+                st.last_attach_cycles, st.last_detach_cycles);
+  }
+}
 
 }  // namespace
 }  // namespace mercury::testing

@@ -5,6 +5,7 @@
 // running. A clean retry after every rollback must then commit.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
 #include <string>
 
@@ -13,6 +14,8 @@
 #include "core/mercury.hpp"
 #include "kernel/syscalls.hpp"
 #include "obs/obs.hpp"
+#include "obs/postmortem.hpp"
+#include "tests/json_checker.hpp"
 
 namespace mercury::testing {
 namespace {
@@ -27,9 +30,86 @@ using kernel::Sub;
 using kernel::Sys;
 
 /// Disarm on scope exit so one trial can never leak a plan into the next.
+/// Also routes postmortem bundles into the test temp dir (instead of the
+/// working directory) and restores the default on exit.
 struct InjectorGuard {
-  ~InjectorGuard() { core::fault_injector().disarm(); }
+  InjectorGuard() { obs::set_postmortem_dir(::testing::TempDir()); }
+  ~InjectorGuard() {
+    core::fault_injector().disarm();
+    obs::set_postmortem_dir("");
+  }
 };
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  std::string content;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  return content;
+}
+
+/// Parse the unsigned integer following `key` at/after `from` in raw JSON
+/// text; npos-safe. Returns UINT64_MAX when the key is absent.
+std::uint64_t json_uint_after(const std::string& json, const std::string& key,
+                              std::size_t from = 0) {
+  const std::size_t k = json.find(key, from);
+  if (k == std::string::npos) return ~0ull;
+  return std::stoull(json.substr(k + key.size()));
+}
+
+/// Every fired fault must leave a readable black box behind: a well-formed
+/// mercury.postmortem.v1 bundle naming the faulting site and — in obs-on
+/// builds — whose flight tail ends in the fault.hit event of the executing
+/// CPU.
+void expect_postmortem_bundle(const core::FaultPlan& plan,
+                              const std::string& ctx) {
+  const std::string path = obs::last_postmortem_path();
+  ASSERT_FALSE(path.empty()) << ctx << ": rollback wrote no postmortem";
+  const std::string json = read_file(path);
+  ASSERT_FALSE(json.empty()) << ctx << ": cannot read " << path;
+  EXPECT_TRUE(JsonChecker(json).ok())
+      << ctx << ": bundle is not valid JSON: " << json.substr(0, 300);
+  EXPECT_NE(json.find("\"schema\":\"mercury.postmortem.v1\""),
+            std::string::npos)
+      << ctx;
+  EXPECT_NE(json.find("\"reason\":\"fault-rollback\""), std::string::npos)
+      << ctx;
+
+  // The fault section names site, kind, and the executing CPU.
+  const std::string fault_anchor =
+      std::string("\"fault\":{\"site\":\"") + core::fault_site_name(plan.site) +
+      "\",\"kind\":\"" + core::fault_kind_name(plan.kind) + "\",\"cpu\":";
+  const std::size_t fault_pos = json.find(fault_anchor);
+  ASSERT_NE(fault_pos, std::string::npos)
+      << ctx << ": fault section missing or wrong: " << fault_anchor;
+  const std::uint64_t fault_cpu =
+      std::stoull(json.substr(fault_pos + fault_anchor.size()));
+
+#if MERCURY_OBS_ENABLED
+  // The flight tail must contain the fault.hit event for this site, emitted
+  // by the same CPU the bundle blames. Event layout is fixed
+  // ({"seq":..,"cpu":..,...,"type":..,"name":..}), so walk back from the
+  // type/name match to this event's own cpu field.
+  const std::string hit_anchor = std::string("\"type\":\"fault.hit\",\"name\":\"") +
+                                 core::fault_site_name(plan.site) + "\"";
+  const std::size_t hit_pos = json.rfind(hit_anchor);
+  ASSERT_NE(hit_pos, std::string::npos)
+      << ctx << ": flight tail lacks the fault.hit event";
+  const std::size_t ev_start = json.rfind("{\"seq\":", hit_pos);
+  ASSERT_NE(ev_start, std::string::npos) << ctx;
+  EXPECT_EQ(json_uint_after(json, "\"cpu\":", ev_start), fault_cpu)
+      << ctx << ": flight event CPU disagrees with the fault section";
+  // The unwind itself is on the record too.
+  EXPECT_NE(json.find("\"type\":\"rollback.step\""), std::string::npos) << ctx;
+#else
+  // Obs-off builds still dump bundles; the flight tail is just empty.
+  EXPECT_NE(json.find("\"events\":[]"), std::string::npos) << ctx;
+  (void)fault_cpu;
+#endif
+}
 
 struct Box {
   hw::Machine machine;
@@ -94,6 +174,7 @@ bool run_faulted_switch(Box& box, ExecMode from, ExecMode target,
   EXPECT_EQ(box.m.mode(), from) << ctx;
   const std::uint64_t injected_before = fi.injected();
   const std::uint64_t rollbacks_before = box.m.engine().stats().rollbacks;
+  const std::uint64_t bundles_before = obs::postmortem_count();
 
   fi.arm(plan);
   EXPECT_TRUE(box.settle(target)) << ctx << ": engine never went idle";
@@ -103,7 +184,12 @@ bool run_faulted_switch(Box& box, ExecMode from, ExecMode target,
   if (fired) {
     EXPECT_EQ(box.m.mode(), from) << ctx << ": faulted switch changed mode";
     EXPECT_EQ(box.m.engine().stats().rollbacks, rollbacks_before + 1) << ctx;
+    EXPECT_GT(obs::postmortem_count(), bundles_before)
+        << ctx << ": rollback produced no postmortem bundle";
+    expect_postmortem_bundle(plan, ctx);
   } else {
+    EXPECT_EQ(obs::postmortem_count(), bundles_before)
+        << ctx << ": a clean commit wrote a postmortem bundle";
     EXPECT_EQ(box.m.mode(), target) << ctx << ": unreached site blocked commit";
     EXPECT_EQ(box.m.engine().stats().rollbacks, rollbacks_before) << ctx;
   }

@@ -2,111 +2,18 @@
 // simulated time, and well-formedness of the JSON exports.
 #include <gtest/gtest.h>
 
-#include <cctype>
 #include <cstddef>
+#include <cstdio>
 #include <string>
 
 #include "hw/machine.hpp"
 #include "obs/obs.hpp"
+#include "obs/postmortem.hpp"
+#include "obs/slo.hpp"
+#include "tests/json_checker.hpp"
 
 namespace mercury::testing {
 namespace {
-
-// --- a minimal JSON syntax checker (no deps) --------------------------------
-// Validates structure and answers "does this string literal appear as a key
-// or value"; enough to prove the exporters emit parseable documents.
-class JsonChecker {
- public:
-  explicit JsonChecker(const std::string& text) : s_(text) {
-    skip_ws();
-    ok_ = value();
-    skip_ws();
-    if (pos_ != s_.size()) ok_ = false;
-  }
-  bool ok() const { return ok_; }
-
- private:
-  bool value() {
-    if (pos_ >= s_.size()) return false;
-    switch (s_[pos_]) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string();
-      case 't': return literal("true");
-      case 'f': return literal("false");
-      case 'n': return literal("null");
-      default: return number();
-    }
-  }
-  bool object() {
-    ++pos_;  // '{'
-    skip_ws();
-    if (peek() == '}') { ++pos_; return true; }
-    for (;;) {
-      skip_ws();
-      if (!string()) return false;
-      skip_ws();
-      if (peek() != ':') return false;
-      ++pos_;
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      if (peek() == '}') { ++pos_; return true; }
-      return false;
-    }
-  }
-  bool array() {
-    ++pos_;  // '['
-    skip_ws();
-    if (peek() == ']') { ++pos_; return true; }
-    for (;;) {
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      if (peek() == ']') { ++pos_; return true; }
-      return false;
-    }
-  }
-  bool string() {
-    if (peek() != '"') return false;
-    ++pos_;
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      if (s_[pos_] == '\\') ++pos_;
-      ++pos_;
-    }
-    if (pos_ >= s_.size()) return false;
-    ++pos_;  // closing quote
-    return true;
-  }
-  bool number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-            s_[pos_] == '+' || s_[pos_] == '-'))
-      ++pos_;
-    return pos_ > start;
-  }
-  bool literal(const char* lit) {
-    const std::string l(lit);
-    if (s_.compare(pos_, l.size(), l) != 0) return false;
-    pos_ += l.size();
-    return true;
-  }
-  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_])))
-      ++pos_;
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-  bool ok_ = false;
-};
 
 // The registry is process-global and shared across test cases, so every test
 // uses its own instrument names and asserts on deltas, never totals.
@@ -302,6 +209,196 @@ TEST(JsonExport, ChromeTraceIsWellFormedAndHasOurEvents) {
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // complete event
   EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // instant event
   EXPECT_NE(json.find("\"vmm\""), std::string::npos);        // category name
+}
+
+// --- black box: flight recorder ---------------------------------------------
+
+TEST(FlightRecorder, MergesRingsInGlobalEmissionOrder) {
+  obs::FlightRecorder rec(8);
+  rec.record(1, obs::FlightType::kPhaseBegin, "a", 100);
+  rec.record(0, obs::FlightType::kPhaseBegin, "b", 50);
+  rec.record(1, obs::FlightType::kPhaseEnd, "a", 200, 7, 100);
+  const auto evs = rec.events();
+  ASSERT_EQ(evs.size(), 3u);
+  // Emission order, not per-CPU or per-clock order: cpu 1's event first.
+  EXPECT_STREQ(evs[0].name, "a");
+  EXPECT_STREQ(evs[1].name, "b");
+  EXPECT_LT(evs[0].seq, evs[1].seq);
+  EXPECT_LT(evs[1].seq, evs[2].seq);
+  EXPECT_EQ(evs[2].arg0, 7u);
+  EXPECT_EQ(evs[2].arg1, 100u);
+}
+
+TEST(FlightRecorder, OverwritesOldestAndCountsDrops) {
+  obs::FlightRecorder rec(4);
+  for (std::uint64_t i = 0; i < 10; ++i)
+    rec.record(0, obs::FlightType::kRollbackStep, "step", 1000 + i, i);
+  const auto evs = rec.events();
+  ASSERT_EQ(evs.size(), 4u);
+  EXPECT_EQ(rec.recorded(), 10u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  // Newest evidence survives: args 6..9.
+  EXPECT_EQ(evs.front().arg0, 6u);
+  EXPECT_EQ(evs.back().arg0, 9u);
+}
+
+TEST(FlightRecorder, TailReturnsNewestAcrossCpus) {
+  obs::FlightRecorder rec(8);
+  for (std::uint64_t i = 0; i < 6; ++i)
+    rec.record(i % 2, obs::FlightType::kCrewGrab, "g", 10 * i, i);
+  const auto tail = rec.tail(3);
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail[0].arg0, 3u);
+  EXPECT_EQ(tail[2].arg0, 5u);
+  // A tail longer than the recording is just everything.
+  EXPECT_EQ(rec.tail(100).size(), 6u);
+}
+
+TEST(FlightRecorder, SeqStaysMonotonicAcrossClear) {
+  obs::FlightRecorder rec(4);
+  rec.record(0, obs::FlightType::kPhaseBegin, "a", 1);
+  const std::uint64_t first_seq = rec.events()[0].seq;
+  rec.clear();
+  EXPECT_TRUE(rec.events().empty());
+  EXPECT_EQ(rec.recorded(), 0u);
+  rec.record(0, obs::FlightType::kPhaseBegin, "b", 2);
+  // Exports from before and after a clear() must still order correctly.
+  EXPECT_GT(rec.events()[0].seq, first_seq);
+}
+
+TEST(FlightRecorder, DisabledRecordsNothing) {
+  obs::FlightRecorder rec(4);
+  rec.set_enabled(false);
+  rec.record(0, obs::FlightType::kFaultHit, "f", 1);
+  EXPECT_TRUE(rec.events().empty());
+  EXPECT_EQ(rec.recorded(), 0u);
+}
+
+TEST(FlightRecorder, EventsJsonIsWellFormed) {
+  obs::FlightRecorder rec(8);
+  rec.record(2, obs::FlightType::kFaultHit, "vmm.adopt_protect", 4500, 4, 0, 1);
+  rec.record(0, obs::FlightType::kSloBreach, "switch.attach", 9000, 88, 11);
+  const std::string json = obs::flight_events_json(rec.events());
+  EXPECT_TRUE(JsonChecker(json).ok()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"fault.hit\""), std::string::npos);
+  EXPECT_NE(json.find("\"slo.breach\""), std::string::npos);
+  EXPECT_NE(json.find("vmm.adopt_protect"), std::string::npos);
+  EXPECT_NE(json.find("[88,11,0]"), std::string::npos);
+}
+
+TEST(FlightMacro, RecordsIffObsEnabled) {
+  hw::MachineConfig mc;
+  mc.mem_kb = 16 * 1024;
+  hw::Machine machine(mc);
+  hw::Cpu& cpu = machine.cpu(0);
+
+  obs::FlightRecorder& rec = obs::flight_recorder();
+  rec.clear();
+  const hw::Cycles before_clock = cpu.now();
+  MERC_FLIGHT(cpu, kPhaseBegin, "test.flight.macro", 42);
+#if MERCURY_OBS_ENABLED
+  const auto evs = rec.events();
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_STREQ(evs[0].name, "test.flight.macro");
+  EXPECT_EQ(evs[0].cpu, 0u);
+  EXPECT_EQ(evs[0].arg0, 42u);
+#else
+  // The macro must compile away entirely: nothing recorded.
+  EXPECT_TRUE(rec.events().empty());
+#endif
+  // Instrumentation never charges simulated time.
+  EXPECT_EQ(cpu.now(), before_clock);
+  rec.clear();
+}
+
+// --- SLO watchdog ------------------------------------------------------------
+
+TEST(SloWatchdog, FlagsOnlyBudgetExceedances) {
+  obs::SloWatchdog dog;
+  dog.set_budget("test.slo.phase", 1000);
+  EXPECT_EQ(dog.budget("test.slo.phase"), 1000u);
+  EXPECT_FALSE(dog.observe("test.slo.phase", 1000, 0, 5000));  // at budget: ok
+  EXPECT_EQ(dog.breaches(), 0u);
+  EXPECT_TRUE(dog.observe("test.slo.phase", 1001, 0, 6000));
+  EXPECT_EQ(dog.breaches(), 1u);
+  // Unlimited (0) and unknown phases never breach.
+  dog.set_budget("test.slo.unlimited", 0);
+  EXPECT_FALSE(dog.observe("test.slo.unlimited", 1u << 30, 0, 7000));
+  EXPECT_FALSE(dog.observe("test.slo.never_declared", 1u << 30, 0, 8000));
+  EXPECT_EQ(dog.breaches(), 1u);
+}
+
+TEST(SloWatchdog, RedeclaringABudgetReplacesIt) {
+  obs::SloWatchdog dog;
+  dog.set_budget("test.slo.phase2", 100);
+  dog.set_budget("test.slo.phase2", 10000);
+  EXPECT_EQ(dog.budget("test.slo.phase2"), 10000u);
+  EXPECT_FALSE(dog.observe("test.slo.phase2", 500, 0, 0));
+}
+
+// --- postmortem bundles ------------------------------------------------------
+
+TEST(Postmortem, JsonIsWellFormedAndCarriesContext) {
+  obs::PostmortemContext ctx;
+  ctx.reason = "fault-rollback";
+  ctx.detail = "unit test \"quoted\" detail";
+  ctx.switch_from = "native";
+  ctx.switch_target = "partial-virtual";
+  ctx.has_fault = true;
+  ctx.fault_site = "vmm.adopt_protect";
+  ctx.fault_kind = "fail";
+  ctx.fault_cpu = 2;
+  ctx.active_refs = 0;
+  ctx.cpu_clocks = {{0, 9000}, {1, 9000}};
+  ctx.extra = {{"page_info.shard_count", 8}};
+
+  const std::string json = obs::postmortem_json(ctx);
+  EXPECT_TRUE(JsonChecker(json).ok()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"schema\":\"mercury.postmortem.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"fault-rollback\""), std::string::npos);
+  EXPECT_NE(json.find("vmm.adopt_protect"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);  // escaped detail
+  EXPECT_NE(json.find("\"mercury.metrics.v1\""), std::string::npos);  // embed
+  EXPECT_NE(json.find("page_info.shard_count"), std::string::npos);
+}
+
+TEST(Postmortem, OmitsFaultSectionWhenNoFault) {
+  obs::PostmortemContext ctx;
+  ctx.reason = "assert";
+  const std::string json = obs::postmortem_json(ctx);
+  EXPECT_TRUE(JsonChecker(json).ok());
+  EXPECT_EQ(json.find("\"fault\""), std::string::npos);
+}
+
+TEST(Postmortem, WriteRotatesSlotsAndBumpsCount) {
+  obs::set_postmortem_dir(::testing::TempDir());
+  obs::PostmortemContext ctx;
+  ctx.reason = "assert";
+  ctx.detail = "slot rotation test";
+
+  const std::uint64_t before = obs::postmortem_count();
+  const std::string p1 = obs::write_postmortem(ctx);
+  const std::string p2 = obs::write_postmortem(ctx);
+  obs::set_postmortem_dir("");
+
+  ASSERT_FALSE(p1.empty());
+  ASSERT_FALSE(p2.empty());
+  EXPECT_NE(p1, p2);  // consecutive dumps land in different slots
+  EXPECT_EQ(obs::postmortem_count(), before + 2);
+  EXPECT_EQ(obs::last_postmortem_path(), p2);
+  EXPECT_NE(p1.find("mercury-postmortem-"), std::string::npos);
+
+  // The file on disk is the serialized bundle.
+  std::FILE* f = std::fopen(p2.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  EXPECT_TRUE(JsonChecker(content).ok());
+  EXPECT_NE(content.find("slot rotation test"), std::string::npos);
 }
 
 TEST(SummaryTable, RendersCountersAndHistograms) {
