@@ -7,9 +7,11 @@ Usage:
 
 Reads a `mercury.postmortem.v1` bundle (see obs/postmortem.hpp) and prints:
 the failure header, per-CPU clocks, the phase timeline reconstructed from
-paired phase.begin/phase.end flight events, refcount-retry storms, crew
-shard utilization, SLO breaches, and the raw tail of the flight ring.
-Stdlib-only, importable: render(doc) returns the report as a string.
+paired phase.begin/phase.end flight events, the supervisor timeline
+(attempts, backoffs, resolutions, health transitions), refcount-retry
+storms, crew shard utilization, SLO breaches, and the raw tail of the
+flight ring. Stdlib-only, importable: render(doc) returns the report as a
+string.
 """
 
 import argparse
@@ -76,6 +78,47 @@ def crew_utilization(events):
     return out
 
 
+# SupervisorHealth enum values (core/switch_supervisor.hpp).
+HEALTH_NAMES = {0: "healthy", 1: "degraded", 2: "quarantined"}
+# ExecMode enum values (core/mode.hpp), as supervisor.attempt's arg2.
+MODE_NAMES = {0: "native", 1: "partial-virtual", 2: "full-virtual"}
+
+
+def supervisor_timeline(events):
+    """Supervised-request activity from supervisor.* flight events, in ring
+    order. Returns [(cycles, description)] rows — the retry/backoff/health
+    story the switch supervisor recorded before the bundle was dumped."""
+    rows = []
+    for ev in events:
+        args = ev.get("args", [0, 0, 0])
+        if ev["type"] == "supervisor.attempt":
+            target = MODE_NAMES.get(args[2], f"mode#{args[2]}")
+            rows.append(
+                (ev["cycles"],
+                 f"request {args[0]} attempt #{args[1]} -> {target}")
+            )
+        elif ev["type"] == "supervisor.backoff":
+            rows.append(
+                (ev["cycles"],
+                 f"request {args[0]} backoff after attempt #{args[1]} "
+                 f"({_us(args[2]):.3f} us)")
+            )
+        elif ev["type"] == "supervisor.resolve":
+            rows.append(
+                (ev["cycles"],
+                 f"request {args[0]} resolved {ev['name']} "
+                 f"after {args[2]} attempt(s)")
+            )
+        elif ev["type"] == "supervisor.health":
+            frm = HEALTH_NAMES.get(args[0], f"health#{args[0]}")
+            to = HEALTH_NAMES.get(args[1], f"health#{args[1]}")
+            rows.append(
+                (ev["cycles"],
+                 f"health {frm} -> {to} (failure streak {args[2]})")
+            )
+    return rows
+
+
 def render(doc, tail_n=40):
     """Render the bundle as a report string; raises KeyError/TypeError only
     on documents that check_bench_json.py --schema postmortem would reject."""
@@ -121,6 +164,13 @@ def render(doc, tail_n=40):
                 f"{_us(dur):>12.3f} us" if dur is not None else "   (unfinished)"
             )
             add(f"  {_us(begin):>14.3f}us  cpu {cpu:>2}  {name:<32} {dur_txt}")
+
+    supervisor = supervisor_timeline(events)
+    if supervisor:
+        add("")
+        add("--- supervisor timeline ---")
+        for cycles, desc in supervisor:
+            add(f"  {_us(cycles):>14.3f}us  {desc}")
 
     retries = [e for e in events if e["type"] == "refcount.retry"]
     if retries:

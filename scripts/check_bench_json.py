@@ -1,17 +1,22 @@
 #!/usr/bin/env python3
-"""Validate Mercury JSON artifacts: bench metrics and postmortem bundles.
+"""Validate Mercury JSON artifacts: bench metrics, postmortem bundles, and
+chaos-soak verdicts.
 
 Usage:
     scripts/check_bench_json.py out.json
     scripts/check_bench_json.py out.json --require switch.attach.total_cycles \
         --require switch.detach.total_cycles
     scripts/check_bench_json.py mercury-postmortem-0.json --schema postmortem
+    scripts/check_bench_json.py soak.json --schema soak
 
 Exits 0 when the document is well-formed against the selected schema
 (mercury.metrics.v1 by default, mercury.postmortem.v1 with
---schema postmortem) and every --require name is present as an instrument;
-nonzero otherwise. Stdlib-only on purpose: usable on any machine that can
-run the benches. The validators are importable (see
+--schema postmortem, mercury.soak.v1 with --schema soak) and every
+--require name is present as an instrument; nonzero otherwise. The soak
+schema additionally *gates*: zero unresolved requests, zero invariant
+violations, zero workload corruptions, and converged == true — the CI soak
+job fails on any of them. Stdlib-only on purpose: usable on any machine
+that can run the benches. The validators are importable (see
 scripts/test_check_bench_json.py).
 """
 
@@ -21,7 +26,35 @@ import sys
 
 METRICS_SCHEMA = "mercury.metrics.v1"
 POSTMORTEM_SCHEMA = "mercury.postmortem.v1"
+SOAK_SCHEMA = "mercury.soak.v1"
 HIST_FIELDS = ("count", "sum", "min", "mean", "max", "p50", "p90", "p99")
+
+# Section -> numeric fields a mercury.soak.v1 document must carry.
+SOAK_SECTIONS = {
+    "storm": ("rate", "burst", "decay", "fires", "windows"),
+    "requests": (
+        "submitted",
+        "committed",
+        "failed_deadline",
+        "failed_attempts",
+        "failed_quarantined",
+        "cancelled",
+        "unresolved",
+    ),
+    "supervisor": (
+        "attempts",
+        "retries",
+        "backoffs",
+        "quarantines",
+        "recoveries",
+        "probes",
+    ),
+    "engine": ("rollbacks", "cancels"),
+    "invariants": ("checks", "violations"),
+    "availability": ("fraction", "interruptions", "downtime_cycles",
+                     "span_cycles"),
+    "workload": ("ops", "bytes", "corruptions"),
+}
 
 
 class SchemaError(Exception):
@@ -186,6 +219,65 @@ def validate_postmortem(doc):
     return validate_metrics(doc["metrics"])
 
 
+def validate_soak(doc):
+    """Validate a mercury.soak.v1 verdict (including its embedded metrics
+    snapshot) and enforce the soak gates: no unresolved requests, no
+    invariant violations, no workload corruption, converged == true.
+    Returns the set of embedded instrument names. Raises SchemaError on the
+    first violation."""
+    if not isinstance(doc, dict):
+        raise SchemaError("top-level value is not an object")
+    if doc.get("schema") != SOAK_SCHEMA:
+        raise SchemaError(
+            f"schema is {doc.get('schema')!r}, expected {SOAK_SCHEMA!r}"
+        )
+    for field in ("seed", "cpus", "planned_cycles"):
+        if not _is_number(doc.get(field)):
+            raise SchemaError(f"'{field}' is missing or not a number")
+    for section, fields in SOAK_SECTIONS.items():
+        sec = doc.get(section)
+        if not isinstance(sec, dict):
+            raise SchemaError(f"'{section}' is missing or not an object")
+        for field in fields:
+            if not _is_number(sec.get(field)):
+                raise SchemaError(
+                    f"{section}.{field} is missing or not a number"
+                )
+    if not isinstance(doc["supervisor"].get("final_health"), str):
+        raise SchemaError("supervisor.final_health is not a string")
+    if not isinstance(doc.get("final_mode"), str) or not doc["final_mode"]:
+        raise SchemaError("'final_mode' is missing or not a non-empty string")
+    if not isinstance(doc.get("converged"), bool):
+        raise SchemaError("'converged' is missing or not a boolean")
+    if "metrics" not in doc:
+        raise SchemaError("'metrics' (embedded snapshot) is missing")
+    names = validate_metrics(doc["metrics"])
+
+    # The gates. A soak that strands a request, breaks an invariant, or
+    # corrupts the workload is a failed soak regardless of how pretty the
+    # rest of the document is.
+    if doc["requests"]["unresolved"] != 0:
+        raise SchemaError(
+            f"soak gate: {doc['requests']['unresolved']} unresolved "
+            "request(s) — a supervised request was stranded"
+        )
+    if doc["invariants"]["violations"] != 0:
+        raise SchemaError(
+            f"soak gate: {doc['invariants']['violations']} invariant "
+            "violation(s)"
+        )
+    if doc["workload"]["corruptions"] != 0:
+        raise SchemaError(
+            f"soak gate: {doc['workload']['corruptions']} workload "
+            "corruption(s)"
+        )
+    if not doc["converged"]:
+        raise SchemaError("soak gate: run did not converge")
+    if not 0.0 <= doc["availability"]["fraction"] <= 1.0:
+        raise SchemaError("availability.fraction outside [0, 1]")
+    return names
+
+
 def fail(msg):
     print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
@@ -196,7 +288,7 @@ def main():
     ap.add_argument("path", help="JSON artifact to validate")
     ap.add_argument(
         "--schema",
-        choices=("metrics", "postmortem"),
+        choices=("metrics", "postmortem", "soak"),
         default="metrics",
         help="document schema to validate against (default: metrics)",
     )
@@ -218,8 +310,10 @@ def main():
     try:
         if args.schema == "metrics":
             names = validate_metrics(doc)
-        else:
+        elif args.schema == "postmortem":
             names = validate_postmortem(doc)
+        else:
+            names = validate_soak(doc)
     except SchemaError as e:
         fail(str(e))
 
@@ -233,10 +327,18 @@ def main():
             f"{len(doc['counters'])} counters, {len(doc['gauges'])} gauges, "
             f"{len(doc['histograms'])} histograms"
         )
-    else:
+    elif args.schema == "postmortem":
         print(
             f"check_bench_json: OK: {args.path} — postmortem "
             f"({doc['reason']}), {len(doc['flight']['events'])} flight events"
+        )
+    else:
+        req = doc["requests"]
+        print(
+            f"check_bench_json: OK: {args.path} — soak converged: "
+            f"{req['submitted']} requests ({req['committed']} committed), "
+            f"{doc['storm']['fires']} storm fires, "
+            f"final health {doc['supervisor']['final_health']}"
         )
 
 

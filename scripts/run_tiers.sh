@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Build and run the Mercury test tiers.
 #
-#   scripts/run_tiers.sh [tier1|tier2|obsoff|asan|ubsan|all]
+#   scripts/run_tiers.sh [tier1|tier2|soak|obsoff|asan|ubsan|all]
 #
 #   tier1  - the fast regression suite (default; every unit/integration test)
 #   tier2  - the dependability sweeps: fault matrix + seeded switch fuzzer
+#   soak   - the chaos soak: hundreds of supervised switch cycles under a
+#            seeded fault storm (ctest -L soak), writing mercury.soak.v1
+#            verdicts to build/soak-artifacts/ and gating them with
+#            scripts/check_bench_json.py --schema soak
 #   obsoff - tier1 with -DMERCURY_OBS=OFF (build-obsoff/), then diff the
 #            CYCLE_IDENTITY probe lines against the normal build: telemetry
 #            must compile away without moving a single simulated cycle
@@ -73,11 +77,43 @@ run_obsoff() {
   echo "$on"
 }
 
+# The chaos soak: run the soak-labelled tests with MERCURY_SOAK_JSON pointed
+# at an artifact directory, then schema-validate and gate every verdict the
+# run emitted (unresolved requests, invariant violations, workload
+# corruption, or non-convergence all fail the gate).
+run_soak() {
+  configure_and_build build
+  local art="$PWD/build/soak-artifacts"
+  mkdir -p "$art"
+  rm -f "$art"/*.json
+  MERCURY_SOAK_JSON="$art/" ctest --test-dir build -L soak "${CTEST_FLAGS[@]}"
+  local found=0
+  for verdict in "$art"/*.json; do
+    [[ -e $verdict ]] || break
+    python3 scripts/check_bench_json.py "$verdict" --schema soak \
+      --require switch.supervisor.attempts
+    found=1
+  done
+  if [[ $found -eq 0 ]]; then
+    echo "run_tiers: FAIL: the soak run emitted no mercury.soak.v1 verdicts" >&2
+    exit 1
+  fi
+}
+
 mode="${1:-tier1}"
 case "$mode" in
-  tier1|tier2)
+  tier1)
     configure_and_build build
-    run_label build "$mode"
+    run_label build tier1
+    ;;
+  tier2)
+    # -L is a regex: the chaos soak (label "soak") rides along with the
+    # dependability sweeps.
+    configure_and_build build
+    run_label build "tier2|soak"
+    ;;
+  soak)
+    run_soak
     ;;
   obsoff)
     run_obsoff
@@ -91,7 +127,7 @@ case "$mode" in
   all)
     configure_and_build build
     run_label build tier1
-    run_label build tier2
+    run_label build "tier2|soak"
     run_obsoff
     run_sanitizer address
     run_sanitizer undefined

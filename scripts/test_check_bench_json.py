@@ -86,6 +86,32 @@ def postmortem_doc():
     }
 
 
+def soak_doc():
+    return {
+        "schema": "mercury.soak.v1",
+        "seed": 1234,
+        "cpus": 4,
+        "planned_cycles": 200,
+        "storm": {"rate": 0.05, "burst": 2, "decay": 0.97, "fires": 63,
+                  "windows": 101},
+        "requests": {"submitted": 250, "committed": 40, "failed_deadline": 0,
+                     "failed_attempts": 46, "failed_quarantined": 164,
+                     "cancelled": 0, "unresolved": 0},
+        "supervisor": {"attempts": 103, "retries": 15, "backoffs": 15,
+                       "quarantines": 2, "recoveries": 2, "probes": 48,
+                       "final_health": "healthy"},
+        "engine": {"rollbacks": 63, "cancels": 0},
+        "invariants": {"checks": 200, "violations": 0},
+        "availability": {"fraction": 0.958, "interruptions": 36,
+                         "downtime_cycles": 271820325,
+                         "span_cycles": 6444303519},
+        "workload": {"ops": 52862, "bytes": 108261376, "corruptions": 0},
+        "converged": True,
+        "final_mode": "native",
+        "metrics": metrics_doc(),
+    }
+
+
 class MetricsSchemaTest(unittest.TestCase):
     def test_valid_doc_returns_names(self):
         names = cbj.validate_metrics(metrics_doc())
@@ -184,6 +210,90 @@ class PostmortemSchemaTest(unittest.TestCase):
         del doc["metrics"]
         with self.assertRaisesRegex(cbj.SchemaError, "metrics"):
             cbj.validate_postmortem(doc)
+
+
+class SoakSchemaTest(unittest.TestCase):
+    def test_valid_verdict(self):
+        names = cbj.validate_soak(soak_doc())
+        self.assertIn("switch.rollbacks", names)  # embedded metrics names
+
+    def test_wrong_schema_string(self):
+        doc = soak_doc()
+        doc["schema"] = "mercury.soak.v2"
+        with self.assertRaisesRegex(cbj.SchemaError, "schema"):
+            cbj.validate_soak(doc)
+
+    def test_missing_section(self):
+        doc = soak_doc()
+        del doc["supervisor"]
+        with self.assertRaisesRegex(cbj.SchemaError, "supervisor"):
+            cbj.validate_soak(doc)
+
+    def test_missing_section_field(self):
+        doc = soak_doc()
+        del doc["requests"]["unresolved"]
+        with self.assertRaisesRegex(cbj.SchemaError, "unresolved"):
+            cbj.validate_soak(doc)
+
+    def test_non_numeric_field(self):
+        doc = soak_doc()
+        doc["storm"]["fires"] = "63"
+        with self.assertRaisesRegex(cbj.SchemaError, "storm.fires"):
+            cbj.validate_soak(doc)
+
+    def test_gate_unresolved_requests(self):
+        doc = soak_doc()
+        doc["requests"]["unresolved"] = 3
+        with self.assertRaisesRegex(cbj.SchemaError, "stranded"):
+            cbj.validate_soak(doc)
+
+    def test_gate_invariant_violations(self):
+        doc = soak_doc()
+        doc["invariants"]["violations"] = 1
+        with self.assertRaisesRegex(cbj.SchemaError, "invariant"):
+            cbj.validate_soak(doc)
+
+    def test_gate_workload_corruption(self):
+        doc = soak_doc()
+        doc["workload"]["corruptions"] = 2
+        with self.assertRaisesRegex(cbj.SchemaError, "corruption"):
+            cbj.validate_soak(doc)
+
+    def test_gate_not_converged(self):
+        doc = soak_doc()
+        doc["converged"] = False
+        with self.assertRaisesRegex(cbj.SchemaError, "converge"):
+            cbj.validate_soak(doc)
+
+    def test_converged_must_be_boolean(self):
+        doc = soak_doc()
+        doc["converged"] = 1  # truthy is not good enough
+        with self.assertRaisesRegex(cbj.SchemaError, "boolean"):
+            cbj.validate_soak(doc)
+
+    def test_availability_fraction_bounded(self):
+        doc = soak_doc()
+        doc["availability"]["fraction"] = 1.2
+        with self.assertRaisesRegex(cbj.SchemaError, "fraction"):
+            cbj.validate_soak(doc)
+
+    def test_quarantined_final_health_is_not_gated(self):
+        # Clean quarantine converges: degraded-to-native is a pass.
+        doc = soak_doc()
+        doc["supervisor"]["final_health"] = "quarantined"
+        cbj.validate_soak(doc)
+
+    def test_embedded_metrics_validated(self):
+        doc = soak_doc()
+        doc["metrics"]["histograms"][0]["p90"] = 500.0
+        with self.assertRaisesRegex(cbj.SchemaError, "quantiles"):
+            cbj.validate_soak(doc)
+
+    def test_missing_embedded_metrics(self):
+        doc = soak_doc()
+        del doc["metrics"]
+        with self.assertRaisesRegex(cbj.SchemaError, "metrics"):
+            cbj.validate_soak(doc)
 
 
 class BenchCompareTest(unittest.TestCase):
@@ -302,6 +412,44 @@ class BlackboxReportTest(unittest.TestCase):
     def test_render_tail_limit(self):
         text = blackbox_report.render(postmortem_doc(), tail_n=2)
         self.assertIn("last 2 flight events", text)
+
+    def supervisor_events(self):
+        return [
+            flight_event(1, 0, 3000, "supervisor.attempt",
+                         "supervisor.attempt", (7, 1, 1)),
+            flight_event(2, 0, 6000, "supervisor.backoff",
+                         "supervisor.backoff", (7, 1, 3000)),
+            flight_event(3, 0, 9000, "supervisor.attempt",
+                         "supervisor.attempt", (7, 2, 1)),
+            flight_event(4, 0, 12000, "supervisor.health",
+                         "supervisor.health", (0, 1, 2)),
+            flight_event(5, 0, 15000, "supervisor.resolve", "committed",
+                         (7, 3, 2)),
+        ]
+
+    def test_supervisor_timeline_rows(self):
+        rows = blackbox_report.supervisor_timeline(self.supervisor_events())
+        self.assertEqual(len(rows), 5)
+        self.assertIn("request 7 attempt #1 -> partial-virtual", rows[0][1])
+        self.assertIn("backoff after attempt #1", rows[1][1])
+        self.assertIn("health healthy -> degraded", rows[3][1])
+        self.assertIn("resolved committed after 2 attempt(s)", rows[4][1])
+
+    def test_render_includes_supervisor_timeline(self):
+        doc = postmortem_doc()
+        events = self.supervisor_events()
+        for i, ev in enumerate(events):
+            ev["seq"] = 10 + i  # keep seq strictly increasing
+            ev["cycles"] += 24000
+        doc["flight"]["events"].extend(events)
+        text = blackbox_report.render(doc)
+        self.assertIn("supervisor timeline", text)
+        self.assertIn("request 7 attempt #1 -> partial-virtual", text)
+        self.assertIn("health healthy -> degraded (failure streak 2)", text)
+
+    def test_no_supervisor_section_without_events(self):
+        text = blackbox_report.render(postmortem_doc())
+        self.assertNotIn("supervisor timeline", text)
 
 
 if __name__ == "__main__":

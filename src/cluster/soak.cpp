@@ -1,0 +1,198 @@
+#include "cluster/soak.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/fault_inject.hpp"
+#include "core/invariants.hpp"
+#include "obs/metrics.hpp"
+
+namespace mercury::cluster {
+
+std::string soak_report_json(const SoakReport& r) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"mercury.soak.v1\",\n";
+  os << "  \"seed\": " << r.seed << ",\n";
+  os << "  \"cpus\": " << r.cpus << ",\n";
+  os << "  \"planned_cycles\": " << r.planned_cycles << ",\n";
+  os << "  \"storm\": {\"rate\": " << r.storm_rate
+     << ", \"burst\": " << r.storm_burst << ", \"decay\": " << r.storm_decay
+     << ", \"fires\": " << r.storm_fires
+     << ", \"windows\": " << r.storm_windows << "},\n";
+  os << "  \"requests\": {\"submitted\": " << r.submitted
+     << ", \"committed\": " << r.committed
+     << ", \"failed_deadline\": " << r.failed_deadline
+     << ", \"failed_attempts\": " << r.failed_attempts
+     << ", \"failed_quarantined\": " << r.failed_quarantined
+     << ", \"cancelled\": " << r.cancelled
+     << ", \"unresolved\": " << r.unresolved << "},\n";
+  os << "  \"supervisor\": {\"attempts\": " << r.attempts
+     << ", \"retries\": " << r.retries << ", \"backoffs\": " << r.backoffs
+     << ", \"quarantines\": " << r.quarantines
+     << ", \"recoveries\": " << r.recoveries << ", \"probes\": " << r.probes
+     << ", \"final_health\": \"" << r.final_health << "\"},\n";
+  os << "  \"engine\": {\"rollbacks\": " << r.rollbacks
+     << ", \"cancels\": " << r.engine_cancels << "},\n";
+  os << "  \"invariants\": {\"checks\": " << r.invariant_checks
+     << ", \"violations\": " << r.invariant_violations << "},\n";
+  os << "  \"availability\": {\"fraction\": " << r.availability
+     << ", \"interruptions\": " << r.interruptions
+     << ", \"downtime_cycles\": " << r.downtime_cycles
+     << ", \"span_cycles\": " << r.span_cycles << "},\n";
+  os << "  \"workload\": {\"ops\": " << r.workload_ops
+     << ", \"bytes\": " << r.workload_bytes
+     << ", \"corruptions\": " << r.workload_corruptions << "},\n";
+  os << "  \"converged\": " << (r.converged ? "true" : "false") << ",\n";
+  os << "  \"final_mode\": \"" << r.final_mode << "\",\n";
+  os << "  \"metrics\": " << obs::to_json(obs::snapshot()) << "\n";
+  os << "}\n";
+  return os.str();
+}
+
+bool write_soak_report(const SoakReport& r, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << soak_report_json(r);
+  return static_cast<bool>(out);
+}
+
+SoakDriver::SoakDriver(core::SwitchSupervisor& supervisor, SoakParams p)
+    : sup_(supervisor),
+      kernel_(supervisor.engine().kernel()),
+      params_(p),
+      self_(std::make_shared<SoakDriver*>(this)) {
+  if (params_.cycles == 0) params_.cycles = 1;
+}
+
+hw::Cycles SoakDriver::now() const {
+  return kernel_.machine().cpu(0).now();
+}
+
+void SoakDriver::start() {
+  if (started_) return;
+  started_ = true;
+  arm_tick();
+}
+
+void SoakDriver::arm_tick() {
+  std::weak_ptr<SoakDriver*> weak = self_;
+  kernel_.add_timer(
+      now() + hw::us_to_cycles(params_.request_interval_ms * 1000.0),
+      [weak] {
+        const auto locked = weak.lock();
+        if (locked) (**locked).tick();
+      });
+}
+
+void SoakDriver::tick() {
+  if (done()) return;  // on_resolved finished the accounting
+  if (!outstanding_ && submitted_ < params_.cycles) {
+    // Alternate: whatever mode the machine settled in, ask for the other
+    // one — a soak cycle is one supervised attach or detach end-to-end.
+    const core::ExecMode target =
+        sup_.engine().mode() == core::ExecMode::kNative
+            ? params_.virt_mode
+            : core::ExecMode::kNative;
+    core::RequestOptions opts;
+    opts.deadline = params_.deadline;
+    opts.max_attempts = params_.max_attempts;
+    ++submitted_;
+    outstanding_ = true;
+    std::weak_ptr<SoakDriver*> weak = self_;
+    sup_.submit(target, opts, [weak](const core::SupervisedRequest& r) {
+      const auto locked = weak.lock();
+      if (locked) (**locked).on_resolved(r);
+    });
+  }
+  if (!done()) arm_tick();
+}
+
+void SoakDriver::on_resolved(const core::SupervisedRequest& r) {
+  outstanding_ = false;
+  ++resolved_;
+  if (r.state == core::RequestState::kCommitted) {
+    ++committed_;
+    // A committed switch is a service interruption as long as the actual
+    // transfer (the machine was rendezvoused and not running the workload).
+    if (r.attempts > 0) {
+      const core::SwitchStats& es = sup_.engine().stats();
+      const hw::Cycles window = r.target == core::ExecMode::kNative
+                                    ? es.last_detach_cycles
+                                    : es.last_attach_cycles;
+      if (window > 0 && r.resolved_at > window) {
+        tracker_.service_down(r.resolved_at - window,
+                              r.target == core::ExecMode::kNative
+                                  ? "switch.detach"
+                                  : "switch.attach");
+        tracker_.service_up(r.resolved_at);
+      }
+    }
+  }
+  if (params_.check_invariants) {
+    ++invariant_checks_;
+    const core::InvariantReport rep =
+        core::check_machine_invariants(sup_.engine());
+    if (!rep.ok()) ++invariant_violations_;
+  }
+  if (done() && !finished_) {
+    finished_ = true;
+    tracker_.finish(now());
+  }
+}
+
+bool SoakDriver::run_to_completion(hw::Cycles budget) {
+  start();
+  return kernel_.run_until([this] { return done(); }, budget);
+}
+
+SoakReport SoakDriver::report(std::uint64_t seed) const {
+  SoakReport r;
+  r.seed = seed;
+  r.cpus = kernel_.machine().num_cpus();
+  r.planned_cycles = params_.cycles;
+
+  const core::FaultInjector& fi = core::fault_injector();
+  const core::FaultStorm& storm = fi.storm();
+  r.storm_rate = storm.rate[0];
+  r.storm_burst = storm.burst_windows;
+  r.storm_decay = storm.decay;
+  r.storm_fires = fi.storm_fires();
+  r.storm_windows = fi.storm_windows();
+
+  const core::SupervisorStats& ss = sup_.stats();
+  r.submitted = ss.submitted;
+  r.committed = ss.committed;
+  r.failed_deadline = ss.failed_deadline;
+  r.failed_attempts = ss.failed_attempts;
+  r.failed_quarantined = ss.failed_quarantined;
+  r.cancelled = ss.cancelled;
+  r.unresolved = ss.submitted - ss.resolved();
+  r.attempts = ss.attempts;
+  r.retries = ss.retries;
+  r.backoffs = ss.backoffs;
+  r.quarantines = ss.quarantines;
+  r.recoveries = ss.recoveries;
+  r.probes = ss.probes;
+  r.final_health = core::supervisor_health_name(sup_.health());
+
+  r.rollbacks = sup_.engine().stats().rollbacks;
+  r.engine_cancels = sup_.engine().stats().cancels;
+  r.invariant_checks = invariant_checks_;
+  r.invariant_violations = invariant_violations_;
+
+  r.availability = tracker_.availability();
+  r.interruptions = tracker_.interruptions().size();
+  r.downtime_cycles = tracker_.total_downtime();
+  r.span_cycles = tracker_.observation_span();
+
+  r.workload_ops = workload_ops_;
+  r.workload_bytes = workload_bytes_;
+  r.workload_corruptions = workload_corruptions_;
+
+  r.converged = done() && r.unresolved == 0 && !tracker_.is_down();
+  r.final_mode = core::exec_mode_name(sup_.engine().mode());
+  return r;
+}
+
+}  // namespace mercury::cluster

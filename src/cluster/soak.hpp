@@ -1,0 +1,155 @@
+// Chaos-soak harness: drive hundreds of *supervised* attach/detach cycles
+// under a fault storm while a workload runs, account availability, and emit
+// a machine-checkable `mercury.soak.v1` verdict (the robustness analogue of
+// the bench JSON artifacts — CI gates on it).
+//
+// The driver is kernel-timer based: a periodic pump submits the next switch
+// request (alternating toward and away from the virtual mode) through the
+// SwitchSupervisor whenever the previous one has resolved, so it composes
+// with any workload that is simultaneously driving the same kernel. Every
+// resolution updates outcome counters, the AvailabilityTracker (a committed
+// switch is a short, accounted service interruption), and optionally the
+// machine-state invariant checker.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cluster/availability.hpp"
+#include "core/switch_supervisor.hpp"
+
+namespace mercury::cluster {
+
+/// Everything a soak run measures, flattened for the mercury.soak.v1
+/// serializer. SoakDriver::report() fills the switch/health/availability
+/// sections; the harness fills seed, storm, and workload fields itself.
+struct SoakReport {
+  std::uint64_t seed = 0;
+  std::size_t cpus = 0;
+  std::uint64_t planned_cycles = 0;
+
+  double storm_rate = 0.0;
+  std::uint32_t storm_burst = 0;
+  double storm_decay = 1.0;
+  std::uint64_t storm_fires = 0;
+  std::uint64_t storm_windows = 0;
+
+  // Request outcomes (every supervised request, internal ones included).
+  std::uint64_t submitted = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t failed_deadline = 0;
+  std::uint64_t failed_attempts = 0;
+  std::uint64_t failed_quarantined = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t unresolved = 0;  // must be 0: no stranded requests, ever
+
+  std::uint64_t attempts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t backoffs = 0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t probes = 0;
+  std::string final_health = "healthy";
+
+  std::uint64_t rollbacks = 0;
+  std::uint64_t engine_cancels = 0;
+
+  std::uint64_t invariant_checks = 0;
+  std::uint64_t invariant_violations = 0;  // must be 0
+
+  double availability = 1.0;
+  std::uint64_t interruptions = 0;
+  std::uint64_t downtime_cycles = 0;
+  std::uint64_t span_cycles = 0;
+
+  std::uint64_t workload_ops = 0;
+  std::uint64_t workload_bytes = 0;
+  std::uint64_t workload_corruptions = 0;  // must be 0
+
+  bool converged = false;  // every request terminal, service back up
+  std::string final_mode = "native";
+};
+
+/// The mercury.soak.v1 document (embeds the live obs metrics snapshot).
+std::string soak_report_json(const SoakReport& r);
+
+/// Serialize and write to `path`. Returns false on I/O failure.
+bool write_soak_report(const SoakReport& r, const std::string& path);
+
+struct SoakParams {
+  /// Supervised switch requests to drive end-to-end.
+  std::uint64_t cycles = 200;
+  /// Pump cadence; a tick with the previous request still live just
+  /// re-arms.
+  double request_interval_ms = 3.0;
+  /// The virtual mode to alternate with native.
+  core::ExecMode virt_mode = core::ExecMode::kPartialVirtual;
+  /// Per-request options forwarded to the supervisor.
+  hw::Cycles deadline = 0;
+  std::uint32_t max_attempts = 0;
+  /// Run the machine-state invariant checker after every resolution
+  /// (host cost only).
+  bool check_invariants = true;
+};
+
+class SoakDriver {
+ public:
+  explicit SoakDriver(core::SwitchSupervisor& supervisor, SoakParams p = {});
+
+  /// Arm the request pump. Non-blocking: the caller drives the kernel
+  /// (directly or through a workload's own run loop).
+  void start();
+  /// All `cycles` driver requests have resolved.
+  bool done() const { return resolved_ >= params_.cycles; }
+  /// Convenience: start() if needed, then drive the kernel until done()
+  /// or the budget runs out.
+  bool run_to_completion(hw::Cycles budget);
+
+  std::uint64_t submitted() const { return submitted_; }
+  std::uint64_t resolved() const { return resolved_; }
+  std::uint64_t committed() const { return committed_; }
+  std::uint64_t failed() const { return resolved_ - committed_; }
+  std::uint64_t invariant_checks() const { return invariant_checks_; }
+  std::uint64_t invariant_violations() const { return invariant_violations_; }
+  AvailabilityTracker& availability() { return tracker_; }
+  core::SwitchSupervisor& supervisor() { return sup_; }
+
+  /// Report workload progress for the final report.
+  void note_workload(std::uint64_t ops, std::uint64_t bytes,
+                     std::uint64_t corruptions) {
+    workload_ops_ = ops;
+    workload_bytes_ = bytes;
+    workload_corruptions_ = corruptions;
+  }
+
+  /// Snapshot the soak verdict (drivable any time; meaningful once done).
+  SoakReport report(std::uint64_t seed) const;
+
+ private:
+  void arm_tick();
+  void tick();
+  void on_resolved(const core::SupervisedRequest& r);
+  hw::Cycles now() const;
+
+  core::SwitchSupervisor& sup_;
+  kernel::Kernel& kernel_;
+  SoakParams params_;
+
+  bool started_ = false;
+  bool finished_ = false;
+  bool outstanding_ = false;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t resolved_ = 0;
+  std::uint64_t committed_ = 0;
+  std::uint64_t invariant_checks_ = 0;
+  std::uint64_t invariant_violations_ = 0;
+  std::uint64_t workload_ops_ = 0;
+  std::uint64_t workload_bytes_ = 0;
+  std::uint64_t workload_corruptions_ = 0;
+  AvailabilityTracker tracker_;
+  /// Timers capture a weak reference: one may survive the driver.
+  std::shared_ptr<SoakDriver*> self_;
+};
+
+}  // namespace mercury::cluster

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "obs/obs.hpp"
+#include "util/assert.hpp"
 #include "util/log.hpp"
 
 namespace mercury::core {
@@ -41,15 +42,75 @@ std::string FaultPlan::describe() const {
   return os.str();
 }
 
+FaultStorm FaultStorm::uniform(double r, std::uint64_t seed) {
+  FaultStorm s;
+  for (double& site_rate : s.rate) site_rate = r;
+  s.seed = seed;
+  return s;
+}
+
+std::string FaultStorm::describe() const {
+  std::ostringstream os;
+  os << "storm(" << fault_kind_name(kind) << " seed=" << seed
+     << " burst=" << burst_windows << " decay=" << decay << " rates=[";
+  for (std::size_t i = 0; i < kNumFaultSites; ++i)
+    os << (i ? "," : "") << rate[i];
+  os << "])";
+  return os.str();
+}
+
 void FaultInjector::arm(const FaultPlan& plan) {
+  MERC_CHECK_MSG(!armed_,
+                 "arming a fault plan over a live one — silent replacement "
+                 "makes fault sweeps vacuous; disarm() or replace() first");
   plan_ = plan;
   armed_ = true;
+  ++arms_;
   for (std::uint64_t& v : visits_) v = 0;
 }
 
-void FaultInjector::on_site(FaultSite site, hw::Cpu* cpu) {
-  const std::uint64_t n = ++visits_[static_cast<std::size_t>(site)];
-  if (!armed_ || site != plan_.site || n != plan_.trigger_count) return;
+void FaultInjector::replace(const FaultPlan& plan) {
+  disarm();  // counts the superseded plan as unfired
+  arm(plan);
+}
+
+void FaultInjector::arm_storm(const FaultStorm& storm) {
+  storm_ = storm;
+  storm_rng_ = util::Rng(storm.seed);
+  storm_active_ = true;
+  storm_fires_ = 0;
+  storm_windows_ = 0;
+  burst_left_ = 0;
+  for (std::uint64_t& t : window_trigger_) t = 0;
+  for (std::uint64_t& v : window_visits_) v = 0;
+}
+
+void FaultInjector::begin_window() {
+  if (!storm_active_) return;
+  ++storm_windows_;
+  const std::uint64_t depth =
+      storm_.max_trigger_depth ? storm_.max_trigger_depth : 1;
+  for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+    window_visits_[i] = 0;
+    window_trigger_[i] = 0;
+    // One Bernoulli trial per site per window. The trial is rolled even for
+    // zero-rate sites so the schedule of a multi-site storm is independent
+    // of which other sites are enabled (reproducibility across variants).
+    const bool won = storm_rng_.chance(storm_.rate[i]);
+    const std::uint64_t at = 1 + storm_rng_.below(depth);
+    if (won) window_trigger_[i] = at;
+  }
+  // A burst pins the last-fired site to keep firing for its remaining
+  // windows regardless of the trials above.
+  if (burst_left_ > 0) {
+    --burst_left_;
+    const std::size_t b = static_cast<std::size_t>(burst_site_);
+    if (window_trigger_[b] == 0) window_trigger_[b] = 1 + storm_rng_.below(depth);
+  }
+}
+
+void FaultInjector::fire_plan(FaultSite site, hw::Cpu* cpu,
+                              std::uint64_t visit) {
   // Single-shot: disarm before throwing so the rollback path, which walks
   // the same sites in reverse, cannot re-fire.
   armed_ = false;
@@ -63,16 +124,79 @@ void FaultInjector::on_site(FaultSite site, hw::Cpu* cpu) {
   if (cpu != nullptr) {
     MERC_FLIGHT(*cpu, kFaultHit, fault_site_name(site),
                 static_cast<std::uint64_t>(site),
-                static_cast<std::uint64_t>(plan_.kind), n);
+                static_cast<std::uint64_t>(plan_.kind), visit);
   } else {
     obs::flight_recorder().record(0, obs::FlightType::kFaultHit,
                                   fault_site_name(site), 0,
                                   static_cast<std::uint64_t>(site),
-                                  static_cast<std::uint64_t>(plan_.kind), n);
+                                  static_cast<std::uint64_t>(plan_.kind),
+                                  visit);
   }
 #endif
   util::log_warn("fault", "injecting ", plan_.describe());
   throw FaultInjected{site, plan_.kind, cpu != nullptr ? cpu->id() : 0u};
+}
+
+void FaultInjector::fire_storm(FaultSite site, hw::Cpu* cpu,
+                               std::uint64_t visit) {
+  const std::size_t idx = static_cast<std::size_t>(site);
+  window_trigger_[idx] = 0;  // one fire per site per window
+  ++storm_fires_;
+  ++injected_;
+  if (storm_.burst_windows > 1) {
+    burst_left_ = storm_.burst_windows - 1;
+    burst_site_ = site;
+  }
+  storm_.rate[idx] *= storm_.decay;
+  if (storm_.max_fires != 0 && storm_fires_ >= storm_.max_fires)
+    storm_active_ = false;
+  if (cpu != nullptr && storm_.kind == FaultKind::kTimeout &&
+      storm_.timeout_latency != 0)
+    cpu->charge(storm_.timeout_latency);
+  MERC_COUNT("fault.injected");
+  MERC_COUNT("fault.storm.fires");
+#if MERCURY_OBS_ENABLED
+  obs::registry().counter("fault.injected_at", fault_site_name(site)).inc();
+  if (cpu != nullptr) {
+    MERC_FLIGHT(*cpu, kFaultHit, fault_site_name(site),
+                static_cast<std::uint64_t>(site),
+                static_cast<std::uint64_t>(storm_.kind), visit);
+  } else {
+    obs::flight_recorder().record(0, obs::FlightType::kFaultHit,
+                                  fault_site_name(site), 0,
+                                  static_cast<std::uint64_t>(site),
+                                  static_cast<std::uint64_t>(storm_.kind),
+                                  visit);
+  }
+#endif
+  util::log_warn("fault", "storm firing at ", fault_site_name(site),
+                 " (fire #", storm_fires_, ")");
+  throw FaultInjected{site, storm_.kind, cpu != nullptr ? cpu->id() : 0u};
+}
+
+void FaultInjector::on_site(FaultSite site, hw::Cpu* cpu) {
+  const std::size_t idx = static_cast<std::size_t>(site);
+  const std::uint64_t n = ++visits_[idx];
+  if (paused_) {
+    if (storm_active_) ++window_visits_[idx];
+    return;
+  }
+  if (armed_ && site == plan_.site && n == plan_.trigger_count)
+    fire_plan(site, cpu, n);
+  if (storm_active_) {
+    const std::uint64_t wn = ++window_visits_[idx];
+    if (window_trigger_[idx] != 0 && wn == window_trigger_[idx])
+      fire_storm(site, cpu, wn);
+  }
+}
+
+FaultInjector::PauseGuard::PauseGuard()
+    : was_paused_(fault_injector().paused()) {
+  fault_injector().set_paused(true);
+}
+
+FaultInjector::PauseGuard::~PauseGuard() {
+  fault_injector().set_paused(was_paused_);
 }
 
 FaultInjector& fault_injector() {

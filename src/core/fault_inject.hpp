@@ -9,10 +9,18 @@
 // throws FaultInjected; SwitchEngine catches it at the commit level and
 // rolls the machine back to its pre-switch mode.
 //
+// Beyond single-shot plans, a FaultStorm keeps faulting: every commit
+// attempt opens a *window* (FaultInjector::begin_window), each window rolls
+// one seeded Bernoulli trial per site, and a won trial fires at a random
+// visit depth inside that window. Storms support burst lengths (a hit makes
+// the next N windows fire too) and rate decay (each fire multiplies the
+// site's rate), so a soak run can model both transient glitches and failure
+// cascades that eventually die down — or never do.
+//
 // Everything is deterministic: the simulator is single-threaded, site
-// visits are a pure function of the workload, and `random_fault_plan`
-// derives plans from a caller-supplied seeded Rng — a failing fuzz seed
-// replays exactly.
+// visits are a pure function of the workload, and both `random_fault_plan`
+// and storm scheduling derive from caller-supplied seeds — a failing soak
+// seed replays exactly.
 #pragma once
 
 #include <cstdint>
@@ -77,33 +85,132 @@ struct FaultInjected {
   std::uint32_t cpu = 0;
 };
 
+/// A seeded multi-shot fault regime for soak runs. One window = one commit
+/// attempt (the switch engine calls begin_window); per window each site
+/// with rate > 0 rolls an independent Bernoulli trial, and a won trial
+/// fires on a uniformly chosen visit in [1, max_trigger_depth] to that
+/// site within the window.
+struct FaultStorm {
+  /// Per-window fire probability, indexed by FaultSite.
+  double rate[kNumFaultSites] = {};
+  /// A won trial fires at visit 1..max_trigger_depth within the window
+  /// (bulk sites see thousands of visits per switch; shallow depths keep
+  /// the fire reachable at every site).
+  std::uint64_t max_trigger_depth = 8;
+  /// After a fire, the same site keeps firing for this many consecutive
+  /// windows in total (1 = no burst).
+  std::uint32_t burst_windows = 1;
+  /// Each fire multiplies the firing site's rate by this factor: < 1.0
+  /// models storms that blow over, 1.0 a stationary fault rate.
+  double decay = 1.0;
+  FaultKind kind = FaultKind::kFail;
+  /// Cycles charged at the site before a kTimeout fire fails.
+  hw::Cycles timeout_latency = 0;
+  /// Stop the storm after this many fires (0 = unlimited).
+  std::uint64_t max_fires = 0;
+  std::uint64_t seed = 1;
+
+  /// Every site at the same per-window rate.
+  static FaultStorm uniform(double rate, std::uint64_t seed);
+
+  std::string describe() const;
+};
+
 /// The process-global injector every site reports to. Disarmed it is a
-/// handful of loads per visit; tests arm exactly one single-shot plan.
+/// handful of loads per visit; tests arm exactly one single-shot plan or
+/// one storm (they compose: the plan is checked first).
 class FaultInjector {
  public:
-  /// Arm `plan` (replacing any armed plan) and zero the per-arm counters.
+  /// Arm `plan` and zero the per-arm counters. Arming over a live plan is
+  /// an invariant violation (MERC_CHECK): silent replacement made fault
+  /// sweeps pass vacuously. disarm() first, or use replace().
   void arm(const FaultPlan& plan);
-  void disarm() { armed_ = false; }
+  /// Explicitly swap the armed plan (counts the old one as unfired).
+  void replace(const FaultPlan& plan);
+  void disarm() {
+    if (armed_) ++unfired_disarms_;
+    armed_ = false;
+  }
   bool armed() const { return armed_; }
   const FaultPlan& plan() const { return plan_; }
 
-  /// Total faults fired since process start / since the last arm.
+  /// Arm a multi-shot storm. Runs until stop_storm(), or until `max_fires`
+  /// is reached. Replacing a live storm is allowed (storms are regimes,
+  /// not one-shot assertions).
+  void arm_storm(const FaultStorm& storm);
+  void stop_storm() { storm_active_ = false; }
+  bool storm_active() const { return storm_active_; }
+  const FaultStorm& storm() const { return storm_; }
+  /// Fires attributed to the storm since it was armed.
+  std::uint64_t storm_fires() const { return storm_fires_; }
+  /// Windows opened since the storm was armed.
+  std::uint64_t storm_windows() const { return storm_windows_; }
+
+  /// Open a scheduling window (the switch engine calls this at the start
+  /// of every commit attempt). Rolls the storm's per-site trials; no-op
+  /// without an active storm.
+  void begin_window();
+
+  /// Suppress firing (visits still counted). The switch engine pauses the
+  /// injector across a rollback so a storm cannot fault the fault handler.
+  void set_paused(bool p) { paused_ = p; }
+  bool paused() const { return paused_; }
+  class PauseGuard {
+   public:
+    PauseGuard();
+    ~PauseGuard();
+    PauseGuard(const PauseGuard&) = delete;
+    PauseGuard& operator=(const PauseGuard&) = delete;
+
+   private:
+    bool was_paused_;
+  };
+
+  /// Total faults fired since process start (plans + storms).
   std::uint64_t injected() const { return injected_; }
   /// Visits to `site` since the last arm.
   std::uint64_t visits(FaultSite s) const {
     return visits_[static_cast<std::size_t>(s)];
   }
+  /// Plans armed / disarmed without ever firing, since process start.
+  /// Tests report a nonzero unfired delta at scope exit: a plan that never
+  /// fired usually means the sweep asserted nothing.
+  std::uint64_t arms() const { return arms_; }
+  std::uint64_t unfired_disarms() const { return unfired_disarms_; }
 
-  /// Report a visit to `site`. Throws FaultInjected (after charging
-  /// `plan.latency` to `cpu`, when given) if the armed plan fires; the plan
-  /// disarms first so unwind/rollback code revisiting sites is safe.
+  /// Report a visit to `site`. Throws FaultInjected (after charging the
+  /// fault's latency to `cpu`, when given) if the armed plan or the storm
+  /// fires; a firing plan disarms first so unwind/rollback code revisiting
+  /// sites is safe, and storms are suppressed while paused.
   void on_site(FaultSite site, hw::Cpu* cpu = nullptr);
 
+  /// True when any site visit could fire (keeps the fault_point fast path
+  /// a couple of loads).
+  bool live() const { return armed_ || storm_active_; }
+
  private:
+  void fire_plan(FaultSite site, hw::Cpu* cpu, std::uint64_t visit);
+  void fire_storm(FaultSite site, hw::Cpu* cpu, std::uint64_t visit);
+
   bool armed_ = false;
+  bool paused_ = false;
   FaultPlan plan_{};
   std::uint64_t visits_[kNumFaultSites] = {};
   std::uint64_t injected_ = 0;
+  std::uint64_t arms_ = 0;
+  std::uint64_t unfired_disarms_ = 0;
+
+  bool storm_active_ = false;
+  FaultStorm storm_{};
+  util::Rng storm_rng_{1};
+  std::uint64_t storm_fires_ = 0;
+  std::uint64_t storm_windows_ = 0;
+  std::uint32_t burst_left_ = 0;
+  FaultSite burst_site_ = FaultSite::kRendezvous;
+  /// Visit ordinal (within the current window) at which each site fires;
+  /// 0 = quiet this window.
+  std::uint64_t window_trigger_[kNumFaultSites] = {};
+  std::uint64_t window_visits_[kNumFaultSites] = {};
 };
 
 FaultInjector& fault_injector();
@@ -111,7 +218,7 @@ FaultInjector& fault_injector();
 /// Site marker used by the switch path. Cheap when disarmed.
 inline void fault_point(FaultSite site, hw::Cpu* cpu = nullptr) {
   FaultInjector& fi = fault_injector();
-  if (fi.armed()) fi.on_site(site, cpu);
+  if (fi.live()) fi.on_site(site, cpu);
 }
 
 /// Derive a plan from a seeded Rng (the fuzzer's source of variety): any

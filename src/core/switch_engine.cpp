@@ -25,6 +25,18 @@ const char* exec_mode_name(ExecMode m) {
   return "?";
 }
 
+const char* switch_outcome_name(SwitchOutcome o) {
+  switch (o) {
+    case SwitchOutcome::kNone: return "none";
+    case SwitchOutcome::kCommitted: return "committed";
+    case SwitchOutcome::kNoOp: return "no-op";
+    case SwitchOutcome::kValidationAbort: return "validation-abort";
+    case SwitchOutcome::kRolledBack: return "rolled-back";
+    case SwitchOutcome::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
 SwitchEngine::SwitchEngine(kernel::Kernel& k, vmm::Hypervisor& hv,
                            VirtObject& native_vo, VirtualVo& driver_vo,
                            VirtualVo& guest_vo, SwitchConfig config)
@@ -96,6 +108,7 @@ void SwitchEngine::register_obs_instruments() {
   expose("switch.validation_aborts",
          [](const SwitchStats& s) { return s.validation_aborts; });
   expose("switch.rollbacks", [](const SwitchStats& s) { return s.rollbacks; });
+  expose("switch.cancels", [](const SwitchStats& s) { return s.cancels; });
   expose("switch.last_attach_cycles",
          [](const SwitchStats& s) { return s.last_attach_cycles; });
   expose("switch.last_detach_cycles",
@@ -199,10 +212,16 @@ bool SwitchEngine::validate_for_switch(hw::Cpu& cpu, ExecMode target) {
   return true;
 }
 
+void SwitchEngine::resolve(ExecMode target, SwitchOutcome outcome) {
+  last_outcome_ = outcome;
+  if (on_complete_) on_complete_(target, outcome);
+}
+
 void SwitchEngine::commit(hw::Cpu& cpu, ExecMode target) {
   MERC_CHECK(pending_);
   if (target == mode_) {
     pending_ = false;
+    resolve(target, SwitchOutcome::kNoOp);
     return;
   }
   if (config_.validate_before_commit && !validate_for_switch(cpu, target)) {
@@ -210,8 +229,11 @@ void SwitchEngine::commit(hw::Cpu& cpu, ExecMode target) {
     MERC_COUNT("switch.validation_aborts");
     pending_ = false;
     util::log_warn("mercury", "mode switch aborted by pre-commit validation");
+    resolve(target, SwitchOutcome::kValidationAbort);
     return;
   }
+  // One commit attempt = one fault-storm scheduling window.
+  fault_injector().begin_window();
 
   // Deferral wait (§5.1.1): simulated time between the switch request and
   // this commit attempt — dominated by the 10 ms retry timer when the VO
@@ -287,8 +309,12 @@ void SwitchEngine::commit(hw::Cpu& cpu, ExecMode target) {
   } catch (const FaultInjected& fault) {
     // A fault fired at one of the pre-commit injection sites: unwind the
     // partial transition instead of crashing mid-switch (paper §8), then
-    // leave the black-box evidence behind.
+    // leave the black-box evidence behind. An active fault storm is paused
+    // for the duration — a storm re-faulting the fault handler would turn
+    // every rollback into a crash, which is not the failure model (§8
+    // assumes the recovery path itself is sound).
     committed = false;
+    FaultInjector::PauseGuard storm_pause;
     rollback(cpu, from, target, fault);
     dump_rollback_postmortem(from, target, fault);
   }
@@ -355,6 +381,22 @@ void SwitchEngine::commit(hw::Cpu& cpu, ExecMode target) {
     const InvariantReport report = check_machine_invariants(*this);
     MERC_CHECK_MSG(report.ok(), report.to_string());
   }
+
+  // Last: the hook observes the fully settled engine and may immediately
+  // submit the next request (the supervisor's retry path).
+  resolve(target,
+          committed ? SwitchOutcome::kCommitted : SwitchOutcome::kRolledBack);
+}
+
+void SwitchEngine::cancel() {
+  if (!pending_) return;
+  pending_ = false;
+  last_outcome_ = SwitchOutcome::kCancelled;
+  ++stats_.cancels;
+  MERC_COUNT("switch.cancels");
+  MERC_FLIGHT(kernel_.machine().cpu(0), kSwitchCancel, "switch.cancel",
+              static_cast<std::uint64_t>(mode_),
+              static_cast<std::uint64_t>(pending_target_));
 }
 
 void SwitchEngine::observe_slo(hw::Cpu& cpu, bool attach, hw::Cycles total,
@@ -718,8 +760,13 @@ void SwitchEngine::rollback(hw::Cpu& cpu, ExecMode from, ExecMode target,
 
 bool SwitchEngine::switch_now(ExecMode target, hw::Cycles budget) {
   request(target);
-  return kernel_.run_until([&] { return mode_ == target && !pending_; },
-                           budget);
+  const bool ok = kernel_.run_until(
+      [&] { return mode_ == target && !pending_; }, budget);
+  // Budget exhausted: revoke the request. Without this the deferral timer
+  // stays armed and the "failed" switch could still commit later, behind
+  // the back of a caller that was told it did not happen.
+  if (!ok) cancel();
+  return ok;
 }
 
 }  // namespace mercury::core

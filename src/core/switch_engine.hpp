@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include <functional>
 #include <string>
 
 #include "core/native_vo.hpp"
@@ -34,6 +35,21 @@ enum class ExecMode : std::uint8_t {
 };
 
 const char* exec_mode_name(ExecMode m);
+
+/// How the most recent commit attempt (or cancellation) resolved. A caller
+/// that saw switch_now() return false can distinguish "never committed"
+/// (kCancelled — the engine revoked the stale request) from a rollback or
+/// validation abort that resolved before the budget ran out.
+enum class SwitchOutcome : std::uint8_t {
+  kNone,             // no request has resolved yet
+  kCommitted,        // the mode changed
+  kNoOp,             // target equalled the current mode at commit time
+  kValidationAbort,  // §8 pre-commit validation refused the switch
+  kRolledBack,       // a mid-switch fault unwound the transition
+  kCancelled,        // the request was revoked before it could commit
+};
+
+const char* switch_outcome_name(SwitchOutcome o);
 
 /// Per-phase cycle budgets for the switch-SLO watchdog (0 = unlimited).
 /// After every committed switch the engine reports the phase actuals to an
@@ -83,6 +99,7 @@ struct SwitchStats {
   std::uint64_t deferrals = 0;       // refcount non-zero at request time
   std::uint64_t validation_aborts = 0;
   std::uint64_t rollbacks = 0;       // mid-switch faults unwound (§8)
+  std::uint64_t cancels = 0;         // pending requests revoked via cancel()
   hw::Cycles last_attach_cycles = 0;
   hw::Cycles last_detach_cycles = 0;
   hw::Cycles last_rendezvous_cycles = 0;
@@ -106,6 +123,22 @@ class SwitchEngine {
 
   /// True once no request is in flight.
   bool idle() const { return !pending_; }
+
+  /// Revoke the in-flight request, if any: the armed deferral timers and
+  /// interrupts become no-ops and the switch can no longer commit behind
+  /// the caller's back. No-op when idle. Does not fire the completion hook
+  /// (the canceller already knows).
+  void cancel();
+
+  /// How the most recent request resolved (kCancelled after cancel()).
+  SwitchOutcome last_outcome() const { return last_outcome_; }
+
+  /// One observer (the switch supervisor) notified after every request
+  /// resolution — commit, no-op, validation abort, or rollback — with the
+  /// engine already in its settled state. The hook runs on the host only
+  /// (it must never charge simulated cycles) and may submit a new request.
+  using CompletionHook = std::function<void(ExecMode target, SwitchOutcome)>;
+  void set_completion_hook(CompletionHook hook) { on_complete_ = std::move(hook); }
 
   /// Interrupt entry point (wired into the kernel's dispatch).
   void on_interrupt(hw::Cpu& cpu, std::uint8_t vector, std::uint32_t payload);
@@ -131,6 +164,8 @@ class SwitchEngine {
  private:
   void try_commit(hw::Cpu& cpu);
   void commit(hw::Cpu& cpu, ExecMode target);
+  /// Record the outcome and notify the completion hook (if installed).
+  void resolve(ExecMode target, SwitchOutcome outcome);
   void register_obs_instruments();
   void attach(hw::Cpu& cpu, ExecMode target);
   void detach(hw::Cpu& cpu);
@@ -162,6 +197,8 @@ class SwitchEngine {
 
   ExecMode mode_ = ExecMode::kNative;
   bool pending_ = false;
+  SwitchOutcome last_outcome_ = SwitchOutcome::kNone;
+  CompletionHook on_complete_;
   ExecMode pending_target_ = ExecMode::kNative;
   hw::Cycles request_time_ = 0;  // CP clock when the live request was made
   SwitchStats stats_;

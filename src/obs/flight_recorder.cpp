@@ -23,6 +23,11 @@ const char* flight_type_name(FlightType t) {
     case FlightType::kInvariantVerdict: return "invariant.verdict";
     case FlightType::kSloBreach: return "slo.breach";
     case FlightType::kAssertFail: return "assert.fail";
+    case FlightType::kSwitchCancel: return "switch.cancel";
+    case FlightType::kSupervisorAttempt: return "supervisor.attempt";
+    case FlightType::kSupervisorBackoff: return "supervisor.backoff";
+    case FlightType::kSupervisorResolve: return "supervisor.resolve";
+    case FlightType::kHealthTransition: return "supervisor.health";
   }
   return "?";
 }

@@ -40,6 +40,11 @@ enum class FlightType : std::uint8_t {
   kInvariantVerdict,  // arg0 = violation count
   kSloBreach,         // arg0 = actual cycles, arg1 = budget cycles
   kAssertFail,        // arg0 = source line
+  kSwitchCancel,      // arg0 = current mode, arg1 = abandoned target mode
+  kSupervisorAttempt, // arg0 = request id, arg1 = attempt #, arg2 = target
+  kSupervisorBackoff, // arg0 = request id, arg1 = attempt #, arg2 = delay cy
+  kSupervisorResolve, // arg0 = request id, arg1 = terminal state, arg2 = attempts
+  kHealthTransition,  // arg0 = from health, arg1 = to health, arg2 = fail streak
 };
 
 const char* flight_type_name(FlightType t);

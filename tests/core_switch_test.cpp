@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/mercury.hpp"
+#include "core/switch_supervisor.hpp"
 #include "kernel/syscalls.hpp"
 #include "obs/obs.hpp"
 
@@ -131,6 +132,38 @@ TEST(SwitchEngine, RefcountDefersCommit) {
       [&] { return m.mode() == ExecMode::kPartialVirtual; },
       200 * hw::kCyclesPerMillisecond))
       << "switch commits once the reference count drains";
+}
+
+TEST(SwitchEngine, BudgetExhaustedSwitchNowCancelsTheStaleRequest) {
+  // Regression: switch_now used to return false on budget exhaustion but
+  // leave the request pending — the deferral timer would then commit the
+  // switch later, behind the back of a caller who was told it failed.
+  MercuryBox box;
+  Mercury& m = *box.mercury;
+  bool release_now = false;
+  m.kernel().spawn("holder", [&](Sys& s) -> Sub<void> {
+    core::VirtObject::Section section(m.native_vo());
+    while (!release_now) co_await s.sleep_us(2'000.0);
+    section.release();
+    for (;;) co_await s.sleep_us(10'000.0);
+  });
+  m.kernel().run_for(hw::kCyclesPerMillisecond);
+  ASSERT_EQ(m.native_vo().active_refs(), 1);
+
+  EXPECT_FALSE(m.engine().switch_now(ExecMode::kPartialVirtual,
+                                     20 * hw::kCyclesPerMillisecond));
+  EXPECT_TRUE(m.engine().idle())
+      << "budget exhaustion must revoke the request, not leave it armed";
+  EXPECT_EQ(m.engine().last_outcome(), core::SwitchOutcome::kCancelled);
+  EXPECT_EQ(m.engine().stats().cancels, 1u);
+
+  release_now = true;
+  m.kernel().run_for(100 * hw::kCyclesPerMillisecond);
+  EXPECT_EQ(m.mode(), ExecMode::kNative)
+      << "a cancelled request committed once the refcount drained";
+  // The engine is healthy, not wedged: a fresh request works.
+  EXPECT_TRUE(m.switch_to(ExecMode::kPartialVirtual));
+  EXPECT_TRUE(m.switch_to(ExecMode::kNative));
 }
 
 TEST(SwitchEngine, DeferralRetriesOnTimerUntilRefcountDrains) {
@@ -421,6 +454,22 @@ TEST(SwitchEngine, CrewWorkersZeroTakesTheSerialPathExactly) {
             b.mercury->engine().stats().last_detach_cycles);
   EXPECT_EQ(a.machine->cpu(0).now(), b.machine->cpu(0).now());
   EXPECT_EQ(a.machine->cpu(1).now(), b.machine->cpu(1).now());
+
+  // And the supervised retry machinery must be free on the happy path: the
+  // same round trip through a SwitchSupervisor (crew_workers = 0) lands on
+  // exactly the same clocks as the bare serial engine.
+  MercuryConfig sup_cfg;
+  sup_cfg.switch_config.crew_workers = 0;
+  MercuryBox c(sup_cfg, /*mem_mb=*/128, /*cpus=*/2);
+  core::SwitchSupervisor sup(c.mercury->engine());
+  ASSERT_TRUE(sup.switch_now(ExecMode::kPartialVirtual));
+  ASSERT_TRUE(sup.switch_now(ExecMode::kNative));
+  EXPECT_EQ(a.mercury->engine().stats().last_attach_cycles,
+            c.mercury->engine().stats().last_attach_cycles);
+  EXPECT_EQ(a.mercury->engine().stats().last_detach_cycles,
+            c.mercury->engine().stats().last_detach_cycles);
+  EXPECT_EQ(a.machine->cpu(0).now(), c.machine->cpu(0).now());
+  EXPECT_EQ(a.machine->cpu(1).now(), c.machine->cpu(1).now());
 }
 
 TEST(SwitchEngine, CrewClampsToMachineSize) {
@@ -574,6 +623,19 @@ TEST(SwitchEngine, CycleIdentityProbe) {
     ASSERT_TRUE(m.switch_to(ExecMode::kNative));
     const core::SwitchStats& st = m.engine().stats();
     std::printf("CYCLE_IDENTITY smp attach=%" PRIu64 " detach=%" PRIu64 "\n",
+                st.last_attach_cycles, st.last_detach_cycles);
+  }
+  {
+    // Supervised round trip: the supervisor's bookkeeping (hooks, request
+    // records, health machine) must also be invisible to the simulated
+    // clock in both build flavours.
+    MercuryBox box({}, /*mem_mb=*/128);
+    Mercury& m = *box.mercury;
+    core::SwitchSupervisor sup(m.engine());
+    ASSERT_TRUE(sup.switch_now(ExecMode::kPartialVirtual));
+    ASSERT_TRUE(sup.switch_now(ExecMode::kNative));
+    const core::SwitchStats& st = m.engine().stats();
+    std::printf("CYCLE_IDENTITY sup attach=%" PRIu64 " detach=%" PRIu64 "\n",
                 st.last_attach_cycles, st.last_detach_cycles);
   }
 }

@@ -12,6 +12,7 @@
 #include "core/fault_inject.hpp"
 #include "core/invariants.hpp"
 #include "core/mercury.hpp"
+#include "core/switch_supervisor.hpp"
 #include "kernel/syscalls.hpp"
 #include "obs/obs.hpp"
 #include "obs/postmortem.hpp"
@@ -29,13 +30,33 @@ using core::Mercury;
 using kernel::Sub;
 using kernel::Sys;
 
-/// Disarm on scope exit so one trial can never leak a plan into the next.
-/// Also routes postmortem bundles into the test temp dir (instead of the
-/// working directory) and restores the default on exit.
+/// Disarm (and stop any storm) on scope exit so one trial can never leak a
+/// fault regime into the next. Also routes postmortem bundles into the test
+/// temp dir (instead of the working directory) and restores the default on
+/// exit — and reports how many plans this scope armed without ever firing:
+/// a sweep whose plans all miss is asserting much less than it looks like.
 struct InjectorGuard {
-  InjectorGuard() { obs::set_postmortem_dir(::testing::TempDir()); }
+  std::uint64_t arms_before;
+  std::uint64_t unfired_before;
+
+  InjectorGuard()
+      : arms_before(core::fault_injector().arms()),
+        unfired_before(core::fault_injector().unfired_disarms()) {
+    obs::set_postmortem_dir(::testing::TempDir());
+  }
   ~InjectorGuard() {
-    core::fault_injector().disarm();
+    FaultInjector& fi = core::fault_injector();
+    fi.disarm();
+    fi.stop_storm();
+    const std::uint64_t armed = fi.arms() - arms_before;
+    const std::uint64_t unfired = fi.unfired_disarms() - unfired_before;
+    if (unfired > 0) {
+      std::printf("[ INJECTOR ] %llu of %llu armed plan(s) never fired\n",
+                  static_cast<unsigned long long>(unfired),
+                  static_cast<unsigned long long>(armed));
+      ::testing::Test::RecordProperty("unfired_fault_plans",
+                                      std::to_string(unfired));
+    }
     obs::set_postmortem_dir("");
   }
 };
@@ -357,6 +378,104 @@ TEST(FaultMatrix, CrewWorkerShardFaults) {
   // attach); protect/unprotect shards see one per page table (~tens, so the
   // deep trigger commits untouched — exercising the unreached branch).
   EXPECT_GE(fired, 7u);
+}
+
+TEST(FaultMatrix, SupervisedSweepNeverStrandsARequest) {
+  // The whole serial fault matrix again, but driven through the switch
+  // supervisor: a single-shot fault at any site, in either direction, must
+  // end as committed-after-retry (the plan disarms on firing, so the backoff
+  // retry is clean) — and no request may ever be left non-terminal.
+  InjectorGuard guard;
+  Box box;
+  core::SupervisorConfig scfg;
+  scfg.backoff_base_ms = 0.5;
+  scfg.quarantine_after = 100;  // isolated single-shot faults never quarantine
+  core::SwitchSupervisor sup(box.m.engine(), scfg);
+  FaultInjector& fi = core::fault_injector();
+  std::size_t fired = 0;
+
+  const auto supervised_trial = [&](ExecMode target, const FaultPlan& plan,
+                                    const std::string& ctx) {
+    const std::uint64_t injected_before = fi.injected();
+    fi.arm(plan);
+    EXPECT_TRUE(
+        sup.switch_now(target, 500 * hw::kCyclesPerMillisecond))
+        << ctx << ": supervised switch did not commit";
+    fi.disarm();
+    EXPECT_EQ(box.m.mode(), target) << ctx;
+    const core::SupervisedRequest* req = sup.find(sup.requests().size());
+    ASSERT_NE(req, nullptr) << ctx;
+    if (fi.injected() > injected_before) {
+      ++fired;
+      EXPECT_GE(req->attempts, 2u)
+          << ctx << ": a fired fault must cost at least one retry";
+    } else {
+      EXPECT_EQ(req->attempts, 1u) << ctx;
+    }
+    for (const core::SupervisedRequest& r : sup.requests())
+      EXPECT_TRUE(core::request_state_terminal(r.state))
+          << ctx << ": request " << r.id << " stranded in state "
+          << core::request_state_name(r.state);
+    box.expect_consistent(ctx);
+    box.expect_os_runs(ctx);
+  };
+
+  for (const FaultSite site : kAllSites) {
+    for (const std::uint64_t trigger : {std::uint64_t{1}, std::uint64_t{3}}) {
+      FaultPlan plan;
+      plan.site = site;
+      plan.trigger_count = trigger;
+      plan.kind = site == FaultSite::kStackFixup ? FaultKind::kCorruptFrame
+                                                 : FaultKind::kFail;
+      {
+        const std::string ctx = "supervised " +
+            ctx_of(site, ExecMode::kNative, ExecMode::kPartialVirtual, trigger);
+        SCOPED_TRACE(ctx);
+        supervised_trial(ExecMode::kPartialVirtual, plan, ctx);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+      {
+        const std::string ctx = "supervised " +
+            ctx_of(site, ExecMode::kPartialVirtual, ExecMode::kNative, trigger);
+        SCOPED_TRACE(ctx);
+        supervised_trial(ExecMode::kNative, plan, ctx);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+  EXPECT_GE(fired, 8u);
+  EXPECT_EQ(sup.stats().committed, sup.stats().submitted)
+      << "single-shot faults under supervision must all end committed";
+  EXPECT_EQ(sup.health(), core::SupervisorHealth::kHealthy);
+}
+
+TEST(FaultMatrix, SupervisedPersistentStormQuarantinesWithPostmortem) {
+  // When the faults never stop, the supervisor must degrade instead of
+  // grinding: quarantine, fail the pending virtual-target request via its
+  // callback, stay native, and leave a quarantine postmortem bundle behind.
+  InjectorGuard guard;
+  Box box;
+  core::SupervisorConfig scfg;
+  scfg.backoff_base_ms = 0.5;
+  scfg.degraded_after = 2;
+  scfg.quarantine_after = 3;
+  scfg.probe_enabled = false;
+  core::SwitchSupervisor sup(box.m.engine(), scfg);
+
+  const std::uint64_t bundles_before = obs::postmortem_count();
+  core::fault_injector().arm_storm(core::FaultStorm::uniform(1.0, 11));
+  EXPECT_FALSE(sup.switch_now(ExecMode::kPartialVirtual));
+  core::fault_injector().stop_storm();
+
+  EXPECT_EQ(sup.health(), core::SupervisorHealth::kQuarantined);
+  EXPECT_EQ(box.m.mode(), ExecMode::kNative);
+  for (const core::SupervisedRequest& r : sup.requests())
+    EXPECT_TRUE(core::request_state_terminal(r.state));
+  EXPECT_GT(obs::postmortem_count(), bundles_before);
+  const std::string bundle = read_file(obs::last_postmortem_path());
+  EXPECT_NE(bundle.find("\"reason\":\"quarantine\""), std::string::npos);
+  box.expect_consistent("post-quarantine");
+  box.expect_os_runs("post-quarantine");
 }
 
 TEST(FaultMatrix, TimeoutFaultChargesLatency) {
