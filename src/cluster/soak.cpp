@@ -1,6 +1,8 @@
 #include "cluster/soak.hpp"
 
+#include <algorithm>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include "core/fault_inject.hpp"
@@ -152,9 +154,14 @@ SoakReport SoakDriver::report(std::uint64_t seed) const {
   r.cpus = kernel_.machine().num_cpus();
   r.planned_cycles = params_.cycles;
 
+  // Quote the storm as armed, not the live state: fire_storm() decays the
+  // per-site rates, and the artifact must record the regime the run was
+  // seeded with. The rate is the max across sites (uniform storms put the
+  // same rate everywhere).
   const core::FaultInjector& fi = core::fault_injector();
-  const core::FaultStorm& storm = fi.storm();
-  r.storm_rate = storm.rate[0];
+  const core::FaultStorm& storm = fi.storm_config();
+  r.storm_rate = *std::max_element(std::begin(storm.rate),
+                                   std::end(storm.rate));
   r.storm_burst = storm.burst_windows;
   r.storm_decay = storm.decay;
   r.storm_fires = fi.storm_fires();
@@ -167,7 +174,12 @@ SoakReport SoakDriver::report(std::uint64_t seed) const {
   r.failed_attempts = ss.failed_attempts;
   r.failed_quarantined = ss.failed_quarantined;
   r.cancelled = ss.cancelled;
-  r.unresolved = ss.submitted - ss.resolved();
+  // The stranded-request gate covers caller-submitted requests only: a
+  // supervisor-internal probe or quarantine detach legitimately in flight
+  // at snapshot time is scheduled work, not a stranded request.
+  r.unresolved = 0;
+  for (const core::SupervisedRequest& q : sup_.requests())
+    if (!q.internal && !core::request_state_terminal(q.state)) ++r.unresolved;
   r.attempts = ss.attempts;
   r.retries = ss.retries;
   r.backoffs = ss.backoffs;

@@ -23,7 +23,9 @@ namespace mercury::cluster {
 
 /// Everything a soak run measures, flattened for the mercury.soak.v1
 /// serializer. SoakDriver::report() fills the switch/health/availability
-/// sections; the harness fills seed, storm, and workload fields itself.
+/// sections and quotes the storm regime as armed (from
+/// FaultInjector::storm_config); the harness fills seed and workload
+/// fields itself.
 struct SoakReport {
   std::uint64_t seed = 0;
   std::size_t cpus = 0;
@@ -35,14 +37,17 @@ struct SoakReport {
   std::uint64_t storm_fires = 0;
   std::uint64_t storm_windows = 0;
 
-  // Request outcomes (every supervised request, internal ones included).
+  // Request outcomes. The counters cover every supervised request,
+  // internal ones included; `unresolved` gates caller-submitted requests
+  // only, so a supervisor-internal probe in flight at snapshot time does
+  // not read as stranded.
   std::uint64_t submitted = 0;
   std::uint64_t committed = 0;
   std::uint64_t failed_deadline = 0;
   std::uint64_t failed_attempts = 0;
   std::uint64_t failed_quarantined = 0;
   std::uint64_t cancelled = 0;
-  std::uint64_t unresolved = 0;  // must be 0: no stranded requests, ever
+  std::uint64_t unresolved = 0;  // must be 0: no stranded caller requests
 
   std::uint64_t attempts = 0;
   std::uint64_t retries = 0;

@@ -76,6 +76,7 @@ void FaultInjector::replace(const FaultPlan& plan) {
 
 void FaultInjector::arm_storm(const FaultStorm& storm) {
   storm_ = storm;
+  storm_config_ = storm;
   storm_rng_ = util::Rng(storm.seed);
   storm_active_ = true;
   storm_fires_ = 0;

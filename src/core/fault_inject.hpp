@@ -140,7 +140,11 @@ class FaultInjector {
   void arm_storm(const FaultStorm& storm);
   void stop_storm() { storm_active_ = false; }
   bool storm_active() const { return storm_active_; }
+  /// The *live* storm state: fire_* mutates per-site rates by `decay`, so
+  /// this drifts from the armed regime as fires land.
   const FaultStorm& storm() const { return storm_; }
+  /// The storm exactly as armed (pre-decay) — reports quote this one.
+  const FaultStorm& storm_config() const { return storm_config_; }
   /// Fires attributed to the storm since it was armed.
   std::uint64_t storm_fires() const { return storm_fires_; }
   /// Windows opened since the storm was armed.
@@ -201,7 +205,8 @@ class FaultInjector {
   std::uint64_t unfired_disarms_ = 0;
 
   bool storm_active_ = false;
-  FaultStorm storm_{};
+  FaultStorm storm_{};         // live state: rates decay as fires land
+  FaultStorm storm_config_{};  // the regime as armed, never mutated
   util::Rng storm_rng_{1};
   std::uint64_t storm_fires_ = 0;
   std::uint64_t storm_windows_ = 0;

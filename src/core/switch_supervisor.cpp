@@ -232,7 +232,8 @@ void SwitchSupervisor::on_engine_resolve(ExecMode target,
       engine_.mode() == req->target;
   active_ = 0;
   if (success) {
-    if (req->target != ExecMode::kNative) note_attach_result(true);
+    if (req->target != ExecMode::kNative)
+      note_attach_result(true, req->target);
     resolve(*req, RequestState::kCommitted);
     return;
   }
@@ -240,7 +241,7 @@ void SwitchSupervisor::on_engine_resolve(ExecMode target,
 }
 
 void SwitchSupervisor::on_attempt_failed(SupervisedRequest& req) {
-  if (req.target != ExecMode::kNative) note_attach_result(false);
+  if (req.target != ExecMode::kNative) note_attach_result(false, req.target);
   // note_attach_result may have entered quarantine, which resolves every
   // live virtual-target request — this one included.
   if (request_state_terminal(req.state)) {
@@ -362,17 +363,24 @@ void SwitchSupervisor::resolve(SupervisedRequest& req, RequestState terminal) {
       arm_probe_timer();
     }
   }
-  if (const RequestCallback& cb = callbacks_[req.id - 1]) cb(req);
+  // Each request resolves exactly once, so move its callback out before
+  // invoking it: the callback may submit a follow-up request, and the
+  // re-entrant enqueue() grows callbacks_ — invoking through a reference
+  // into the container would be a use-after-free of the std::function's
+  // captures if the container moved its elements.
+  RequestCallback cb = std::move(callbacks_[req.id - 1]);
+  if (cb) cb(req);
   pump();
 }
 
-void SwitchSupervisor::note_attach_result(bool success) {
+void SwitchSupervisor::note_attach_result(bool success, ExecMode target) {
   if (success) {
     consecutive_failures_ = 0;
     if (health_ == SupervisorHealth::kDegraded)
       transition_health(SupervisorHealth::kHealthy);
     return;
   }
+  probe_target_ = target;
   ++consecutive_failures_;
   if (health_ == SupervisorHealth::kQuarantined) return;
   if (consecutive_failures_ >= config_.quarantine_after) {
@@ -402,8 +410,14 @@ void SwitchSupervisor::enter_quarantine() {
   dump_quarantine_postmortem();
   // Fail every live virtual-target request via its callback: the owner
   // learns virtualization is out, rather than waiting on retries that the
-  // health machine has concluded cannot succeed.
-  for (SupervisedRequest& r : requests_) {
+  // health machine has concluded cannot succeed. Index loop over a size
+  // snapshot: a callback may submit a follow-up, and the re-entrant
+  // push_back invalidates deque iterators (references stay stable).
+  // Requests enqueued during the sweep are safe to skip — health_ is
+  // already kQuarantined, so enqueue() fast-fails virtual targets itself.
+  const std::size_t swept = requests_.size();
+  for (std::size_t i = 0; i < swept; ++i) {
+    SupervisedRequest& r = requests_[i];
     if (request_state_terminal(r.state)) continue;
     if (r.target == ExecMode::kNative) continue;
     if (r.id == active_) {
@@ -476,7 +490,9 @@ void SwitchSupervisor::fire_probe() {
   }
   ++stats_.probes;
   MERC_COUNT("switch.supervisor.probes");
-  enqueue(ExecMode::kPartialVirtual, RequestOptions{}, nullptr,
+  // Retest the mode whose failures drove the quarantine: a successful
+  // partial-virtual attach says nothing about a broken full-virtual one.
+  enqueue(probe_target_, RequestOptions{}, nullptr,
           /*probe=*/true, /*internal=*/true);
   pump();
 }

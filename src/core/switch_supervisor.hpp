@@ -204,7 +204,9 @@ class SwitchSupervisor {
   void arm_deadline(SupervisedRequest& req);
   void resolve(SupervisedRequest& req, RequestState terminal);
   /// Attach-health bookkeeping (only attach attempts move the machine).
-  void note_attach_result(bool success);
+  /// `target` is the virtual mode the attempt drove toward; failures
+  /// remember it so a quarantine probe retests the mode that broke.
+  void note_attach_result(bool success, ExecMode target);
   void transition_health(SupervisorHealth to);
   void enter_quarantine();
   void dump_quarantine_postmortem();
@@ -217,7 +219,9 @@ class SwitchSupervisor {
   util::Rng rng_;
 
   std::deque<SupervisedRequest> requests_;  // stable storage, id = index+1
-  std::vector<RequestCallback> callbacks_;  // parallel to requests_
+  std::deque<RequestCallback> callbacks_;   // parallel to requests_; deque so
+                                            // re-entrant submits from a
+                                            // running callback never move it
   std::vector<std::uint64_t> queue_;        // queued request ids
   std::uint64_t active_ = 0;                // id driving the engine (0 = none)
   std::uint64_t live_ = 0;                  // non-terminal request count
@@ -226,6 +230,11 @@ class SwitchSupervisor {
   SupervisorHealth health_ = SupervisorHealth::kHealthy;
   std::uint32_t consecutive_failures_ = 0;
   bool probe_timer_armed_ = false;
+  /// The virtual mode whose failed attach most recently moved the health
+  /// machine: recovery probes retest this mode, not a fixed one — a
+  /// partial-virtual success must not declare a full-virtual quarantine
+  /// healed.
+  ExecMode probe_target_ = ExecMode::kPartialVirtual;
 
   SupervisorStats stats_;
   std::string obs_label_;

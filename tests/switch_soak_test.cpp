@@ -229,6 +229,8 @@ TEST(SwitchSoak, SeededStormSoakConvergesWithoutCorruption) {
   const SoakReport report = driver.report(seed);
   EXPECT_TRUE(report.converged);
   EXPECT_EQ(report.unresolved, 0u);
+  EXPECT_DOUBLE_EQ(report.storm_rate, 0.05)
+      << "the verdict must quote the armed storm rate, not the decayed one";
   EXPECT_EQ(report.submitted, box.sup.stats().submitted)
       << "report must count every supervised request, internals included";
   EXPECT_GE(report.submitted, driver.submitted());
@@ -281,6 +283,47 @@ TEST(SwitchSoak, PersistentStormQuarantinesCleanly) {
   EXPECT_EQ(report.final_health, "quarantined");
   EXPECT_EQ(report.final_mode, "native");
   expect_valid_soak_json(report, "soak_quarantine.json");
+}
+
+TEST(SwitchSoak, InternalProbeInFlightDoesNotReadAsStranded) {
+  InjectorGuard guard;
+  const std::uint64_t seed = test_seed(0xBAD9205Eull);
+
+  SupervisorConfig scfg;
+  scfg.backoff_base_ms = 0.5;
+  scfg.max_attempts = 2;
+  scfg.degraded_after = 1;
+  scfg.quarantine_after = 2;
+  scfg.probe_interval_ms = 5.0;  // probes keep firing under the storm
+  scfg.seed = seed;
+  SoakBox box(scfg);
+
+  core::fault_injector().arm_storm(FaultStorm::uniform(1.0, seed));
+
+  SoakParams params;
+  params.cycles = 4;
+  params.request_interval_ms = 2.0;
+  SoakDriver driver(box.sup, params);
+  ASSERT_TRUE(driver.run_to_completion(10'000 * hw::kCyclesPerMillisecond));
+  ASSERT_EQ(box.sup.health(), SupervisorHealth::kQuarantined);
+
+  // The storm never ends, so recovery probes fire and fail forever. Catch
+  // one mid-flight and snapshot the verdict at that instant: scheduled
+  // supervisor-internal work must not read as a stranded request
+  // (regression: `unresolved` counted internal probes and failed the gate).
+  ASSERT_TRUE(box.m.kernel().run_until(
+      [&] {
+        for (const SupervisedRequest& r : box.sup.requests())
+          if (r.internal && !core::request_state_terminal(r.state))
+            return true;
+        return false;
+      },
+      10'000 * hw::kCyclesPerMillisecond))
+      << "no supervisor-internal request ever went live";
+  const SoakReport report = driver.report(seed);
+  EXPECT_EQ(report.unresolved, 0u);
+  EXPECT_TRUE(report.converged);
+  core::fault_injector().stop_storm();
 }
 
 }  // namespace

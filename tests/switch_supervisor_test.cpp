@@ -5,6 +5,7 @@
 // supervised path.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -376,6 +377,128 @@ TEST(SwitchSupervisor, HigherPriorityRequestDispatchesFirst) {
   ASSERT_TRUE(sup.switch_now(ExecMode::kNative));
 }
 
+TEST(SwitchSupervisor, CallbackMaySubmitFollowUpRequests) {
+  MercuryBox box;
+  Mercury& m = *box.mercury;
+  SwitchSupervisor sup(m.engine());
+
+  // The documented contract: a resolution callback may submit follow-up
+  // requests. The re-entrant enqueue() grows the callback store while the
+  // current callback is still executing — chain enough follow-ups that any
+  // element relocation would tear the running std::function out from under
+  // itself (regression: use-after-free of the callback's captures).
+  constexpr int kChain = 64;
+  int resolved = 0;
+  std::function<void(const SupervisedRequest&)> link =
+      [&](const SupervisedRequest& r) {
+        EXPECT_EQ(r.state, RequestState::kCommitted);
+        ++resolved;
+        if (resolved < kChain) {
+          const ExecMode next = r.target == ExecMode::kNative
+                                    ? ExecMode::kPartialVirtual
+                                    : ExecMode::kNative;
+          sup.submit(next, {}, link);
+        }
+      };
+  sup.submit(ExecMode::kPartialVirtual, {}, link);
+  ASSERT_TRUE(m.kernel().run_until([&] { return resolved >= kChain; },
+                                   5'000 * hw::kCyclesPerMillisecond));
+  EXPECT_EQ(sup.stats().committed, static_cast<std::uint64_t>(kChain));
+  EXPECT_TRUE(sup.idle());
+  ASSERT_TRUE(sup.switch_now(ExecMode::kNative));
+}
+
+TEST(SwitchSupervisor, QuarantineSweepSurvivesCallbackSubmits) {
+  InjectorGuard guard;
+  MercuryBox box;
+  Mercury& m = *box.mercury;
+  SupervisorConfig cfg;
+  cfg.backoff_base_ms = 0.5;
+  cfg.degraded_after = 1;
+  cfg.quarantine_after = 2;
+  cfg.probe_enabled = false;
+  SwitchSupervisor sup(m.engine(), cfg);
+
+  core::fault_injector().arm_storm(
+      FaultStorm::uniform(1.0, test_seed(0x5EE9Full)));
+
+  // Several queued attach requests, each reacting to the quarantine sweep
+  // by submitting one more virtual request — re-entering enqueue() (and
+  // growing the request store) while the sweep is mid-flight over it
+  // (regression: deque iterator invalidation). The follow-ups fast-fail
+  // synchronously: health is already quarantined when the callbacks fire.
+  constexpr int kRequests = 8;
+  int fast_failed = 0;
+  int followups = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    sup.submit(ExecMode::kPartialVirtual, {},
+               [&](const SupervisedRequest& r) {
+                 if (r.state != RequestState::kFailedQuarantined) return;
+                 ++fast_failed;
+                 sup.submit(ExecMode::kFullVirtual, {},
+                            [&](const SupervisedRequest& rr) {
+                              EXPECT_EQ(rr.state,
+                                        RequestState::kFailedQuarantined);
+                              ++followups;
+                            });
+               });
+  }
+  ASSERT_TRUE(m.kernel().run_until(
+      [&] {
+        return sup.health() == SupervisorHealth::kQuarantined && sup.idle();
+      },
+      5'000 * hw::kCyclesPerMillisecond));
+  core::fault_injector().stop_storm();
+
+  EXPECT_EQ(fast_failed, kRequests);
+  EXPECT_EQ(followups, kRequests);
+  for (const SupervisedRequest& r : sup.requests())
+    EXPECT_TRUE(core::request_state_terminal(r.state))
+        << "request " << r.id << " stranded in state "
+        << core::request_state_name(r.state);
+  EXPECT_EQ(m.mode(), ExecMode::kNative) << "quarantined means native";
+}
+
+TEST(SwitchSupervisor, ProbeRetestsTheModeThatDroveQuarantine) {
+  InjectorGuard guard;
+  MercuryBox box;
+  Mercury& m = *box.mercury;
+  SupervisorConfig cfg;
+  cfg.backoff_base_ms = 0.5;
+  cfg.degraded_after = 1;
+  cfg.quarantine_after = 2;
+  cfg.probe_interval_ms = 10.0;
+  SwitchSupervisor sup(m.engine(), cfg);
+
+  core::fault_injector().arm_storm(
+      FaultStorm::uniform(1.0, test_seed(0xF0BE5EEDull)));
+  RequestOptions opts;
+  opts.max_attempts = 4;
+  EXPECT_FALSE(sup.switch_now(ExecMode::kFullVirtual,
+                              500 * hw::kCyclesPerMillisecond, opts));
+  ASSERT_EQ(sup.health(), SupervisorHealth::kQuarantined);
+  core::fault_injector().stop_storm();
+
+  ASSERT_TRUE(m.kernel().run_until(
+      [&] {
+        return sup.health() == SupervisorHealth::kHealthy &&
+               m.mode() == ExecMode::kNative && sup.idle();
+      },
+      1'000 * hw::kCyclesPerMillisecond))
+      << "probe never recovered the quarantine";
+
+  // A full-virtual quarantine must be retested at full virtual: a partial-
+  // virtual probe succeeding says nothing about the mode that broke.
+  bool saw_probe = false;
+  for (const SupervisedRequest& r : sup.requests())
+    if (r.probe) {
+      saw_probe = true;
+      EXPECT_EQ(r.target, ExecMode::kFullVirtual);
+    }
+  EXPECT_TRUE(saw_probe);
+  EXPECT_EQ(sup.stats().recoveries, 1u);
+}
+
 TEST(FaultInjector, ArmOverAnArmedPlanIsRejected) {
   InjectorGuard guard;
   FaultInjector& fi = core::fault_injector();
@@ -470,6 +593,9 @@ TEST(FaultInjector, StormDecayBurstAndPauseSemantics) {
   EXPECT_EQ(fires, 1u);
   EXPECT_EQ(fi.storm_fires(), 1u);
   EXPECT_EQ(fi.storm_windows(), 6u);
+  // Decay mutates the live rates only; the armed regime stays quotable.
+  EXPECT_EQ(fi.storm().rate[0], 0.0);
+  EXPECT_EQ(fi.storm_config().rate[0], 1.0);
   fi.stop_storm();
 
   // max_fires stops the whole storm after the budget.
