@@ -7,6 +7,15 @@
 //   bench_soak --soak-json soak.json [--metrics-json m.json]
 //   python3 scripts/check_bench_json.py soak.json --schema soak
 //
+// With --timeseries-json and/or --profile-json the bench additionally runs
+// a 4-node ClusterSoak (per-node supervisors, cluster-wide switch waves)
+// and emits mercury.timeseries.v1 (per-node sampled series) and
+// mercury.profile.v1 (wall/sim attribution of the discrete-event engine):
+//
+//   bench_soak --timeseries-json ts.json --profile-json prof.json
+//   python3 scripts/check_bench_json.py ts.json --schema timeseries
+//   python3 scripts/check_bench_json.py prof.json --schema profile
+//
 // Seeded via MERCURY_TEST_SEED (same convention as the test suite), so a
 // failing CI storm replays bit-for-bit.
 #include <benchmark/benchmark.h>
@@ -180,6 +189,53 @@ int main(int argc, char** argv) {
     else
       std::fprintf(stderr, "cannot open %s for writing\n", soak_json.c_str());
   }
+
+  // Fleet leg: a 4-node cluster soak producing the time-series and feeding
+  // the engine profiler cross-node dispatch samples. Only runs when one of
+  // the fleet artifacts was requested — the single-machine soak above stays
+  // the converged/exit-code authority either way.
+  bool cluster_ok = true;
+  if (!obs_opts.timeseries_json.empty() || !obs_opts.profile_json.empty()) {
+    cluster::ClusterSoakParams cp;
+    cp.seed = soak_seed();
+    cluster::ClusterSoak cs(cp);
+    cluster_ok = cs.run();
+    const SoakReport fleet = cs.report();
+    std::printf(
+        "\n=== Cluster soak (%zu nodes, %llu waves) ===\n"
+        "fleet: %llu submitted, %llu committed, %llu unresolved, "
+        "mean availability %.5f, converged: %s\n",
+        fleet.nodes.size(), static_cast<unsigned long long>(cs.waves_run()),
+        static_cast<unsigned long long>(fleet.submitted),
+        static_cast<unsigned long long>(fleet.committed),
+        static_cast<unsigned long long>(fleet.unresolved), fleet.availability,
+        fleet.converged ? "yes" : "NO");
+    for (const cluster::NodeSoakStats& n : fleet.nodes)
+      std::printf("  %s: %llu/%llu committed, %llu retries, avail %.5f "
+                  "(%llu interruptions, %llu/%llu down cycles), health %s, "
+                  "mode %s\n",
+                  n.name.c_str(),
+                  static_cast<unsigned long long>(n.committed),
+                  static_cast<unsigned long long>(n.submitted),
+                  static_cast<unsigned long long>(n.retries), n.availability,
+                  static_cast<unsigned long long>(n.interruptions),
+                  static_cast<unsigned long long>(n.downtime_cycles),
+                  static_cast<unsigned long long>(n.span_cycles),
+                  n.final_health.c_str(), n.final_mode.c_str());
+    if (!obs_opts.timeseries_json.empty()) {
+      const std::string ts = cs.timeseries_json();
+      if (std::FILE* f = std::fopen(obs_opts.timeseries_json.c_str(), "w")) {
+        std::fwrite(ts.data(), 1, ts.size(), f);
+        std::fclose(f);
+        std::printf("time series written to %s (mercury.timeseries.v1)\n",
+                    obs_opts.timeseries_json.c_str());
+      } else {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     obs_opts.timeseries_json.c_str());
+      }
+    }
+  }
+
   mercury::bench::write_obs_artifacts(obs_opts);
-  return r.converged ? 0 : 1;
+  return r.converged && cluster_ok ? 0 : 1;
 }

@@ -19,16 +19,23 @@ namespace mercury::bench {
 /// Telemetry export destinations, parsed from the command line before
 /// google-benchmark sees it (benchmark::Initialize rejects unknown flags).
 struct ObsOptions {
-  std::string metrics_json;  // --metrics-json <path>: obs registry snapshot
-  std::string trace_json;    // --trace-json <path>: Chrome trace_event file
+  std::string metrics_json;     // --metrics-json <path>: obs registry snapshot
+  std::string trace_json;       // --trace-json <path>: Chrome trace_event file
+  std::string timeseries_json;  // --timeseries-json <path>: sampled series
+  std::string profile_json;     // --profile-json <path>: engine profile
 
-  bool any() const { return !metrics_json.empty() || !trace_json.empty(); }
+  bool any() const {
+    return !metrics_json.empty() || !trace_json.empty() ||
+           !timeseries_json.empty() || !profile_json.empty();
+  }
 };
 
-/// Strip `--metrics-json <path>` / `--trace-json <path>` (and the `=`-joined
-/// forms) out of argv. Call before benchmark::Initialize. When only
-/// --metrics-json is given, the Chrome trace defaults to
-/// `<metrics-json>.trace.json` so one flag yields both artifacts.
+/// Strip the telemetry export flags (`--metrics-json`, `--trace-json`,
+/// `--timeseries-json`, `--profile-json`, space- or `=`-joined) out of
+/// argv. Call before benchmark::Initialize. When only --metrics-json is
+/// given, the Chrome trace defaults to `<metrics-json>.trace.json` so one
+/// flag yields both artifacts. A --profile-json flag also enables the
+/// engine profiler for the whole run.
 inline ObsOptions consume_obs_flags(int& argc, char** argv) {
   ObsOptions opts;
   const auto match = [&](int& i, const char* flag, std::string& out) {
@@ -47,7 +54,9 @@ inline ObsOptions consume_obs_flags(int& argc, char** argv) {
   int w = 1;
   for (int i = 1; i < argc; ++i) {
     if (match(i, "--metrics-json", opts.metrics_json) ||
-        match(i, "--trace-json", opts.trace_json))
+        match(i, "--trace-json", opts.trace_json) ||
+        match(i, "--timeseries-json", opts.timeseries_json) ||
+        match(i, "--profile-json", opts.profile_json))
       continue;
     argv[w++] = argv[i];
   }
@@ -56,6 +65,7 @@ inline ObsOptions consume_obs_flags(int& argc, char** argv) {
   if (!opts.metrics_json.empty() && opts.trace_json.empty())
     opts.trace_json = opts.metrics_json + ".trace.json";
   if (opts.any()) obs::trace_buffer().set_enabled(true);
+  if (!opts.profile_json.empty()) obs::profiler().set_enabled(true);
   return opts;
 }
 
@@ -81,6 +91,15 @@ inline void write_obs_artifacts(const ObsOptions& opts) {
     } else {
       std::fprintf(stderr, "cannot open %s for writing\n",
                    opts.trace_json.c_str());
+    }
+  }
+  if (!opts.profile_json.empty()) {
+    if (obs::write_profile_json(opts.profile_json)) {
+      std::printf("engine profile written to %s (mercury.profile.v1)\n",
+                  opts.profile_json.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   opts.profile_json.c_str());
     }
   }
 }

@@ -37,11 +37,20 @@ ABS_FLOOR_MS = 1e-6
 
 
 def gauges(doc):
-    """name -> value for every gauge in a mercury.metrics.v1 document."""
+    """name -> value for every numerically-valued gauge in a
+    mercury.metrics.v1 document."""
     out = {}
-    for entry in doc.get("gauges", []):
-        if isinstance(entry, dict) and isinstance(entry.get("name"), str):
-            out[entry["name"]] = entry.get("value")
+    entries = doc.get("gauges", []) if isinstance(doc, dict) else []
+    if not isinstance(entries, list):
+        entries = []
+    for entry in entries:
+        if (
+            isinstance(entry, dict)
+            and isinstance(entry.get("name"), str)
+            and isinstance(entry.get("value"), (int, float))
+            and not isinstance(entry.get("value"), bool)
+        ):
+            out[entry["name"]] = entry["value"]
     return out
 
 
@@ -107,6 +116,11 @@ def main():
                 docs.append(json.load(f))
         except (OSError, json.JSONDecodeError) as e:
             print(f"bench_compare: FAIL: cannot parse {path}: {e}",
+                  file=sys.stderr)
+            sys.exit(2)
+        if not isinstance(docs[-1], dict):
+            print(f"bench_compare: FAIL: {path}: top-level JSON value is "
+                  f"{type(docs[-1]).__name__}, not an object",
                   file=sys.stderr)
             sys.exit(2)
 

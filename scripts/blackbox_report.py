@@ -1,17 +1,22 @@
 #!/usr/bin/env python3
-"""Reconstruct a human-readable switch timeline from a postmortem bundle.
+"""Render Mercury observability artifacts as human-readable reports.
 
 Usage:
     scripts/blackbox_report.py mercury-postmortem-0.json
     scripts/blackbox_report.py bundle.json --tail 80
+    scripts/blackbox_report.py timeseries.json
+    scripts/blackbox_report.py profile.json
 
-Reads a `mercury.postmortem.v1` bundle (see obs/postmortem.hpp) and prints:
-the failure header, per-CPU clocks, the phase timeline reconstructed from
-paired phase.begin/phase.end flight events, the supervisor timeline
-(attempts, backoffs, resolutions, health transitions), refcount-retry
-storms, crew shard utilization, SLO breaches, and the raw tail of the
-flight ring. Stdlib-only, importable: render(doc) returns the report as a
-string.
+Dispatches on the document's `schema` field. For a `mercury.postmortem.v1`
+bundle (see obs/postmortem.hpp) it prints: the failure header, per-CPU
+clocks, the phase timeline reconstructed from paired phase.begin/phase.end
+flight events, the supervisor timeline (attempts, backoffs, resolutions,
+health transitions), refcount-retry storms, crew shard utilization, SLO
+breaches, and the raw tail of the flight ring. For `mercury.timeseries.v1`
+it prints each series as a unicode sparkline with min/max/last stats; for
+`mercury.profile.v1`, the engine-loop buckets ranked by wall time.
+Stdlib-only, importable: render(doc) / render_timeseries(doc) /
+render_profile(doc) return the reports as strings.
 """
 
 import argparse
@@ -236,9 +241,120 @@ def render(doc, tail_n=40):
     return "\n".join(lines) + "\n"
 
 
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width=48):
+    """Downsample `values` to at most `width` buckets and render them as a
+    unicode sparkline. Flat series render as a line of the lowest glyph."""
+    if not values:
+        return ""
+    if len(values) > width:
+        # Bucket means, so a spike inside a bucket still moves the glyph.
+        step = len(values) / width
+        values = [
+            sum(vs) / len(vs)
+            for vs in (
+                values[int(i * step):max(int((i + 1) * step),
+                                         int(i * step) + 1)]
+                for i in range(width)
+            )
+        ]
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span == 0:
+        return SPARK_CHARS[0] * len(values)
+    return "".join(
+        SPARK_CHARS[min(int((v - lo) / span * len(SPARK_CHARS)),
+                        len(SPARK_CHARS) - 1)]
+        for v in values
+    )
+
+
+def render_timeseries(doc):
+    """Render a mercury.timeseries.v1 document: one sparkline row per
+    series, grouped by label (node), with min/max/last stats."""
+    lines = []
+    add = lines.append
+    add("=== Mercury time series ===")
+    add(
+        f"interval: {_us(doc.get('interval_cycles', 0)):.3f} us, "
+        f"{doc.get('samples', 0)} samples, "
+        f"{doc.get('dropped', 0)} dropped, "
+        f"{len(doc.get('series', []))} series"
+    )
+    by_label = {}
+    for s in doc.get("series", []):
+        by_label.setdefault(s.get("label", ""), []).append(s)
+    for label in sorted(by_label):
+        add("")
+        add(f"--- {label or 'fleet'} ---")
+        width = max((len(s['name']) for s in by_label[label]), default=0)
+        for s in by_label[label]:
+            values = [p[1] for p in s.get("points", [])]
+            if not values:
+                add(f"  {s['name']:<{width}}  (no samples)")
+                continue
+            add(
+                f"  {s['name']:<{width}}  {sparkline(values)}  "
+                f"min {min(values):g}  max {max(values):g}  "
+                f"last {values[-1]:g}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def render_profile(doc):
+    """Render a mercury.profile.v1 document: buckets ranked by wall time
+    with per-event costs and the wall/sim attribution."""
+    lines = []
+    add = lines.append
+    add("=== Mercury engine profile ===")
+    state = "enabled" if doc.get("enabled") else "disabled"
+    wall_total = doc.get("wall_ns_total", 0)
+    add(
+        f"profiler {state}: {doc.get('events_total', 0)} events, "
+        f"{wall_total / 1e6:.3f} ms wall total"
+    )
+    buckets = sorted(
+        doc.get("buckets", []),
+        key=lambda b: b.get("wall_ns", 0),
+        reverse=True,
+    )
+    if not buckets:
+        add("(no buckets recorded)")
+        return "\n".join(lines) + "\n"
+    width = max(len(b["name"]) for b in buckets)
+    add("")
+    add(
+        f"  {'bucket':<{width}}  {'count':>8}  {'wall ms':>10}  "
+        f"{'wall %':>7}  {'ns/event':>9}  {'sim us':>12}"
+    )
+    for b in buckets:
+        count = b.get("count", 0)
+        wall = b.get("wall_ns", 0)
+        per_event = wall / count if count else 0.0
+        add(
+            f"  {b['name']:<{width}}  {count:>8}  {wall / 1e6:>10.3f}  "
+            f"{b.get('wall_fraction', 0.0):>7.1%}  {per_event:>9.0f}  "
+            f"{_us(b.get('sim_cycles', 0)):>12.3f}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+RENDERERS = {
+    "mercury.postmortem.v1": None,  # render(doc, tail_n) — takes --tail
+    "mercury.timeseries.v1": render_timeseries,
+    "mercury.profile.v1": render_profile,
+}
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("path", help="mercury.postmortem.v1 bundle to render")
+    ap.add_argument(
+        "path",
+        help="artifact to render (postmortem bundle, time series, or "
+        "engine profile)",
+    )
     ap.add_argument(
         "--tail",
         type=int,
@@ -255,14 +371,18 @@ def main():
         print(f"blackbox_report: FAIL: cannot parse {args.path}: {e}",
               file=sys.stderr)
         sys.exit(2)
-    if doc.get("schema") != "mercury.postmortem.v1":
+    schema = doc.get("schema") if isinstance(doc, dict) else None
+    if schema not in RENDERERS:
         print(
-            f"blackbox_report: FAIL: schema is {doc.get('schema')!r}, "
-            "expected 'mercury.postmortem.v1'",
+            f"blackbox_report: FAIL: schema is {schema!r}, expected one of "
+            f"{sorted(RENDERERS)}",
             file=sys.stderr,
         )
         sys.exit(2)
-    sys.stdout.write(render(doc, args.tail))
+    if schema == "mercury.postmortem.v1":
+        sys.stdout.write(render(doc, args.tail))
+    else:
+        sys.stdout.write(RENDERERS[schema](doc))
 
 
 if __name__ == "__main__":

@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
-"""Validate Mercury JSON artifacts: bench metrics, postmortem bundles, and
-chaos-soak verdicts.
+"""Validate Mercury JSON artifacts: bench metrics, postmortem bundles,
+chaos-soak verdicts, sampled time series, and engine profiles.
 
 Usage:
     scripts/check_bench_json.py out.json
@@ -8,16 +8,19 @@ Usage:
         --require switch.detach.total_cycles
     scripts/check_bench_json.py mercury-postmortem-0.json --schema postmortem
     scripts/check_bench_json.py soak.json --schema soak
+    scripts/check_bench_json.py ts.json --schema timeseries
+    scripts/check_bench_json.py prof.json --schema profile
 
 Exits 0 when the document is well-formed against the selected schema
-(mercury.metrics.v1 by default, mercury.postmortem.v1 with
---schema postmortem, mercury.soak.v1 with --schema soak) and every
---require name is present as an instrument; nonzero otherwise. The soak
-schema additionally *gates*: zero unresolved requests, zero invariant
-violations, zero workload corruptions, and converged == true — the CI soak
-job fails on any of them. Stdlib-only on purpose: usable on any machine
-that can run the benches. The validators are importable (see
-scripts/test_check_bench_json.py).
+(mercury.metrics.v1 by default; mercury.postmortem.v1 with
+--schema postmortem, mercury.soak.v1 with --schema soak,
+mercury.timeseries.v1 with --schema timeseries, mercury.profile.v1 with
+--schema profile) and every --require name is present as an instrument;
+nonzero otherwise. The soak schema additionally *gates*: zero unresolved
+requests, zero invariant violations, zero workload corruptions, and
+converged == true — the CI soak job fails on any of them. Stdlib-only on
+purpose: usable on any machine that can run the benches. The validators
+are importable (see scripts/test_check_bench_json.py).
 """
 
 import argparse
@@ -27,6 +30,8 @@ import sys
 METRICS_SCHEMA = "mercury.metrics.v1"
 POSTMORTEM_SCHEMA = "mercury.postmortem.v1"
 SOAK_SCHEMA = "mercury.soak.v1"
+TIMESERIES_SCHEMA = "mercury.timeseries.v1"
+PROFILE_SCHEMA = "mercury.profile.v1"
 HIST_FIELDS = ("count", "sum", "min", "mean", "max", "p50", "p90", "p99")
 
 # Section -> numeric fields a mercury.soak.v1 document must carry.
@@ -55,6 +60,19 @@ SOAK_SECTIONS = {
                      "span_cycles"),
     "workload": ("ops", "bytes", "corruptions"),
 }
+
+# Numeric fields of a per-node rollup inside a fleet soak verdict.
+SOAK_NODE_FIELDS = (
+    "submitted",
+    "committed",
+    "failed",
+    "retries",
+    "quarantines",
+    "availability",
+    "interruptions",
+    "downtime_cycles",
+    "span_cycles",
+)
 
 
 class SchemaError(Exception):
@@ -275,6 +293,124 @@ def validate_soak(doc):
         raise SchemaError("soak gate: run did not converge")
     if not 0.0 <= doc["availability"]["fraction"] <= 1.0:
         raise SchemaError("availability.fraction outside [0, 1]")
+
+    # Optional per-node rollups (fleet soaks). Single-machine verdicts omit
+    # the section entirely.
+    if "nodes" in doc:
+        nodes = doc["nodes"]
+        if not isinstance(nodes, list) or not nodes:
+            raise SchemaError("'nodes' is present but not a non-empty array")
+        for i, node in enumerate(nodes):
+            where = f"nodes[{i}]"
+            if not isinstance(node, dict):
+                raise SchemaError(f"{where} is not an object")
+            for field in ("name", "final_health", "final_mode"):
+                if not isinstance(node.get(field), str) or not node[field]:
+                    raise SchemaError(
+                        f"{where} lacks a non-empty string '{field}'"
+                    )
+            for field in SOAK_NODE_FIELDS:
+                if not _is_number(node.get(field)):
+                    raise SchemaError(
+                        f"{where} ('{node['name']}') field '{field}' is "
+                        "missing or not a number"
+                    )
+            if not 0.0 <= node["availability"] <= 1.0:
+                raise SchemaError(
+                    f"{where} ('{node['name']}') availability outside [0, 1]"
+                )
+    return names
+
+
+def validate_timeseries(doc):
+    """Validate a mercury.timeseries.v1 document. Returns the set of series
+    names. Raises SchemaError on the first violation."""
+    if not isinstance(doc, dict):
+        raise SchemaError("top-level value is not an object")
+    if doc.get("schema") != TIMESERIES_SCHEMA:
+        raise SchemaError(
+            f"schema is {doc.get('schema')!r}, expected {TIMESERIES_SCHEMA!r}"
+        )
+    for field in ("interval_cycles", "capacity", "samples", "dropped"):
+        if not _is_number(doc.get(field)):
+            raise SchemaError(f"'{field}' is missing or not a number")
+    series = doc.get("series")
+    if not isinstance(series, list) or not series:
+        raise SchemaError("'series' is missing or not a non-empty array")
+    names = set()
+    for i, s in enumerate(series):
+        where = f"series[{i}]"
+        if not isinstance(s, dict):
+            raise SchemaError(f"{where} is not an object")
+        name = s.get("name")
+        if not isinstance(name, str) or not name:
+            raise SchemaError(f"{where} lacks a non-empty string 'name'")
+        if not isinstance(s.get("label"), str):
+            raise SchemaError(f"{where} ('{name}') has a non-string 'label'")
+        points = s.get("points")
+        if not isinstance(points, list):
+            raise SchemaError(
+                f"{where} ('{name}') 'points' is missing or not an array"
+            )
+        prev_t = None
+        for j, p in enumerate(points):
+            if (
+                not isinstance(p, list)
+                or len(p) != 2
+                or not all(_is_number(v) for v in p)
+            ):
+                raise SchemaError(
+                    f"{where} ('{name}') points[{j}] is not a [t, value] "
+                    "pair of numbers"
+                )
+            if prev_t is not None and p[0] < prev_t:
+                raise SchemaError(
+                    f"{where} ('{name}') points[{j}]: timestamp {p[0]} "
+                    "decreases"
+                )
+            prev_t = p[0]
+        names.add(name)
+    return names
+
+
+def validate_profile(doc):
+    """Validate a mercury.profile.v1 document. Returns the set of bucket
+    names. Raises SchemaError on the first violation."""
+    if not isinstance(doc, dict):
+        raise SchemaError("top-level value is not an object")
+    if doc.get("schema") != PROFILE_SCHEMA:
+        raise SchemaError(
+            f"schema is {doc.get('schema')!r}, expected {PROFILE_SCHEMA!r}"
+        )
+    if not isinstance(doc.get("enabled"), bool):
+        raise SchemaError("'enabled' is missing or not a boolean")
+    for field in ("wall_ns_total", "events_total"):
+        if not _is_number(doc.get(field)):
+            raise SchemaError(f"'{field}' is missing or not a number")
+    buckets = doc.get("buckets")
+    if not isinstance(buckets, list):
+        raise SchemaError("'buckets' is missing or not an array")
+    if doc["enabled"] and not buckets:
+        raise SchemaError("profiler enabled but no buckets recorded")
+    names = set()
+    for i, b in enumerate(buckets):
+        where = f"buckets[{i}]"
+        if not isinstance(b, dict):
+            raise SchemaError(f"{where} is not an object")
+        name = b.get("name")
+        if not isinstance(name, str) or not name:
+            raise SchemaError(f"{where} lacks a non-empty string 'name'")
+        for field in ("count", "wall_ns", "sim_cycles", "wall_fraction"):
+            if not _is_number(b.get(field)):
+                raise SchemaError(
+                    f"{where} ('{name}') field '{field}' is missing or not "
+                    "a number"
+                )
+        if not 0.0 <= b["wall_fraction"] <= 1.0:
+            raise SchemaError(
+                f"{where} ('{name}') wall_fraction outside [0, 1]"
+            )
+        names.add(name)
     return names
 
 
@@ -288,7 +424,7 @@ def main():
     ap.add_argument("path", help="JSON artifact to validate")
     ap.add_argument(
         "--schema",
-        choices=("metrics", "postmortem", "soak"),
+        choices=("metrics", "postmortem", "soak", "timeseries", "profile"),
         default="metrics",
         help="document schema to validate against (default: metrics)",
     )
@@ -307,13 +443,15 @@ def main():
     except (OSError, json.JSONDecodeError) as e:
         fail(f"cannot parse {args.path}: {e}")
 
+    validators = {
+        "metrics": validate_metrics,
+        "postmortem": validate_postmortem,
+        "soak": validate_soak,
+        "timeseries": validate_timeseries,
+        "profile": validate_profile,
+    }
     try:
-        if args.schema == "metrics":
-            names = validate_metrics(doc)
-        elif args.schema == "postmortem":
-            names = validate_postmortem(doc)
-        else:
-            names = validate_soak(doc)
+        names = validators[args.schema](doc)
     except SchemaError as e:
         fail(str(e))
 
@@ -332,13 +470,27 @@ def main():
             f"check_bench_json: OK: {args.path} — postmortem "
             f"({doc['reason']}), {len(doc['flight']['events'])} flight events"
         )
-    else:
+    elif args.schema == "soak":
         req = doc["requests"]
+        nodes = doc.get("nodes", [])
+        node_txt = f", {len(nodes)} node(s)" if nodes else ""
         print(
             f"check_bench_json: OK: {args.path} — soak converged: "
             f"{req['submitted']} requests ({req['committed']} committed), "
             f"{doc['storm']['fires']} storm fires, "
-            f"final health {doc['supervisor']['final_health']}"
+            f"final health {doc['supervisor']['final_health']}{node_txt}"
+        )
+    elif args.schema == "timeseries":
+        print(
+            f"check_bench_json: OK: {args.path} — {len(doc['series'])} "
+            f"series, {doc['samples']} samples, {doc['dropped']} dropped"
+        )
+    else:
+        print(
+            f"check_bench_json: OK: {args.path} — profile "
+            f"({'enabled' if doc['enabled'] else 'disabled'}), "
+            f"{len(doc['buckets'])} buckets, "
+            f"{doc['events_total']} events"
         )
 
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Build and run the Mercury test tiers.
 #
-#   scripts/run_tiers.sh [tier1|tier2|soak|obsoff|asan|ubsan|all]
+#   scripts/run_tiers.sh [tier1|tier2|soak|profile|obsoff|asan|ubsan|all]
 #
 #   tier1  - the fast regression suite (default; every unit/integration test)
 #   tier2  - the dependability sweeps: fault matrix + seeded switch fuzzer
@@ -9,6 +9,10 @@
 #            seeded fault storm (ctest -L soak), writing mercury.soak.v1
 #            verdicts to build/soak-artifacts/ and gating them with
 #            scripts/check_bench_json.py --schema soak
+#   profile - bench_soak with the engine profiler and cluster time-series
+#            enabled, writing mercury.timeseries.v1 / mercury.profile.v1 /
+#            mercury.soak.v1 to build/profile-artifacts/ and schema-gating
+#            all three with scripts/check_bench_json.py
 #   obsoff - tier1 with -DMERCURY_OBS=OFF (build-obsoff/), then diff the
 #            CYCLE_IDENTITY probe lines against the normal build: telemetry
 #            must compile away without moving a single simulated cycle
@@ -100,6 +104,26 @@ run_soak() {
   fi
 }
 
+# The observability plane end-to-end: run bench_soak with the cluster soak
+# and engine profiler attached, then schema-validate the three artifacts it
+# writes. Fails if the bench fails, an artifact is missing, or any document
+# violates its schema (including the per-node sections and the soak gates).
+run_profile() {
+  configure_and_build build
+  local art="$PWD/build/profile-artifacts"
+  mkdir -p "$art"
+  rm -f "$art"/*.json
+  build/bench/bench_soak \
+    --soak-json "$art/soak.json" \
+    --timeseries-json "$art/timeseries.json" \
+    --profile-json "$art/profile.json"
+  python3 scripts/check_bench_json.py "$art/soak.json" --schema soak
+  python3 scripts/check_bench_json.py "$art/timeseries.json" \
+    --schema timeseries
+  python3 scripts/check_bench_json.py "$art/profile.json" --schema profile
+  echo "run_tiers: profile OK — artifacts in $art/"
+}
+
 mode="${1:-tier1}"
 case "$mode" in
   tier1)
@@ -114,6 +138,9 @@ case "$mode" in
     ;;
   soak)
     run_soak
+    ;;
+  profile)
+    run_profile
     ;;
   obsoff)
     run_obsoff
@@ -133,7 +160,7 @@ case "$mode" in
     run_sanitizer undefined
     ;;
   *)
-    echo "usage: $0 [tier1|tier2|obsoff|asan|ubsan|all]" >&2
+    echo "usage: $0 [tier1|tier2|soak|profile|obsoff|asan|ubsan|all]" >&2
     exit 2
     ;;
 esac

@@ -112,6 +112,55 @@ def soak_doc():
     }
 
 
+def soak_node():
+    return {
+        "name": "n0",
+        "submitted": 8,
+        "committed": 8,
+        "failed": 0,
+        "retries": 0,
+        "quarantines": 0,
+        "availability": 0.99,
+        "interruptions": 8,
+        "downtime_cycles": 1183727,
+        "span_cycles": 121216327,
+        "final_health": "healthy",
+        "final_mode": "native",
+    }
+
+
+def timeseries_doc():
+    return {
+        "schema": "mercury.timeseries.v1",
+        "interval_cycles": 3000600,
+        "capacity": 256,
+        "samples": 42,
+        "dropped": 0,
+        "series": [
+            {"name": "switch.committed", "label": "node=n0",
+             "points": [[0, 0.0], [3000600, 1.0], [6001200, 1.0]]},
+            {"name": "fleet.inflight", "label": "",
+             "points": [[0, 0.0], [3000600, 4.0]]},
+        ],
+    }
+
+
+def profile_doc():
+    return {
+        "schema": "mercury.profile.v1",
+        "enabled": True,
+        "wall_ns_total": 123456789,
+        "events_total": 6530,
+        "buckets": [
+            {"name": "kernel.step.timer", "count": 2816,
+             "wall_ns": 100000000, "sim_cycles": 4000000,
+             "wall_fraction": 0.81},
+            {"name": "switch.commit", "count": 196, "wall_ns": 23456789,
+             "sim_cycles": 9000000, "wall_fraction": 0.19},
+        ],
+    }
+
+
 class MetricsSchemaTest(unittest.TestCase):
     def test_valid_doc_returns_names(self):
         names = cbj.validate_metrics(metrics_doc())
@@ -296,6 +345,157 @@ class SoakSchemaTest(unittest.TestCase):
             cbj.validate_soak(doc)
 
 
+class SoakNodesSectionTest(unittest.TestCase):
+    def test_nodes_section_optional(self):
+        cbj.validate_soak(soak_doc())  # no nodes at all
+
+    def test_valid_nodes_section(self):
+        doc = soak_doc()
+        doc["nodes"] = [soak_node(), dict(soak_node(), name="n1")]
+        cbj.validate_soak(doc)
+
+    def test_empty_nodes_array_rejected(self):
+        doc = soak_doc()
+        doc["nodes"] = []
+        with self.assertRaisesRegex(cbj.SchemaError, "nodes"):
+            cbj.validate_soak(doc)
+
+    def test_node_missing_numeric_field(self):
+        doc = soak_doc()
+        node = soak_node()
+        del node["retries"]
+        doc["nodes"] = [node]
+        with self.assertRaisesRegex(cbj.SchemaError, "retries"):
+            cbj.validate_soak(doc)
+
+    def test_node_missing_name(self):
+        doc = soak_doc()
+        node = soak_node()
+        node["name"] = ""
+        doc["nodes"] = [node]
+        with self.assertRaisesRegex(cbj.SchemaError, "name"):
+            cbj.validate_soak(doc)
+
+    def test_node_availability_bounded(self):
+        doc = soak_doc()
+        node = soak_node()
+        node["availability"] = -0.8
+        doc["nodes"] = [node]
+        with self.assertRaisesRegex(cbj.SchemaError, "availability"):
+            cbj.validate_soak(doc)
+
+
+class TimeseriesSchemaTest(unittest.TestCase):
+    def test_valid_doc_returns_series_names(self):
+        names = cbj.validate_timeseries(timeseries_doc())
+        self.assertIn("switch.committed", names)
+        self.assertIn("fleet.inflight", names)
+
+    def test_wrong_schema_string(self):
+        doc = timeseries_doc()
+        doc["schema"] = "mercury.timeseries.v2"
+        with self.assertRaisesRegex(cbj.SchemaError, "schema"):
+            cbj.validate_timeseries(doc)
+
+    def test_missing_interval(self):
+        doc = timeseries_doc()
+        del doc["interval_cycles"]
+        with self.assertRaisesRegex(cbj.SchemaError, "interval_cycles"):
+            cbj.validate_timeseries(doc)
+
+    def test_empty_series_rejected(self):
+        doc = timeseries_doc()
+        doc["series"] = []
+        with self.assertRaisesRegex(cbj.SchemaError, "series"):
+            cbj.validate_timeseries(doc)
+
+    def test_non_string_label_rejected(self):
+        doc = timeseries_doc()
+        doc["series"][0]["label"] = 7
+        with self.assertRaisesRegex(cbj.SchemaError, "label"):
+            cbj.validate_timeseries(doc)
+
+    def test_empty_points_allowed(self):
+        # A series that never got sampled still names itself.
+        doc = timeseries_doc()
+        doc["series"][0]["points"] = []
+        cbj.validate_timeseries(doc)
+
+    def test_malformed_point_rejected(self):
+        doc = timeseries_doc()
+        doc["series"][0]["points"][1] = [3000600]  # missing the value
+        with self.assertRaisesRegex(cbj.SchemaError, r"\[t, value\]"):
+            cbj.validate_timeseries(doc)
+
+    def test_non_numeric_point_rejected(self):
+        doc = timeseries_doc()
+        doc["series"][0]["points"][1] = [3000600, "fast"]
+        with self.assertRaisesRegex(cbj.SchemaError, r"\[t, value\]"):
+            cbj.validate_timeseries(doc)
+
+    def test_decreasing_timestamps_rejected(self):
+        doc = timeseries_doc()
+        doc["series"][0]["points"][2][0] = 1  # jumps backward
+        with self.assertRaisesRegex(cbj.SchemaError, "decreases"):
+            cbj.validate_timeseries(doc)
+
+    def test_equal_timestamps_allowed(self):
+        # Back-to-back samples at the same sim instant are legal (e.g. the
+        # final settling sample).
+        doc = timeseries_doc()
+        doc["series"][0]["points"][2][0] = 3000600
+        cbj.validate_timeseries(doc)
+
+
+class ProfileSchemaTest(unittest.TestCase):
+    def test_valid_doc_returns_bucket_names(self):
+        names = cbj.validate_profile(profile_doc())
+        self.assertIn("kernel.step.timer", names)
+        self.assertIn("switch.commit", names)
+
+    def test_wrong_schema_string(self):
+        doc = profile_doc()
+        doc["schema"] = "mercury.profile.v2"
+        with self.assertRaisesRegex(cbj.SchemaError, "schema"):
+            cbj.validate_profile(doc)
+
+    def test_enabled_must_be_boolean(self):
+        doc = profile_doc()
+        doc["enabled"] = 1
+        with self.assertRaisesRegex(cbj.SchemaError, "boolean"):
+            cbj.validate_profile(doc)
+
+    def test_enabled_with_no_buckets_rejected(self):
+        doc = profile_doc()
+        doc["buckets"] = []
+        with self.assertRaisesRegex(cbj.SchemaError, "no buckets"):
+            cbj.validate_profile(doc)
+
+    def test_disabled_with_no_buckets_allowed(self):
+        doc = profile_doc()
+        doc["enabled"] = False
+        doc["buckets"] = []
+        cbj.validate_profile(doc)
+
+    def test_bucket_missing_field(self):
+        doc = profile_doc()
+        del doc["buckets"][0]["wall_ns"]
+        with self.assertRaisesRegex(cbj.SchemaError, "wall_ns"):
+            cbj.validate_profile(doc)
+
+    def test_wall_fraction_bounded(self):
+        doc = profile_doc()
+        doc["buckets"][0]["wall_fraction"] = 1.5
+        with self.assertRaisesRegex(cbj.SchemaError, "wall_fraction"):
+            cbj.validate_profile(doc)
+
+    def test_non_numeric_total(self):
+        doc = profile_doc()
+        doc["wall_ns_total"] = "lots"
+        with self.assertRaisesRegex(cbj.SchemaError, "wall_ns_total"):
+            cbj.validate_profile(doc)
+
+
 class BenchCompareTest(unittest.TestCase):
     def test_identical_docs_pass(self):
         doc = metrics_doc()
@@ -365,6 +565,24 @@ class BenchCompareTest(unittest.TestCase):
         cur["gauges"][3]["value"] = 10**9  # obs.flight.recorded exploded
         regressions, _ = bench_compare.compare(base, cur)
         self.assertEqual(regressions, [])
+
+    def test_non_dict_docs_have_no_gauges(self):
+        # compare() must not blow up on malformed documents; the CLI exits
+        # with a one-line diagnostic before getting here, but the importable
+        # API stays total.
+        regressions, rows = bench_compare.compare([1, 2], "nope")
+        self.assertEqual(regressions, [])
+        self.assertEqual(rows, [])
+
+    def test_non_numeric_gauge_value_treated_as_missing(self):
+        base = metrics_doc()
+        cur = copy.deepcopy(base)
+        cur["gauges"][0]["value"] = "not-a-number"
+        regressions, rows = bench_compare.compare(base, cur)
+        self.assertEqual(len(regressions), 1)
+        self.assertIn("missing", regressions[0])
+        self.assertIn(("bench.modeswitch.up.mem_kb=1024.attach_ms",
+                       1.25, None, "MISSING"), rows)
 
 
 class BlackboxReportTest(unittest.TestCase):
@@ -450,6 +668,53 @@ class BlackboxReportTest(unittest.TestCase):
     def test_no_supervisor_section_without_events(self):
         text = blackbox_report.render(postmortem_doc())
         self.assertNotIn("supervisor timeline", text)
+
+
+class TimeseriesProfileRenderTest(unittest.TestCase):
+    def test_sparkline_flat_series(self):
+        self.assertEqual(blackbox_report.sparkline([3, 3, 3]), "▁▁▁")
+
+    def test_sparkline_empty(self):
+        self.assertEqual(blackbox_report.sparkline([]), "")
+
+    def test_sparkline_rises(self):
+        line = blackbox_report.sparkline([0, 1, 2, 3])
+        self.assertEqual(line[0], "▁")
+        self.assertEqual(line[-1], "█")
+
+    def test_sparkline_downsamples_to_width(self):
+        line = blackbox_report.sparkline(list(range(1000)), width=48)
+        self.assertEqual(len(line), 48)
+
+    def test_render_timeseries_groups_by_label(self):
+        text = blackbox_report.render_timeseries(timeseries_doc())
+        self.assertIn("Mercury time series", text)
+        self.assertIn("--- node=n0 ---", text)
+        self.assertIn("--- fleet ---", text)
+        self.assertIn("switch.committed", text)
+        self.assertIn("last 1", text)
+
+    def test_render_timeseries_empty_points(self):
+        doc = timeseries_doc()
+        doc["series"][0]["points"] = []
+        text = blackbox_report.render_timeseries(doc)
+        self.assertIn("(no samples)", text)
+
+    def test_render_profile_ranks_by_wall(self):
+        text = blackbox_report.render_profile(profile_doc())
+        self.assertIn("Mercury engine profile", text)
+        # kernel.step.timer has the larger wall_ns: it must come first.
+        self.assertLess(text.index("kernel.step.timer"),
+                        text.index("switch.commit"))
+        self.assertIn("81.0%", text)
+
+    def test_render_profile_no_buckets(self):
+        doc = profile_doc()
+        doc["enabled"] = False
+        doc["buckets"] = []
+        text = blackbox_report.render_profile(doc)
+        self.assertIn("(no buckets recorded)", text)
+        self.assertIn("disabled", text)
 
 
 if __name__ == "__main__":

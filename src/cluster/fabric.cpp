@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 
 namespace mercury::cluster {
@@ -10,7 +11,17 @@ Node& Fabric::add_node(const std::string& name, NodeConfig config) {
   if (config.addr == 0)
     config.addr = 0x0A000001 + static_cast<std::uint32_t>(nodes_.size());
   nodes_.push_back(std::make_unique<Node>(name, config));
+  // Trace-node ids are 1-based: 0 stays "unscoped single-machine".
+  nodes_.back()->set_trace_node(static_cast<std::uint32_t>(nodes_.size()));
   return *nodes_.back();
+}
+
+bool Fabric::step_node(Node& n) {
+#if MERCURY_OBS_ENABLED
+  obs::TraceNodeScope node_scope(n.trace_node());
+  obs::ProfScope prof_scope(n.prof_bucket(), &n.machine().cpu(0));
+#endif
+  return n.active().step();
 }
 
 hw::Link& Fabric::connect(Node& a, Node& b, hw::Link::Params params) {
@@ -63,13 +74,13 @@ bool Fabric::co_step(const std::function<bool()>& pred, hw::Cycles budget) {
     kernel::Kernel& k = earliest->active();
     if (runner_up != nullptr)
       k.set_idle_clamp(runner_up->active().earliest_cpu_time() + kLookahead);
-    const bool progressed = k.step();
+    const bool progressed = step_node(*earliest);
     k.set_idle_clamp(0);
     if (!progressed) {
       bool any = false;
       for (auto& n : nodes_) {
         if (n->failed() || n.get() == earliest) continue;
-        if (n->active().step()) {
+        if (step_node(*n)) {
           any = true;
           break;
         }
@@ -80,7 +91,7 @@ bool Fabric::co_step(const std::function<bool()>& pred, hw::Cycles budget) {
         k.advance_all_cpus_to(
             (runner_up ? runner_up->active().earliest_cpu_time() : k.earliest_cpu_time()) +
             kLookahead);
-        if (!k.step()) return pred();
+        if (!step_node(*earliest)) return pred();
       }
     }
 

@@ -32,6 +32,11 @@ class Fabric {
   hw::Cycles now() const;
 
  private:
+  /// Step one node's active kernel with observability attribution: a
+  /// TraceNodeScope so everything it records lands under its Chrome pid,
+  /// and a ProfScope charging its fabric-dispatch bucket.
+  static bool step_node(Node& n);
+
   std::vector<std::unique_ptr<Node>> nodes_;
   std::map<std::pair<Node*, Node*>, std::unique_ptr<hw::Link>> links_;
 };

@@ -3,7 +3,8 @@
 namespace mercury::cluster {
 
 Node::Node(std::string name, NodeConfig config)
-    : name_(std::move(name)), config_(config) {
+    : name_(std::move(name)), config_(config),
+      metrics_("node=" + name_) {
   hw::MachineConfig mc;
   mc.num_cpus = config_.cpus;
   mc.mem_kb = config_.mem_kb;
@@ -16,6 +17,12 @@ Node::Node(std::string name, NodeConfig config)
   cfg.kernel_name = name_ + "-os";
   mercury_ = std::make_unique<core::Mercury>(*machine_, cfg);
   active_ = &mercury_->kernel();
+}
+
+obs::ProfBucket* Node::prof_bucket() {
+  if (prof_bucket_ == nullptr)
+    prof_bucket_ = obs::profiler().bucket("fabric.step." + name_);
+  return prof_bucket_;
 }
 
 }  // namespace mercury::cluster

@@ -6,6 +6,8 @@
 
 #include "core/mercury.hpp"
 #include "hw/machine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 
 namespace mercury::cluster {
 
@@ -32,6 +34,22 @@ class Node {
     return active_ != &mercury_->kernel();
   }
 
+  // --- observability ---
+  /// Trace attribution id (Chrome export pid). 0 until the fabric assigns
+  /// index+1 in add_node; standalone Nodes stay unscoped.
+  std::uint32_t trace_node() const { return trace_node_; }
+  void set_trace_node(std::uint32_t id) { trace_node_ = id; }
+
+  /// This node's label-bound view of the global metrics registry: every
+  /// instrument created through it carries "node=<name>", so fleet soaks
+  /// report per-node series instead of one blended namespace.
+  obs::ScopedMetrics& metrics() { return metrics_; }
+  const std::string& obs_label() const { return metrics_.label(); }
+
+  /// Profiler bucket charged for this node's share of fabric dispatch
+  /// (created lazily; stable for the node's lifetime).
+  obs::ProfBucket* prof_bucket();
+
   // --- failure state ---
   bool failed() const { return failed_; }
   void fail() { failed_ = true; }
@@ -43,6 +61,9 @@ class Node {
   std::unique_ptr<hw::Machine> machine_;
   std::unique_ptr<core::Mercury> mercury_;
   kernel::Kernel* active_ = nullptr;
+  std::uint32_t trace_node_ = 0;
+  obs::ScopedMetrics metrics_;
+  obs::ProfBucket* prof_bucket_ = nullptr;
   bool failed_ = false;
 };
 

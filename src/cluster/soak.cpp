@@ -8,6 +8,7 @@
 #include "core/fault_inject.hpp"
 #include "core/invariants.hpp"
 #include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 
 namespace mercury::cluster {
 
@@ -47,6 +48,24 @@ std::string soak_report_json(const SoakReport& r) {
      << ", \"corruptions\": " << r.workload_corruptions << "},\n";
   os << "  \"converged\": " << (r.converged ? "true" : "false") << ",\n";
   os << "  \"final_mode\": \"" << r.final_mode << "\",\n";
+  if (!r.nodes.empty()) {
+    os << "  \"nodes\": [";
+    for (std::size_t i = 0; i < r.nodes.size(); ++i) {
+      const NodeSoakStats& n = r.nodes[i];
+      os << (i ? ",\n    {" : "\n    {") << "\"name\": \"" << n.name
+         << "\", \"submitted\": " << n.submitted
+         << ", \"committed\": " << n.committed << ", \"failed\": " << n.failed
+         << ", \"retries\": " << n.retries
+         << ", \"quarantines\": " << n.quarantines
+         << ", \"availability\": " << n.availability
+         << ", \"interruptions\": " << n.interruptions
+         << ", \"downtime_cycles\": " << n.downtime_cycles
+         << ", \"span_cycles\": " << n.span_cycles
+         << ", \"final_health\": \"" << n.final_health
+         << "\", \"final_mode\": \"" << n.final_mode << "\"}";
+    }
+    os << "\n  ],\n";
+  }
   os << "  \"metrics\": " << obs::to_json(obs::snapshot()) << "\n";
   os << "}\n";
   return os.str();
@@ -204,6 +223,286 @@ SoakReport SoakDriver::report(std::uint64_t seed) const {
 
   r.converged = done() && r.unresolved == 0 && !tracker_.is_down();
   r.final_mode = core::exec_mode_name(sup_.engine().mode());
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// ClusterSoak
+// ---------------------------------------------------------------------------
+
+ClusterSoak::ClusterSoak(ClusterSoakParams p)
+    : params_(p),
+      sampler_(p.sample_capacity),
+      self_(std::make_shared<ClusterSoak*>(this)) {
+  if (params_.nodes == 0) params_.nodes = 1;
+  if (params_.waves == 0) params_.waves = 1;
+  sample_interval_ = hw::us_to_cycles(params_.sample_interval_ms * 1000.0);
+  if (sample_interval_ == 0) sample_interval_ = hw::kCyclesPerMillisecond;
+
+  for (std::size_t i = 0; i < params_.nodes; ++i) {
+    NodeConfig nc;
+    nc.cpus = params_.cpus_per_node;
+    Node& n = fabric_.add_node("n" + std::to_string(i), nc);
+    if (i > 0) fabric_.connect(fabric_.node(0), n);
+
+    auto rt = std::make_unique<NodeRt>();
+    rt->node = &n;
+    // Per-node jitter stream, derived from the run seed so two runs with
+    // identical params draw identical backoff schedules on every node.
+    core::SupervisorConfig sc = params_.supervisor;
+    sc.seed = params_.seed * 0x9E3779B97F4A7C15ull + 0x1000ull * (i + 1);
+    rt->supervisor =
+        std::make_unique<core::SwitchSupervisor>(n.mercury().engine(), sc);
+    nodes_.push_back(std::move(rt));
+  }
+
+  // Per-node time series. The readers view state owned by this run (never
+  // the process-global registry, whose instruments accumulate across runs
+  // in one process), so the sampled values are a pure function of params.
+  for (const auto& rtp : nodes_) {
+    NodeRt* rt = rtp.get();
+    const std::string label = rt->node->obs_label();
+    sampler_.add_series("switch.committed", label, [rt] {
+      return static_cast<double>(rt->supervisor->stats().committed);
+    });
+    sampler_.add_series("switch.attempts", label, [rt] {
+      return static_cast<double>(rt->supervisor->stats().attempts);
+    });
+    sampler_.add_series("switch.inflight", label, [rt] {
+      return rt->supervisor->idle() ? 0.0 : 1.0;
+    });
+    sampler_.add_series("supervisor.health", label, [rt] {
+      return static_cast<double>(rt->supervisor->health());
+    });
+    sampler_.add_series("exec.mode", label, [rt] {
+      return static_cast<double>(rt->supervisor->engine().mode());
+    });
+  }
+  sampler_.add_series("fleet.committed", "", [this] {
+    double sum = 0.0;
+    for (const auto& rt : nodes_)
+      sum += static_cast<double>(rt->supervisor->stats().committed);
+    return sum;
+  });
+  sampler_.add_series("fleet.inflight", "", [this] {
+    double sum = 0.0;
+    for (const auto& rt : nodes_)
+      if (!rt->supervisor->idle()) sum += 1.0;
+    return sum;
+  });
+  sampler_.add_series("fleet.quarantines", "", [this] {
+    double sum = 0.0;
+    for (const auto& rt : nodes_)
+      sum += static_cast<double>(rt->supervisor->stats().quarantines);
+    return sum;
+  });
+}
+
+ClusterSoak::~ClusterSoak() = default;
+
+void ClusterSoak::arm_sampler() {
+  kernel::Kernel& k = nodes_[0]->node->active();
+  std::weak_ptr<ClusterSoak*> weak = self_;
+  k.add_timer(k.machine().cpu(0).now() + sample_interval_, [weak] {
+    const auto locked = weak.lock();
+    if (!locked) return;
+    ClusterSoak& cs = **locked;
+    if (cs.finished_) return;
+    cs.sampler_.sample(cs.nodes_[0]->node->machine().cpu(0).now());
+    cs.arm_sampler();
+  });
+}
+
+void ClusterSoak::on_resolved(NodeRt& rt, const core::SupervisedRequest& r) {
+  rt.outstanding = false;
+  if (r.state == core::RequestState::kCommitted) {
+    ++rt.committed;
+    rt.node->metrics().counter("node.switch.committed").inc();
+    // Same accounting as SoakDriver: a committed switch is a short service
+    // interruption covering the actual transfer window. The window is
+    // measured on whichever CPU handled the commit, while resolved_at is
+    // stamped on CPU 0 — per-CPU clocks skew between rendezvous points, so
+    // back-projecting the raw window can reach behind the previous
+    // interruption's end. Clamp: downtime intervals must not overlap or the
+    // sum exceeds the observation span.
+    const core::SwitchStats& es = rt.supervisor->engine().stats();
+    const hw::Cycles window = r.target == core::ExecMode::kNative
+                                  ? es.last_detach_cycles
+                                  : es.last_attach_cycles;
+    if (window > 0 && r.resolved_at > window) {
+      hw::Cycles down_at = r.resolved_at - window;
+      if (!rt.tracker.interruptions().empty())
+        down_at = std::max(down_at, rt.tracker.interruptions().back().ended);
+      if (down_at < r.resolved_at) {
+        rt.tracker.service_down(down_at,
+                                r.target == core::ExecMode::kNative
+                                    ? "switch.detach"
+                                    : "switch.attach");
+        rt.tracker.service_up(r.resolved_at);
+      }
+    }
+  } else {
+    ++rt.failed;
+    rt.node->metrics().counter("node.switch.failed").inc();
+  }
+}
+
+void ClusterSoak::run_wave() {
+#if MERCURY_OBS_ENABLED
+  // The wave is the root of one causal tree: allocate its identity up
+  // front so every per-node message span (and, transitively, every commit
+  // and crew-phase span on every node) links beneath it.
+  obs::SpanContext wave_ctx;
+  wave_ctx.trace_id = obs::next_span_id();
+  wave_ctx.span_id = obs::next_span_id();
+  const hw::Cycles wave_begin = fabric_.now();
+#endif
+  // Fleet-wide alternation: whatever mode node 0 settled in, the wave
+  // drives every node toward the other one.
+  const core::ExecMode target =
+      nodes_[0]->supervisor->engine().mode() == core::ExecMode::kNative
+          ? params_.virt_mode
+          : core::ExecMode::kNative;
+
+  for (auto& rtp : nodes_) {
+    NodeRt* rt = rtp.get();
+    ++rt->submitted;
+    rt->node->metrics().counter("node.switch.submitted").inc();
+    // Set before submit: a quarantined supervisor fast-fails virtual
+    // targets synchronously, resolving inside this call.
+    rt->outstanding = true;
+#if MERCURY_OBS_ENABLED
+    obs::TraceNodeScope node_scope(rt->node->trace_node());
+    obs::SpanContextScope wave_scope(wave_ctx);
+    obs::TraceSpan msg(rt->node->machine().cpu(0), obs::TraceCat::kCluster,
+                       "fabric.msg.switch");
+#endif
+    rt->supervisor->submit(target, {},
+                           [this, rt](const core::SupervisedRequest& r) {
+                             on_resolved(*rt, r);
+                           });
+  }
+
+  const bool ok = fabric_.co_step(
+      [this] {
+        for (const auto& rt : nodes_)
+          if (rt->outstanding) return false;
+        return true;
+      },
+      params_.wave_budget);
+  if (!ok) all_resolved_ok_ = false;
+  ++waves_run_;
+
+#if MERCURY_OBS_ENABLED
+  obs::TraceEvent wave_ev;
+  wave_ev.name = "cluster.wave";
+  wave_ev.cat = obs::TraceCat::kCluster;
+  wave_ev.cpu = 0;
+  wave_ev.begin = wave_begin;
+  wave_ev.end = fabric_.now();
+  wave_ev.trace_id = wave_ctx.trace_id;
+  wave_ev.span_id = wave_ctx.span_id;
+  obs::trace_buffer().record(wave_ev);
+#endif
+}
+
+void ClusterSoak::dwell() {
+  const hw::Cycles gap = hw::us_to_cycles(params_.wave_interval_ms * 1000.0);
+  if (gap == 0) return;
+  // No cross-node messages are in flight between waves, so the nodes are
+  // causally independent here: step each kernel on its own (co_step's
+  // conservative clamping is built for message waves, not long idle gaps).
+  // A one-shot timer marks the target — an idle kernel with no timers
+  // never advances its clock.
+  for (auto& rt : nodes_) {
+    if (rt->node->failed()) continue;
+    kernel::Kernel& k = rt->node->active();
+    // shared_ptr, not a stack flag: if the budget trips first, the queued
+    // timer outlives this frame.
+    auto fired = std::make_shared<bool>(false);
+    k.add_timer(k.machine().cpu(0).now() + gap, [fired] { *fired = true; });
+    if (!k.run_until([fired] { return *fired; }, gap * 2))
+      all_resolved_ok_ = false;
+  }
+}
+
+bool ClusterSoak::run() {
+  arm_sampler();
+  sampler_.sample(nodes_[0]->node->machine().cpu(0).now());
+  for (std::uint64_t w = 0; w < params_.waves; ++w) {
+    run_wave();
+    dwell();
+  }
+  finished_ = true;
+  // Close every node's availability window at its own clock.
+  for (auto& rt : nodes_)
+    rt->tracker.finish(rt->node->machine().cpu(0).now());
+  // Final sample so the series end at the fleet's settled state.
+  sampler_.sample(nodes_[0]->node->machine().cpu(0).now());
+  bool unresolved = false;
+  for (const auto& rt : nodes_)
+    if (rt->outstanding) unresolved = true;
+  return all_resolved_ok_ && !unresolved;
+}
+
+SoakReport ClusterSoak::report() const {
+  SoakReport r;
+  r.seed = params_.seed;
+  r.cpus = params_.nodes * params_.cpus_per_node;
+  r.planned_cycles = params_.waves;
+
+  double avail_sum = 0.0;
+  const char* worst_health = "healthy";
+  for (const auto& rtp : nodes_) {
+    const NodeRt& rt = *rtp;
+    const core::SupervisorStats& ss = rt.supervisor->stats();
+    NodeSoakStats ns;
+    ns.name = rt.node->name();
+    ns.submitted = rt.submitted;
+    ns.committed = rt.committed;
+    ns.failed = rt.failed;
+    ns.retries = ss.retries;
+    ns.quarantines = ss.quarantines;
+    ns.availability = rt.tracker.availability();
+    ns.interruptions = rt.tracker.interruptions().size();
+    ns.downtime_cycles = rt.tracker.total_downtime();
+    ns.span_cycles = rt.tracker.observation_span();
+    ns.final_health = core::supervisor_health_name(rt.supervisor->health());
+    ns.final_mode =
+        core::exec_mode_name(rt.supervisor->engine().mode());
+    avail_sum += ns.availability;
+
+    r.submitted += ss.submitted;
+    r.committed += ss.committed;
+    r.failed_deadline += ss.failed_deadline;
+    r.failed_attempts += ss.failed_attempts;
+    r.failed_quarantined += ss.failed_quarantined;
+    r.cancelled += ss.cancelled;
+    r.attempts += ss.attempts;
+    r.retries += ss.retries;
+    r.backoffs += ss.backoffs;
+    r.quarantines += ss.quarantines;
+    r.recoveries += ss.recoveries;
+    r.probes += ss.probes;
+    r.rollbacks += rt.supervisor->engine().stats().rollbacks;
+    r.engine_cancels += rt.supervisor->engine().stats().cancels;
+    for (const core::SupervisedRequest& q : rt.supervisor->requests())
+      if (!q.internal && !core::request_state_terminal(q.state))
+        ++r.unresolved;
+    r.interruptions += rt.tracker.interruptions().size();
+    r.downtime_cycles += rt.tracker.total_downtime();
+    r.span_cycles = std::max(r.span_cycles,
+                             static_cast<std::uint64_t>(
+                                 rt.tracker.observation_span()));
+    if (rt.supervisor->health() != core::SupervisorHealth::kHealthy)
+      worst_health = core::supervisor_health_name(rt.supervisor->health());
+    r.nodes.push_back(std::move(ns));
+  }
+  r.availability = nodes_.empty() ? 1.0 : avail_sum / nodes_.size();
+  r.final_health = worst_health;
+  r.final_mode =
+      core::exec_mode_name(nodes_.front()->supervisor->engine().mode());
+  r.converged = finished_ && all_resolved_ok_ && r.unresolved == 0;
   return r;
 }
 

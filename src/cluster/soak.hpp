@@ -15,11 +15,31 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cluster/availability.hpp"
+#include "cluster/fabric.hpp"
 #include "core/switch_supervisor.hpp"
+#include "obs/timeseries.hpp"
 
 namespace mercury::cluster {
+
+/// Per-node rollup inside a fleet soak verdict (the `nodes[]` section of
+/// mercury.soak.v1). Empty for single-machine soaks.
+struct NodeSoakStats {
+  std::string name;
+  std::uint64_t submitted = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t quarantines = 0;
+  double availability = 1.0;
+  std::uint64_t interruptions = 0;
+  std::uint64_t downtime_cycles = 0;
+  std::uint64_t span_cycles = 0;
+  std::string final_health = "healthy";
+  std::string final_mode = "native";
+};
 
 /// Everything a soak run measures, flattened for the mercury.soak.v1
 /// serializer. SoakDriver::report() fills the switch/health/availability
@@ -74,6 +94,10 @@ struct SoakReport {
 
   bool converged = false;  // every request terminal, service back up
   std::string final_mode = "native";
+
+  /// Per-node rollups (cluster soaks only; single-machine reports leave it
+  /// empty and the serializer omits the section).
+  std::vector<NodeSoakStats> nodes;
 };
 
 /// The mercury.soak.v1 document (embeds the live obs metrics snapshot).
@@ -155,6 +179,89 @@ class SoakDriver {
   AvailabilityTracker tracker_;
   /// Timers capture a weak reference: one may survive the driver.
   std::shared_ptr<SoakDriver*> self_;
+};
+
+struct ClusterSoakParams {
+  std::size_t nodes = 4;
+  std::size_t cpus_per_node = 2;
+  /// Cluster-wide switch waves to drive: each wave submits one supervised
+  /// request per node (all toward the mode opposite the fleet's current
+  /// one) and runs until every node resolved.
+  std::uint64_t waves = 8;
+  core::ExecMode virt_mode = core::ExecMode::kPartialVirtual;
+  core::SupervisorConfig supervisor;
+  std::uint64_t seed = 0;
+  /// Idle dwell between waves, on every node's own clock. This is the
+  /// service-up time the availability accounting measures interruptions
+  /// against — without it the span is nothing but switch windows and
+  /// availability reads near zero by construction.
+  double wave_interval_ms = 5.0;
+  /// Time-series sampling cadence on node 0's sim clock, and per-series
+  /// ring capacity.
+  double sample_interval_ms = 1.0;
+  std::size_t sample_capacity = 256;
+  /// co_step budget per wave.
+  hw::Cycles wave_budget = 400 * hw::kCyclesPerMillisecond;
+};
+
+/// Fleet-scale soak: its own Fabric of `nodes` Mercury nodes, one
+/// SwitchSupervisor per node, cluster-wide switch waves driven through
+/// Fabric::co_step, per-node availability accounting, and a
+/// TimeSeriesSampler producing per-node series on the sim clock. Each wave
+/// is one causal trace: a root wave span, per-node fabric.msg spans, and
+/// the per-node commit/crew spans link beneath them in the Chrome export.
+///
+/// Deterministic by construction: no fault storms, per-node supervisor
+/// seeds derived from params.seed, and all sampled series read state owned
+/// by this run — so the emitted mercury.timeseries.v1 is byte-identical
+/// for identical params (tested).
+class ClusterSoak {
+ public:
+  explicit ClusterSoak(ClusterSoakParams p = {});
+  ~ClusterSoak();
+
+  /// Drive all waves to completion. False if any wave exhausted its budget
+  /// or left a request unresolved.
+  bool run();
+
+  Fabric& fabric() { return fabric_; }
+  const obs::TimeSeriesSampler& sampler() const { return sampler_; }
+  hw::Cycles sample_interval() const { return sample_interval_; }
+  std::uint64_t waves_run() const { return waves_run_; }
+
+  /// Fleet verdict: summed rollups + per-node sections.
+  SoakReport report() const;
+  /// The mercury.timeseries.v1 document for this run.
+  std::string timeseries_json() const {
+    return sampler_.to_json(sample_interval_);
+  }
+
+ private:
+  struct NodeRt {
+    Node* node = nullptr;
+    std::unique_ptr<core::SwitchSupervisor> supervisor;
+    AvailabilityTracker tracker;
+    std::uint64_t submitted = 0;
+    std::uint64_t committed = 0;
+    std::uint64_t failed = 0;
+    bool outstanding = false;
+  };
+
+  void arm_sampler();
+  void run_wave();
+  void dwell();
+  void on_resolved(NodeRt& rt, const core::SupervisedRequest& r);
+
+  ClusterSoakParams params_;
+  Fabric fabric_;
+  std::vector<std::unique_ptr<NodeRt>> nodes_;
+  obs::TimeSeriesSampler sampler_;
+  hw::Cycles sample_interval_ = 0;
+  std::uint64_t waves_run_ = 0;
+  bool all_resolved_ok_ = true;
+  bool finished_ = false;
+  /// Sampler timers capture a weak reference (one may outlive the soak).
+  std::shared_ptr<ClusterSoak*> self_;
 };
 
 }  // namespace mercury::cluster

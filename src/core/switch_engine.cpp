@@ -213,6 +213,9 @@ bool SwitchEngine::validate_for_switch(hw::Cpu& cpu, ExecMode target) {
 }
 
 void SwitchEngine::resolve(ExecMode target, SwitchOutcome outcome) {
+  // The captured causal context covered exactly one request; drop it so an
+  // unrelated later request (e.g. a direct switch_now) roots a fresh trace.
+  pending_ctx_ = obs::SpanContext{};
   last_outcome_ = outcome;
   if (on_complete_) on_complete_(target, outcome);
 }
@@ -242,6 +245,12 @@ void SwitchEngine::commit(hw::Cpu& cpu, ExecMode target) {
       cpu.now() >= request_time_ ? cpu.now() - request_time_ : 0;
 
 #if MERCURY_OBS_ENABLED
+  // Re-join the causal trace captured at submit time (a supervisor attempt,
+  // a cluster fabric message): the commit span — and every crew-phase span
+  // nested in it — becomes a child of that remote context instead of an
+  // orphan root, so one switch wave reads as one tree in the Chrome export.
+  obs::SpanContextScope request_scope(
+      pending_ctx_.valid() ? pending_ctx_ : obs::current_span_context());
   const char* commit_name = mode_ == ExecMode::kNative ? "switch.attach"
                             : target == ExecMode::kNative ? "switch.detach"
                                                           : "switch.rerole";
@@ -249,6 +258,7 @@ void SwitchEngine::commit(hw::Cpu& cpu, ExecMode target) {
   MERC_FLIGHT(cpu, kPhaseBegin, commit_name,
               static_cast<std::uint64_t>(mode_),
               static_cast<std::uint64_t>(target));
+  MERC_PROF_SCOPE("switch.commit", &cpu);
 #endif
 
   const ExecMode from = mode_;
@@ -675,6 +685,7 @@ void SwitchEngine::rollback(hw::Cpu& cpu, ExecMode from, ExecMode target,
   ++stats_.rollbacks;
   MERC_COUNT("switch.rollbacks");
   MERC_SPAN(cpu, kFault, "switch.rollback");
+  MERC_PROF_SCOPE("switch.rollback", &cpu);
   MERC_FLIGHT(cpu, kSwitchRollback, "switch.rollback",
               static_cast<std::uint64_t>(from),
               static_cast<std::uint64_t>(target),

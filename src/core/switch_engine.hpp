@@ -21,6 +21,7 @@
 #include "kernel/kernel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/slo.hpp"
+#include "obs/trace.hpp"
 #include "vmm/hypervisor.hpp"
 
 namespace mercury::core {
@@ -121,6 +122,13 @@ class SwitchEngine {
   /// the control processor; the switch commits from interrupt context.
   void request(ExecMode target);
 
+  /// Causal context the *next* request's commit spans should link under
+  /// (e.g. the fabric-message span of a cluster-wide switch wave). The
+  /// request path is asynchronous — submit, interrupt, deferral timers —
+  /// so the ambient obs::SpanContext at submit time is gone by commit
+  /// time; the supervisor captures it and re-installs it through here.
+  void set_request_context(const obs::SpanContext& ctx) { pending_ctx_ = ctx; }
+
   /// True once no request is in flight.
   bool idle() const { return !pending_; }
 
@@ -200,6 +208,7 @@ class SwitchEngine {
   SwitchOutcome last_outcome_ = SwitchOutcome::kNone;
   CompletionHook on_complete_;
   ExecMode pending_target_ = ExecMode::kNative;
+  obs::SpanContext pending_ctx_{};  // causal parent of the next commit
   hw::Cycles request_time_ = 0;  // CP clock when the live request was made
   SwitchStats stats_;
   obs::SloWatchdog slo_;

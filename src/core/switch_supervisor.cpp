@@ -146,6 +146,7 @@ std::uint64_t SwitchSupervisor::enqueue(ExecMode target,
   req.max_attempts =
       probe ? 1 : (opts.max_attempts ? opts.max_attempts : config_.max_attempts);
   req.submitted_at = now();
+  req.ctx = obs::current_span_context();
   const hw::Cycles rel =
       opts.deadline != 0 ? opts.deadline : config_.default_deadline;
   req.deadline_at = rel != 0 ? req.submitted_at + rel : 0;
@@ -211,6 +212,9 @@ void SwitchSupervisor::start_attempt(SupervisedRequest& req) {
   MERC_FLIGHT(kernel_.machine().cpu(0), kSupervisorAttempt,
               "supervisor.attempt", req.id, req.attempts,
               static_cast<std::uint64_t>(req.target));
+  // Hand the submit-time causal context to the engine: the commit happens
+  // later, from interrupt context, where the submitter's span is long gone.
+  engine_.set_request_context(req.ctx);
   engine_.request(req.target);
 }
 

@@ -111,6 +111,10 @@ struct SupervisedRequest {
   hw::Cycles deadline_at = 0;  // absolute CP cycles; 0 = none
   hw::Cycles resolved_at = 0;
   hw::Cycles total_backoff_cycles = 0;
+  /// Causal context ambient at submit() time (a fabric-message span in a
+  /// cluster wave); re-installed into the engine on every attempt so the
+  /// commit spans link back to the submitter across the async hops.
+  obs::SpanContext ctx{};
 };
 
 struct SupervisorStats {

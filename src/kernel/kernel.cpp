@@ -523,6 +523,7 @@ bool Kernel::step() {
     machine_->interrupts().raise(cpu.id(), hw::kVecTimer, cpu.now());
 
   if (auto irq = machine_->interrupts().next_pending(cpu)) {
+    MERC_PROF_SCOPE("kernel.step.interrupt", &cpu);
     handle_interrupt(cpu, *irq);
     return true;
   }
@@ -532,9 +533,13 @@ bool Kernel::step() {
   // another CPU parks exactly at that deadline (idle_advance never moves a
   // clock beyond timers_.begin()), stays the earliest forever, and CPU 0 —
   // the only CPU allowed to run the timer — is never picked again.
-  if (run_due_timer(cpu)) return true;
+  if (!timers_.empty()) {
+    MERC_PROF_SCOPE("kernel.step.timer", &cpu);
+    if (run_due_timer(cpu)) return true;
+  }
 
   if (Task* t = pick_task(cpu)) {
+    MERC_PROF_SCOPE("kernel.step.task", &cpu);
     dispatch(cpu, *t);
     return true;
   }
@@ -552,7 +557,10 @@ bool Kernel::step() {
     return false;
   }
   if (idle_clamp_ != 0 && cpu.now() >= idle_clamp_) return false;  // parked
-  idle_advance(cpu);
+  {
+    MERC_PROF_SCOPE("kernel.step.idle", &cpu);
+    idle_advance(cpu);
+  }
   return true;
 }
 

@@ -156,8 +156,6 @@ MetricsRegistry& registry() {
 
 Snapshot snapshot() { return registry().snapshot(); }
 
-namespace {
-
 // JSON string escaping (instrument names are plain identifiers, but labels
 // may carry arbitrary text).
 void append_json_string(std::string& out, std::string_view s) {
@@ -182,7 +180,7 @@ void append_json_string(std::string& out, std::string_view s) {
   out += '"';
 }
 
-void append_number(std::string& out, double v) {
+void append_json_number(std::string& out, double v) {
   // Integral values print without a fraction so counters stay exact.
   if (v == static_cast<double>(static_cast<long long>(v)) && std::abs(v) < 1e15) {
     out += std::to_string(static_cast<long long>(v));
@@ -193,10 +191,12 @@ void append_number(std::string& out, double v) {
   }
 }
 
+namespace {
+
 void append_kv(std::string& out, const char* key, double v, bool comma = true) {
   append_json_string(out, key);
   out += ':';
-  append_number(out, v);
+  append_json_number(out, v);
   if (comma) out += ',';
 }
 
@@ -216,7 +216,7 @@ std::string to_json(const Snapshot& snap) {
       append_json_string(out, s.label);
     }
     out += ",\"value\":";
-    append_number(out, s.value);
+    append_json_number(out, s.value);
     out += '}';
   };
   for (const auto& s : snap.samples)

@@ -148,6 +148,38 @@ MetricsRegistry& registry();
 /// Snapshot of the global registry.
 Snapshot snapshot();
 
+/// A label-bound view of a registry: every instrument created through it
+/// carries a fixed label (e.g. "node=alpha"), giving each cluster::Node its
+/// own metric namespace inside the shared registry while fleet-level
+/// aggregation just sums samples that share a name across labels.
+class ScopedMetrics {
+ public:
+  ScopedMetrics() : reg_(&registry()) {}
+  explicit ScopedMetrics(std::string label, MetricsRegistry* reg = nullptr)
+      : reg_(reg ? reg : &registry()), label_(std::move(label)) {}
+
+  Counter& counter(std::string_view name) { return reg_->counter(name, label_); }
+  Gauge& gauge(std::string_view name) { return reg_->gauge(name, label_); }
+  Hist& histogram(std::string_view name) { return reg_->histogram(name, label_); }
+  std::uint64_t register_callback(std::string_view name,
+                                  std::function<double()> fn) {
+    return reg_->register_callback(name, label_, std::move(fn));
+  }
+
+  const std::string& label() const { return label_; }
+  MetricsRegistry& registry_ref() { return *reg_; }
+
+ private:
+  MetricsRegistry* reg_;
+  std::string label_;
+};
+
+/// JSON building blocks shared by the metrics / time-series / profile
+/// serializers: escaped string, and a number that prints integral values
+/// exactly (counters must round-trip).
+void append_json_string(std::string& out, std::string_view s);
+void append_json_number(std::string& out, double v);
+
 /// Serialize a snapshot as the `mercury.metrics.v1` JSON document (see
 /// scripts/check_bench_json.py for the schema).
 std::string to_json(const Snapshot& snap);

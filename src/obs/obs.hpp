@@ -14,8 +14,11 @@
 // telemetry observes simulated time, it does not create it.
 #pragma once
 
+#include <chrono>
+
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 #ifndef MERCURY_OBS_ENABLED
@@ -26,23 +29,75 @@
 
 namespace mercury::obs {
 
-/// RAII span over simulated cycles on one CPU (see trace.hpp).
+/// RAII span over simulated cycles on one CPU (see trace.hpp). Each span
+/// allocates itself a SpanContext — joining the ambient trace when one is
+/// active, rooting a fresh trace otherwise — and installs that context as
+/// ambient for its scope, so nested spans and instants become its causal
+/// children in the Chrome export.
 class TraceSpan {
  public:
   TraceSpan(hw::Cpu& cpu, TraceCat cat, const char* name)
-      : cpu_(&cpu), cat_(cat), name_(name), begin_(cpu.now()) {}
+      : cpu_(&cpu), cat_(cat), name_(name), begin_(cpu.now()),
+        parent_(current_span_context()) {
+    ctx_.trace_id = parent_.valid() ? parent_.trace_id : next_span_id();
+    ctx_.span_id = next_span_id();
+    ctx_.parent_id = parent_.span_id;
+    set_span_context(ctx_);
+  }
   ~TraceSpan() {
-    trace_buffer().record(
-        TraceEvent{name_, cat_, cpu_->id(), begin_, cpu_->now()});
+    set_span_context(parent_);
+    TraceEvent ev{name_, cat_, cpu_->id(), begin_, cpu_->now()};
+    ev.trace_id = ctx_.trace_id;
+    ev.span_id = ctx_.span_id;
+    ev.parent_id = ctx_.parent_id;
+    trace_buffer().record(ev);
   }
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Capture this span's identity to re-join its trace after an
+  /// asynchronous hop (supervisor request, cross-node message).
+  const SpanContext& context() const { return ctx_; }
 
  private:
   hw::Cpu* cpu_;
   TraceCat cat_;
   const char* name_;
   hw::Cycles begin_;
+  SpanContext parent_;
+  SpanContext ctx_;
+};
+
+/// RAII engine-profiler scope (see profiler.hpp): charges `bucket` with the
+/// wall-clock nanoseconds and simulated cycles spent inside the scope.
+/// Reads host *and* sim clocks only while the profiler is enabled; never
+/// charges simulated time itself.
+class ProfScope {
+ public:
+  ProfScope(ProfBucket* bucket, const hw::Cpu* cpu)
+      : bucket_(profiler().enabled() ? bucket : nullptr), cpu_(cpu) {
+    if (bucket_) {
+      wall_begin_ = std::chrono::steady_clock::now();
+      sim_begin_ = cpu_ ? cpu_->now() : 0;
+    }
+  }
+  ~ProfScope() {
+    if (!bucket_) return;
+    const auto wall = std::chrono::steady_clock::now() - wall_begin_;
+    const std::uint64_t wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(wall).count());
+    const std::uint64_t sim =
+        cpu_ ? static_cast<std::uint64_t>(cpu_->now() - sim_begin_) : 0;
+    profiler().record(*bucket_, wall_ns, sim);
+  }
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+ private:
+  ProfBucket* bucket_;
+  const hw::Cpu* cpu_;
+  std::chrono::steady_clock::time_point wall_begin_{};
+  hw::Cycles sim_begin_ = 0;
 };
 
 }  // namespace mercury::obs
@@ -96,6 +151,16 @@ class TraceSpan {
       (cpu_).id(), ::mercury::obs::FlightType::type_, name_,             \
       (cpu_).now() __VA_OPT__(, ) __VA_ARGS__)
 
+/// Engine-profiler scope: charge the named bucket with wall-clock ns and
+/// simulated cycles spent in the rest of the block. cpu_ptr_ may be null
+/// (wall-clock only). The bucket lookup runs once per call site.
+#define MERC_PROF_SCOPE(name_, cpu_ptr_)                                  \
+  static ::mercury::obs::ProfBucket* MERC_OBS_CONCAT(merc_obs_pb_,        \
+                                                     __LINE__) =          \
+      ::mercury::obs::profiler().bucket(name_);                           \
+  ::mercury::obs::ProfScope MERC_OBS_CONCAT(merc_obs_ps_, __LINE__)(      \
+      MERC_OBS_CONCAT(merc_obs_pb_, __LINE__), cpu_ptr_)
+
 #else  // !MERCURY_OBS_ENABLED
 
 #define MERC_COUNT(name_) ((void)0)
@@ -105,5 +170,6 @@ class TraceSpan {
 #define MERC_SPAN(cpu_, cat_, name_) ((void)0)
 #define MERC_INSTANT(cpu_, cat_, name_) ((void)0)
 #define MERC_FLIGHT(...) ((void)0)
+#define MERC_PROF_SCOPE(name_, cpu_ptr_) ((void)0)
 
 #endif  // MERCURY_OBS_ENABLED

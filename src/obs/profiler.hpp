@@ -1,0 +1,76 @@
+// Discrete-event engine profiler (observability pillar 4).
+//
+// ROADMAP item 1 wants to parallelize the single-threaded discrete-event
+// engine; before touching it we need to know where *wall-clock* time goes
+// when the simulator runs, attributed to engine work classes (kernel step
+// branches, per-node fabric dispatch, switch-engine commits). Each
+// MERC_PROF_SCOPE site charges a named bucket with:
+//   - count:      how many times the scope ran,
+//   - wall_ns:    host nanoseconds spent inside it (std::chrono::steady_clock),
+//   - sim_cycles: simulated cycles that elapsed inside it (cpu.now() delta),
+// so the report shows both "what the host CPU is busy doing" and "how much
+// simulated progress that bought" — the ratio is the engine's efficiency per
+// work class and the baseline any parallelization PR is judged against.
+//
+// The profiler is OFF by default: when disabled a ProfScope is a null-bucket
+// early-out (no clock reads). Like all obs instrumentation it must never
+// cpu.charge(), and the whole hook compiles away under MERCURY_OBS=OFF.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mercury::obs {
+
+struct ProfBucket {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t wall_ns = 0;
+  std::uint64_t sim_cycles = 0;
+};
+
+class EngineProfiler {
+ public:
+  /// Profiling starts disabled; MERC_PROF_SCOPE sites are cheap no-ops
+  /// until something (bench_soak --profile-json, a test) turns it on.
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  /// Get-or-create the bucket named `name`. The returned pointer is stable
+  /// for the profiler's lifetime, so call sites cache it in a function-local
+  /// static and skip the string lookup on the steady-state path.
+  ProfBucket* bucket(std::string_view name);
+
+  void record(ProfBucket& b, std::uint64_t wall_ns, std::uint64_t sim_cycles) {
+    ++b.count;
+    b.wall_ns += wall_ns;
+    b.sim_cycles += sim_cycles;
+  }
+
+  /// Copy of all buckets in creation order.
+  std::vector<ProfBucket> snapshot() const;
+
+  /// Zero every bucket's totals (bucket set and addresses are preserved —
+  /// call sites hold cached pointers).
+  void reset();
+
+ private:
+  bool enabled_ = false;
+  std::vector<std::unique_ptr<ProfBucket>> buckets_;  // stable addresses
+};
+
+/// The process-global profiler MERC_PROF_SCOPE charges.
+EngineProfiler& profiler();
+
+/// mercury.profile.v1 JSON: enabled flag, totals, and per-bucket rows with
+/// each bucket's share of total wall time (buckets in creation order).
+std::string profile_json(const EngineProfiler& prof = profiler());
+
+/// Write profile_json() to `path`; false on I/O failure.
+bool write_profile_json(const std::string& path,
+                        const EngineProfiler& prof = profiler());
+
+}  // namespace mercury::obs

@@ -1,0 +1,77 @@
+#include "obs/timeseries.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace mercury::obs {
+
+void TimeSeriesSampler::add_series(std::string name, std::string label,
+                                   std::function<double()> read) {
+  Series s;
+  s.name = std::move(name);
+  s.label = std::move(label);
+  s.read = std::move(read);
+  s.points.reserve(capacity_ < 64 ? capacity_ : 64);
+  series_.push_back(std::move(s));
+}
+
+void TimeSeriesSampler::sample(hw::Cycles now) {
+  for (Series& s : series_) {
+    const double v = s.read ? s.read() : 0.0;
+    if (s.points.size() < capacity_ && !s.wrapped) {
+      s.points.push_back({now, v});
+      continue;
+    }
+    // Ring is full: overwrite the oldest point.
+    s.wrapped = true;
+    s.points[s.head] = {now, v};
+    s.head = (s.head + 1) % s.points.size();
+    ++dropped_;
+  }
+  ++samples_taken_;
+}
+
+std::vector<TimeSeriesSampler::Point> TimeSeriesSampler::points(
+    std::size_t i) const {
+  const Series& s = series_[i];
+  if (!s.wrapped) return s.points;
+  std::vector<Point> out;
+  out.reserve(s.points.size());
+  for (std::size_t k = 0; k < s.points.size(); ++k)
+    out.push_back(s.points[(s.head + k) % s.points.size()]);
+  return out;
+}
+
+std::string TimeSeriesSampler::to_json(hw::Cycles interval_cycles) const {
+  std::string out = "{\"schema\":\"mercury.timeseries.v1\",";
+  out += "\"interval_cycles\":";
+  append_json_number(out, static_cast<double>(interval_cycles));
+  out += ",\"capacity\":";
+  append_json_number(out, static_cast<double>(capacity_));
+  out += ",\"samples\":";
+  append_json_number(out, static_cast<double>(samples_taken_));
+  out += ",\"dropped\":";
+  append_json_number(out, static_cast<double>(dropped_));
+  out += ",\"series\":[";
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    if (i) out += ',';
+    out += "{\"name\":";
+    append_json_string(out, series_[i].name);
+    out += ",\"label\":";
+    append_json_string(out, series_[i].label);
+    out += ",\"points\":[";
+    const std::vector<Point> pts = points(i);
+    for (std::size_t k = 0; k < pts.size(); ++k) {
+      if (k) out += ',';
+      out += '[';
+      append_json_number(out, static_cast<double>(pts[k].t));
+      out += ',';
+      append_json_number(out, pts[k].v);
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace mercury::obs

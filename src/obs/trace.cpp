@@ -7,6 +7,20 @@
 
 namespace mercury::obs {
 
+namespace {
+// The simulator is single-threaded, so the ambient causal context and node
+// attribution are plain globals (see trace.hpp header comment).
+SpanContext g_span_ctx;
+std::uint32_t g_trace_node = 0;
+std::uint64_t g_next_span_id = 0;
+}  // namespace
+
+const SpanContext& current_span_context() { return g_span_ctx; }
+void set_span_context(const SpanContext& ctx) { g_span_ctx = ctx; }
+std::uint64_t next_span_id() { return ++g_next_span_id; }
+std::uint32_t current_trace_node() { return g_trace_node; }
+void set_trace_node(std::uint32_t node) { g_trace_node = node; }
+
 const char* trace_cat_name(TraceCat cat) {
   switch (cat) {
     case TraceCat::kSwitch: return "switch";
@@ -35,6 +49,8 @@ void TraceBuffer::clear() {
   rings_.clear();
   recorded_ = 0;
   dropped_ = 0;
+  // next_seq_ deliberately survives: the sequence is the global record
+  // order across the buffer's whole lifetime (mirrors FlightRecorder).
 }
 
 void TraceBuffer::record(const TraceEvent& ev) {
@@ -44,7 +60,10 @@ void TraceBuffer::record(const TraceEvent& ev) {
   if (r.slots.empty()) r.slots.resize(capacity_);
   if (r.size == r.slots.size()) ++dropped_;  // overwriting the oldest
   else ++r.size;
-  r.slots[r.head] = ev;
+  TraceEvent& slot = r.slots[r.head];
+  slot = ev;
+  slot.seq = next_seq_++;
+  if (slot.node == 0) slot.node = current_trace_node();
   r.head = (r.head + 1) % r.slots.size();
   ++recorded_;
 }
@@ -60,7 +79,8 @@ std::vector<TraceEvent> TraceBuffer::events() const {
   }
   std::stable_sort(out.begin(), out.end(),
                    [](const TraceEvent& a, const TraceEvent& b) {
-                     return a.begin < b.begin;
+                     if (a.begin != b.begin) return a.begin < b.begin;
+                     return a.seq < b.seq;
                    });
   return out;
 }
@@ -107,9 +127,25 @@ std::string chrome_trace_json(const TraceBuffer& buf) {
                     hw::cycles_to_us(ev.end - ev.begin));
       out += num;
     }
-    out += ",\"pid\":1,\"tid\":";
+    // pid = cluster node: each node renders as its own process group in the
+    // Chrome/Perfetto UI (node 0 = unscoped single-machine events).
+    out += ",\"pid\":";
+    out += std::to_string(ev.node);
+    out += ",\"tid\":";
     out += std::to_string(ev.cpu);
-    out += '}';
+    out += ",\"args\":{\"seq\":";
+    out += std::to_string(ev.seq);
+    if (ev.trace_id != 0) {
+      out += ",\"trace\":";
+      out += std::to_string(ev.trace_id);
+      if (ev.span_id != 0) {
+        out += ",\"span\":";
+        out += std::to_string(ev.span_id);
+      }
+      out += ",\"parent\":";
+      out += std::to_string(ev.parent_id);
+    }
+    out += "}}";
   }
   out += "]}";
   return out;

@@ -9,7 +9,9 @@
 #include "hw/machine.hpp"
 #include "obs/obs.hpp"
 #include "obs/postmortem.hpp"
+#include "obs/profiler.hpp"
 #include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "tests/json_checker.hpp"
 
 namespace mercury::testing {
@@ -147,6 +149,132 @@ TEST(TraceBuffer, DisabledBufferRecordsNothing) {
   buf.record_instant(0, obs::TraceCat::kOther, "e", 1);
   EXPECT_TRUE(buf.events().empty());
   EXPECT_EQ(buf.recorded(), 0u);
+}
+
+TEST(TraceBuffer, RingWrapFromManyCpusKeepsGlobalSeqMonotonic) {
+  obs::TraceBuffer buf(4);
+  // Emit far past capacity from three CPUs, with globally increasing begin
+  // timestamps so emission order == timestamp order.
+  hw::Cycles t = 1000;
+  for (std::uint64_t round = 0; round < 10; ++round)
+    for (std::uint32_t cpu = 0; cpu < 3; ++cpu)
+      buf.record_instant(cpu, obs::TraceCat::kOther, "wrap", t += 10);
+  const auto evs = buf.events();
+  ASSERT_EQ(evs.size(), 12u);  // 4 survivors per CPU ring
+  EXPECT_EQ(buf.recorded(), 30u);
+  EXPECT_EQ(buf.dropped(), 18u);
+  // The merged export must be ordered and the global sequence must be
+  // strictly monotonic across the wrapped rings — Chrome trace viewers
+  // key causal ordering off it.
+  for (std::size_t i = 1; i < evs.size(); ++i) {
+    EXPECT_GT(evs[i].seq, evs[i - 1].seq);
+    EXPECT_GE(evs[i].begin, evs[i - 1].begin);
+  }
+  const std::string json = obs::chrome_trace_json(buf);
+  EXPECT_TRUE(JsonChecker(json).ok()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"seq\""), std::string::npos);
+}
+
+TEST(TraceBuffer, SeqSurvivesClear) {
+  obs::TraceBuffer buf(4);
+  buf.record_instant(0, obs::TraceCat::kOther, "before", 10);
+  const std::uint64_t first_seq = buf.events()[0].seq;
+  buf.clear();
+  buf.record_instant(0, obs::TraceCat::kOther, "after", 20);
+  // Exports from before and after a clear() must still order correctly.
+  EXPECT_GT(buf.events()[0].seq, first_seq);
+}
+
+TEST(SpanContext, SpansChainParentChildAndRestoreAmbient) {
+  hw::MachineConfig mc;
+  mc.mem_kb = 16 * 1024;
+  hw::Machine machine(mc);
+  hw::Cpu& cpu = machine.cpu(0);
+
+  obs::TraceBuffer& buf = obs::trace_buffer();
+  buf.set_enabled(true);
+  buf.clear();
+  EXPECT_FALSE(obs::current_span_context().valid());
+  obs::SpanContext outer_ctx, inner_ctx;
+  {
+    obs::TraceSpan outer(cpu, obs::TraceCat::kSwitch, "ctx_outer");
+    outer_ctx = outer.context();
+    EXPECT_TRUE(outer_ctx.valid());
+    // A root span starts its own trace.
+    EXPECT_EQ(outer_ctx.parent_id, 0u);
+    cpu.charge(100);
+    {
+      obs::TraceSpan inner(cpu, obs::TraceCat::kTransfer, "ctx_inner");
+      inner_ctx = inner.context();
+      // Child: same trace, parent = the enclosing span.
+      EXPECT_EQ(inner_ctx.trace_id, outer_ctx.trace_id);
+      EXPECT_EQ(inner_ctx.parent_id, outer_ctx.span_id);
+      EXPECT_NE(inner_ctx.span_id, outer_ctx.span_id);
+      cpu.charge(100);
+    }
+    // Inner scope gone: the ambient context is the outer span again.
+    EXPECT_EQ(obs::current_span_context().span_id, outer_ctx.span_id);
+  }
+  EXPECT_FALSE(obs::current_span_context().valid());
+
+  // The recorded events carry the ids, and the Chrome export exposes them.
+  const auto evs = buf.events();
+  ASSERT_EQ(evs.size(), 2u);
+  for (const auto& ev : evs) {
+    if (std::string(ev.name) == "ctx_inner") {
+      EXPECT_EQ(ev.trace_id, outer_ctx.trace_id);
+      EXPECT_EQ(ev.parent_id, outer_ctx.span_id);
+    } else {
+      EXPECT_EQ(ev.trace_id, outer_ctx.trace_id);
+      EXPECT_EQ(ev.parent_id, 0u);
+    }
+  }
+  const std::string json = obs::chrome_trace_json(buf);
+  EXPECT_TRUE(JsonChecker(json).ok()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"trace\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent\""), std::string::npos);
+  buf.clear();
+}
+
+TEST(SpanContext, InstantEventsInheritAmbientContext) {
+  hw::MachineConfig mc;
+  mc.mem_kb = 16 * 1024;
+  hw::Machine machine(mc);
+  hw::Cpu& cpu = machine.cpu(0);
+
+  obs::TraceBuffer& buf = obs::trace_buffer();
+  buf.set_enabled(true);
+  buf.clear();
+  {
+    obs::TraceSpan span(cpu, obs::TraceCat::kSwitch, "ctx_span");
+    buf.record_instant(0, obs::TraceCat::kOther, "ctx_mark", cpu.now());
+    const auto evs = buf.events();
+    ASSERT_EQ(evs.size(), 1u);  // the span is still open
+    EXPECT_EQ(evs[0].trace_id, span.context().trace_id);
+    EXPECT_EQ(evs[0].parent_id, span.context().span_id);
+  }
+  buf.clear();
+}
+
+TEST(TraceNodeScope, StampsNodeOnEventsAndRestores) {
+  obs::TraceBuffer& buf = obs::trace_buffer();
+  buf.set_enabled(true);
+  buf.clear();
+  EXPECT_EQ(obs::current_trace_node(), 0u);
+  {
+    obs::TraceNodeScope scope(3);
+    buf.record_instant(0, obs::TraceCat::kCluster, "on_node", 100);
+  }
+  buf.record_instant(0, obs::TraceCat::kOther, "off_node", 200);
+  EXPECT_EQ(obs::current_trace_node(), 0u);
+  const auto evs = buf.events();
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_EQ(evs[0].node, 3u);
+  EXPECT_EQ(evs[1].node, 0u);
+  // The Chrome export maps node -> pid.
+  const std::string json = obs::chrome_trace_json(buf);
+  EXPECT_NE(json.find("\"pid\":3"), std::string::npos);
+  buf.clear();
 }
 
 TEST(TraceSpan, NestedSpansNestOverSimulatedTime) {
@@ -309,6 +437,111 @@ TEST(FlightMacro, RecordsIffObsEnabled) {
   // Instrumentation never charges simulated time.
   EXPECT_EQ(cpu.now(), before_clock);
   rec.clear();
+}
+
+// --- engine profiler ---------------------------------------------------------
+
+// The profiler is process-global and bucket addresses are stable across
+// reset(), so these tests look their buckets up by name and never assert on
+// the total bucket count (other suites in this binary create buckets too).
+namespace {
+const obs::ProfBucket* find_bucket(const std::vector<obs::ProfBucket>& snap,
+                                   const std::string& name) {
+  for (const auto& b : snap)
+    if (b.name == name) return &b;
+  return nullptr;
+}
+}  // namespace
+
+TEST(EngineProfiler, DisabledRecordsNothingAndScopesAreCheap) {
+  obs::EngineProfiler& prof = obs::profiler();
+  prof.set_enabled(false);
+  prof.reset();
+  hw::MachineConfig mc;
+  mc.mem_kb = 16 * 1024;
+  hw::Machine machine(mc);
+  {
+    MERC_PROF_SCOPE("test.prof.disabled", &machine.cpu(0));
+    machine.cpu(0).charge(100);
+  }
+  // The call-site static may have created the bucket, but a disabled
+  // profiler must not charge it.
+  const obs::ProfBucket* b = find_bucket(prof.snapshot(), "test.prof.disabled");
+  if (b != nullptr) {
+    EXPECT_EQ(b->count, 0u);
+    EXPECT_EQ(b->wall_ns, 0u);
+    EXPECT_EQ(b->sim_cycles, 0u);
+  }
+}
+
+TEST(EngineProfiler, EnabledAttributesWallAndSimTime) {
+  obs::EngineProfiler& prof = obs::profiler();
+  prof.reset();
+  prof.set_enabled(true);
+  hw::MachineConfig mc;
+  mc.mem_kb = 16 * 1024;
+  hw::Machine machine(mc);
+  hw::Cpu& cpu = machine.cpu(0);
+  for (int i = 0; i < 3; ++i) {
+    MERC_PROF_SCOPE("test.prof.bucket", &cpu);
+    cpu.charge(500);
+  }
+  const auto snap = prof.snapshot();
+  prof.set_enabled(false);
+#if MERCURY_OBS_ENABLED
+  const obs::ProfBucket* b = find_bucket(snap, "test.prof.bucket");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->count, 3u);
+  EXPECT_EQ(b->sim_cycles, 1500u);
+  const std::string json = obs::profile_json();
+  EXPECT_TRUE(JsonChecker(json).ok()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"schema\":\"mercury.profile.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("test.prof.bucket"), std::string::npos);
+#else
+  // MERC_PROF_SCOPE compiles away entirely under MERCURY_OBS=OFF.
+  EXPECT_EQ(find_bucket(snap, "test.prof.bucket"), nullptr);
+#endif
+  prof.reset();
+}
+
+// --- time-series sampler -----------------------------------------------------
+
+TEST(TimeSeriesSampler, SamplesOnDemandAndSerializes) {
+  obs::TimeSeriesSampler sampler(8);
+  double v = 1.0;
+  sampler.add_series("test.ts.live", "node=n0", [&] { return v; });
+  sampler.sample(100);
+  v = 2.5;
+  sampler.sample(200);
+  ASSERT_EQ(sampler.series_count(), 1u);
+  const auto pts = sampler.points(0);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[0].t, 100u);
+  EXPECT_DOUBLE_EQ(pts[0].v, 1.0);
+  EXPECT_DOUBLE_EQ(pts[1].v, 2.5);
+  const std::string json = sampler.to_json(100);
+  EXPECT_TRUE(JsonChecker(json).ok()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"schema\":\"mercury.timeseries.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("test.ts.live"), std::string::npos);
+  EXPECT_NE(json.find("node=n0"), std::string::npos);
+}
+
+TEST(TimeSeriesSampler, RingDropsOldestPastCapacity) {
+  obs::TimeSeriesSampler sampler(4);
+  double v = 0.0;
+  sampler.add_series("test.ts.ring", "", [&] { return v; });
+  for (int i = 0; i < 10; ++i) {
+    v = i;
+    sampler.sample(static_cast<hw::Cycles>(1000 + i));
+  }
+  const auto pts = sampler.points(0);
+  ASSERT_EQ(pts.size(), 4u);
+  EXPECT_EQ(pts.front().t, 1006u);  // oldest six dropped
+  EXPECT_DOUBLE_EQ(pts.back().v, 9.0);
+  EXPECT_EQ(sampler.dropped(), 6u);
+  EXPECT_EQ(sampler.samples_taken(), 10u);
 }
 
 // --- SLO watchdog ------------------------------------------------------------
