@@ -7,9 +7,11 @@ Usage:
 
 Compares the `bench.modeswitch.*` gauges of two mercury.metrics.v1
 documents. Latency gauges (*.attach_ms, *.detach_ms, *.attach_transfer_ms,
-*.detach_transfer_ms) regress when the current value exceeds baseline *
-(1 + tolerance); speedup gauges (crew_speedup_largest_mem) regress when the
-current value falls below baseline * (1 - tolerance). A baseline gauge
+*.detach_transfer_ms, and the warm sweep's *.cold_attach_ms /
+*.warm_attach_ms) regress when the current value exceeds baseline *
+(1 + tolerance); speedup gauges (crew_speedup_largest_mem,
+warm_reattach_speedup) regress when the current value falls below
+baseline * (1 - tolerance). A baseline gauge
 missing from the current run is a failure (a silently dropped sweep cell is
 a regression in coverage); new gauges in the current run are fine.
 
@@ -29,8 +31,13 @@ LATENCY_SUFFIXES = (
     ".detach_ms",
     ".attach_transfer_ms",
     ".detach_transfer_ms",
+    ".cold_attach_ms",
+    ".warm_attach_ms",
 )
-SPEEDUP_KEYS = ("bench.modeswitch.crew_speedup_largest_mem",)
+SPEEDUP_KEYS = (
+    "bench.modeswitch.crew_speedup_largest_mem",
+    "bench.modeswitch.warm_reattach_speedup",
+)
 # Sub-millisecond jitter floor: values this small are dominated by rounding
 # in the ms conversion, not by a real cost change.
 ABS_FLOOR_MS = 1e-6

@@ -33,6 +33,14 @@ def metrics_doc():
             {"name": "bench.modeswitch.crew_speedup_largest_mem",
              "value": 3.1},
             {"name": "obs.flight.recorded", "value": 512},
+            {"name": "bench.modeswitch.warm.mem_kb=921600.cold_attach_ms",
+             "value": 16.0},
+            {"name": "bench.modeswitch.warm.mem_kb=921600.warm_attach_ms",
+             "value": 0.8},
+            {"name": "bench.modeswitch.warm.mem_kb=921600.dirty_frames",
+             "value": 359},
+            {"name": "bench.modeswitch.warm_reattach_speedup",
+             "value": 19.9},
         ],
         "histograms": [
             {"name": "switch.attach.total_cycles", "count": 4, "sum": 400.0,
@@ -167,6 +175,16 @@ class MetricsSchemaTest(unittest.TestCase):
         self.assertIn("switch.attach.count", names)
         self.assertIn("switch.attach.total_cycles", names)
         self.assertIn("obs.flight.recorded", names)
+
+    def test_warm_reattach_gauges_are_requirable(self):
+        # The CI bench gate passes these as --require flags; the names the
+        # validator returns are what that presence check runs against.
+        names = cbj.validate_metrics(metrics_doc())
+        self.assertIn("bench.modeswitch.warm_reattach_speedup", names)
+        self.assertIn("bench.modeswitch.warm.mem_kb=921600.warm_attach_ms",
+                      names)
+        self.assertIn("bench.modeswitch.warm.mem_kb=921600.cold_attach_ms",
+                      names)
 
     def test_wrong_schema_string(self):
         doc = metrics_doc()
@@ -501,7 +519,7 @@ class BenchCompareTest(unittest.TestCase):
         doc = metrics_doc()
         regressions, rows = bench_compare.compare(doc, doc)
         self.assertEqual(regressions, [])
-        self.assertEqual(len(rows), 3)  # 2 latency gauges + 1 speedup
+        self.assertEqual(len(rows), 6)  # 4 latency gauges + 2 speedups
 
     def test_latency_regression_detected(self):
         base = metrics_doc()
@@ -563,6 +581,48 @@ class BenchCompareTest(unittest.TestCase):
         base = metrics_doc()
         cur = copy.deepcopy(base)
         cur["gauges"][3]["value"] = 10**9  # obs.flight.recorded exploded
+        regressions, _ = bench_compare.compare(base, cur)
+        self.assertEqual(regressions, [])
+
+    def test_warm_attach_latency_regression_detected(self):
+        base = metrics_doc()
+        cur = copy.deepcopy(base)
+        cur["gauges"][5]["value"] = 0.8 * 2.0  # warm attach twice as slow
+        regressions, _ = bench_compare.compare(base, cur, tolerance=0.10)
+        self.assertEqual(len(regressions), 1)
+        self.assertIn("warm_attach_ms", regressions[0])
+
+    def test_warm_speedup_regression_detected(self):
+        base = metrics_doc()
+        cur = copy.deepcopy(base)
+        cur["gauges"][7]["value"] = 19.9 * 0.5  # warm benefit halved
+        regressions, _ = bench_compare.compare(base, cur)
+        self.assertEqual(len(regressions), 1)
+        self.assertIn("warm_reattach_speedup", regressions[0])
+
+    def test_warm_speedup_improvement_passes(self):
+        base = metrics_doc()
+        cur = copy.deepcopy(base)
+        cur["gauges"][7]["value"] = 40.0
+        regressions, _ = bench_compare.compare(base, cur)
+        self.assertEqual(regressions, [])
+
+    def test_missing_warm_speedup_is_a_regression(self):
+        base = metrics_doc()
+        cur = copy.deepcopy(base)
+        del cur["gauges"][7]  # drop warm_reattach_speedup
+        regressions, rows = bench_compare.compare(base, cur)
+        self.assertEqual(len(regressions), 1)
+        self.assertIn("missing", regressions[0])
+        self.assertIn(("bench.modeswitch.warm_reattach_speedup",
+                       19.9, None, "MISSING"), rows)
+
+    def test_warm_count_gauges_not_gated(self):
+        # dirty_frames / frames_retained describe the workload, not the
+        # cost model; a different dirty pattern must not fail the gate.
+        base = metrics_doc()
+        cur = copy.deepcopy(base)
+        cur["gauges"][6]["value"] = 10**6  # dirty_frames exploded
         regressions, _ = bench_compare.compare(base, cur)
         self.assertEqual(regressions, [])
 

@@ -82,6 +82,7 @@ SoakDriver::SoakDriver(core::SwitchSupervisor& supervisor, SoakParams p)
     : sup_(supervisor),
       kernel_(supervisor.engine().kernel()),
       params_(p),
+      warm_rng_(p.warm_seed),
       self_(std::make_shared<SoakDriver*>(this)) {
   if (params_.cycles == 0) params_.cycles = 1;
 }
@@ -118,6 +119,11 @@ void SoakDriver::tick() {
     core::RequestOptions opts;
     opts.deadline = params_.deadline;
     opts.max_attempts = params_.max_attempts;
+    // Flip warm re-attach per cycle so a soak interleaves warm and cold
+    // attaches (and retaining and plain detaches) under the same storm.
+    if (params_.warm_reattach_rate > 0.0)
+      sup_.engine().set_warm_reattach(
+          warm_rng_.chance(params_.warm_reattach_rate));
     ++submitted_;
     outstanding_ = true;
     std::weak_ptr<SoakDriver*> weak = self_;

@@ -21,6 +21,7 @@
 #include "cluster/fabric.hpp"
 #include "core/switch_supervisor.hpp"
 #include "obs/timeseries.hpp"
+#include "util/rng.hpp"
 
 namespace mercury::cluster {
 
@@ -120,6 +121,12 @@ struct SoakParams {
   /// Run the machine-state invariant checker after every resolution
   /// (host cost only).
   bool check_invariants = true;
+  /// Probability that each driver cycle enables the engine's warm
+  /// re-attach before submitting (0 = leave the engine's flag alone).
+  /// The flip schedule is drawn from `warm_seed`, so a soak replays its
+  /// exact warm/cold interleaving from the seed line.
+  double warm_reattach_rate = 0.0;
+  std::uint64_t warm_seed = 0;
 };
 
 class SoakDriver {
@@ -177,6 +184,7 @@ class SoakDriver {
   std::uint64_t workload_bytes_ = 0;
   std::uint64_t workload_corruptions_ = 0;
   AvailabilityTracker tracker_;
+  util::Rng warm_rng_;
   /// Timers capture a weak reference: one may survive the driver.
   std::shared_ptr<SoakDriver*> self_;
 };

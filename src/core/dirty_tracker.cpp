@@ -1,0 +1,86 @@
+#include "core/dirty_tracker.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace mercury::core {
+
+DirtyFrameTracker::DirtyFrameTracker(std::size_t total_frames,
+                                     std::size_t capacity)
+    : bits_((total_frames + 63) / 64, 0),
+      content_bits_((total_frames + 63) / 64, 0),
+      total_frames_(total_frames),
+      capacity_(capacity != 0 ? capacity : std::max<std::size_t>(1, total_frames / 8)) {
+  MERC_CHECK(total_frames > 0);
+}
+
+void DirtyFrameTracker::arm() {
+  std::fill(bits_.begin(), bits_.end(), 0);
+  std::fill(content_bits_.begin(), content_bits_.end(), 0);
+  dirty_count_ = 0;
+  content_count_ = 0;
+  overflowed_ = false;
+  armed_ = true;
+}
+
+void DirtyFrameTracker::disarm() {
+  armed_ = false;
+  std::fill(bits_.begin(), bits_.end(), 0);
+  std::fill(content_bits_.begin(), content_bits_.end(), 0);
+  dirty_count_ = 0;
+  content_count_ = 0;
+  overflowed_ = false;
+}
+
+void DirtyFrameTracker::set_bit(std::vector<std::uint64_t>& bits, hw::Pfn pfn,
+                                bool& fresh) {
+  std::uint64_t& word = bits[pfn / 64];
+  const std::uint64_t mask = std::uint64_t{1} << (pfn % 64);
+  fresh = (word & mask) == 0;
+  word |= mask;
+}
+
+void DirtyFrameTracker::note_dirty(hw::Pfn pfn) {
+  if (!armed_) return;
+  if (pfn >= total_frames_) return;  // device windows outside RAM: ignore
+  bool fresh = false;
+  set_bit(bits_, pfn, fresh);
+  if (fresh && ++dirty_count_ > capacity_) overflowed_ = true;
+  set_bit(content_bits_, pfn, fresh);
+  if (fresh) ++content_count_;
+}
+
+void DirtyFrameTracker::note_mapping(hw::Pfn pfn) {
+  if (!armed_) return;
+  if (pfn >= total_frames_) return;
+  bool fresh = false;
+  set_bit(bits_, pfn, fresh);
+  if (fresh && ++dirty_count_ > capacity_) overflowed_ = true;
+}
+
+std::vector<hw::Pfn> DirtyFrameTracker::collect_bits(
+    const std::vector<std::uint64_t>& bits, std::size_t count) {
+  std::vector<hw::Pfn> out;
+  out.reserve(count);
+  for (std::size_t w = 0; w < bits.size(); ++w) {
+    std::uint64_t word = bits[w];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      out.push_back(static_cast<hw::Pfn>(w * 64 + static_cast<std::size_t>(bit)));
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
+std::vector<hw::Pfn> DirtyFrameTracker::collect() const {
+  return collect_bits(bits_, dirty_count_);
+}
+
+std::vector<hw::Pfn> DirtyFrameTracker::collect_content() const {
+  return collect_bits(content_bits_, content_count_);
+}
+
+}  // namespace mercury::core

@@ -20,6 +20,7 @@ const char* fault_site_name(FaultSite s) {
     case FaultSite::kShardRebuild: return "shard.rebuild";
     case FaultSite::kShardProtect: return "shard.protect";
     case FaultSite::kShardUnprotect: return "shard.unprotect";
+    case FaultSite::kDirtyRebuild: return "dirty.rebuild";
     case FaultSite::kNumSites: break;
   }
   return "?";

@@ -47,6 +47,8 @@ enum class FaultSite : std::uint8_t {
   kShardRebuild,      // crew shard of the page-info rebuild (attach)
   kShardProtect,      // crew shard of type-and-protect (attach)
   kShardUnprotect,    // crew shard of the writability restore (detach)
+  kDirtyRebuild,      // warm re-attach dirty-set rebuild, per frame (attach;
+                      // fires on the serial path and inside crew shards)
   kNumSites,
 };
 

@@ -140,6 +140,20 @@ InvariantReport check_machine_invariants(SwitchEngine& engine) {
       fail("page-info self-check: " + *err);
   }
 
+  // --- warm re-attach retention state ---
+  // "Retained" means stale-but-kept across a detach; it is exclusive with
+  // "valid" (live) and can only exist while the machine is native.
+  if (hv.page_info().valid() && hv.page_info().retained())
+    fail("page-info table is both live (valid) and retained-stale");
+  if (is_virtual && hv.page_info().retained())
+    fail("virtual mode with a retained-stale page-info table");
+  if (!is_virtual && hv.page_info().retained() &&
+      engine.config().eager_page_tracking)
+    fail("eager tracking and warm retention are mutually exclusive");
+  if (const DirtyFrameTracker* dt = engine.dirty_tracker();
+      dt != nullptr && dt->armed() && is_virtual)
+    fail("dirty tracker armed while the VMM is attached");
+
   // --- split-driver backends follow the full-virtual role ---
   const bool want_connected = mode == ExecMode::kFullVirtual;
   if (hv.blk_backend().connected() != want_connected)

@@ -10,15 +10,18 @@ namespace mercury::core {
 
 TransferStats transfer_to_virtual(hw::Cpu& cpu, kernel::Kernel& k,
                                   vmm::Hypervisor& hv, VirtualVo& vo,
-                                  bool trust_page_info, bool eager_fixup) {
+                                  bool trust_page_info, bool eager_fixup,
+                                  const WarmSet* warm) {
   TransferStats stats;
 
   hw::Cycles t0 = cpu.now();
   {
     MERC_SPAN(cpu, kTransfer, "transfer.page_info_rebuild");
     MERC_FLIGHT(cpu, kPhaseBegin, "transfer.page_info_rebuild",
-                k.pool().owned_count());
-    const vmm::DomainId dom = hv.adopt_running_os(cpu, k, trust_page_info);
+                warm ? warm->rebuild.size() : k.pool().owned_count());
+    const vmm::DomainId dom =
+        warm ? hv.adopt_running_os_warm(cpu, k, warm->rebuild, warm->content)
+             : hv.adopt_running_os(cpu, k, trust_page_info);
     vo.bind(dom);
   }
   stats.page_info_cycles = cpu.now() - t0;  // rebuild + typing + protection
@@ -52,7 +55,7 @@ TransferStats transfer_to_virtual(hw::Cpu& cpu, kernel::Kernel& k,
 
 TransferStats transfer_to_native(hw::Cpu& cpu, kernel::Kernel& k,
                                  vmm::Hypervisor& hv, VirtualVo& vo,
-                                 bool eager_fixup) {
+                                 bool eager_fixup, bool retain_page_info) {
   TransferStats stats;
   MERC_CHECK_MSG(vo.dom() != vmm::kDomInvalid,
                  "detach without an adopted domain");
@@ -61,7 +64,7 @@ TransferStats transfer_to_native(hw::Cpu& cpu, kernel::Kernel& k,
   {
     MERC_SPAN(cpu, kTransfer, "transfer.unprotect_tables");
     MERC_FLIGHT(cpu, kPhaseBegin, "transfer.unprotect_tables");
-    hv.release_os(cpu, vo.dom());
+    hv.release_os(cpu, vo.dom(), retain_page_info);
   }
   stats.protection_cycles = cpu.now() - t0;  // PT RW restore (O(#PTs))
   MERC_FLIGHT(cpu, kPhaseEnd, "transfer.unprotect_tables", 0,

@@ -8,6 +8,9 @@
 //      trap table (virtual).
 #pragma once
 
+#include <vector>
+
+#include "core/dirty_tracker.hpp"
 #include "core/virtual_vo.hpp"
 #include "hw/cpu.hpp"
 #include "vmm/hypervisor.hpp"
@@ -27,14 +30,21 @@ struct TransferStats {
 
 /// Native -> virtual: adopt the running OS into the pre-cached VMM. When
 /// `trust_page_info` (eager tracking) the expensive rebuild is skipped.
-/// Binds `vo` to the resulting domain.
+/// When `warm` is non-null (warm re-attach), the retained table is
+/// reconstructed incrementally from `warm->rebuild` instead of a full
+/// rebuild, and PTE revalidation is limited to tables in `warm->content`;
+/// the caller has already checked eligibility and filtered both sets to
+/// kernel-owned frames. Binds `vo` to the resulting domain.
 TransferStats transfer_to_virtual(hw::Cpu& cpu, kernel::Kernel& k,
                                   vmm::Hypervisor& hv, VirtualVo& vo,
-                                  bool trust_page_info, bool eager_fixup);
+                                  bool trust_page_info, bool eager_fixup,
+                                  const WarmSet* warm = nullptr);
 
-/// Virtual -> native: release the OS from the VMM.
+/// Virtual -> native: release the OS from the VMM. With `retain_page_info`
+/// the hypervisor's page-info table survives in the stale-but-retained
+/// state that makes the next attach eligible for the warm path.
 TransferStats transfer_to_native(hw::Cpu& cpu, kernel::Kernel& k,
                                  vmm::Hypervisor& hv, VirtualVo& vo,
-                                 bool eager_fixup);
+                                 bool eager_fixup, bool retain_page_info = false);
 
 }  // namespace mercury::core

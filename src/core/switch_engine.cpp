@@ -1,5 +1,6 @@
 #include "core/switch_engine.hpp"
 
+#include <algorithm>
 #include <span>
 #include <utility>
 #include <vector>
@@ -76,6 +77,9 @@ SwitchEngine::SwitchEngine(kernel::Kernel& k, vmm::Hypervisor& hv,
       case vmm::HvFaultPoint::kShardUnprotect:
         fault_point(FaultSite::kShardUnprotect, cpu);
         break;
+      case vmm::HvFaultPoint::kDirtyRebuild:
+        fault_point(FaultSite::kDirtyRebuild, cpu);
+        break;
     }
   });
   // Black box: a failed MERC_CHECK anywhere in the simulator should leave a
@@ -87,6 +91,15 @@ SwitchEngine::SwitchEngine(kernel::Kernel& k, vmm::Hypervisor& hv,
   slo_.set_budget("switch.transfer_cycles", config_.slo.transfer);
   slo_.set_budget("switch.fixup_cycles", config_.slo.fixup);
   register_obs_instruments();
+}
+
+SwitchEngine::~SwitchEngine() {
+  if (dirty_tracker_) {
+    // The machine and pool outlive this engine; the sink must not dangle.
+    hw::PhysicalMemory& mem = kernel_.machine().memory();
+    if (mem.dirty_sink() == dirty_tracker_.get()) mem.set_dirty_sink(nullptr);
+    kernel_.pool().set_dirty_sink(nullptr);
+  }
 }
 
 void SwitchEngine::register_obs_instruments() {
@@ -117,6 +130,14 @@ void SwitchEngine::register_obs_instruments() {
          [](const SwitchStats& s) { return s.last_rendezvous_cycles; });
   expose("switch.last_defer_wait_cycles",
          [](const SwitchStats& s) { return s.last_defer_wait_cycles; });
+  expose("switch.attach.warm_attaches",
+         [](const SwitchStats& s) { return s.warm_attaches; });
+  expose("switch.attach.warm_fallbacks",
+         [](const SwitchStats& s) { return s.warm_fallbacks; });
+  expose("switch.attach.last_dirty_frames",
+         [](const SwitchStats& s) { return s.last_dirty_frames; });
+  expose("vmm.page_info.last_frames_retained",
+         [](const SwitchStats& s) { return s.last_frames_retained; });
   obs_callbacks_.add("switch.slo.breach_count", obs_label_,
                      [this] { return static_cast<double>(slo_.breaches()); });
 #endif
@@ -477,12 +498,105 @@ void SwitchEngine::reload_all_cpus(VirtObject& vo) {
   }
 }
 
+bool SwitchEngine::warm_retention_enabled() const {
+  // Eager tracking keeps the table *live* across detach; retention keeps it
+  // *stale*. They are different contracts — eager wins when both are set.
+  return config_.warm_reattach && !config_.eager_page_tracking;
+}
+
+void SwitchEngine::ensure_tracker() {
+  if (dirty_tracker_) return;
+  hw::PhysicalMemory& mem = kernel_.machine().memory();
+  dirty_tracker_ = std::make_unique<DirtyFrameTracker>(
+      mem.total_frames(), config_.warm_dirty_capacity);
+  mem.set_dirty_sink(dirty_tracker_.get());
+  kernel_.pool().set_dirty_sink(&dirty_tracker_->mapping_sink());
+}
+
+void SwitchEngine::begin_warm_retention() {
+  ensure_tracker();
+  dirty_tracker_->arm();
+  // Frames still typed/protected at this detach (the page-table forest,
+  // plus anything a guest left pinned) carry stale type/pin state in the
+  // retained table. Fold them into the rebuild set up front so the next
+  // warm rebuild re-canonicalizes them — O(#page tables), not O(memory).
+  // The fold is accounting-only (note_mapping): the frames' bytes are
+  // untouched, so a table that stays unwritten through the native window
+  // keeps its pre-detach validation. The release's own unprotect flips are
+  // real stores and land in the content set too (the tracker is armed
+  // before the release runs), which is harmless: rebuilding or revalidating
+  // a frame that ends up identical produces exactly the cold result.
+  for (const hw::Pfn pfn : hv_.protected_frames_snapshot())
+    dirty_tracker_->note_mapping(pfn);
+}
+
+std::optional<WarmSet> SwitchEngine::warm_dirty_set() {
+  if (!warm_retention_enabled()) return std::nullopt;
+  // First attach (or warm was toggled on while native): nothing recorded,
+  // and that is not a fallback — there was never a window to track.
+  if (!dirty_tracker_ || !dirty_tracker_->armed()) return std::nullopt;
+  const char* fallback = nullptr;
+  if (!hv_.page_info().retained())
+    fallback = "retention-poisoned";
+  else if (dirty_tracker_->overflowed())
+    fallback = "tracker-overflow";
+  if (fallback != nullptr) {
+    ++stats_.warm_fallbacks;
+    MERC_COUNT("switch.attach.warm_fallbacks");
+    MERC_FLIGHT(kernel_.machine().cpu(0), kPhaseBegin,
+                "switch.attach.warm_fallback", dirty_tracker_->dirty_count());
+    util::log_info("mercury", "warm re-attach falling back to cold rebuild (",
+                   fallback, ")");
+    return std::nullopt;
+  }
+  WarmSet warm;
+  warm.rebuild = dirty_tracker_->collect();
+  warm.content = dirty_tracker_->collect_content();
+  // Only kernel-owned frames are reconstructed: the reserved region is
+  // re-canonicalized by init_reserved_page_info either way, and frames
+  // outside both ranges are untouched garbage in cold and warm tables
+  // alike (nothing ever initialized them). Same filter for the content set
+  // — page tables are always kernel-owned frames.
+  const hw::Pfn base = kernel_.base_pfn();
+  const hw::Pfn end =
+      base + static_cast<hw::Pfn>(kernel_.pool().owned_count());
+  const auto outside = [&](const hw::Pfn p) { return p < base || p >= end; };
+  std::erase_if(warm.rebuild, outside);
+  std::erase_if(warm.content, outside);
+  return warm;
+}
+
+void SwitchEngine::note_warm_attach(hw::Cpu& cpu, std::size_t dirty_frames) {
+  ++stats_.warm_attaches;
+  stats_.last_dirty_frames = dirty_frames;
+  stats_.last_frames_retained = kernel_.pool().owned_count() - dirty_frames;
+  MERC_COUNT("switch.attach.warm_attaches_total");
+  MERC_GAUGE_SET("switch.attach.dirty_frames",
+                 static_cast<double>(dirty_frames));
+  MERC_GAUGE_SET("vmm.page_info.frames_retained",
+                 static_cast<double>(stats_.last_frames_retained));
+  MERC_FLIGHT(cpu, kPhaseBegin, "switch.attach.warm", dirty_frames,
+              stats_.last_frames_retained);
+}
+
+void SwitchEngine::set_warm_reattach(bool on) {
+  config_.warm_reattach = on;
+  // Disabling mid-window disarms the tracker: a partially observed native
+  // window must never feed a warm rebuild. Re-enabling does not re-arm —
+  // the next attach goes cold, and the detach after it starts a fresh
+  // (fully observed) window.
+  if (!on && dirty_tracker_) dirty_tracker_->disarm();
+}
+
 void SwitchEngine::attach(hw::Cpu& cpu, ExecMode target) {
   VirtualVo& vo =
       target == ExecMode::kPartialVirtual ? driver_vo_ : guest_vo_;
+  const std::optional<WarmSet> warm = warm_dirty_set();
+  if (warm) note_warm_attach(cpu, warm->rebuild.size());
   stats_.last_transfer =
       transfer_to_virtual(cpu, kernel_, hv_, vo, config_.eager_page_tracking,
-                          config_.eager_selector_fixup);
+                          config_.eager_selector_fixup,
+                          warm ? &*warm : nullptr);
   if (target == ExecMode::kFullVirtual) {
     hv_.blk_backend().connect_frontend(vo.dom());
     hv_.net_backend().connect_frontend(vo.dom());
@@ -491,6 +605,10 @@ void SwitchEngine::attach(hw::Cpu& cpu, ExecMode target) {
   reload_all_cpus(vo);
   kernel_.set_ops(vo);
   mode_ = target;
+  // The attach succeeded (warm or cold): the table is fresh, the tracked
+  // window is consumed. A fault above unwinds past this point, leaving the
+  // tracker armed so a supervised retry can still go warm.
+  if (dirty_tracker_) dirty_tracker_->disarm();
 }
 
 void SwitchEngine::detach(hw::Cpu& cpu) {
@@ -500,8 +618,11 @@ void SwitchEngine::detach(hw::Cpu& cpu) {
     hv_.blk_backend().disconnect_frontend(cpu);
     hv_.net_backend().disconnect_frontend();
   }
+  const bool retain = warm_retention_enabled();
+  if (retain) begin_warm_retention();
   stats_.last_transfer = transfer_to_native(cpu, kernel_, hv_, vo,
-                                            config_.eager_selector_fixup);
+                                            config_.eager_selector_fixup,
+                                            retain);
   if (config_.eager_page_tracking) {
     // The eager tracker keeps maintaining the table through native mode, so
     // it stays authoritative across the detach (§5.1.2 alternative 1).
@@ -517,12 +638,28 @@ void SwitchEngine::attach_with_crew(hw::Cpu& cpu, SwitchCrew& crew,
                                     ExecMode target) {
   VirtualVo& vo = target == ExecMode::kPartialVirtual ? driver_vo_ : guest_vo_;
   TransferStats transfer;
+  const std::optional<WarmSet> warm = warm_dirty_set();
+  if (warm) note_warm_attach(cpu, warm->rebuild.size());
 
   hw::Cycles t0 = cpu.now();
   {
     MERC_SPAN(cpu, kTransfer, "transfer.page_info_rebuild");
     const vmm::DomainId dom = hv_.begin_adopt(kernel_);
-    if (!config_.eager_page_tracking) {
+    if (warm) {
+      // Warm re-attach, sharded: only the dirty set is reconstructed; the
+      // rest of the retained table carries over untouched. Shards stamp the
+      // rebuild epoch exactly like the serial warm path.
+      MERC_CHECK_MSG(hv_.page_info().retained(),
+                     "warm crew attach without a retained page-info table");
+      hv_.init_reserved_page_info();
+      const std::span<const hw::Pfn> dirty(warm->rebuild);
+      crew.run_phase("switch.crew.dirty_rebuild", dirty.size(),
+                     [&](hw::Cpu& w, std::size_t b, std::size_t e) {
+                       hv_.adopt_dirty_rebuild_shard(w, dom,
+                                                     dirty.subspan(b, e - b));
+                     });
+      MERC_COUNT_N("vmm.page_info.frames_reconstructed", dirty.size());
+    } else if (!config_.eager_page_tracking) {
       // The paper's dominant attach cost, sharded across the parked CPUs:
       // each shard rebuilds owner/type/count for a disjoint frame range.
       hv_.init_reserved_page_info();
@@ -545,11 +682,23 @@ void SwitchEngine::attach_with_crew(hw::Cpu& cpu, SwitchCrew& crew,
     // Type-and-protect, then validation. Protection of *every* table must
     // precede validation of *any* L1 ("no writable mapping of a PT frame"),
     // and all L1 typing must precede L2 validation — hence three phases
-    // with crew joins between them, not one.
+    // with crew joins between them, not one. On the warm path only
+    // content-dirty tables are revalidated (same rule as the serial warm
+    // adopt): an unwritten table still holds the entries verified before
+    // the detach.
     const auto tables = hv_.collect_tables(kernel_);
     std::vector<std::pair<hw::Pfn, vmm::PageType>> l1s, l2s;
-    for (const auto& t : tables)
+    for (const auto& t : tables) {
+      if (warm && !std::binary_search(warm->content.begin(),
+                                      warm->content.end(), t.first))
+        continue;
       (t.second == vmm::PageType::kL1 ? l1s : l2s).push_back(t);
+    }
+    if (warm) {
+      MERC_COUNT_N("vmm.page_info.tables_revalidated", l1s.size() + l2s.size());
+      MERC_COUNT_N("vmm.page_info.table_validations_skipped",
+                   tables.size() - l1s.size() - l2s.size());
+    }
     const std::span<const std::pair<hw::Pfn, vmm::PageType>> all_tables(tables);
     const std::span<const std::pair<hw::Pfn, vmm::PageType>> l1_span(l1s);
     const std::span<const std::pair<hw::Pfn, vmm::PageType>> l2_span(l2s);
@@ -558,6 +707,9 @@ void SwitchEngine::attach_with_crew(hw::Cpu& cpu, SwitchCrew& crew,
                      hv_.adopt_protect_shard(w, dom, kernel_,
                                              all_tables.subspan(b, e - b));
                    });
+    // The phase join is the batch boundary: one shootdown makes every
+    // shard's flips globally effective before validation checks them.
+    if (!tables.empty()) hv_.tlb_shootdown_all(cpu);
     crew.run_phase("switch.crew.validate_l1", l1s.size(),
                    [&](hw::Cpu& w, std::size_t b, std::size_t e) {
                      hv_.adopt_validate_shard(w, dom, l1_span.subspan(b, e - b),
@@ -611,6 +763,8 @@ void SwitchEngine::attach_with_crew(hw::Cpu& cpu, SwitchCrew& crew,
   reload_all_cpus(vo);
   kernel_.set_ops(vo);
   mode_ = target;
+  // Success consumes the tracked window (see attach()).
+  if (dirty_tracker_) dirty_tracker_->disarm();
 }
 
 void SwitchEngine::detach_with_crew(hw::Cpu& cpu, SwitchCrew& crew) {
@@ -622,6 +776,11 @@ void SwitchEngine::detach_with_crew(hw::Cpu& cpu, SwitchCrew& crew) {
   MERC_CHECK_MSG(vo.dom() != vmm::kDomInvalid,
                  "detach without an adopted domain");
   TransferStats transfer;
+  // Arm before the unprotect shards run: the typed-at-detach fold must see
+  // the protected set intact, and the unprotect PTE writes themselves must
+  // land in the dirty window.
+  const bool retain = warm_retention_enabled();
+  if (retain) begin_warm_retention();
 
   hw::Cycles t0 = cpu.now();
   {
@@ -634,7 +793,8 @@ void SwitchEngine::detach_with_crew(hw::Cpu& cpu, SwitchCrew& crew) {
                      hv_.release_unprotect_shard(w, kernel_,
                                                  all.subspan(b, e - b));
                    });
-    hv_.finish_release();
+    if (!frames.empty()) hv_.tlb_shootdown_all(cpu);
+    hv_.finish_release(retain);
   }
   transfer.protection_cycles = cpu.now() - t0;
 
@@ -728,7 +888,11 @@ void SwitchEngine::rollback(hw::Cpu& cpu, ExecMode from, ExecMode target,
     reload_all_cpus(native_vo_);
     kernel_.set_ops(native_vo_);
   } else if (target == ExecMode::kNative) {
-    // Aborted detach: restore the fully attached state.
+    // Aborted detach: restore the fully attached state. The machine stays
+    // virtual, so the retention window opened at the top of the detach is
+    // void — the table will be live again (reprotect) or rebuilt from
+    // scratch (re-adopt), never warm-reconstructed.
+    if (dirty_tracker_) dirty_tracker_->disarm();
     VirtualVo& vo = from == ExecMode::kPartialVirtual ? driver_vo_ : guest_vo_;
     if (hv_.state() == vmm::Hypervisor::State::kActive) {
       // The release never completed — re-protect the unwound tables and

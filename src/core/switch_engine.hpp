@@ -12,8 +12,12 @@
 #include <cstdint>
 
 #include <functional>
+#include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
+#include "core/dirty_tracker.hpp"
 #include "core/native_vo.hpp"
 #include "core/rendezvous.hpp"
 #include "core/state_transfer.hpp"
@@ -82,6 +86,17 @@ struct SwitchConfig {
   /// (committed or rolled back) and abort the simulation on a violation.
   /// Test-only: the checks are free of simulated cost but not of host cost.
   bool paranoid_invariants = false;
+  /// Warm re-attach: retain the page-info table across detach and, on the
+  /// next attach, reconstruct only the frames the DirtyFrameTracker saw
+  /// change while native (pre-copy applied to self-virtualization). Falls
+  /// back to the full rebuild on the first attach, on tracker overflow, and
+  /// whenever retention was poisoned by an ownership change. Mutually
+  /// exclusive with eager_page_tracking (which keeps the table live instead
+  /// of stale); when both are set, eager wins and warm is ignored.
+  bool warm_reattach = false;
+  /// Dirty-set bound before the warm path falls back to a full rebuild
+  /// (0 = total_frames / 8; see DirtyFrameTracker).
+  std::size_t warm_dirty_capacity = 0;
   /// Switch-SLO cycle budgets; breaches are flagged, never enforced.
   SwitchSloBudgets slo{};
 };
@@ -101,6 +116,11 @@ struct SwitchStats {
   std::uint64_t validation_aborts = 0;
   std::uint64_t rollbacks = 0;       // mid-switch faults unwound (§8)
   std::uint64_t cancels = 0;         // pending requests revoked via cancel()
+  std::uint64_t warm_attaches = 0;   // attaches that took the dirty-set path
+  std::uint64_t warm_fallbacks = 0;  // warm-eligible attaches forced cold
+                                     // (overflow or poisoned retention)
+  std::uint64_t last_dirty_frames = 0;     // dirty set of the last warm attach
+  std::uint64_t last_frames_retained = 0;  // carried over, not reconstructed
   hw::Cycles last_attach_cycles = 0;
   hw::Cycles last_detach_cycles = 0;
   hw::Cycles last_rendezvous_cycles = 0;
@@ -113,10 +133,19 @@ class SwitchEngine {
   SwitchEngine(kernel::Kernel& k, vmm::Hypervisor& hv, VirtObject& native_vo,
                VirtualVo& driver_vo, VirtualVo& guest_vo,
                SwitchConfig config = {});
+  ~SwitchEngine();
 
   ExecMode mode() const { return mode_; }
   const SwitchConfig& config() const { return config_; }
   SwitchStats& stats() { return stats_; }
+
+  /// Toggle warm re-attach at runtime (chaos tiers randomize it per cycle).
+  /// Disabling disarms the tracker, so a window that was only partially
+  /// observed can never feed a warm rebuild; re-enabling takes effect at
+  /// the next detach (the next attach stays cold).
+  void set_warm_reattach(bool on);
+  /// The dirty-frame tracker, if one has been created (tests).
+  DirtyFrameTracker* dirty_tracker() { return dirty_tracker_.get(); }
 
   /// Asynchronous request: triggers the self-virtualization interrupt on
   /// the control processor; the switch commits from interrupt context.
@@ -185,6 +214,17 @@ class SwitchEngine {
   void detach_with_crew(hw::Cpu& cpu, SwitchCrew& crew);
   bool validate_for_switch(hw::Cpu& cpu, ExecMode target);
   void reload_all_cpus(VirtObject& vo);
+  /// Warm re-attach plumbing. `warm_retention_enabled` gates the detach
+  /// side (retain the table + arm the tracker); `warm_dirty_set` decides
+  /// the attach side — nullopt means cold (first attach, disabled, tracker
+  /// overflow, or poisoned retention; the latter two count as fallbacks) —
+  /// and returns the dirty set filtered to kernel-owned frames otherwise.
+  bool warm_retention_enabled() const;
+  void ensure_tracker();
+  void begin_warm_retention();
+  std::optional<WarmSet> warm_dirty_set();
+  /// Record a warm attach's telemetry (stats, gauges, flight event).
+  void note_warm_attach(hw::Cpu& cpu, std::size_t dirty_frames);
   /// Unwind a partially applied `from`→`target` transition after an injected
   /// fault, returning the machine to `from` (paper §8: dependable switch).
   void rollback(hw::Cpu& cpu, ExecMode from, ExecMode target,
@@ -211,6 +251,11 @@ class SwitchEngine {
   obs::SpanContext pending_ctx_{};  // causal parent of the next commit
   hw::Cycles request_time_ = 0;  // CP clock when the live request was made
   SwitchStats stats_;
+  /// Created lazily on the first retaining detach; once installed it stays
+  /// registered as the machine's and frame pool's dirty sink (the armed
+  /// flag gates recording, so a disarmed tracker costs one predictable
+  /// branch per store). The destructor deregisters it.
+  std::unique_ptr<DirtyFrameTracker> dirty_tracker_;
   obs::SloWatchdog slo_;
   std::string obs_label_;
   obs::CallbackGuard obs_callbacks_;  // unregisters when the engine dies

@@ -56,11 +56,16 @@ std::optional<PhysAddr> Mmu::translate(Cpu& cpu, VirtAddr va, Access access,
   }
 
   // Set accessed/dirty bits as hardware does, in memory and in the cached
-  // entry (so subsequent write hits need no dirty-miss assist).
-  Pte updated{mem_.read_u32(w.pte_addr)};
+  // entry (so subsequent write hits need no dirty-miss assist). Skip the
+  // write-back when nothing changed: hardware does not issue a store for an
+  // already-set A/D bit, and it keeps steady-state walk traffic out of the
+  // dirty-frame tracker while the simulated cycle cost stays identical
+  // (PhysicalMemory stores are uncharged; the walk cost was charged above).
+  const Pte original{mem_.read_u32(w.pte_addr)};
+  Pte updated = original;
   updated.set_flag(Pte::kAccessed, true);
   if (access == Access::kWrite) updated.set_flag(Pte::kDirty, true);
-  mem_.write_u32(w.pte_addr, updated.raw);
+  if (updated.raw != original.raw) mem_.write_u32(w.pte_addr, updated.raw);
 
   Pte cached = w.pte;
   cached.set_flag(Pte::kAccessed, true);

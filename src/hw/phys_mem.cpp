@@ -57,18 +57,21 @@ std::uint64_t PhysicalMemory::read_u64(PhysAddr pa) const {
 
 void PhysicalMemory::write_u8(PhysAddr pa, std::uint8_t v) {
   chunk_for(pa, true)[pa % kChunkBytes] = v;
+  note_write(pa);
 }
 
 void PhysicalMemory::write_u32(PhysAddr pa, std::uint32_t v) {
   auto c = chunk_for(pa, true);
   MERC_CHECK_MSG(pa % kChunkBytes + 4 <= kChunkBytes, "unaligned u32 across chunk");
   std::memcpy(c.data() + pa % kChunkBytes, &v, sizeof(v));
+  note_write(pa);
 }
 
 void PhysicalMemory::write_u64(PhysAddr pa, std::uint64_t v) {
   auto c = chunk_for(pa, true);
   MERC_CHECK_MSG(pa % kChunkBytes + 8 <= kChunkBytes, "unaligned u64 across chunk");
   std::memcpy(c.data() + pa % kChunkBytes, &v, sizeof(v));
+  note_write(pa);
 }
 
 void PhysicalMemory::read_bytes(PhysAddr pa, std::span<std::uint8_t> out) const {
@@ -94,11 +97,20 @@ void PhysicalMemory::write_bytes(PhysAddr pa, std::span<const std::uint8_t> in) 
     const std::size_t n = std::min(in_chunk, in.size() - done);
     auto c = chunk_for(at, true);
     std::memcpy(c.data() + at % kChunkBytes, in.data() + done, n);
+    // A single chunk span may still straddle page frames: notify each one.
+    if (dirty_sink_) {
+      for (Pfn p = pfn_of(at); p <= pfn_of(at + n - 1); ++p)
+        dirty_sink_->note_dirty(p);
+    }
     done += n;
   }
 }
 
 void PhysicalMemory::zero_frame(Pfn pfn) {
+  // Even when the chunk was never materialized (contents already zero) the
+  // clear is a store as far as dirty tracking goes: the caller is recycling
+  // the frame and any retained metadata about it is now stale.
+  note_write(addr_of(pfn));
   auto c = chunk_for(addr_of(pfn));
   if (c.empty()) return;  // never materialized == already zero
   auto wc = chunk_for(addr_of(pfn), true);
@@ -106,6 +118,7 @@ void PhysicalMemory::zero_frame(Pfn pfn) {
 }
 
 void PhysicalMemory::copy_frame(Pfn dst, Pfn src) {
+  note_write(addr_of(dst));
   auto sc = chunk_for(addr_of(src));
   if (sc.empty()) {
     zero_frame(dst);

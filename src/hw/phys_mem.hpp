@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "hw/pte.hpp"
 #include "hw/types.hpp"
 
 namespace mercury::hw {
@@ -43,7 +44,16 @@ class PhysicalMemory {
   /// Number of backing chunks actually materialized (test/diagnostic hook).
   std::size_t resident_chunks() const;
 
+  /// Install (or clear, with nullptr) a dirty-frame observer. Every store
+  /// path notifies the sink with each frame it touches; the sink outlives
+  /// the registration (callers must clear it before destroying the sink).
+  void set_dirty_sink(DirtySink* sink) { dirty_sink_ = sink; }
+  DirtySink* dirty_sink() const { return dirty_sink_; }
+
  private:
+  void note_write(PhysAddr pa) {
+    if (dirty_sink_) dirty_sink_->note_dirty(pfn_of(pa));
+  }
   static constexpr std::size_t kChunkPages = 64;
   static constexpr std::size_t kChunkBytes = kChunkPages * kPageSize;
 
@@ -52,6 +62,7 @@ class PhysicalMemory {
 
   std::size_t total_frames_;
   mutable std::vector<std::unique_ptr<std::uint8_t[]>> chunks_;
+  DirtySink* dirty_sink_ = nullptr;
 };
 
 }  // namespace mercury::hw

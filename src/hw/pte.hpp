@@ -8,6 +8,19 @@
 
 namespace mercury::hw {
 
+/// Observer for frame modifications: hardware-level analogue of a dirty bit
+/// shared between the MMU's PTE write-back path, PhysicalMemory's store
+/// paths, and the kernel frame allocator. A sink is notified with the frame
+/// number whose mapping or contents just changed; implementations must be
+/// cheap (bitmap set) and must charge no simulated cycles — real hardware
+/// sets dirty bits for free, and the obs-off cycle-identity gate holds the
+/// simulator to the same rule.
+class DirtySink {
+ public:
+  virtual ~DirtySink() = default;
+  virtual void note_dirty(Pfn pfn) = 0;
+};
+
 struct Pte {
   std::uint32_t raw = 0;
 

@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "hw/pte.hpp"
 #include "hw/types.hpp"
 #include "util/assert.hpp"
 
@@ -25,6 +26,7 @@ class FramePool {
   void grant_one(hw::Pfn pfn) {
     owned_.push_back(pfn);
     free_.push_back(pfn);
+    if (dirty_sink_) dirty_sink_->note_dirty(pfn);
   }
 
   bool alloc(hw::Pfn& out) {
@@ -34,7 +36,13 @@ class FramePool {
     return true;
   }
 
-  void free(hw::Pfn pfn) { free_.push_back(pfn); }
+  void free(hw::Pfn pfn) {
+    free_.push_back(pfn);
+    // A freed frame may be reallocated with a different role (data page
+    // becoming a page table, or vice versa): any metadata retained about it
+    // across a detach is stale from this point on.
+    if (dirty_sink_) dirty_sink_->note_dirty(pfn);
+  }
 
   std::size_t owned_count() const { return owned_.size(); }
   std::size_t free_count() const { return free_.size(); }
@@ -51,9 +59,14 @@ class FramePool {
     for (auto& p : free_) p = translate(p);
   }
 
+  /// Dirty-frame observer for warm re-attach: allocation-state changes mark
+  /// the frame dirty so a retained page-info table revalidates it.
+  void set_dirty_sink(hw::DirtySink* sink) { dirty_sink_ = sink; }
+
  private:
   std::vector<hw::Pfn> owned_;
   std::vector<hw::Pfn> free_;
+  hw::DirtySink* dirty_sink_ = nullptr;
 };
 
 }  // namespace mercury::kernel

@@ -82,7 +82,12 @@ inline constexpr Cycles kReloadControlState = 4200;    // CR3/IDT/GDT reload set
 inline constexpr Cycles kPerFrameInfoRebuild = 2;      // owner/count reset per frame
 inline constexpr Cycles kPerPtePinScan = 1;            // type re-derivation per PTE
 inline constexpr Cycles kPerTaskSelectorFixup = 260;   // stack segment fixup per thread
-inline constexpr Cycles kPerPtWritabilityFlip = 600;   // per page-table page RO<->RW
+inline constexpr Cycles kPerPtWritabilityFlip = 600;   // single RO<->RW flip + per-page shootdown
+// Bulk protect/unprotect shards batch the PTE rewrites and close the batch
+// with one cross-CPU shootdown + full flush (the multicall idea applied to
+// protection flips), instead of a per-page IPI round for each table.
+inline constexpr Cycles kPerPtBatchFlip = 90;          // PTE rewrite inside a batch
+inline constexpr Cycles kTlbBatchShootdown = 5000;     // IPI round closing a batch
 
 // Eager tracking variant (§5.1.2 alternative 1): per-PTE-write bookkeeping
 // performed in native mode to keep the dormant VMM's counts fresh.

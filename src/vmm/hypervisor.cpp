@@ -66,6 +66,9 @@ DomainId Hypervisor::create_domain(std::string name, Kernel* guest,
                                    hw::Pfn first_frame, std::size_t frame_count,
                                    bool privileged, std::size_t num_vcpus) {
   MERC_CHECK(state_ != State::kCold);
+  // Ownership layout is changing: a table retained across a detach no
+  // longer describes the machine (no-op when nothing is retained).
+  page_info_.poison_retention();
   const DomainId id = next_dom_++;
   domains_.push_back(std::make_unique<Domain>(id, std::move(name), guest,
                                               first_frame, frame_count,
@@ -77,6 +80,7 @@ void Hypervisor::destroy_domain(DomainId id) {
   auto it = std::find_if(domains_.begin(), domains_.end(),
                          [&](const auto& d) { return d->id() == id; });
   MERC_CHECK_MSG(it != domains_.end(), "destroy of unknown domain " << id);
+  page_info_.poison_retention();
   domains_.erase(it);
   for (auto& gb : guest_on_cpu_)
     if (gb.dom == id) gb = GuestBinding{};
@@ -222,6 +226,7 @@ DomainId Hypervisor::begin_adopt(Kernel& k) {
 }
 
 void Hypervisor::init_reserved_page_info() {
+  page_info_.begin_rebuild_epoch();
   for (std::size_t i = 0; i < reserved_count_; ++i) {
     PageInfo& pi = page_info_.at(reserved_first_ + static_cast<hw::Pfn>(i));
     pi = PageInfo{kDomHypervisor, PageType::kWritable, 0, 1, false};
@@ -240,6 +245,25 @@ void Hypervisor::adopt_rebuild_shard(hw::Cpu& cpu, DomainId id,
     cpu.charge(pv::costs::kPerFrameInfoRebuild);
     page_info_.at(pfn) = PageInfo{id, PageType::kWritable, 0, 1, false};
     page_info_.note_rebuilt(pfn);
+  }
+}
+
+void Hypervisor::adopt_dirty_rebuild_shard(hw::Cpu& cpu, DomainId id,
+                                           std::span<const hw::Pfn> frames,
+                                           HvFaultPoint site) {
+  if (!frames.empty())
+    MERC_FLIGHT(cpu, kShardRange, "vmm.adopt_dirty_rebuild_shard",
+                frames.size(), frames.front(), frames.back());
+  for (const hw::Pfn pfn : frames) {
+    if (fault_probe_) fault_probe_(site, &cpu);
+    cpu.charge(pv::costs::kPerFrameInfoRebuild);
+    const bool reserved =
+        pfn >= reserved_first_ &&
+        pfn < reserved_first_ + static_cast<hw::Pfn>(reserved_count_);
+    page_info_.at(pfn) =
+        reserved ? PageInfo{kDomHypervisor, PageType::kWritable, 0, 1, false}
+                 : PageInfo{id, PageType::kWritable, 0, 1, false};
+    page_info_.note_dirty_rebuilt(pfn);
   }
 }
 
@@ -284,7 +308,7 @@ void Hypervisor::adopt_protect_shard(
     pi.type = type;
     pi.pinned = true;
     pi.type_count = 1;
-    set_frame_writable(cpu, k, pfn, false);
+    set_frame_writable_batched(cpu, k, pfn, false);
     page_info_.note_typed(pfn);
   }
 }
@@ -306,6 +330,9 @@ void Hypervisor::adopt_validate_shard(
 }
 
 void Hypervisor::finish_adopt(DomainId id, Kernel& k) {
+  // The table is live again: whatever retention state the detach left
+  // behind has been consumed (warm path) or superseded (cold path).
+  page_info_.set_retained(false);
   page_info_.set_valid(true);
   state_ = State::kActive;
   for (std::size_t c = 0; c < machine_.num_cpus(); ++c)
@@ -335,15 +362,18 @@ void Hypervisor::release_unprotect_shard(hw::Cpu& cpu, Kernel& k,
                 frames.front(), frames.back());
   for (const hw::Pfn pfn : frames) {
     if (fault_probe_) fault_probe_(site, &cpu);
-    set_frame_writable(cpu, k, pfn, true);
+    set_frame_writable_batched(cpu, k, pfn, true);
   }
 }
 
-void Hypervisor::finish_release() {
+void Hypervisor::finish_release(bool retain_page_info) {
   MERC_CHECK(protected_frames_.empty());
   // Dropping the accounting is O(1): this is why detach is much cheaper
-  // than attach (paper §7.4).
+  // than attach (paper §7.4). Retention costs nothing extra — the entry
+  // contents are left in place either way; the flag just promises they
+  // still describe the machine as of this detach.
   page_info_.invalidate_all();
+  page_info_.set_retained(retain_page_info);
   state_ = State::kDormant;
 }
 
@@ -367,18 +397,52 @@ void Hypervisor::type_and_protect_tables(hw::Cpu& cpu, Domain& d, Kernel& k) {
   // "no writable mapping of a PT frame" rule holds when pass 2 checks it.
   const auto tables = collect_tables(k);
   adopt_protect_shard(cpu, d.id(), k, tables, HvFaultPoint::kAdoptProtect);
+  // One shootdown closes the batch of flips; protection must be globally
+  // effective before validation checks it.
+  if (!tables.empty()) tlb_shootdown_all(cpu);
   // Pass 2: validate (L1s first, then L2s whose entries require L1 typing).
   adopt_validate_shard(cpu, d.id(), tables, PageType::kL1);
   adopt_validate_shard(cpu, d.id(), tables, PageType::kL2);
 }
 
+void Hypervisor::type_and_protect_tables_warm(
+    hw::Cpu& cpu, Domain& d, Kernel& k,
+    std::span<const hw::Pfn> content_dirty) {
+  MERC_SPAN(cpu, kVmm, "vmm.type_and_protect_warm");
+  // Protection is enforcement: every current table is typed, pinned, and
+  // write-revoked, exactly as cold. (The pass also re-canonicalizes the
+  // type/pin fields the dirty rebuild reset, so the resulting table is
+  // byte-identical to a cold one.)
+  const auto tables = collect_tables(k);
+  adopt_protect_shard(cpu, d.id(), k, tables, HvFaultPoint::kAdoptProtect);
+  if (!tables.empty()) tlb_shootdown_all(cpu);
+  // Revalidation is limited to tables whose contents were written while the
+  // VMM was away: the others still hold exactly the PTEs verified before
+  // the detach (PTE writes while attached are trapped and checked inline,
+  // so every table was clean at release). Any write — kernel PTE update,
+  // MMU A/D write-back, or tampering — lands a frame in `content_dirty`.
+  std::vector<std::pair<hw::Pfn, PageType>> stale;
+  stale.reserve(content_dirty.size());
+  for (const auto& t : tables)
+    if (std::binary_search(content_dirty.begin(), content_dirty.end(), t.first))
+      stale.push_back(t);
+  adopt_validate_shard(cpu, d.id(), stale, PageType::kL1);
+  adopt_validate_shard(cpu, d.id(), stale, PageType::kL2);
+  MERC_COUNT_N("vmm.page_info.tables_revalidated", stale.size());
+  MERC_COUNT_N("vmm.page_info.table_validations_skipped",
+               tables.size() - stale.size());
+}
+
 void Hypervisor::unprotect_tables(hw::Cpu& cpu, Kernel& k) {
-  release_unprotect_shard(cpu, k, protected_frames_snapshot(),
-                          HvFaultPoint::kReleaseUnprotect);
+  const std::vector<hw::Pfn> frames = protected_frames_snapshot();
+  release_unprotect_shard(cpu, k, frames, HvFaultPoint::kReleaseUnprotect);
+  if (!frames.empty()) tlb_shootdown_all(cpu);
   MERC_CHECK(protected_frames_.empty());
 }
 
 void Hypervisor::forget_frame_range(hw::Pfn first, std::size_t count) {
+  // Frames are leaving this machine: retained accounting is stale.
+  page_info_.poison_retention();
   for (auto it = protected_frames_.begin(); it != protected_frames_.end();) {
     if (*it >= first && *it < first + count)
       it = protected_frames_.erase(it);
@@ -389,7 +453,19 @@ void Hypervisor::forget_frame_range(hw::Pfn first, std::size_t count) {
 
 void Hypervisor::set_frame_writable(hw::Cpu& cpu, Kernel& k, hw::Pfn pfn,
                                     bool writable) {
-  cpu.charge(pv::costs::kPerPtWritabilityFlip);
+  // Total cost stays kPerPtWritabilityFlip: the batched rewrite plus the
+  // per-page shootdown that batching elides.
+  cpu.charge(pv::costs::kPerPtWritabilityFlip - pv::costs::kPerPtBatchFlip);
+  set_frame_writable_batched(cpu, k, pfn, writable);
+  // Direct-map entries are global: purge any cached translation, one
+  // cross-CPU round for this page.
+  for (std::size_t c = 0; c < machine_.num_cpus(); ++c)
+    machine_.cpu(c).tlb().flush_page(hw::vpn_of(k.kva_of_frame(pfn)));
+}
+
+void Hypervisor::set_frame_writable_batched(hw::Cpu& cpu, Kernel& k,
+                                            hw::Pfn pfn, bool writable) {
+  cpu.charge(pv::costs::kPerPtBatchFlip);
   MERC_COUNT("vmm.pt_protection_flips");
   const std::size_t idx = pfn - k.base_pfn();
   const auto& l1s = k.kernel_l1_frames();
@@ -401,13 +477,17 @@ void Hypervisor::set_frame_writable(hw::Cpu& cpu, Kernel& k, hw::Pfn pfn,
   MERC_CHECK(pte.present());
   pte.set_flag(hw::Pte::kWritable, writable);
   machine_.memory().write_u32(pte_addr, pte.raw);
-  // Direct-map entries are global: purge any cached translation.
-  for (std::size_t c = 0; c < machine_.num_cpus(); ++c)
-    machine_.cpu(c).tlb().flush_page(hw::vpn_of(k.kva_of_frame(pfn)));
   if (writable)
     protected_frames_.erase(pfn);
   else
     protected_frames_.insert(pfn);
+}
+
+void Hypervisor::tlb_shootdown_all(hw::Cpu& cpu) {
+  cpu.charge(pv::costs::kTlbBatchShootdown);
+  MERC_COUNT("vmm.tlb_batch_shootdowns");
+  for (std::size_t c = 0; c < machine_.num_cpus(); ++c)
+    machine_.cpu(c).tlb().flush_all();
 }
 
 DomainId Hypervisor::adopt_running_os(hw::Cpu& cpu, Kernel& k,
@@ -427,12 +507,32 @@ DomainId Hypervisor::adopt_running_os(hw::Cpu& cpu, Kernel& k,
   return id;
 }
 
-void Hypervisor::release_os(hw::Cpu& cpu, DomainId id) {
+DomainId Hypervisor::adopt_running_os_warm(hw::Cpu& cpu, Kernel& k,
+                                           std::span<const hw::Pfn> dirty,
+                                           std::span<const hw::Pfn> content_dirty) {
+  const DomainId id = begin_adopt(k);
+  MERC_SPAN(cpu, kVmm, "vmm.adopt_running_os_warm");
+  MERC_CHECK_MSG(page_info_.retained(),
+                 "warm adopt without a retained page-info table");
+  MERC_SPAN(cpu, kVmm, "vmm.rebuild_page_info_dirty");
+  // The reserved region is re-canonicalized exactly as the cold path does
+  // (CP-side, uncharged); the per-frame cost is paid only for the dirty set.
+  init_reserved_page_info();
+  adopt_dirty_rebuild_shard(cpu, id, dirty);
+  MERC_COUNT_N("vmm.page_info.frames_reconstructed", dirty.size());
+  // Typing and protection run in full (enforcement covers every table);
+  // PTE revalidation is limited to content-dirty tables.
+  type_and_protect_tables_warm(cpu, domain(id), k, content_dirty);
+  finish_adopt(id, k);
+  return id;
+}
+
+void Hypervisor::release_os(hw::Cpu& cpu, DomainId id, bool retain_page_info) {
   begin_release(id);
   MERC_SPAN(cpu, kVmm, "vmm.release_os");
   Kernel* k = domain(id).guest();
   unprotect_tables(cpu, *k);
-  finish_release();
+  finish_release(retain_page_info);
 }
 
 void Hypervisor::rollback_adopt(hw::Cpu& cpu, Kernel& k, bool keep_page_info) {
@@ -474,6 +574,7 @@ void Hypervisor::take_traps() { machine_.install_trap_sink(this); }
 
 void Hypervisor::bootstrap_activate() {
   MERC_CHECK_MSG(state_ == State::kDormant, "bootstrap_activate needs warm_up");
+  page_info_.poison_retention();
   state_ = State::kActive;
   for (std::size_t i = 0; i < reserved_count_; ++i) {
     PageInfo& pi = page_info_.at(reserved_first_ + static_cast<hw::Pfn>(i));
@@ -485,7 +586,9 @@ void Hypervisor::bootstrap_activate() {
 
 void Hypervisor::init_domain_memory(Domain& d) {
   // Boot-time initialization of a freshly built domain's frames (no charge:
-  // domain construction is off every measured path).
+  // domain construction is off every measured path). Rewrites ownership, so
+  // any retained table is stale from here on.
+  page_info_.poison_retention();
   for (std::size_t i = 0; i < d.frame_count(); ++i) {
     PageInfo& pi = page_info_.at(d.first_frame() + static_cast<hw::Pfn>(i));
     pi = PageInfo{d.id(), PageType::kWritable, 0, 1, false};

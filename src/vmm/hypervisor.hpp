@@ -62,6 +62,8 @@ enum class HvFaultPoint : std::uint8_t {
   kShardRebuild,      // crew shard of the page-info rebuild
   kShardProtect,      // crew shard of type-and-protect
   kShardUnprotect,    // crew shard of the writability restore
+  kDirtyRebuild,      // once per frame during a warm (dirty-set) rebuild,
+                      // serial and crew alike
 };
 
 class Hypervisor : public hw::TrapSink {
@@ -107,9 +109,26 @@ class Hypervisor : public hw::TrapSink {
   /// rebuild runs (the paper's dominant switch cost); true corresponds to
   /// the eager-tracking variant that kept the table fresh.
   DomainId adopt_running_os(hw::Cpu& cpu, kernel::Kernel& k, bool trust_page_info);
+  /// Warm (incremental) adoption: the page-info table was retained across
+  /// the last detach, so only the frames in `dirty` — recorded by the
+  /// DirtyFrameTracker while native — are reconstructed; everything else is
+  /// carried over. The caller (switch engine) is responsible for deciding
+  /// eligibility (retention unpoisoned, tracker armed and not overflowed)
+  /// and for filtering both spans to the kernel-owned frame range. The
+  /// type-and-protect pass runs in full (enforcement must cover every
+  /// current table), but PTE revalidation is limited to tables in
+  /// `content_dirty` — frames whose bytes were written while detached. An
+  /// untouched table still holds exactly the entries validated before the
+  /// detach, so its scan is skipped; any tampering is a store, hence in the
+  /// set.
+  DomainId adopt_running_os_warm(hw::Cpu& cpu, kernel::Kernel& k,
+                                 std::span<const hw::Pfn> dirty,
+                                 std::span<const hw::Pfn> content_dirty);
   /// Undo adoption: page tables become writable again, accounting is
-  /// dropped (O(1)), the hypervisor returns to dormancy.
-  void release_os(hw::Cpu& cpu, DomainId id);
+  /// dropped (O(1)), the hypervisor returns to dormancy. With
+  /// `retain_page_info` the table keeps its (now stale) contents and is
+  /// marked retained so a later warm adoption can rebuild incrementally.
+  void release_os(hw::Cpu& cpu, DomainId id, bool retain_page_info = false);
   /// Unwind a *partially applied* adoption after a mid-switch fault: restore
   /// writability of every frame protected so far, drop (or, for eager
   /// tracking, keep) the page accounting, return to dormancy, and hand the
@@ -151,6 +170,13 @@ class Hypervisor : public hw::TrapSink {
   void adopt_rebuild_shard(hw::Cpu& cpu, DomainId id,
                            std::span<const hw::Pfn> frames,
                            HvFaultPoint site = HvFaultPoint::kShardRebuild);
+  /// Warm-path variant: reconstruct owner/type/count for exactly the dirty
+  /// `frames` against the retained table, charging `cpu` per frame. Frames
+  /// inside the hypervisor's reserved region are re-canonicalized as
+  /// hypervisor-owned (defense in depth; the engine filters them out).
+  void adopt_dirty_rebuild_shard(hw::Cpu& cpu, DomainId id,
+                                 std::span<const hw::Pfn> frames,
+                                 HvFaultPoint site = HvFaultPoint::kDirtyRebuild);
   /// Eager-tracking cross-check sweep over `frames` frames (1 cycle each).
   void adopt_trusted_sweep_shard(hw::Cpu& cpu, std::size_t frames);
   /// Discover every page-table frame of `k` (uncharged discovery walk).
@@ -174,20 +200,32 @@ class Hypervisor : public hw::TrapSink {
   void release_unprotect_shard(hw::Cpu& cpu, kernel::Kernel& k,
                                std::span<const hw::Pfn> frames,
                                HvFaultPoint site = HvFaultPoint::kShardUnprotect);
-  /// Flip to kDormant: accounting dropped O(1).
-  void finish_release();
+  /// Flip to kDormant: accounting dropped O(1). With `retain_page_info`
+  /// the entry contents survive and the table is marked retained.
+  void finish_release(bool retain_page_info = false);
 
   // --- page-info machinery (exposed for the eager tracker and tests) ---
   PageInfoTable& page_info() { return page_info_; }
   void rebuild_page_info(hw::Cpu& cpu, Domain& d);
   void type_and_protect_tables(hw::Cpu& cpu, Domain& d, kernel::Kernel& k);
+  /// Warm variant: full protect pass, but validation only of tables whose
+  /// frame is in `content_dirty` (ascending).
+  void type_and_protect_tables_warm(hw::Cpu& cpu, Domain& d, kernel::Kernel& k,
+                                    std::span<const hw::Pfn> content_dirty);
   void unprotect_tables(hw::Cpu& cpu, kernel::Kernel& k);
   /// Drop protection bookkeeping for frames leaving this machine (domain
   /// migrated away / destroyed): no flips, just forget.
   void forget_frame_range(hw::Pfn first, std::size_t count);
   /// Flip the direct-map writability of a frame (page-table protection).
+  /// The single-frame form pays a per-page cross-CPU shootdown; trap-time
+  /// pin/unpin and rollback use it. Bulk shards use the batched form (PTE
+  /// rewrite only) and close the batch with one tlb_shootdown_all.
   void set_frame_writable(hw::Cpu& cpu, kernel::Kernel& k, hw::Pfn pfn,
                           bool writable);
+  void set_frame_writable_batched(hw::Cpu& cpu, kernel::Kernel& k, hw::Pfn pfn,
+                                  bool writable);
+  /// One IPI round + full TLB flush on every CPU, closing a batch of flips.
+  void tlb_shootdown_all(hw::Cpu& cpu);
   bool validate_l1(hw::Cpu& cpu, Domain& d, hw::Pfn table, hw::Cycles per_pte,
                    std::size_t* present_out);
   /// Self-healing mode (§6.2): table validation repairs invalid entries

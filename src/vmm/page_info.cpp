@@ -54,11 +54,22 @@ const PageInfo& PageInfoTable::at(hw::Pfn pfn) const {
 
 void PageInfoTable::invalidate_all() {
   // Deliberately O(1): entries are considered garbage while invalid; the
-  // rebuild pass re-initializes them.
+  // rebuild pass re-initializes them. Contents are left in place on purpose
+  // — a retaining detach (warm re-attach) reads them back as the base for
+  // an incremental rebuild.
   valid_ = false;
 }
 
+std::size_t PageInfoTable::shards_carried_over() const {
+  std::size_t n = 0;
+  for (const Shard& s : shards_)
+    if (s.dirty_epoch < epoch_) ++n;
+  return n;
+}
+
 std::optional<std::string> PageInfoTable::check_invariants() const {
+  if (valid_ && retained_)
+    return "table claims to be both live (valid) and retained-stale";
   if (!valid_) return "table is invalid (VMM dormant)";
   for (std::size_t pfn = 0; pfn < info_.size(); ++pfn) {
     const PageInfo& pi = info_[pfn];

@@ -32,6 +32,10 @@ struct PageInfo {
   std::uint32_t type_count = 0;  // references under this type (pins, CR3 loads)
   std::uint32_t ref_count = 0;   // general references (mappings)
   bool pinned = false;
+
+  // Field-wise equality (not memcmp: the struct has padding) — the warm
+  // re-attach differential harness compares tables entry by entry.
+  friend constexpr bool operator==(const PageInfo&, const PageInfo&) = default;
 };
 
 class PageInfoTable {
@@ -67,6 +71,15 @@ class PageInfoTable {
   };
   const ShardCounters& shard_counters(std::size_t shard) const;
   void note_rebuilt(hw::Pfn pfn) { ++shards_[shard_of(pfn)].counters.rebuilt; }
+  /// A warm (dirty-set) reconstruction touched this frame: count it as
+  /// rebuilt and stamp its shard with the current rebuild epoch, marking
+  /// the shard as revalidated-this-attach. Shards whose stamp lags the
+  /// epoch carried every entry over from the retained table untouched.
+  void note_dirty_rebuilt(hw::Pfn pfn) {
+    Shard& s = shards_[shard_of(pfn)];
+    ++s.counters.rebuilt;
+    s.dirty_epoch = epoch_;
+  }
   void note_typed(hw::Pfn pfn) { ++shards_[shard_of(pfn)].counters.typed; }
   std::uint64_t rebuilt_total() const;
   std::uint64_t typed_total() const;
@@ -83,6 +96,30 @@ class PageInfoTable {
   /// is the rebuild, not the teardown).
   void invalidate_all();
 
+  // --- warm re-attach retention ---
+  //
+  // invalidate_all() is O(1) and never wipes entry contents, so a detach
+  // can leave the table "stale but retained": invalid for enforcement, but
+  // a usable base for an incremental rebuild that revalidates only the
+  // frames dirtied while native. `retained` asserts that the entries still
+  // describe the machine as of the last detach; any ownership-level
+  // mutation while dormant (domain create/destroy, migration remaps)
+  // poisons the retention and forces the next attach down the cold path.
+
+  bool retained() const { return retained_; }
+  void set_retained(bool r) { retained_ = r; }
+  /// Retained entries no longer describe the machine: next attach goes cold.
+  void poison_retention() { retained_ = false; }
+
+  /// Monotonic rebuild-episode counter. Bumped at the start of every adopt
+  /// rebuild (cold or warm); per-shard dirty stamps are compared against it
+  /// to tell revalidated shards from carried-over ones.
+  std::uint64_t epoch() const { return epoch_; }
+  void begin_rebuild_epoch() { ++epoch_; }
+
+  /// Shards the last warm rebuild carried over untouched (stamp < epoch).
+  std::size_t shards_carried_over() const;
+
   /// Structural self-check: every pinned table is typed as a table, counts
   /// are non-zero where pinned, owners set where typed. Returns an error
   /// description, or nullopt if consistent.
@@ -96,11 +133,14 @@ class PageInfoTable {
   /// frame ranges never share a line (no false sharing on the hot rebuild).
   struct alignas(64) Shard {
     ShardCounters counters;
+    std::uint64_t dirty_epoch = 0;  // last rebuild epoch that touched this shard
   };
 
   std::vector<PageInfo> info_;
   std::vector<Shard> shards_;
   bool valid_ = false;
+  bool retained_ = false;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace mercury::vmm

@@ -638,6 +638,34 @@ TEST(SwitchEngine, CycleIdentityProbe) {
     std::printf("CYCLE_IDENTITY sup attach=%" PRIu64 " detach=%" PRIu64 "\n",
                 st.last_attach_cycles, st.last_detach_cycles);
   }
+  {
+    // Warm re-attach: the dirty-frame tracker hooks fire on every native
+    // PTE/content write while detached, and the warm rebuild walks only the
+    // dirty set. Neither the tracker nor the warm metrics may charge
+    // simulated cycles, so the retaining detach and the warm attach must
+    // also be byte-identical across the two builds.
+    MercuryConfig cfg;
+    cfg.switch_config.warm_reattach = true;
+    MercuryBox box(cfg, /*mem_mb=*/128);
+    Mercury& m = *box.mercury;
+    m.kernel().spawn("warm-toucher", [](kernel::Sys& s) -> kernel::Sub<void> {
+      const auto va = s.mmap(16 * hw::kPageSize, true);
+      for (;;) {
+        s.touch_pages(va, 16, true);
+        co_await s.compute_us(50.0);
+      }
+    });
+    ASSERT_TRUE(m.switch_to(ExecMode::kPartialVirtual));
+    ASSERT_TRUE(m.switch_to(ExecMode::kNative));  // retaining detach
+    m.kernel().run_for(hw::kCyclesPerMillisecond);  // dirty a fixed window
+    ASSERT_TRUE(m.switch_to(ExecMode::kPartialVirtual));
+    const core::SwitchStats& st = m.engine().stats();
+    ASSERT_EQ(st.warm_attaches, 1u);
+    std::printf("CYCLE_IDENTITY warm attach=%" PRIu64 " detach=%" PRIu64
+                " dirty=%" PRIu64 "\n",
+                st.last_attach_cycles, st.last_detach_cycles,
+                st.last_dirty_frames);
+  }
 }
 
 }  // namespace

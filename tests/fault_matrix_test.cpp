@@ -380,6 +380,163 @@ TEST(FaultMatrix, CrewWorkerShardFaults) {
   EXPECT_GE(fired, 7u);
 }
 
+TEST(FaultMatrix, WarmReattachDirtyRebuildRows) {
+  // kDirtyRebuild rows: fail / timeout / corrupt-frame, both directions.
+  // The site lives on the warm-attach dirty-reconstruction loop, so the
+  // attach direction must fire (the window is primed and dirtied before
+  // every row) and roll back with the retained table intact — the clean
+  // retry inside run_faulted_switch must go warm again, not degrade to a
+  // cold rebuild. The detach direction never reaches the site; those rows
+  // pin down the unreached half of the dichotomy.
+  InjectorGuard guard;
+  core::SwitchConfig sc;
+  sc.warm_reattach = true;
+  Box box(sc);
+  // Prime: first (cold) attach, then a retaining detach opens the window.
+  ASSERT_TRUE(box.settle(ExecMode::kPartialVirtual));
+  ASSERT_TRUE(box.settle(ExecMode::kNative));
+  std::size_t fired = 0;
+  for (const FaultKind kind :
+       {FaultKind::kFail, FaultKind::kTimeout, FaultKind::kCorruptFrame}) {
+    for (const std::uint64_t trigger : {std::uint64_t{1}, std::uint64_t{5}}) {
+      // Let the workload dirty the open window so the per-frame site has
+      // visits to spend.
+      box.m.kernel().run_for(2 * hw::kCyclesPerMillisecond);
+      FaultPlan plan;
+      plan.site = FaultSite::kDirtyRebuild;
+      plan.kind = kind;
+      plan.trigger_count = trigger;
+      if (kind == FaultKind::kTimeout) plan.latency = hw::us_to_cycles(100.0);
+      {
+        const std::string ctx =
+            std::string(core::fault_kind_name(kind)) + " " +
+            ctx_of(plan.site, ExecMode::kNative, ExecMode::kPartialVirtual,
+                   trigger);
+        SCOPED_TRACE(ctx);
+        const std::uint64_t warm_before = box.m.engine().stats().warm_attaches;
+        const std::uint64_t cold_falls = box.m.engine().stats().warm_fallbacks;
+        if (run_faulted_switch(box, ExecMode::kNative,
+                               ExecMode::kPartialVirtual, plan, ctx)) {
+          ++fired;
+          // Faulted warm attempt + warm retry: the rollback preserved the
+          // retained table and the armed tracker.
+          EXPECT_EQ(box.m.engine().stats().warm_attaches, warm_before + 2)
+              << ctx << ": retry after rollback did not go warm";
+          EXPECT_EQ(box.m.engine().stats().warm_fallbacks, cold_falls)
+              << ctx << ": rollback degraded the retained table to cold";
+        }
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+      {
+        // Detach direction: the site is attach-only, so the row must
+        // commit untouched (and the retaining detach reopens the window).
+        ASSERT_TRUE(box.settle(ExecMode::kPartialVirtual));
+        const std::string ctx =
+            std::string(core::fault_kind_name(kind)) + " " +
+            ctx_of(plan.site, ExecMode::kPartialVirtual, ExecMode::kNative,
+                   trigger);
+        SCOPED_TRACE(ctx);
+        EXPECT_FALSE(run_faulted_switch(box, ExecMode::kPartialVirtual,
+                                        ExecMode::kNative, plan, ctx))
+            << ctx << ": kDirtyRebuild fired on a detach";
+        if (::testing::Test::HasFatalFailure()) return;
+        ASSERT_TRUE(box.settle(ExecMode::kNative));
+      }
+    }
+  }
+  // Every attach-direction row must have fired: the window is dirty and
+  // the triggers are shallow.
+  EXPECT_EQ(fired, 6u);
+}
+
+TEST(FaultMatrix, WarmReattachCrewShardFaults) {
+  // The same site fired from inside a crew worker's dirty_rebuild shard:
+  // the crew must abort, join, rethrow on the CP, and the rollback +
+  // warm retry must converge exactly as on the serial path.
+  InjectorGuard guard;
+  core::SwitchConfig sc;
+  sc.warm_reattach = true;
+  sc.crew_workers = 3;
+  Box box(sc, /*cpus=*/4);
+  ASSERT_TRUE(box.settle(ExecMode::kPartialVirtual));
+  ASSERT_TRUE(box.settle(ExecMode::kNative));
+  std::size_t fired = 0;
+  for (const std::uint64_t trigger : {std::uint64_t{1}, std::uint64_t{7}}) {
+    box.m.kernel().run_for(2 * hw::kCyclesPerMillisecond);
+    FaultPlan plan;
+    plan.site = FaultSite::kDirtyRebuild;
+    plan.trigger_count = trigger;
+    const std::string ctx = "crew " + ctx_of(plan.site, ExecMode::kNative,
+                                             ExecMode::kPartialVirtual,
+                                             trigger);
+    SCOPED_TRACE(ctx);
+    const std::uint64_t warm_before = box.m.engine().stats().warm_attaches;
+    if (run_faulted_switch(box, ExecMode::kNative, ExecMode::kPartialVirtual,
+                           plan, ctx)) {
+      ++fired;
+      EXPECT_EQ(box.m.engine().stats().warm_attaches, warm_before + 2) << ctx;
+    }
+    if (::testing::Test::HasFatalFailure()) return;
+    ASSERT_TRUE(box.settle(ExecMode::kNative));
+  }
+  EXPECT_EQ(fired, 2u);
+}
+
+TEST(FaultMatrix, SupervisedWarmSweepNeverStrandsARequest) {
+  // kDirtyRebuild under the supervisor: a single-shot fault of any kind on
+  // the warm path must end committed-after-retry, with every request
+  // terminal and the machine consistent — the warm path composes with
+  // retry/backoff exactly like the cold sites.
+  InjectorGuard guard;
+  core::SwitchConfig sc;
+  sc.warm_reattach = true;
+  Box box(sc);
+  core::SupervisorConfig scfg;
+  scfg.backoff_base_ms = 0.5;
+  scfg.quarantine_after = 100;
+  core::SwitchSupervisor sup(box.m.engine(), scfg);
+  FaultInjector& fi = core::fault_injector();
+  std::size_t fired = 0;
+
+  ASSERT_TRUE(sup.switch_now(ExecMode::kPartialVirtual,
+                             500 * hw::kCyclesPerMillisecond));
+  ASSERT_TRUE(sup.switch_now(ExecMode::kNative,
+                             500 * hw::kCyclesPerMillisecond));
+  for (const FaultKind kind :
+       {FaultKind::kFail, FaultKind::kTimeout, FaultKind::kCorruptFrame}) {
+    for (const std::uint64_t trigger : {std::uint64_t{1}, std::uint64_t{5}}) {
+      box.m.kernel().run_for(2 * hw::kCyclesPerMillisecond);
+      FaultPlan plan;
+      plan.site = FaultSite::kDirtyRebuild;
+      plan.kind = kind;
+      plan.trigger_count = trigger;
+      if (kind == FaultKind::kTimeout) plan.latency = hw::us_to_cycles(100.0);
+      const std::string ctx =
+          std::string("supervised warm ") + core::fault_kind_name(kind) +
+          " trigger=" + std::to_string(trigger);
+      SCOPED_TRACE(ctx);
+      const std::uint64_t injected_before = fi.injected();
+      fi.arm(plan);
+      EXPECT_TRUE(sup.switch_now(ExecMode::kPartialVirtual,
+                                 500 * hw::kCyclesPerMillisecond))
+          << ctx << ": supervised warm switch did not commit";
+      fi.disarm();
+      if (fi.injected() > injected_before) ++fired;
+      for (const core::SupervisedRequest& r : sup.requests())
+        EXPECT_TRUE(core::request_state_terminal(r.state))
+            << ctx << ": request " << r.id << " stranded in state "
+            << core::request_state_name(r.state);
+      box.expect_consistent(ctx);
+      box.expect_os_runs(ctx);
+      ASSERT_TRUE(sup.switch_now(ExecMode::kNative,
+                                 500 * hw::kCyclesPerMillisecond));
+    }
+  }
+  EXPECT_EQ(fired, 6u);
+  EXPECT_EQ(sup.health(), core::SupervisorHealth::kHealthy);
+  EXPECT_GT(box.m.engine().stats().warm_attaches, 0u);
+}
+
 TEST(FaultMatrix, SupervisedSweepNeverStrandsARequest) {
   // The whole serial fault matrix again, but driven through the switch
   // supervisor: a single-shot fault at any site, in either direction, must

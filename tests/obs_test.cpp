@@ -466,7 +466,8 @@ TEST(EngineProfiler, DisabledRecordsNothingAndScopesAreCheap) {
   }
   // The call-site static may have created the bucket, but a disabled
   // profiler must not charge it.
-  const obs::ProfBucket* b = find_bucket(prof.snapshot(), "test.prof.disabled");
+  const std::vector<obs::ProfBucket> snap = prof.snapshot();
+  const obs::ProfBucket* b = find_bucket(snap, "test.prof.disabled");
   if (b != nullptr) {
     EXPECT_EQ(b->count, 0u);
     EXPECT_EQ(b->wall_ns, 0u);

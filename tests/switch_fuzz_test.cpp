@@ -31,7 +31,7 @@ ExecMode random_mode(util::Rng& rng) {
 }
 
 void fuzz(std::uint64_t seed, core::SwitchConfig sc,
-          bool randomize_crew = false) {
+          bool randomize_crew = false, bool randomize_warm = false) {
   util::Rng rng(seed);
   hw::MachineConfig mc;
   if (randomize_crew) {
@@ -74,6 +74,10 @@ void fuzz(std::uint64_t seed, core::SwitchConfig sc,
         "seed=" + std::to_string(seed) + " round=" + std::to_string(round);
     const ExecMode before = m.mode();
     const ExecMode target = random_mode(rng);
+    // Flip warm re-attach mid-run: rounds interleave warm attaches, cold
+    // attaches, retaining detaches, and mid-window disables (which must
+    // void the tracked window, never feed it to a later warm rebuild).
+    if (randomize_warm) m.engine().set_warm_reattach(rng.chance(0.5));
     const bool faulted = rng.chance(0.6);
     const std::uint64_t injected_before = fi.injected();
     if (faulted) fi.arm(core::random_fault_plan(rng));
@@ -135,6 +139,23 @@ TEST(SwitchFuzz, CrewConfigSurvivesRandomFaultedSwitches) {
   sc.eager_selector_fixup = true;  // exercise the crew fixup phase too
   sc.paranoid_invariants = true;
   fuzz(test_seed(0xC0FFEE03ull), sc, /*randomize_crew=*/true);
+}
+
+TEST(SwitchFuzz, WarmReattachConfigSurvivesRandomFaultedSwitches) {
+  core::SwitchConfig sc;
+  sc.warm_reattach = true;
+  sc.paranoid_invariants = true;
+  fuzz(test_seed(0xC0FFEE04ull), sc, /*randomize_crew=*/false,
+       /*randomize_warm=*/true);
+}
+
+TEST(SwitchFuzz, WarmReattachCrewConfigSurvivesRandomFaultedSwitches) {
+  core::SwitchConfig sc;
+  sc.warm_reattach = true;
+  sc.eager_selector_fixup = true;
+  sc.paranoid_invariants = true;
+  fuzz(test_seed(0xC0FFEE05ull), sc, /*randomize_crew=*/true,
+       /*randomize_warm=*/true);
 }
 
 }  // namespace

@@ -202,6 +202,10 @@ TEST(SwitchSoak, SeededStormSoakConvergesWithoutCorruption) {
   SoakParams params;
   params.cycles = 200;
   params.request_interval_ms = 2.0;
+  // Interleave warm and cold attaches under the same storm: half the
+  // cycles run with warm re-attach enabled (seeded flip schedule).
+  params.warm_reattach_rate = 0.5;
+  params.warm_seed = seed;
   SoakDriver driver(box.sup, params);
   ASSERT_TRUE(driver.run_to_completion(30'000 * hw::kCyclesPerMillisecond))
       << "soak did not drive all " << params.cycles
@@ -220,6 +224,10 @@ TEST(SwitchSoak, SeededStormSoakConvergesWithoutCorruption) {
   EXPECT_GT(core::fault_injector().storm_fires(), 0u);
   EXPECT_GT(box.sup.stats().retries, 0u);
   EXPECT_EQ(driver.invariant_violations(), 0u);
+  // The warm/cold interleave actually exercised the warm path: with half
+  // of 200 cycles warm-enabled, some attaches must have gone warm.
+  EXPECT_GT(box.m.engine().stats().warm_attaches, 0u)
+      << "warm_reattach_rate=0.5 soak never took a warm attach";
 
   const std::uint64_t corruptions = box.audit_corruptions();
   EXPECT_EQ(corruptions, 0u);
@@ -257,6 +265,10 @@ TEST(SwitchSoak, PersistentStormQuarantinesCleanly) {
   SoakParams params;
   params.cycles = 20;
   params.request_interval_ms = 2.0;
+  // Warm flips ride along (no warm attach can commit under a rate-1.0
+  // storm, but the retention/disarm paths must survive the chaos).
+  params.warm_reattach_rate = 0.5;
+  params.warm_seed = seed;
   SoakDriver driver(box.sup, params);
   ASSERT_TRUE(driver.run_to_completion(10'000 * hw::kCyclesPerMillisecond));
   core::fault_injector().stop_storm();
