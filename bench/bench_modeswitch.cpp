@@ -30,6 +30,9 @@ struct SwitchTimes {
   // paths — so the crew speedup is visible here, not in the totals.
   double attach_transfer_ms = 0;
   double detach_transfer_ms = 0;
+  // Per-CPU unavailability intervals recorded while this cell ran (scoped
+  // per cell, merged into the ambient ledger for the --pause-json artifact).
+  mercury::obs::PauseLedger pauses;
 };
 
 std::unique_ptr<mercury::hw::Machine> make_machine(std::size_t mem_kb,
@@ -61,6 +64,7 @@ SwitchTimes measure(std::size_t kernel_mem_kb, std::size_t cpus, int processes,
   mercury.kernel().run_for(5 * mercury::hw::kCyclesPerMillisecond);
 
   SwitchTimes t;
+  mercury::obs::PauseLedgerScope pause_scope(t.pauses);
   for (int i = 0; i < round_trips; ++i) {
     if (!mercury.switch_to(ExecMode::kPartialVirtual)) return t;
     t.attach_ms +=
@@ -91,6 +95,7 @@ struct WarmTimes {
   double warm_attach_ms = 0;  // second attach: dirty-set reconstruction
   double dirty_frames = 0;
   double frames_retained = 0;
+  mercury::obs::PauseLedger pauses;
 };
 
 // Warm re-attach leg: cold first attach, retaining detach, a short native
@@ -117,6 +122,7 @@ WarmTimes measure_warm(std::size_t kernel_mem_kb, int processes) {
   mercury.kernel().run_for(5 * mercury::hw::kCyclesPerMillisecond);
 
   WarmTimes w;
+  mercury::obs::PauseLedgerScope pause_scope(w.pauses);
   if (!mercury.switch_to(ExecMode::kPartialVirtual)) return w;
   w.cold_attach_ms =
       mercury::hw::cycles_to_us(mercury.engine().stats().last_attach_cycles) /
@@ -148,6 +154,27 @@ WarmTimes measure_warm(std::size_t kernel_mem_kb, int processes) {
 // Record one sweep cell into the obs registry so --metrics-json carries the
 // tracked baseline (BENCH_modeswitch.json) that check_bench_json.py
 // validates.
+// Per-cause pause tail for one sweep cell: p50/p99 (log2 bucket bounds) and
+// the exact worst, in microseconds. Silent causes emit zeros so the tracked
+// baseline's gauge set is stable across runs, and the cell ledger is merged
+// into the ambient ledger so --pause-json covers the whole sweep.
+void record_pause_cell(const std::string& key,
+                       const mercury::obs::PauseLedger& pl) {
+  mercury::obs::MetricsRegistry& reg = mercury::obs::registry();
+  for (std::size_t i = 0; i < mercury::obs::kPauseCauseCount; ++i) {
+    const auto cause = static_cast<mercury::obs::PauseCause>(i);
+    const std::string base = "bench.modeswitch." + key + "." +
+                             mercury::obs::pause_cause_name(cause);
+    reg.gauge(base + ".pause_p50_us")
+        .set(mercury::hw::cycles_to_us(pl.quantile(cause, 0.50)));
+    reg.gauge(base + ".pause_p99_us")
+        .set(mercury::hw::cycles_to_us(pl.quantile(cause, 0.99)));
+    reg.gauge(base + ".pause_worst_us")
+        .set(mercury::hw::cycles_to_us(pl.quantile(cause, 1.0)));
+  }
+  mercury::obs::pause_ledger().merge(pl);
+}
+
 void record_cell(const std::string& key, const SwitchTimes& s) {
   mercury::obs::MetricsRegistry& reg = mercury::obs::registry();
   reg.gauge("bench.modeswitch." + key + ".attach_ms").set(s.attach_ms);
@@ -156,6 +183,7 @@ void record_cell(const std::string& key, const SwitchTimes& s) {
       .set(s.attach_transfer_ms);
   reg.gauge("bench.modeswitch." + key + ".detach_transfer_ms")
       .set(s.detach_transfer_ms);
+  record_pause_cell(key, s.pauses);
 }
 
 void BM_AttachPaperScale(benchmark::State& state) {
@@ -176,6 +204,10 @@ int main(int argc, char** argv) {
   // the metrics artifact, defaulting to BENCH_modeswitch.json in the
   // working directory when --metrics-json is not given.
   if (obs_opts.metrics_json.empty()) obs_opts.metrics_json = "BENCH_modeswitch.json";
+  // The pause observatory rides along: one mercury.pause.v1 artifact per
+  // run, validated by check_bench_json.py in the CI bench gate.
+  if (obs_opts.pause_json.empty())
+    obs_opts.pause_json = obs_opts.metrics_json + ".pause.json";
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
@@ -256,6 +288,7 @@ int main(int argc, char** argv) {
       const WarmTimes w = measure_warm(mem_kb, 4);
       const double speedup =
           w.warm_attach_ms > 0.0 ? w.cold_attach_ms / w.warm_attach_ms : 0.0;
+      record_pause_cell("warm.mem_kb=" + std::to_string(mem_kb), w.pauses);
       const std::string key =
           "bench.modeswitch.warm.mem_kb=" + std::to_string(mem_kb);
       mercury::obs::MetricsRegistry& reg = mercury::obs::registry();

@@ -181,6 +181,12 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(r.interruptions),
       static_cast<double>(r.workload_bytes) / (1024.0 * 1024.0),
       r.converged ? "yes" : "NO", r.final_mode.c_str());
+  std::printf(
+      "pause: %llu intervals, %llu unattributed, worst %llu cycles (%s)\n",
+      static_cast<unsigned long long>(r.pause_intervals),
+      static_cast<unsigned long long>(r.pause_unattributed),
+      static_cast<unsigned long long>(r.pause_worst_cycles),
+      r.pause_worst_cause.c_str());
 
   if (!soak_json.empty()) {
     if (mercury::cluster::write_soak_report(r, soak_json))
@@ -212,8 +218,8 @@ int main(int argc, char** argv) {
         fleet.converged ? "yes" : "NO");
     for (const cluster::NodeSoakStats& n : fleet.nodes)
       std::printf("  %s: %llu/%llu committed, %llu retries, avail %.5f "
-                  "(%llu interruptions, %llu/%llu down cycles), health %s, "
-                  "mode %s\n",
+                  "(%llu interruptions, %llu/%llu down cycles), pause "
+                  "%llu/%llu worst %llu (%s), health %s, mode %s\n",
                   n.name.c_str(),
                   static_cast<unsigned long long>(n.committed),
                   static_cast<unsigned long long>(n.submitted),
@@ -221,7 +227,22 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(n.interruptions),
                   static_cast<unsigned long long>(n.downtime_cycles),
                   static_cast<unsigned long long>(n.span_cycles),
-                  n.final_health.c_str(), n.final_mode.c_str());
+                  static_cast<unsigned long long>(n.pause_intervals),
+                  static_cast<unsigned long long>(n.pause_unattributed),
+                  static_cast<unsigned long long>(n.pause_worst_cycles),
+                  n.pause_worst_cause.c_str(), n.final_health.c_str(),
+                  n.final_mode.c_str());
+    // The fleet verdict (with its nodes[] pause rollups) is schema-gated
+    // alongside the single-machine one — see scripts/run_tiers.sh profile.
+    if (!soak_json.empty()) {
+      const std::string fleet_json = soak_json + ".fleet.json";
+      if (mercury::cluster::write_soak_report(fleet, fleet_json))
+        std::printf("fleet verdict written to %s (mercury.soak.v1)\n",
+                    fleet_json.c_str());
+      else
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     fleet_json.c_str());
+    }
     if (!obs_opts.timeseries_json.empty()) {
       const std::string ts = cs.timeseries_json();
       if (std::FILE* f = std::fopen(obs_opts.timeseries_json.c_str(), "w")) {

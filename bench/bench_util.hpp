@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "obs/postmortem.hpp"
 #include "util/table.hpp"
 #include "workloads/configs.hpp"
 
@@ -23,20 +24,26 @@ struct ObsOptions {
   std::string trace_json;       // --trace-json <path>: Chrome trace_event file
   std::string timeseries_json;  // --timeseries-json <path>: sampled series
   std::string profile_json;     // --profile-json <path>: engine profile
+  std::string pause_json;       // --pause-json <path>: mercury.pause.v1 ledger
 
   bool any() const {
     return !metrics_json.empty() || !trace_json.empty() ||
-           !timeseries_json.empty() || !profile_json.empty();
+           !timeseries_json.empty() || !profile_json.empty() ||
+           !pause_json.empty();
   }
 };
 
 /// Strip the telemetry export flags (`--metrics-json`, `--trace-json`,
-/// `--timeseries-json`, `--profile-json`, space- or `=`-joined) out of
+/// `--timeseries-json`, `--profile-json`, `--pause-json`, space- or
+/// `=`-joined) out of
 /// argv. Call before benchmark::Initialize. When only --metrics-json is
 /// given, the Chrome trace defaults to `<metrics-json>.trace.json` so one
 /// flag yields both artifacts. A --profile-json flag also enables the
 /// engine profiler for the whole run.
 inline ObsOptions consume_obs_flags(int& argc, char** argv) {
+  // Bench binaries honour $MERCURY_POSTMORTEM_DIR but default bundles to
+  // the build tree (beside the binary), not the invoking directory.
+  obs::default_postmortem_dir_beside_binary();
   ObsOptions opts;
   const auto match = [&](int& i, const char* flag, std::string& out) {
     const std::size_t n = std::strlen(flag);
@@ -56,7 +63,8 @@ inline ObsOptions consume_obs_flags(int& argc, char** argv) {
     if (match(i, "--metrics-json", opts.metrics_json) ||
         match(i, "--trace-json", opts.trace_json) ||
         match(i, "--timeseries-json", opts.timeseries_json) ||
-        match(i, "--profile-json", opts.profile_json))
+        match(i, "--profile-json", opts.profile_json) ||
+        match(i, "--pause-json", opts.pause_json))
       continue;
     argv[w++] = argv[i];
   }
@@ -100,6 +108,21 @@ inline void write_obs_artifacts(const ObsOptions& opts) {
     } else {
       std::fprintf(stderr, "cannot open %s for writing\n",
                    opts.profile_json.c_str());
+    }
+  }
+  if (!opts.pause_json.empty()) {
+    // The ambient ledger: benches that sweep cells under PauseLedgerScope
+    // merge each cell's ledger back into the global so the artifact covers
+    // the whole run.
+    if (std::FILE* f = std::fopen(opts.pause_json.c_str(), "w")) {
+      const std::string json = obs::pause_ledger().to_json();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("pause ledger written to %s (mercury.pause.v1)\n",
+                  opts.pause_json.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   opts.pause_json.c_str());
     }
   }
 }

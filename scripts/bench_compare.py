@@ -7,9 +7,10 @@ Usage:
 
 Compares the `bench.modeswitch.*` gauges of two mercury.metrics.v1
 documents. Latency gauges (*.attach_ms, *.detach_ms, *.attach_transfer_ms,
-*.detach_transfer_ms, and the warm sweep's *.cold_attach_ms /
-*.warm_attach_ms) regress when the current value exceeds baseline *
-(1 + tolerance); speedup gauges (crew_speedup_largest_mem,
+*.detach_transfer_ms, the warm sweep's *.cold_attach_ms /
+*.warm_attach_ms, and the per-cause pause tails *.pause_p50_us /
+*.pause_p99_us / *.pause_worst_us) regress when the current value exceeds
+baseline * (1 + tolerance); speedup gauges (crew_speedup_largest_mem,
 warm_reattach_speedup) regress when the current value falls below
 baseline * (1 - tolerance). A baseline gauge
 missing from the current run is a failure (a silently dropped sweep cell is
@@ -33,6 +34,10 @@ LATENCY_SUFFIXES = (
     ".detach_transfer_ms",
     ".cold_attach_ms",
     ".warm_attach_ms",
+    # Pause-observatory tails: per-cell, per-cause unavailability in us.
+    ".pause_p50_us",
+    ".pause_p99_us",
+    ".pause_worst_us",
 )
 SPEEDUP_KEYS = (
     "bench.modeswitch.crew_speedup_largest_mem",

@@ -14,9 +14,13 @@ flight events, the supervisor timeline (attempts, backoffs, resolutions,
 health transitions), refcount-retry storms, crew shard utilization, SLO
 breaches, and the raw tail of the flight ring. For `mercury.timeseries.v1`
 it prints each series as a unicode sparkline with min/max/last stats; for
-`mercury.profile.v1`, the engine-loop buckets ranked by wall time.
-Stdlib-only, importable: render(doc) / render_timeseries(doc) /
-render_profile(doc) return the reports as strings.
+`mercury.profile.v1`, the engine-loop buckets ranked by wall time; for
+`mercury.pause.v1`, the per-cause pause-attribution table, per-CPU
+unavailability totals, and the flight tail surrounding the worst-case
+interval. Stdlib-only, importable: render(doc) / render_timeseries(doc) /
+render_profile(doc) / render_pause(doc) return the reports as strings.
+Failures (unreadable, truncated, or malformed documents) are one-line
+diagnostics, never tracebacks.
 """
 
 import argparse
@@ -341,10 +345,81 @@ def render_profile(doc):
     return "\n".join(lines) + "\n"
 
 
+def render_pause(doc, tail_n=40):
+    """Render a mercury.pause.v1 ledger: the per-cause attribution table,
+    per-CPU unavailability totals, the worst-case interval, and the flight
+    tail surrounding it (cut around worst.flight_seq when it is still in
+    the ring)."""
+    lines = []
+    add = lines.append
+    add("=== Mercury pause observatory ===")
+    add(
+        f"intervals: {doc['intervals']} recorded, "
+        f"{doc['unattributed']} unattributed"
+    )
+    worst = doc["worst"]
+    if worst["cause"] == "none":
+        add("worst    : (no intervals recorded)")
+    else:
+        add(
+            f"worst    : {_us(worst['span']):.3f} us on cpu {worst['cpu']} — "
+            f"{worst['cause']}"
+            + (f" ({worst['detail']})" if worst.get("detail") else "")
+            + f", [{_us(worst['begin']):.3f} .. {_us(worst['end']):.3f}] us, "
+            f"flight seq {worst['flight_seq']}"
+        )
+
+    causes = doc.get("causes", [])
+    if causes:
+        add("")
+        add("--- attribution by cause (nested windows; not additive) ---")
+        width = max(len(c["name"]) for c in causes)
+        add(
+            f"  {'cause':<{width}}  {'count':>8}  {'total us':>14}  "
+            f"{'p50<= us':>12}  {'p99<= us':>12}  {'worst us':>12}"
+        )
+        for c in causes:
+            add(
+                f"  {c['name']:<{width}}  {c['count']:>8}  "
+                f"{_us(c['total_cycles']):>14.3f}  {_us(c['p50']):>12.3f}  "
+                f"{_us(c['p99']):>12.3f}  {_us(c['max']):>12.3f}"
+            )
+
+    cpus = doc.get("cpus", [])
+    if cpus:
+        add("")
+        add("--- per-CPU unavailability ---")
+        for c in cpus:
+            add(f"  cpu {c['cpu']:>2}: {_us(c['total_cycles']):>14.3f} us")
+
+    events = doc.get("flight", {}).get("events", [])
+    if events:
+        add("")
+        # Cut the tail around the worst interval's flight event when the
+        # ring still holds it; otherwise fall back to the newest events.
+        seqs = [e["seq"] for e in events]
+        target = worst.get("flight_seq")
+        if worst["cause"] != "none" and target in seqs:
+            at = seqs.index(target)
+            lo = max(0, at - tail_n + 1)
+            window = events[lo:at + 1]
+            add(
+                f"--- {len(window)} flight events up to the worst interval "
+                f"(seq {target}) ---"
+            )
+        else:
+            window = events[-tail_n:]
+            add(f"--- last {len(window)} flight events ---")
+        for ev in window:
+            add("  " + _fmt_event(ev))
+    return "\n".join(lines) + "\n"
+
+
 RENDERERS = {
     "mercury.postmortem.v1": None,  # render(doc, tail_n) — takes --tail
     "mercury.timeseries.v1": render_timeseries,
     "mercury.profile.v1": render_profile,
+    "mercury.pause.v1": None,  # render_pause(doc, tail_n) — takes --tail
 }
 
 
@@ -364,25 +439,40 @@ def main():
     )
     args = ap.parse_args()
 
+    # Every failure mode — unreadable file, truncated JSON, a non-object
+    # document, or a renderer tripping over a malformed section — is a
+    # one-line diagnostic carrying (file, schema, reason), never a
+    # traceback.
     try:
         with open(args.path, encoding="utf-8") as f:
             doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"blackbox_report: FAIL: cannot parse {args.path}: {e}",
+    except (OSError, ValueError) as e:
+        print(f"blackbox_report: FAIL: {args.path}: cannot parse: {e}",
               file=sys.stderr)
         sys.exit(2)
     schema = doc.get("schema") if isinstance(doc, dict) else None
     if schema not in RENDERERS:
         print(
-            f"blackbox_report: FAIL: schema is {schema!r}, expected one of "
-            f"{sorted(RENDERERS)}",
+            f"blackbox_report: FAIL: {args.path}: schema is {schema!r}, "
+            f"expected one of {sorted(RENDERERS)}",
             file=sys.stderr,
         )
         sys.exit(2)
-    if schema == "mercury.postmortem.v1":
-        sys.stdout.write(render(doc, args.tail))
-    else:
-        sys.stdout.write(RENDERERS[schema](doc))
+    try:
+        if schema == "mercury.postmortem.v1":
+            out = render(doc, args.tail)
+        elif schema == "mercury.pause.v1":
+            out = render_pause(doc, args.tail)
+        else:
+            out = RENDERERS[schema](doc)
+    except (KeyError, TypeError, IndexError, ValueError) as e:
+        print(
+            f"blackbox_report: FAIL: {args.path}: schema {schema}: "
+            f"malformed document ({type(e).__name__}: {e})",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    sys.stdout.write(out)
 
 
 if __name__ == "__main__":

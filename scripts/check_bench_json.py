@@ -10,17 +10,22 @@ Usage:
     scripts/check_bench_json.py soak.json --schema soak
     scripts/check_bench_json.py ts.json --schema timeseries
     scripts/check_bench_json.py prof.json --schema profile
+    scripts/check_bench_json.py pause.json --schema pause
 
 Exits 0 when the document is well-formed against the selected schema
 (mercury.metrics.v1 by default; mercury.postmortem.v1 with
 --schema postmortem, mercury.soak.v1 with --schema soak,
 mercury.timeseries.v1 with --schema timeseries, mercury.profile.v1 with
---schema profile) and every --require name is present as an instrument;
-nonzero otherwise. The soak schema additionally *gates*: zero unresolved
-requests, zero invariant violations, zero workload corruptions, and
-converged == true — the CI soak job fails on any of them. Stdlib-only on
-purpose: usable on any machine that can run the benches. The validators
-are importable (see scripts/test_check_bench_json.py).
+--schema profile, mercury.pause.v1 with --schema pause) and every
+--require name is present as an instrument; nonzero otherwise. The soak
+schema additionally *gates*: zero unresolved requests, zero invariant
+violations, zero workload corruptions, zero unattributed pause intervals
+(document-wide and per node), and converged == true — the CI soak job
+fails on any of them. The pause schema gates zero unattributed intervals
+the same way. Every failure is a single line carrying the file, the
+schema, and the reason. Stdlib-only on purpose: usable on any machine
+that can run the benches. The validators are importable (see
+scripts/test_check_bench_json.py).
 """
 
 import argparse
@@ -32,7 +37,19 @@ POSTMORTEM_SCHEMA = "mercury.postmortem.v1"
 SOAK_SCHEMA = "mercury.soak.v1"
 TIMESERIES_SCHEMA = "mercury.timeseries.v1"
 PROFILE_SCHEMA = "mercury.profile.v1"
+PAUSE_SCHEMA = "mercury.pause.v1"
 HIST_FIELDS = ("count", "sum", "min", "mean", "max", "p50", "p90", "p99")
+
+# The six attribution causes a mercury.pause.v1 ledger always reports
+# (silent causes appear with zero counts).
+PAUSE_CAUSES = (
+    "rendezvous-parked",
+    "crew-shard-work",
+    "tlb-shootdown",
+    "hypercall-emulation",
+    "rollback-unwind",
+    "supervisor-retry-backoff",
+)
 
 # Section -> numeric fields a mercury.soak.v1 document must carry.
 SOAK_SECTIONS = {
@@ -59,6 +76,7 @@ SOAK_SECTIONS = {
     "availability": ("fraction", "interruptions", "downtime_cycles",
                      "span_cycles"),
     "workload": ("ops", "bytes", "corruptions"),
+    "pause": ("intervals", "unattributed", "worst_cycles"),
 }
 
 # Numeric fields of a per-node rollup inside a fleet soak verdict.
@@ -72,6 +90,9 @@ SOAK_NODE_FIELDS = (
     "interruptions",
     "downtime_cycles",
     "span_cycles",
+    "pause_intervals",
+    "pause_unattributed",
+    "pause_worst_cycles",
 )
 
 
@@ -263,6 +284,12 @@ def validate_soak(doc):
                 )
     if not isinstance(doc["supervisor"].get("final_health"), str):
         raise SchemaError("supervisor.final_health is not a string")
+    if not isinstance(doc["pause"].get("worst_cause"), str) or not (
+        doc["pause"]["worst_cause"]
+    ):
+        raise SchemaError(
+            "pause.worst_cause is missing or not a non-empty string"
+        )
     if not isinstance(doc.get("final_mode"), str) or not doc["final_mode"]:
         raise SchemaError("'final_mode' is missing or not a non-empty string")
     if not isinstance(doc.get("converged"), bool):
@@ -289,6 +316,11 @@ def validate_soak(doc):
             f"soak gate: {doc['workload']['corruptions']} workload "
             "corruption(s)"
         )
+    if doc["pause"]["unattributed"] != 0:
+        raise SchemaError(
+            f"soak gate: {doc['pause']['unattributed']} unattributed "
+            "unavailability interval(s) — a pause begin/end pairing bug"
+        )
     if not doc["converged"]:
         raise SchemaError("soak gate: run did not converge")
     if not 0.0 <= doc["availability"]["fraction"] <= 1.0:
@@ -304,7 +336,12 @@ def validate_soak(doc):
             where = f"nodes[{i}]"
             if not isinstance(node, dict):
                 raise SchemaError(f"{where} is not an object")
-            for field in ("name", "final_health", "final_mode"):
+            for field in (
+                "name",
+                "final_health",
+                "final_mode",
+                "pause_worst_cause",
+            ):
                 if not isinstance(node.get(field), str) or not node[field]:
                     raise SchemaError(
                         f"{where} lacks a non-empty string '{field}'"
@@ -319,6 +356,106 @@ def validate_soak(doc):
                 raise SchemaError(
                     f"{where} ('{node['name']}') availability outside [0, 1]"
                 )
+            if node["pause_unattributed"] != 0:
+                raise SchemaError(
+                    f"soak gate: {where} ('{node['name']}') has "
+                    f"{node['pause_unattributed']} unattributed "
+                    "unavailability interval(s)"
+                )
+    return names
+
+
+def validate_pause(doc):
+    """Validate a mercury.pause.v1 unavailability ledger and enforce its
+    gate: zero unattributed intervals (an orphaned begin/end half is a
+    pairing bug in an instrumentation site). Returns the set of cause
+    names. Raises SchemaError on the first violation."""
+    if not isinstance(doc, dict):
+        raise SchemaError("top-level value is not an object")
+    if doc.get("schema") != PAUSE_SCHEMA:
+        raise SchemaError(
+            f"schema is {doc.get('schema')!r}, expected {PAUSE_SCHEMA!r}"
+        )
+    for field in ("intervals", "unattributed"):
+        if not _is_number(doc.get(field)):
+            raise SchemaError(f"'{field}' is missing or not a number")
+
+    worst = doc.get("worst")
+    if not isinstance(worst, dict):
+        raise SchemaError("'worst' is missing or not an object")
+    for field in ("cause", "detail"):
+        if not isinstance(worst.get(field), str):
+            raise SchemaError(f"worst.{field} is missing or not a string")
+    if not worst["cause"]:
+        raise SchemaError("worst.cause is empty ('none' when no intervals)")
+    for field in ("cpu", "begin", "end", "span", "flight_seq"):
+        if not _is_number(worst.get(field)):
+            raise SchemaError(f"worst.{field} is missing or not a number")
+    if worst["end"] < worst["begin"]:
+        raise SchemaError("worst interval ends before it begins")
+    if worst["span"] != worst["end"] - worst["begin"]:
+        raise SchemaError("worst.span does not equal end - begin")
+
+    causes = doc.get("causes")
+    if not isinstance(causes, list) or not causes:
+        raise SchemaError("'causes' is missing or not a non-empty array")
+    names = set()
+    for i, c in enumerate(causes):
+        where = f"causes[{i}]"
+        if not isinstance(c, dict):
+            raise SchemaError(f"{where} is not an object")
+        name = c.get("name")
+        if not isinstance(name, str) or not name:
+            raise SchemaError(f"{where} lacks a non-empty string 'name'")
+        for field in ("count", "total_cycles", "p50", "p99", "max"):
+            if not _is_number(c.get(field)):
+                raise SchemaError(
+                    f"{where} ('{name}') field '{field}' is missing or not "
+                    "a number"
+                )
+        # p50/p99 are log2-bucket upper bounds and the max is exact, so the
+        # bounds are monotone against each other but may exceed the max.
+        if c["p50"] > c["p99"]:
+            raise SchemaError(f"{where} ('{name}'): p50 > p99")
+        if c["count"] == 0 and c["total_cycles"] != 0:
+            raise SchemaError(
+                f"{where} ('{name}'): cycles recorded with zero intervals"
+            )
+        names.add(name)
+    missing = [c for c in PAUSE_CAUSES if c not in names]
+    if missing:
+        raise SchemaError(f"causes absent from ledger: {', '.join(missing)}")
+
+    cpus = doc.get("cpus")
+    if not isinstance(cpus, list):
+        raise SchemaError("'cpus' is missing or not an array")
+    for i, c in enumerate(cpus):
+        if not isinstance(c, dict) or not _is_number(c.get("cpu")) or not (
+            _is_number(c.get("total_cycles"))
+        ):
+            raise SchemaError(f"cpus[{i}] lacks numeric cpu/total_cycles")
+
+    flight = doc.get("flight")
+    if not isinstance(flight, dict):
+        raise SchemaError("'flight' is missing or not an object")
+    events = flight.get("events")
+    if not isinstance(events, list):
+        raise SchemaError("flight.events is missing or not an array")
+    prev_seq = None
+    for i, ev in enumerate(events):
+        validate_flight_event(i, ev)
+        if prev_seq is not None and ev["seq"] <= prev_seq:
+            raise SchemaError(
+                f"flight.events[{i}]: seq {ev['seq']} not strictly increasing"
+            )
+        prev_seq = ev["seq"]
+
+    # The gate: every recorded unavailability interval must carry a cause.
+    if doc["unattributed"] != 0:
+        raise SchemaError(
+            f"pause gate: {doc['unattributed']} unattributed unavailability "
+            "interval(s) — a pause begin/end pairing bug"
+        )
     return names
 
 
@@ -424,7 +561,8 @@ def main():
     ap.add_argument("path", help="JSON artifact to validate")
     ap.add_argument(
         "--schema",
-        choices=("metrics", "postmortem", "soak", "timeseries", "profile"),
+        choices=("metrics", "postmortem", "soak", "timeseries", "profile",
+                 "pause"),
         default="metrics",
         help="document schema to validate against (default: metrics)",
     )
@@ -437,11 +575,22 @@ def main():
     )
     args = ap.parse_args()
 
+    schema_names = {
+        "metrics": METRICS_SCHEMA,
+        "postmortem": POSTMORTEM_SCHEMA,
+        "soak": SOAK_SCHEMA,
+        "timeseries": TIMESERIES_SCHEMA,
+        "profile": PROFILE_SCHEMA,
+        "pause": PAUSE_SCHEMA,
+    }
+    # Every failure is one line carrying (file, schema, reason): a truncated
+    # or non-object artifact must diagnose itself, not raise a traceback.
     try:
         with open(args.path, encoding="utf-8") as f:
             doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        fail(f"cannot parse {args.path}: {e}")
+    except (OSError, ValueError) as e:
+        fail(f"{args.path}: schema {schema_names[args.schema]}: "
+             f"cannot parse: {e}")
 
     validators = {
         "metrics": validate_metrics,
@@ -449,11 +598,12 @@ def main():
         "soak": validate_soak,
         "timeseries": validate_timeseries,
         "profile": validate_profile,
+        "pause": validate_pause,
     }
     try:
         names = validators[args.schema](doc)
     except SchemaError as e:
-        fail(str(e))
+        fail(f"{args.path}: schema {schema_names[args.schema]}: {e}")
 
     missing = [n for n in args.require if n not in names]
     if missing:
@@ -484,6 +634,13 @@ def main():
         print(
             f"check_bench_json: OK: {args.path} — {len(doc['series'])} "
             f"series, {doc['samples']} samples, {doc['dropped']} dropped"
+        )
+    elif args.schema == "pause":
+        worst = doc["worst"]
+        print(
+            f"check_bench_json: OK: {args.path} — pause ledger: "
+            f"{doc['intervals']} intervals, 0 unattributed, worst "
+            f"{worst['span']} cycles ({worst['cause']})"
         )
     else:
         print(

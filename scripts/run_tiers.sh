@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Build and run the Mercury test tiers.
 #
-#   scripts/run_tiers.sh [tier1|tier2|soak|profile|obsoff|asan|ubsan|all]
+#   scripts/run_tiers.sh [tier1|tier2|soak|profile|obsoff|asan|ubsan|tsan|all]
 #
 #   tier1  - the fast regression suite (default; every unit/integration test)
 #   tier2  - the dependability sweeps: fault matrix + seeded switch fuzzer
@@ -18,7 +18,10 @@
 #            must compile away without moving a single simulated cycle
 #   asan   - full suite under AddressSanitizer  (build-asan/)
 #   ubsan  - full suite under UBSanitizer       (build-ubsan/)
-#   all    - tier1, tier2, obsoff, then both sanitizer suites
+#   tsan   - the switch-path tests under ThreadSanitizer (build-tsan/):
+#            rendezvous, crews, engine, supervisor, and the soak — the
+#            code that would race first if a threaded driver ever lands
+#   all    - tier1, tier2, obsoff, then all three sanitizer suites
 #
 # Seeded tests print MERCURY_TEST_SEED=<n> on start; export that variable to
 # replay a failure exactly (see TESTING.md).
@@ -48,11 +51,20 @@ run_label() {
 }
 
 run_sanitizer() {
-  local kind="$1"  # address | undefined
-  local dir=build-ubsan
+  local kind="$1"  # address | undefined | thread
+  local dir="build-${kind}"
   [[ $kind == address ]] && dir=build-asan
+  [[ $kind == undefined ]] && dir=build-ubsan
+  [[ $kind == thread ]] && dir=build-tsan
   configure_and_build "$dir" -DMERCURY_SANITIZE="$kind"
-  ctest --test-dir "$dir" "${CTEST_FLAGS[@]}"
+  if [[ $kind == thread ]]; then
+    # TSan covers the switch path: rendezvous/crew/engine (core_switch),
+    # stress, supervisor, fuzz, and the chaos soak. The rest of the suite is
+    # single-threaded by construction and just slows the job down.
+    ctest --test-dir "$dir" -R 'switch|core_switch' "${CTEST_FLAGS[@]}"
+  else
+    ctest --test-dir "$dir" "${CTEST_FLAGS[@]}"
+  fi
 }
 
 # The obs-off guard: MERC_SPAN/MERC_FLIGHT/metrics must be free when compiled
@@ -118,6 +130,10 @@ run_profile() {
     --timeseries-json "$art/timeseries.json" \
     --profile-json "$art/profile.json"
   python3 scripts/check_bench_json.py "$art/soak.json" --schema soak
+  # The fleet verdict carries nodes[] with per-node pause rollups; the soak
+  # schema gates zero unattributed intervals on every node.
+  python3 scripts/check_bench_json.py "$art/soak.json.fleet.json" \
+    --schema soak
   python3 scripts/check_bench_json.py "$art/timeseries.json" \
     --schema timeseries
   python3 scripts/check_bench_json.py "$art/profile.json" --schema profile
@@ -151,6 +167,9 @@ case "$mode" in
   ubsan)
     run_sanitizer undefined
     ;;
+  tsan)
+    run_sanitizer thread
+    ;;
   all)
     configure_and_build build
     run_label build tier1
@@ -158,9 +177,10 @@ case "$mode" in
     run_obsoff
     run_sanitizer address
     run_sanitizer undefined
+    run_sanitizer thread
     ;;
   *)
-    echo "usage: $0 [tier1|tier2|soak|profile|obsoff|asan|ubsan|all]" >&2
+    echo "usage: $0 [tier1|tier2|soak|profile|obsoff|asan|ubsan|tsan|all]" >&2
     exit 2
     ;;
 esac

@@ -41,6 +41,12 @@ def metrics_doc():
              "value": 359},
             {"name": "bench.modeswitch.warm_reattach_speedup",
              "value": 19.9},
+            {"name": "bench.modeswitch.up.mem_kb=1024."
+                     "rendezvous-parked.pause_p50_us", "value": 1.5},
+            {"name": "bench.modeswitch.up.mem_kb=1024."
+                     "rendezvous-parked.pause_p99_us", "value": 3.2},
+            {"name": "bench.modeswitch.up.mem_kb=1024."
+                     "rendezvous-parked.pause_worst_us", "value": 4.0},
         ],
         "histograms": [
             {"name": "switch.attach.total_cycles", "count": 4, "sum": 400.0,
@@ -114,6 +120,8 @@ def soak_doc():
                          "downtime_cycles": 271820325,
                          "span_cycles": 6444303519},
         "workload": {"ops": 52862, "bytes": 108261376, "corruptions": 0},
+        "pause": {"intervals": 112, "unattributed": 0,
+                  "worst_cycles": 41900, "worst_cause": "rendezvous-parked"},
         "converged": True,
         "final_mode": "native",
         "metrics": metrics_doc(),
@@ -132,8 +140,48 @@ def soak_node():
         "interruptions": 8,
         "downtime_cycles": 1183727,
         "span_cycles": 121216327,
+        "pause_intervals": 14,
+        "pause_unattributed": 0,
+        "pause_worst_cycles": 9000,
+        "pause_worst_cause": "tlb-shootdown",
         "final_health": "healthy",
         "final_mode": "native",
+    }
+
+
+def pause_cause(name, count=0, total=0, p50=0, p99=0, mx=0):
+    return {"name": name, "count": count, "total_cycles": total,
+            "p50": p50, "p99": p99, "max": mx}
+
+
+def pause_doc():
+    return {
+        "schema": "mercury.pause.v1",
+        "intervals": 5,
+        "unattributed": 0,
+        "worst": {"cause": "rendezvous-parked", "cpu": 2, "begin": 3000,
+                  "end": 11000, "span": 8000, "detail": "switch.attach",
+                  "flight_seq": 17},
+        "causes": [
+            pause_cause("rendezvous-parked", 4, 20000, 4095, 8191, 8000),
+            pause_cause("crew-shard-work", 1, 600, 1023, 1023, 600),
+            pause_cause("tlb-shootdown"),
+            pause_cause("hypercall-emulation"),
+            pause_cause("rollback-unwind"),
+            pause_cause("supervisor-retry-backoff"),
+        ],
+        "cpus": [{"cpu": 0, "total_cycles": 3000},
+                 {"cpu": 2, "total_cycles": 17600}],
+        "flight": {
+            "events": [
+                flight_event(16, 2, 3000, "pause.begin",
+                             "rendezvous-parked"),
+                flight_event(17, 2, 11000, "pause.worst",
+                             "rendezvous-parked", (8000, 0, 0)),
+                flight_event(18, 0, 12000, "pause.begin",
+                             "crew-shard-work"),
+            ],
+        },
     }
 
 
@@ -344,6 +392,25 @@ class SoakSchemaTest(unittest.TestCase):
         with self.assertRaisesRegex(cbj.SchemaError, "fraction"):
             cbj.validate_soak(doc)
 
+    def test_gate_unattributed_pause(self):
+        doc = soak_doc()
+        doc["pause"]["unattributed"] = 2
+        with self.assertRaisesRegex(cbj.SchemaError, "unattributed"):
+            cbj.validate_soak(doc)
+
+    def test_missing_pause_section(self):
+        doc = soak_doc()
+        del doc["pause"]
+        with self.assertRaisesRegex(cbj.SchemaError, "pause"):
+            cbj.validate_soak(doc)
+
+    def test_pause_worst_cause_must_be_named(self):
+        # "none" is the no-intervals sentinel; empty is a serializer bug.
+        doc = soak_doc()
+        doc["pause"]["worst_cause"] = ""
+        with self.assertRaisesRegex(cbj.SchemaError, "worst_cause"):
+            cbj.validate_soak(doc)
+
     def test_quarantined_final_health_is_not_gated(self):
         # Clean quarantine converges: degraded-to-native is a pass.
         doc = soak_doc()
@@ -401,6 +468,111 @@ class SoakNodesSectionTest(unittest.TestCase):
         doc["nodes"] = [node]
         with self.assertRaisesRegex(cbj.SchemaError, "availability"):
             cbj.validate_soak(doc)
+
+    def test_node_missing_pause_field(self):
+        doc = soak_doc()
+        node = soak_node()
+        del node["pause_intervals"]
+        doc["nodes"] = [node]
+        with self.assertRaisesRegex(cbj.SchemaError, "pause_intervals"):
+            cbj.validate_soak(doc)
+
+    def test_node_gate_unattributed_pause(self):
+        doc = soak_doc()
+        node = soak_node()
+        node["pause_unattributed"] = 1
+        doc["nodes"] = [node]
+        with self.assertRaisesRegex(cbj.SchemaError, "unattributed"):
+            cbj.validate_soak(doc)
+
+    def test_node_missing_pause_worst_cause(self):
+        doc = soak_doc()
+        node = soak_node()
+        node["pause_worst_cause"] = ""
+        doc["nodes"] = [node]
+        with self.assertRaisesRegex(cbj.SchemaError, "pause_worst_cause"):
+            cbj.validate_soak(doc)
+
+
+class PauseSchemaTest(unittest.TestCase):
+    def test_valid_doc_returns_cause_names(self):
+        names = cbj.validate_pause(pause_doc())
+        self.assertEqual(names, set(cbj.PAUSE_CAUSES))
+
+    def test_wrong_schema_string(self):
+        doc = pause_doc()
+        doc["schema"] = "mercury.pause.v2"
+        with self.assertRaisesRegex(cbj.SchemaError, "schema"):
+            cbj.validate_pause(doc)
+
+    def test_gate_unattributed_intervals(self):
+        doc = pause_doc()
+        doc["unattributed"] = 1
+        with self.assertRaisesRegex(cbj.SchemaError, "pairing bug"):
+            cbj.validate_pause(doc)
+
+    def test_silent_cause_must_still_be_listed(self):
+        # Every cause appears even at zero count; a missing row means the
+        # emitter and the attribution table disagree about the cause set.
+        doc = pause_doc()
+        doc["causes"] = [c for c in doc["causes"]
+                         if c["name"] != "rollback-unwind"]
+        with self.assertRaisesRegex(cbj.SchemaError, "rollback-unwind"):
+            cbj.validate_pause(doc)
+
+    def test_empty_ledger_is_valid(self):
+        # An obs-on run with no pauses: zero counts, worst cause "none".
+        doc = pause_doc()
+        doc["intervals"] = 0
+        doc["worst"] = {"cause": "none", "cpu": 0, "begin": 0, "end": 0,
+                        "span": 0, "detail": "", "flight_seq": 0}
+        doc["causes"] = [pause_cause(n) for n in cbj.PAUSE_CAUSES]
+        doc["cpus"] = []
+        doc["flight"] = {"events": []}
+        cbj.validate_pause(doc)
+
+    def test_worst_span_must_match_bounds(self):
+        doc = pause_doc()
+        doc["worst"]["span"] = 7999
+        with self.assertRaisesRegex(cbj.SchemaError, "span"):
+            cbj.validate_pause(doc)
+
+    def test_worst_inverted_interval_rejected(self):
+        doc = pause_doc()
+        doc["worst"]["end"] = doc["worst"]["begin"] - 1
+        with self.assertRaisesRegex(cbj.SchemaError, "before it begins"):
+            cbj.validate_pause(doc)
+
+    def test_empty_worst_cause_rejected(self):
+        doc = pause_doc()
+        doc["worst"]["cause"] = ""
+        with self.assertRaisesRegex(cbj.SchemaError, "worst.cause"):
+            cbj.validate_pause(doc)
+
+    def test_p50_above_p99_rejected(self):
+        doc = pause_doc()
+        doc["causes"][0]["p50"] = doc["causes"][0]["p99"] + 1
+        with self.assertRaisesRegex(cbj.SchemaError, "p50 > p99"):
+            cbj.validate_pause(doc)
+
+    def test_p99_bucket_bound_may_exceed_exact_max(self):
+        # p50/p99 are log2-bucket upper bounds while max is exact, so
+        # p99 > max is legitimate (8191 > 8000 in the fixture already).
+        doc = pause_doc()
+        self.assertGreater(doc["causes"][0]["p99"], doc["causes"][0]["max"])
+        cbj.validate_pause(doc)
+
+    def test_cycles_without_intervals_rejected(self):
+        doc = pause_doc()
+        doc["causes"][2]["total_cycles"] = 500  # tlb-shootdown has count 0
+        with self.assertRaisesRegex(cbj.SchemaError, "zero intervals"):
+            cbj.validate_pause(doc)
+
+    def test_non_increasing_flight_seq(self):
+        doc = pause_doc()
+        doc["flight"]["events"][2]["seq"] = 17
+        with self.assertRaisesRegex(cbj.SchemaError, "strictly increasing"):
+            cbj.validate_pause(doc)
 
 
 class TimeseriesSchemaTest(unittest.TestCase):
@@ -519,7 +691,8 @@ class BenchCompareTest(unittest.TestCase):
         doc = metrics_doc()
         regressions, rows = bench_compare.compare(doc, doc)
         self.assertEqual(regressions, [])
-        self.assertEqual(len(rows), 6)  # 4 latency gauges + 2 speedups
+        # 4 latency gauges + 2 speedups + 3 pause tails
+        self.assertEqual(len(rows), 9)
 
     def test_latency_regression_detected(self):
         base = metrics_doc()
@@ -623,6 +796,32 @@ class BenchCompareTest(unittest.TestCase):
         base = metrics_doc()
         cur = copy.deepcopy(base)
         cur["gauges"][6]["value"] = 10**6  # dirty_frames exploded
+        regressions, _ = bench_compare.compare(base, cur)
+        self.assertEqual(regressions, [])
+
+    def test_pause_tail_regression_detected(self):
+        base = metrics_doc()
+        cur = copy.deepcopy(base)
+        cur["gauges"][9]["value"] = 3.2 * 2.0  # pause p99 doubled
+        regressions, _ = bench_compare.compare(base, cur, tolerance=0.10)
+        self.assertEqual(len(regressions), 1)
+        self.assertIn("pause_p99_us", regressions[0])
+
+    def test_missing_pause_gauge_is_a_regression(self):
+        base = metrics_doc()
+        cur = copy.deepcopy(base)
+        del cur["gauges"][10]  # drop the pause_worst_us cell
+        regressions, _ = bench_compare.compare(base, cur)
+        self.assertEqual(len(regressions), 1)
+        self.assertIn("missing", regressions[0])
+        self.assertIn("pause_worst_us", regressions[0])
+
+    def test_zero_pause_baseline_stays_ok(self):
+        # Silent causes emit 0.0 in every cell; the absolute jitter floor
+        # must keep 0-vs-0 from tripping the multiplicative gate.
+        base = metrics_doc()
+        base["gauges"][8]["value"] = 0.0
+        cur = copy.deepcopy(base)
         regressions, _ = bench_compare.compare(base, cur)
         self.assertEqual(regressions, [])
 
@@ -775,6 +974,44 @@ class TimeseriesProfileRenderTest(unittest.TestCase):
         text = blackbox_report.render_profile(doc)
         self.assertIn("(no buckets recorded)", text)
         self.assertIn("disabled", text)
+
+
+class PauseRenderTest(unittest.TestCase):
+    def test_renders_attribution_table(self):
+        text = blackbox_report.render_pause(pause_doc())
+        self.assertIn("Mercury pause observatory", text)
+        self.assertIn("5 recorded, 0 unattributed", text)
+        self.assertIn("attribution by cause", text)
+        self.assertIn("rendezvous-parked", text)
+        self.assertIn("supervisor-retry-backoff", text)  # silent cause too
+        self.assertIn("per-CPU unavailability", text)
+
+    def test_tail_cut_around_worst_interval(self):
+        # worst.flight_seq 17 is in the ring: the tail must end there, not
+        # at the newest event (seq 18).
+        text = blackbox_report.render_pause(pause_doc())
+        self.assertIn("up to the worst interval (seq 17)", text)
+        # Seq 18 (the crew-shard-work begin) is newer than the worst
+        # interval, so it must not be in the tail; the cause name then
+        # appears exactly once — in the attribution table.
+        self.assertEqual(text.count("crew-shard-work"), 1)
+
+    def test_tail_falls_back_when_worst_rotated_out(self):
+        doc = pause_doc()
+        doc["worst"]["flight_seq"] = 3  # no longer in the ring
+        text = blackbox_report.render_pause(doc)
+        self.assertIn("last 3 flight events", text)
+
+    def test_renders_empty_ledger(self):
+        doc = pause_doc()
+        doc["intervals"] = 0
+        doc["worst"] = {"cause": "none", "cpu": 0, "begin": 0, "end": 0,
+                        "span": 0, "detail": "", "flight_seq": 0}
+        doc["causes"] = [pause_cause(n) for n in cbj.PAUSE_CAUSES]
+        doc["cpus"] = []
+        doc["flight"] = {"events": []}
+        text = blackbox_report.render_pause(doc)
+        self.assertIn("(no intervals recorded)", text)
 
 
 if __name__ == "__main__":

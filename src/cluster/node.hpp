@@ -7,6 +7,7 @@
 #include "core/mercury.hpp"
 #include "hw/machine.hpp"
 #include "obs/metrics.hpp"
+#include "obs/pause_ledger.hpp"
 #include "obs/profiler.hpp"
 
 namespace mercury::cluster {
@@ -50,6 +51,12 @@ class Node {
   /// (created lazily; stable for the node's lifetime).
   obs::ProfBucket* prof_bucket();
 
+  /// This node's unavailability ledger. Fabric::step_node installs it as
+  /// the ambient pause ledger while this node runs, so fleet soaks get
+  /// per-node pause attribution instead of one blended ledger.
+  obs::PauseLedger& pauses() { return pauses_; }
+  const obs::PauseLedger& pauses() const { return pauses_; }
+
   // --- failure state ---
   bool failed() const { return failed_; }
   void fail() { failed_ = true; }
@@ -64,6 +71,7 @@ class Node {
   std::uint32_t trace_node_ = 0;
   obs::ScopedMetrics metrics_;
   obs::ProfBucket* prof_bucket_ = nullptr;
+  obs::PauseLedger pauses_;
   bool failed_ = false;
 };
 

@@ -46,6 +46,10 @@ std::string soak_report_json(const SoakReport& r) {
   os << "  \"workload\": {\"ops\": " << r.workload_ops
      << ", \"bytes\": " << r.workload_bytes
      << ", \"corruptions\": " << r.workload_corruptions << "},\n";
+  os << "  \"pause\": {\"intervals\": " << r.pause_intervals
+     << ", \"unattributed\": " << r.pause_unattributed
+     << ", \"worst_cycles\": " << r.pause_worst_cycles
+     << ", \"worst_cause\": \"" << r.pause_worst_cause << "\"},\n";
   os << "  \"converged\": " << (r.converged ? "true" : "false") << ",\n";
   os << "  \"final_mode\": \"" << r.final_mode << "\",\n";
   if (!r.nodes.empty()) {
@@ -61,7 +65,11 @@ std::string soak_report_json(const SoakReport& r) {
          << ", \"interruptions\": " << n.interruptions
          << ", \"downtime_cycles\": " << n.downtime_cycles
          << ", \"span_cycles\": " << n.span_cycles
-         << ", \"final_health\": \"" << n.final_health
+         << ", \"pause_intervals\": " << n.pause_intervals
+         << ", \"pause_unattributed\": " << n.pause_unattributed
+         << ", \"pause_worst_cycles\": " << n.pause_worst_cycles
+         << ", \"pause_worst_cause\": \"" << n.pause_worst_cause
+         << "\", \"final_health\": \"" << n.final_health
          << "\", \"final_mode\": \"" << n.final_mode << "\"}";
     }
     os << "\n  ],\n";
@@ -227,6 +235,15 @@ SoakReport SoakDriver::report(std::uint64_t seed) const {
   r.workload_bytes = workload_bytes_;
   r.workload_corruptions = workload_corruptions_;
 
+  // Single-machine soaks record into the ambient (usually process-global)
+  // ledger; obs-off builds report zeros, which the gate accepts.
+  const obs::PauseLedger& pl = obs::pause_ledger();
+  r.pause_intervals = pl.intervals();
+  r.pause_unattributed = pl.unattributed();
+  const obs::PauseWorst& pw = pl.worst();
+  r.pause_worst_cycles = pw.valid ? pw.span() : 0;
+  r.pause_worst_cause = pw.valid ? obs::pause_cause_name(pw.cause) : "none";
+
   r.converged = done() && r.unresolved == 0 && !tracker_.is_down();
   r.final_mode = core::exec_mode_name(sup_.engine().mode());
   return r;
@@ -283,6 +300,13 @@ ClusterSoak::ClusterSoak(ClusterSoakParams p)
     sampler_.add_series("exec.mode", label, [rt] {
       return static_cast<double>(rt->supervisor->engine().mode());
     });
+    sampler_.add_series("pause.intervals", label, [rt] {
+      return static_cast<double>(rt->node->pauses().intervals());
+    });
+    sampler_.add_series("pause.worst_cycles", label, [rt] {
+      const obs::PauseWorst& w = rt->node->pauses().worst();
+      return w.valid ? static_cast<double>(w.span()) : 0.0;
+    });
   }
   sampler_.add_series("fleet.committed", "", [this] {
     double sum = 0.0;
@@ -301,6 +325,14 @@ ClusterSoak::ClusterSoak(ClusterSoakParams p)
     for (const auto& rt : nodes_)
       sum += static_cast<double>(rt->supervisor->stats().quarantines);
     return sum;
+  });
+  sampler_.add_series("fleet.pause_worst_cycles", "", [this] {
+    double worst = 0.0;
+    for (const auto& rt : nodes_) {
+      const obs::PauseWorst& w = rt->node->pauses().worst();
+      if (w.valid) worst = std::max(worst, static_cast<double>(w.span()));
+    }
+    return worst;
   });
 }
 
@@ -383,6 +415,9 @@ void ClusterSoak::run_wave() {
     obs::TraceSpan msg(rt->node->machine().cpu(0), obs::TraceCat::kCluster,
                        "fabric.msg.switch");
 #endif
+    // submit can resolve synchronously (quarantine fast-fail) and a retry
+    // can arm its backoff here — keep those pauses on this node's ledger.
+    obs::PauseLedgerScope pause_scope(rt->node->pauses());
     rt->supervisor->submit(target, {},
                            [this, rt](const core::SupervisedRequest& r) {
                              on_resolved(*rt, r);
@@ -423,6 +458,9 @@ void ClusterSoak::dwell() {
   for (auto& rt : nodes_) {
     if (rt->node->failed()) continue;
     kernel::Kernel& k = rt->node->active();
+    // The dwell steps this kernel directly (not via step_node), so scope
+    // the node's ledger here too: supervisor backoff timers fire mid-dwell.
+    obs::PauseLedgerScope pause_scope(rt->node->pauses());
     // shared_ptr, not a stack flag: if the budget trips first, the queued
     // timer outlives this frame.
     auto fired = std::make_shared<bool>(false);
@@ -473,6 +511,13 @@ SoakReport ClusterSoak::report() const {
     ns.interruptions = rt.tracker.interruptions().size();
     ns.downtime_cycles = rt.tracker.total_downtime();
     ns.span_cycles = rt.tracker.observation_span();
+    const obs::PauseLedger& pl = rt.node->pauses();
+    ns.pause_intervals = pl.intervals();
+    ns.pause_unattributed = pl.unattributed();
+    const obs::PauseWorst& pw = pl.worst();
+    ns.pause_worst_cycles = pw.valid ? pw.span() : 0;
+    ns.pause_worst_cause =
+        pw.valid ? obs::pause_cause_name(pw.cause) : "none";
     ns.final_health = core::supervisor_health_name(rt.supervisor->health());
     ns.final_mode =
         core::exec_mode_name(rt.supervisor->engine().mode());
@@ -502,6 +547,12 @@ SoakReport ClusterSoak::report() const {
                                  rt.tracker.observation_span()));
     if (rt.supervisor->health() != core::SupervisorHealth::kHealthy)
       worst_health = core::supervisor_health_name(rt.supervisor->health());
+    r.pause_intervals += ns.pause_intervals;
+    r.pause_unattributed += ns.pause_unattributed;
+    if (ns.pause_worst_cycles > r.pause_worst_cycles) {
+      r.pause_worst_cycles = ns.pause_worst_cycles;
+      r.pause_worst_cause = ns.pause_worst_cause;
+    }
     r.nodes.push_back(std::move(ns));
   }
   r.availability = nodes_.empty() ? 1.0 : avail_sum / nodes_.size();

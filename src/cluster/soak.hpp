@@ -38,6 +38,13 @@ struct NodeSoakStats {
   std::uint64_t interruptions = 0;
   std::uint64_t downtime_cycles = 0;
   std::uint64_t span_cycles = 0;
+  // Pause-observatory rollup (this node's ledger; see obs/pause_ledger.hpp).
+  // `pause_unattributed` must be 0 — an orphaned begin/end half is a
+  // pairing bug, and the soak gate fails on it.
+  std::uint64_t pause_intervals = 0;
+  std::uint64_t pause_unattributed = 0;
+  std::uint64_t pause_worst_cycles = 0;
+  std::string pause_worst_cause = "none";
   std::string final_health = "healthy";
   std::string final_mode = "native";
 };
@@ -92,6 +99,13 @@ struct SoakReport {
   std::uint64_t workload_ops = 0;
   std::uint64_t workload_bytes = 0;
   std::uint64_t workload_corruptions = 0;  // must be 0
+
+  // Run-wide pause rollup: the ambient ledger for single-machine soaks, the
+  // per-node ledgers merged for fleet soaks. `pause_unattributed` must be 0.
+  std::uint64_t pause_intervals = 0;
+  std::uint64_t pause_unattributed = 0;
+  std::uint64_t pause_worst_cycles = 0;
+  std::string pause_worst_cause = "none";
 
   bool converged = false;  // every request terminal, service back up
   std::string final_mode = "native";

@@ -116,6 +116,12 @@ void Rendezvous::park() {
   // crew phase instead of the barrier.
   cp_.advance_to(all_parked);
   park_cycles_ = all_parked - stats_.entry_time;
+  // Each CPU's unavailability window opens at its own parked clock (the CP
+  // included — while coordinating it is just as lost to guest work). Plain
+  // stores, identical obs-on and obs-off.
+  parked_at_.resize(machine_.num_cpus());
+  for (std::size_t i = 0; i < machine_.num_cpus(); ++i)
+    parked_at_[i] = machine_.cpu(i).now();
   parked_ = true;
   MERC_FLIGHT(cp_, kPhaseEnd, "rendezvous.park", machine_.num_cpus(),
               park_cycles_);
@@ -127,6 +133,12 @@ RendezvousStats Rendezvous::release() {
   hw::Machine& m = machine_;
   if (m.num_cpus() == 1) {
     stats_.completion_time = cp_.now();
+    // The sole CPU's unavailability is the whole park-to-release window
+    // (it is the CP and the worker at once). Plain arithmetic, both builds.
+    stats_.max_pause_cycles = stats_.completion_time - parked_at_[cp_.id()];
+    MERC_PAUSE(kRendezvousParked, static_cast<std::uint32_t>(cp_.id()),
+               parked_at_[cp_.id()], stats_.completion_time,
+               "rendezvous.release");
     return stats_;
   }
 
@@ -154,6 +166,18 @@ RendezvousStats Rendezvous::release() {
   for (std::size_t i = 0; i < m.num_cpus(); ++i)
     m.cpu(i).advance_to(released_at);
   stats_.completion_time = released_at;
+
+  // Per-CPU unavailability: parked clock to barrier exit. The max is kept
+  // unconditionally (plain arithmetic — the obs-off build computes the same
+  // value, which the cycle-identity probe prints); the per-interval ledger
+  // records are obs-gated. Crew shard windows nest inside these by design.
+  stats_.max_pause_cycles = 0;
+  for (std::size_t i = 0; i < m.num_cpus(); ++i) {
+    const hw::Cycles paused = released_at - parked_at_[i];
+    stats_.max_pause_cycles = std::max(stats_.max_pause_cycles, paused);
+    MERC_PAUSE(kRendezvousParked, static_cast<std::uint32_t>(i),
+               parked_at_[i], released_at, "rendezvous.release");
+  }
 
   MERC_COUNT("rendezvous.runs");
   MERC_GAUGE_SET("rendezvous.cpus", stats_.cpus);

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "hw/machine.hpp"
 
@@ -30,6 +31,11 @@ struct RendezvousStats {
   std::size_t cpus = 0;
   hw::Cycles entry_time = 0;       // CP clock when the rendezvous began
   hw::Cycles completion_time = 0;  // all CPUs parked & released
+  /// Longest per-CPU unavailability window in this episode: release time
+  /// minus the earliest parked clock. Computed with plain arithmetic on
+  /// both obs-on and obs-off builds (the cycle-identity probe prints it),
+  /// so the pause ledger merely *observes* it.
+  hw::Cycles max_pause_cycles = 0;
   hw::Cycles latency() const { return completion_time - entry_time; }
 };
 
@@ -76,6 +82,9 @@ class Rendezvous {
   bool released_ = false;
   hw::Cycles park_cycles_ = 0;
   hw::Cycles release_cycles_ = 0;
+  /// Per-CPU clock at the moment it parked: the begin of each CPU's
+  /// unavailability window (sized/filled by park()).
+  std::vector<hw::Cycles> parked_at_;
 };
 
 }  // namespace mercury::core

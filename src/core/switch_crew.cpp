@@ -104,6 +104,10 @@ CrewPhaseStats SwitchCrew::run_phase(const char* name, std::size_t items,
     // One grab event per shard on the *worker's* ring: the black box keeps
     // who ran which range and for how long.
     MERC_FLIGHT(worker, kCrewGrab, name, begin, end, ran);
+    // The shard window is unavailability with a finer-grained cause than
+    // the enclosing rendezvous-parked interval it nests inside.
+    MERC_PAUSE(kCrewShardWork, static_cast<std::uint32_t>(worker.id()), t0,
+               worker.now(), name);
 #endif
     begin = end;
   }

@@ -90,6 +90,7 @@ SwitchEngine::SwitchEngine(kernel::Kernel& k, vmm::Hypervisor& hv,
   slo_.set_budget("switch.rendezvous_cycles", config_.slo.rendezvous);
   slo_.set_budget("switch.transfer_cycles", config_.slo.transfer);
   slo_.set_budget("switch.fixup_cycles", config_.slo.fixup);
+  slo_.set_budget("switch.max_pause_cycles", config_.slo.max_pause);
   register_obs_instruments();
 }
 
@@ -128,6 +129,8 @@ void SwitchEngine::register_obs_instruments() {
          [](const SwitchStats& s) { return s.last_detach_cycles; });
   expose("switch.last_rendezvous_cycles",
          [](const SwitchStats& s) { return s.last_rendezvous_cycles; });
+  expose("switch.last_max_pause_cycles",
+         [](const SwitchStats& s) { return s.last_max_pause_cycles; });
   expose("switch.last_defer_wait_cycles",
          [](const SwitchStats& s) { return s.last_defer_wait_cycles; });
   expose("switch.attach.warm_attaches",
@@ -295,6 +298,7 @@ void SwitchEngine::commit(hw::Cpu& cpu, ExecMode target) {
           Rendezvous::run(kernel_.machine(), cpu, config_.rendezvous);
       stats_.last_rendezvous_cycles = rv.latency();
       rendezvous_cycles = rv.latency();
+      stats_.last_max_pause_cycles = rv.max_pause_cycles;
 
       // Transitions through intermediate modes: native <-> partial <-> full.
       if (mode_ == ExecMode::kNative) {
@@ -331,9 +335,10 @@ void SwitchEngine::commit(hw::Cpu& cpu, ExecMode target) {
         if (rv.parked()) rv.release();
         throw;
       }
-      rv.release();
+      const RendezvousStats rvs = rv.release();
       stats_.last_rendezvous_cycles = rv.coordination_cycles();
       rendezvous_cycles = rv.coordination_cycles();
+      stats_.last_max_pause_cycles = rvs.max_pause_cycles;
       MERC_GAUGE_SET("switch.crew.workers", crew.workers());
       MERC_GAUGE_SET("switch.crew.utilization", crew.utilization());
     }
@@ -442,6 +447,11 @@ void SwitchEngine::observe_slo(hw::Cpu& cpu, bool attach, hw::Cycles total,
                tr.page_info_cycles + tr.protection_cycles + tr.binding_cycles,
                cpu.id(), cpu.now());
   slo_.observe("switch.fixup_cycles", tr.fixup_cycles, cpu.id(), cpu.now());
+  // The per-CPU unavailability budget: the serial path measures the whole
+  // park-to-release window, the crew path the same window including shard
+  // work. Breach evidence lands in the flight ring like every other phase.
+  slo_.observe("switch.max_pause_cycles", stats_.last_max_pause_cycles,
+               cpu.id(), cpu.now());
 }
 
 void SwitchEngine::dump_rollback_postmortem(ExecMode from, ExecMode target,
@@ -470,6 +480,17 @@ void SwitchEngine::dump_rollback_postmortem(ExecMode from, ExecMode target,
   ctx.extra.emplace_back("switch.rollbacks", stats_.rollbacks);
   ctx.extra.emplace_back("switch.deferrals", stats_.deferrals);
   ctx.extra.emplace_back("fault.injected_total", fault_injector().injected());
+  ctx.extra.emplace_back("pause.last_max_cycles",
+                         stats_.last_max_pause_cycles);
+#if MERCURY_OBS_ENABLED
+  {
+    const obs::PauseLedger& pl = obs::pause_ledger();
+    ctx.extra.emplace_back("pause.intervals", pl.intervals());
+    ctx.extra.emplace_back("pause.unattributed", pl.unattributed());
+    ctx.extra.emplace_back("pause.worst_cycles",
+                           pl.worst().valid ? pl.worst().span() : 0);
+  }
+#endif
   obs::write_postmortem(ctx);
 }
 
@@ -844,6 +865,7 @@ void SwitchEngine::rollback(hw::Cpu& cpu, ExecMode from, ExecMode target,
                             const FaultInjected& fault) {
   ++stats_.rollbacks;
   MERC_COUNT("switch.rollbacks");
+  [[maybe_unused]] const hw::Cycles unwind_begin = cpu.now();
   MERC_SPAN(cpu, kFault, "switch.rollback");
   MERC_PROF_SCOPE("switch.rollback", &cpu);
   MERC_FLIGHT(cpu, kSwitchRollback, "switch.rollback",
@@ -931,6 +953,11 @@ void SwitchEngine::rollback(hw::Cpu& cpu, ExecMode from, ExecMode target,
     // partial <-> full re-role: the only reachable site (the rendezvous)
     // precedes any mutation — nothing to unwind.
   }
+  // The whole unwind runs serially on the CP with the machine unavailable
+  // to guest work; ledger it under its own cause so rollback storms show up
+  // in the tail, not just the mean.
+  MERC_PAUSE(kRollbackUnwind, static_cast<std::uint32_t>(cpu.id()),
+             unwind_begin, cpu.now(), fault_site_name(fault.site));
 }
 
 bool SwitchEngine::switch_now(ExecMode target, hw::Cycles budget) {

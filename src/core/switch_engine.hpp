@@ -67,6 +67,10 @@ struct SwitchSloBudgets {
   hw::Cycles rendezvous = 0;  // §5.4 barrier, either direction
   hw::Cycles transfer = 0;    // bulk state-transfer phases, either direction
   hw::Cycles fixup = 0;       // eager selector fixup, either direction
+  /// Worst per-CPU unavailability window of one commit (rendezvous park to
+  /// release, the pause ledger's headline number). The budget ROADMAP
+  /// item 5's deadline-aware switch mode will enforce.
+  hw::Cycles max_pause = 0;
 };
 
 struct SwitchConfig {
@@ -124,6 +128,10 @@ struct SwitchStats {
   hw::Cycles last_attach_cycles = 0;
   hw::Cycles last_detach_cycles = 0;
   hw::Cycles last_rendezvous_cycles = 0;
+  /// Longest per-CPU unavailability window of the last commit. Computed
+  /// with plain arithmetic in Rendezvous::release() on obs-on and obs-off
+  /// builds alike (the cycle-identity probe prints it).
+  hw::Cycles last_max_pause_cycles = 0;
   hw::Cycles last_defer_wait_cycles = 0;  // request -> commit-start (§5.1.1)
   TransferStats last_transfer{};
 };

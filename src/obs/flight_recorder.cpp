@@ -28,6 +28,7 @@ const char* flight_type_name(FlightType t) {
     case FlightType::kSupervisorBackoff: return "supervisor.backoff";
     case FlightType::kSupervisorResolve: return "supervisor.resolve";
     case FlightType::kHealthTransition: return "supervisor.health";
+    case FlightType::kPauseWorst: return "pause.worst";
   }
   return "?";
 }

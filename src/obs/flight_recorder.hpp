@@ -45,6 +45,7 @@ enum class FlightType : std::uint8_t {
   kSupervisorBackoff, // arg0 = request id, arg1 = attempt #, arg2 = delay cy
   kSupervisorResolve, // arg0 = request id, arg1 = terminal state, arg2 = attempts
   kHealthTransition,  // arg0 = from health, arg1 = to health, arg2 = fail streak
+  kPauseWorst,        // arg0 = pause cause, arg1 = begin cycle, arg2 = span
 };
 
 const char* flight_type_name(FlightType t);
@@ -87,6 +88,10 @@ class FlightRecorder {
 
   std::uint64_t recorded() const { return recorded_; }
   std::uint64_t dropped() const { return dropped_; }
+  /// The seq the *next* record() will stamp. Monotonic across clear(), so
+  /// a caller can capture it just before emitting an event it wants to
+  /// cross-reference (the pause ledger's worst-case tracker does).
+  std::uint64_t next_seq() const { return next_seq_; }
   void clear();
 
  private:

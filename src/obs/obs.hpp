@@ -18,6 +18,7 @@
 
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/pause_ledger.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
@@ -151,6 +152,24 @@ class ProfScope {
       (cpu_).id(), ::mercury::obs::FlightType::type_, name_,             \
       (cpu_).now() __VA_OPT__(, ) __VA_ARGS__)
 
+/// Record one closed per-CPU unavailability interval on the ambient pause
+/// ledger: MERC_PAUSE(kRendezvousParked, cpu_id, begin, end, "site").
+/// cause_ is a bare PauseCause enumerator; cycles are simulated clocks the
+/// site already computed — the ledger never charges simulated time.
+#define MERC_PAUSE(cause_, cpu_id_, begin_, end_, detail_)               \
+  ::mercury::obs::pause_ledger().record(                                 \
+      ::mercury::obs::PauseCause::cause_, (cpu_id_), (begin_), (end_),   \
+      (detail_))
+
+/// Open / close an unavailability interval across separated call sites
+/// (hypercall enter/exit). Unpaired halves count as unattributed, which
+/// the soak gate holds at zero.
+#define MERC_PAUSE_BEGIN(cause_, cpu_id_, begin_, detail_)               \
+  ::mercury::obs::pause_ledger().begin_interval(                         \
+      ::mercury::obs::PauseCause::cause_, (cpu_id_), (begin_), (detail_))
+#define MERC_PAUSE_END(cpu_id_, end_)                                    \
+  ::mercury::obs::pause_ledger().end_interval((cpu_id_), (end_))
+
 /// Engine-profiler scope: charge the named bucket with wall-clock ns and
 /// simulated cycles spent in the rest of the block. cpu_ptr_ may be null
 /// (wall-clock only). The bucket lookup runs once per call site.
@@ -170,6 +189,9 @@ class ProfScope {
 #define MERC_SPAN(cpu_, cat_, name_) ((void)0)
 #define MERC_INSTANT(cpu_, cat_, name_) ((void)0)
 #define MERC_FLIGHT(...) ((void)0)
+#define MERC_PAUSE(cause_, cpu_id_, begin_, end_, detail_) ((void)0)
+#define MERC_PAUSE_BEGIN(cause_, cpu_id_, begin_, detail_) ((void)0)
+#define MERC_PAUSE_END(cpu_id_, end_) ((void)0)
 #define MERC_PROF_SCOPE(name_, cpu_ptr_) ((void)0)
 
 #endif  // MERCURY_OBS_ENABLED

@@ -3,6 +3,10 @@
 #include <cstdio>
 #include <cstdlib>
 
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
@@ -65,6 +69,23 @@ std::string postmortem_dir() {
       env != nullptr && env[0] != '\0')
     return env;
   return ".";
+}
+
+void default_postmortem_dir_beside_binary() {
+  if (!dir_storage().empty()) return;
+  if (const char* env = std::getenv("MERCURY_POSTMORTEM_DIR");
+      env != nullptr && env[0] != '\0')
+    return;
+#if defined(__linux__)
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) return;
+  buf[n] = '\0';
+  const std::string path(buf);
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos || slash == 0) return;
+  dir_storage() = path.substr(0, slash);
+#endif
 }
 
 std::string last_postmortem_path() { return last_path_storage(); }

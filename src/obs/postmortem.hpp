@@ -54,6 +54,12 @@ struct PostmortemContext {
 void set_postmortem_dir(const std::string& dir);
 std::string postmortem_dir();
 
+/// If neither set_postmortem_dir nor $MERCURY_POSTMORTEM_DIR is in effect,
+/// point bundles at the directory containing the running binary (the build
+/// tree for tests/benches) instead of the working directory, so ad-hoc runs
+/// from the repo root stop littering it with slot files. No-op off Linux.
+void default_postmortem_dir_beside_binary();
+
 /// Serialize `ctx` (+ flight tail, + metrics snapshot) and write it to the
 /// next slot file. Returns the path written, or "" on I/O failure. At most
 /// `flight_tail` events are embedded.

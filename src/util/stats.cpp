@@ -23,6 +23,24 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. pairwise combine: exact for mean/M2 up to rounding.
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  n_ += other.n_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
 void RunningStats::reset() { *this = RunningStats{}; }
 
 namespace {
@@ -53,6 +71,11 @@ std::uint64_t Histogram::quantile(double q) const {
     if (seen >= target) return b == 0 ? 0 : (1ull << b) - 1;
   }
   return (1ull << (kBuckets - 1)) - 1;  // unreachable: seen reaches total_
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (int b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  total_ += other.total_;
 }
 
 std::string Histogram::summary() const {

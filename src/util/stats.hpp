@@ -19,6 +19,9 @@ class RunningStats {
   double min() const { return n_ ? min_ : 0.0; }
   double max() const { return n_ ? max_ : 0.0; }
   double sum() const { return sum_; }
+  /// Fold another accumulator in (parallel Welford combine); equivalent to
+  /// having add()ed every sample of `other` here.
+  void merge(const RunningStats& other);
   void reset();
 
  private:
@@ -39,6 +42,8 @@ class Histogram {
   /// [0, 1]: q<=0 -> smallest recorded bucket, q>=1 -> largest recorded
   /// bucket. An empty histogram returns 0 for every q.
   std::uint64_t quantile(double q) const;
+  /// Bucket-wise sum with `other`, as if its samples were add()ed here.
+  void merge(const Histogram& other);
   std::string summary() const;
 
  private:

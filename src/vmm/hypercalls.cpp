@@ -15,6 +15,12 @@ using kernel::Kernel;
 void Hypervisor::hypercall_enter(hw::Cpu& cpu) {
   MERC_CHECK_MSG(state_ == State::kActive, "hypercall into inactive VMM");
   ++stats_.hypercalls;
+  // The guest is unavailable from the ring crossing until hypercall_exit
+  // returns it to ring 1; the open interval is closed there. The enter/exit
+  // pairing is per-CPU, and an unpaired half counts as unattributed (gated
+  // to zero in soak).
+  MERC_PAUSE_BEGIN(kHypercallEmulation, static_cast<std::uint32_t>(cpu.id()),
+                   cpu.now(), "vmm.hypercall");
   cpu.charge(pv::costs::kHypercallEntry);
   cpu.set_cpl(hw::Ring::kRing0);
 }
@@ -23,6 +29,7 @@ void Hypervisor::hypercall_exit(hw::Cpu& cpu) {
   cpu.charge(pv::costs::kHypercallExit);
   // Return to the guest kernel's ring (hypercalls come from kernel mode).
   cpu.set_cpl(hw::Ring::kRing1);
+  MERC_PAUSE_END(static_cast<std::uint32_t>(cpu.id()), cpu.now());
 }
 
 void Hypervisor::hc_mmu_update(hw::Cpu& cpu, DomainId dom,
@@ -56,6 +63,10 @@ void Hypervisor::hc_pte_write_emulate(hw::Cpu& cpu, DomainId dom,
   ++stats_.hypercalls;
   ++stats_.emulated_pte_writes;
   MERC_COUNT("vmm.hypercall.pte_write_emulate");
+  // This path skips hypercall_enter/exit (it is a trap, not a call), so it
+  // opens and closes its own unavailability interval.
+  MERC_PAUSE_BEGIN(kHypercallEmulation, static_cast<std::uint32_t>(cpu.id()),
+                   cpu.now(), "vmm.pte_write_emulate");
   cpu.charge(hw::costs::kTrapEntry + pv::costs::kVmmTrapDispatch +
              pv::costs::kPteEmulateDecode);
   cpu.set_cpl(hw::Ring::kRing0);
@@ -73,6 +84,7 @@ void Hypervisor::hc_pte_write_emulate(hw::Cpu& cpu, DomainId dom,
   }
   cpu.charge(hw::costs::kTrapReturn + pv::costs::kPteEmulateReturn);
   cpu.set_cpl(hw::Ring::kRing1);
+  MERC_PAUSE_END(static_cast<std::uint32_t>(cpu.id()), cpu.now());
 }
 
 void Hypervisor::hc_pin_table(hw::Cpu& cpu, DomainId dom, hw::Pfn table,

@@ -484,8 +484,14 @@ void Hypervisor::set_frame_writable_batched(hw::Cpu& cpu, Kernel& k,
 }
 
 void Hypervisor::tlb_shootdown_all(hw::Cpu& cpu) {
+  [[maybe_unused]] const hw::Cycles begin = cpu.now();
   cpu.charge(pv::costs::kTlbBatchShootdown);
   MERC_COUNT("vmm.tlb_batch_shootdowns");
+  // The batch boundary stalls the issuing CPU for the whole shootdown
+  // window (the remote flushes are free on this model — their cost is
+  // folded into the batch charge), so the pause lands on the issuer.
+  MERC_PAUSE(kTlbShootdown, static_cast<std::uint32_t>(cpu.id()), begin,
+             cpu.now(), "vmm.tlb_shootdown_all");
   for (std::size_t c = 0; c < machine_.num_cpus(); ++c)
     machine_.cpu(c).tlb().flush_all();
 }

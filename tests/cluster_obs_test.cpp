@@ -156,13 +156,23 @@ TEST(ClusterObs, FleetReportCarriesPerNodeSections) {
     EXPECT_LE(n.availability, 1.0);
     EXPECT_GT(n.span_cycles, 0u);
     committed += n.committed;
+    // Per-node pause rollups: every interval attributed, and a node that
+    // recorded intervals names its worst cause.
+    EXPECT_EQ(n.pause_unattributed, 0u) << n.name;
+    EXPECT_FALSE(n.pause_worst_cause.empty()) << n.name;
+#if MERCURY_OBS_ENABLED
+    EXPECT_GT(n.pause_intervals, 0u) << n.name;
+    EXPECT_NE(n.pause_worst_cause, "none") << n.name;
+#endif
   }
   EXPECT_EQ(names.size(), p.nodes);  // distinct node names
   EXPECT_EQ(committed, r.committed);
+  EXPECT_EQ(r.pause_unattributed, 0u);  // fleet rollup of the node gates
 
   const std::string json = cluster::soak_report_json(r);
   EXPECT_TRUE(JsonChecker(json).ok()) << json.substr(0, 400);
   EXPECT_NE(json.find("\"nodes\""), std::string::npos);
+  EXPECT_NE(json.find("\"pause_worst_cause\""), std::string::npos);
 }
 
 }  // namespace

@@ -613,6 +613,11 @@ TEST(SwitchEngine, CycleIdentityProbe) {
     ASSERT_GT(st.last_detach_cycles, 0u);
     std::printf("CYCLE_IDENTITY up attach=%" PRIu64 " detach=%" PRIu64 "\n",
                 st.last_attach_cycles, st.last_detach_cycles);
+    // The pause ledger's rendezvous bookkeeping (parked_at_, max_pause) is
+    // computed unconditionally; only the ledger record itself is obs-gated,
+    // so the max-pause figure must also be build-flavour-invariant.
+    std::printf("CYCLE_IDENTITY up.pause max=%" PRIu64 "\n",
+                st.last_max_pause_cycles);
   }
   {
     MercuryConfig cfg;
@@ -624,6 +629,9 @@ TEST(SwitchEngine, CycleIdentityProbe) {
     const core::SwitchStats& st = m.engine().stats();
     std::printf("CYCLE_IDENTITY smp attach=%" PRIu64 " detach=%" PRIu64 "\n",
                 st.last_attach_cycles, st.last_detach_cycles);
+    ASSERT_GT(st.last_max_pause_cycles, 0u);
+    std::printf("CYCLE_IDENTITY smp.pause max=%" PRIu64 "\n",
+                st.last_max_pause_cycles);
   }
   {
     // Supervised round trip: the supervisor's bookkeeping (hooks, request

@@ -8,11 +8,13 @@
 
 #include "hw/machine.hpp"
 #include "obs/obs.hpp"
+#include "obs/pause_ledger.hpp"
 #include "obs/postmortem.hpp"
 #include "obs/profiler.hpp"
 #include "obs/slo.hpp"
 #include "obs/timeseries.hpp"
 #include "tests/json_checker.hpp"
+#include "util/stats.hpp"
 
 namespace mercury::testing {
 namespace {
@@ -633,6 +635,160 @@ TEST(Postmortem, WriteRotatesSlotsAndBumpsCount) {
   std::fclose(f);
   EXPECT_TRUE(JsonChecker(content).ok());
   EXPECT_NE(content.find("slot rotation test"), std::string::npos);
+}
+
+// --- pause observatory -------------------------------------------------------
+
+TEST(HistogramTail, QuantileOneReturnsLargestRecordedBucketBound) {
+  util::Histogram h;
+  h.add(100);
+  h.add(5000);
+  // The tail query is a bucket upper bound: at least the max sample, and
+  // monotone in q.
+  EXPECT_GE(h.quantile(1.0), 5000u);
+  EXPECT_GE(h.quantile(1.0), h.quantile(0.5));
+  EXPECT_GE(h.quantile(0.5), h.quantile(0.0));
+}
+
+TEST(HistogramTail, EmptyHistogramReturnsZeroForEveryQuantile) {
+  util::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) EXPECT_EQ(h.quantile(q), 0u);
+}
+
+TEST(HistogramTail, MergeFoldsSamplesIn) {
+  util::Histogram a, b;
+  a.add(100);
+  b.add(70000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_GE(a.quantile(1.0), 70000u);
+}
+
+TEST(PauseLedger, QuantileAtOneIsExactMaxNotBucketBound) {
+  obs::PauseLedger pl;
+  pl.record(obs::PauseCause::kRendezvousParked, 0, 1000, 8777);
+  // Span 7777: the log2 bucket bound would be 8191, but q >= 1.0 must
+  // return the exact recorded max — worst-case numbers must not round.
+  EXPECT_EQ(pl.quantile(obs::PauseCause::kRendezvousParked, 1.0), 7777u);
+  EXPECT_EQ(pl.quantile(obs::PauseCause::kRendezvousParked, 2.0), 7777u);
+  // Below 1.0 the bucket bound applies (and may exceed the exact max).
+  EXPECT_GE(pl.quantile(obs::PauseCause::kRendezvousParked, 0.99), 7777u);
+}
+
+TEST(PauseLedger, EmptyLedgerEdgeCases) {
+  obs::PauseLedger pl;
+  EXPECT_EQ(pl.intervals(), 0u);
+  EXPECT_EQ(pl.quantile(obs::PauseCause::kTlbShootdown, 0.5), 0u);
+  EXPECT_EQ(pl.quantile(obs::PauseCause::kTlbShootdown, 1.0), 0u);
+  EXPECT_EQ(pl.cpu_total(99), 0u);
+  EXPECT_FALSE(pl.worst().valid);
+  const std::string json = pl.to_json();
+  EXPECT_TRUE(JsonChecker(json).ok()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"mercury.pause.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"none\""), std::string::npos);  // worst-cause sentinel
+}
+
+TEST(PauseLedger, WorstSurvivesClearButNotReset) {
+  obs::PauseLedger pl;
+  pl.record(obs::PauseCause::kRollbackUnwind, 1, 0, 90000, "big");
+  pl.clear();
+  EXPECT_EQ(pl.intervals(), 0u);  // distributions dropped...
+  ASSERT_TRUE(pl.worst().valid);  // ...but the run's worst interval is kept
+  EXPECT_EQ(pl.worst().span(), 90000u);
+  pl.record(obs::PauseCause::kCrewShardWork, 0, 0, 100);
+  EXPECT_EQ(pl.worst().span(), 90000u);  // a smaller pause can't displace it
+  EXPECT_EQ(pl.worst().cause, obs::PauseCause::kRollbackUnwind);
+  pl.reset();
+  EXPECT_FALSE(pl.worst().valid);
+}
+
+TEST(PauseLedger, WorstTracksLargestSpanAcrossCauses) {
+  obs::PauseLedger pl;
+  pl.record(obs::PauseCause::kRendezvousParked, 0, 0, 500);
+  pl.record(obs::PauseCause::kTlbShootdown, 2, 1000, 4000, "flush");
+  pl.record(obs::PauseCause::kCrewShardWork, 1, 0, 2000);
+  ASSERT_TRUE(pl.worst().valid);
+  EXPECT_EQ(pl.worst().cause, obs::PauseCause::kTlbShootdown);
+  EXPECT_EQ(pl.worst().cpu, 2u);
+  EXPECT_EQ(pl.worst().span(), 3000u);
+}
+
+TEST(PauseLedger, BeginEndPairingAndOrphansAreUnattributed) {
+  obs::PauseLedger pl;
+  pl.begin_interval(obs::PauseCause::kHypercallEmulation, 0, 100);
+  pl.end_interval(0, 400);
+  EXPECT_EQ(pl.intervals(), 1u);
+  EXPECT_EQ(pl.count(obs::PauseCause::kHypercallEmulation), 1u);
+  EXPECT_EQ(pl.total(obs::PauseCause::kHypercallEmulation), 300u);
+  EXPECT_EQ(pl.unattributed(), 0u);
+  // An end with no begin is an orphaned half.
+  pl.end_interval(3, 500);
+  EXPECT_EQ(pl.unattributed(), 1u);
+  // A begin over a still-open slot orphans the earlier begin.
+  pl.begin_interval(obs::PauseCause::kHypercallEmulation, 1, 100);
+  pl.begin_interval(obs::PauseCause::kHypercallEmulation, 1, 200);
+  EXPECT_EQ(pl.unattributed(), 2u);
+  pl.end_interval(1, 300);  // pairs with the re-opened slot
+  EXPECT_EQ(pl.intervals(), 2u);
+  EXPECT_EQ(pl.unattributed(), 2u);
+}
+
+TEST(PauseLedger, InvertedIntervalClampsToZeroSpan) {
+  obs::PauseLedger pl;
+  pl.record(obs::PauseCause::kRendezvousParked, 0, 900, 100);
+  EXPECT_EQ(pl.count(obs::PauseCause::kRendezvousParked), 1u);
+  EXPECT_EQ(pl.total(obs::PauseCause::kRendezvousParked), 0u);
+}
+
+TEST(PauseLedger, MergeFoldsCountsCpuTotalsAndWorst) {
+  obs::PauseLedger a;
+  obs::PauseLedger b;
+  a.record(obs::PauseCause::kRendezvousParked, 0, 0, 1000);
+  b.record(obs::PauseCause::kRendezvousParked, 0, 0, 7000);
+  b.record(obs::PauseCause::kTlbShootdown, 3, 0, 50);
+  b.end_interval(1, 5);  // one unattributed half stays b's
+  a.merge(b);
+  EXPECT_EQ(a.intervals(), 3u);
+  EXPECT_EQ(a.count(obs::PauseCause::kRendezvousParked), 2u);
+  EXPECT_EQ(a.cpu_total(0), 8000u);
+  EXPECT_EQ(a.cpu_total(3), 50u);
+  EXPECT_EQ(a.unattributed(), 1u);
+  ASSERT_TRUE(a.worst().valid);
+  EXPECT_EQ(a.worst().span(), 7000u);  // b's worst displaced a's
+  // The exact max folds through the moments merge, not the bucket bound.
+  EXPECT_EQ(a.quantile(obs::PauseCause::kRendezvousParked, 1.0), 7000u);
+}
+
+TEST(PauseLedger, ScopeInstallsAndRestoresAmbientLedger) {
+  obs::PauseLedger local;
+  const std::uint64_t global_before = obs::pause_ledger().intervals();
+  {
+    obs::PauseLedgerScope scope(local);
+    EXPECT_EQ(&obs::pause_ledger(), &local);
+    MERC_PAUSE(kRendezvousParked, 0, 100, 300, "scoped");
+  }
+  EXPECT_NE(&obs::pause_ledger(), &local);
+  EXPECT_EQ(obs::pause_ledger().intervals(), global_before);
+#if MERCURY_OBS_ENABLED
+  EXPECT_EQ(local.intervals(), 1u);
+  EXPECT_EQ(local.total(obs::PauseCause::kRendezvousParked), 200u);
+#else
+  EXPECT_EQ(local.intervals(), 0u);  // the macro compiled away
+#endif
+}
+
+TEST(PauseLedger, JsonCarriesAllCausesAndWorst) {
+  obs::PauseLedger pl;
+  pl.record(obs::PauseCause::kSupervisorRetryBackoff, 0, 0, 4000, "backoff");
+  const std::string json = pl.to_json();
+  EXPECT_TRUE(JsonChecker(json).ok()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"schema\":\"mercury.pause.v1\""), std::string::npos);
+  // Silent causes still appear in the attribution table.
+  EXPECT_NE(json.find("\"rendezvous-parked\""), std::string::npos);
+  EXPECT_NE(json.find("\"supervisor-retry-backoff\""), std::string::npos);
+  EXPECT_NE(json.find("\"unattributed\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"flight\""), std::string::npos);
 }
 
 TEST(SummaryTable, RendersCountersAndHistograms) {
